@@ -1,0 +1,79 @@
+// Ablation for §5.7: the column-based engine versus the row-based baseline
+// (Listing 2). Measures precision/recall, the number of hidden ASes each
+// approach (mis)classifies, and wall-clock runtime on the same input.
+#include <chrono>
+#include <iostream>
+
+#include "common.h"
+#include "core/row_baseline.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+using namespace bgpcu;
+
+namespace {
+
+template <typename Engine>
+std::pair<eval::ScenarioEvaluation, double> run_engine(const Engine& engine,
+                                                       const topology::GeneratedTopology& topo,
+                                                       const sim::GroundTruth& truth) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = engine.run(truth.dataset);
+  const auto seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+  return {eval::evaluate_scenario(topo, truth, result), seconds.count()};
+}
+
+std::uint64_t hidden_classified(const eval::ScenarioEvaluation& ev) {
+  std::uint64_t n = 0;
+  for (const auto row : {eval::TagRow::kTaggerHidden, eval::TagRow::kSilentHidden,
+                         eval::TagRow::kSelectiveHidden}) {
+    for (std::size_t col = 0; col < 3; ++col) n += ev.tagging.at(row, col);
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation §5.7 — column-based vs row-based counting", "Listing 1 vs 2");
+  bench::WorldParams params;
+  params.num_ases = 4000;
+  params.peers = 80;
+  params.with_pollution = false;
+  auto world = bench::make_world(params);
+
+  for (const auto kind : {sim::ScenarioKind::kRandom, sim::ScenarioKind::kRandomNoise,
+                          sim::ScenarioKind::kRandomP}) {
+    sim::ScenarioConfig config;
+    config.kind = kind;
+    config.seed = params.seed;
+    const auto truth = sim::build_scenario(world.topo, world.substrate, config);
+
+    const auto [col_ev, col_s] = run_engine(core::ColumnEngine(), world.topo, truth);
+    const auto [row_ev, row_s] = run_engine(core::RowEngine(), world.topo, truth);
+
+    std::cout << "\nscenario " << sim::to_string(kind) << " (" << truth.dataset.size()
+              << " tuples)\n";
+    eval::TextTable table({"engine", "tag.prec", "tag.rec", "fwd.prec", "fwd.rec",
+                           "hidden classified", "runtime"});
+    table.add_row({"column (paper)", eval::ratio2(col_ev.tagging_pr.precision),
+                   eval::ratio2(col_ev.tagging_pr.recall),
+                   eval::ratio2(col_ev.forwarding_pr.precision),
+                   eval::ratio2(col_ev.forwarding_pr.recall),
+                   eval::with_commas(hidden_classified(col_ev)),
+                   eval::ratio2(col_s * 1e3) + " ms"});
+    table.add_row({"row (baseline)", eval::ratio2(row_ev.tagging_pr.precision),
+                   eval::ratio2(row_ev.tagging_pr.recall),
+                   eval::ratio2(row_ev.forwarding_pr.precision),
+                   eval::ratio2(row_ev.forwarding_pr.recall),
+                   eval::with_commas(hidden_classified(row_ev)),
+                   eval::ratio2(row_s * 1e3) + " ms"});
+    table.print(std::cout);
+  }
+
+  std::cout << "\npaper claim (§5.7): the column-based design sacrifices some recall\n"
+               "and runtime to avoid counting through cleaners — the row baseline\n"
+               "classifies hidden ASes (silent-looking) and loses precision, while\n"
+               "the column engine classifies <0.5% of hidden ASes.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Figure 2: ROC curves of the tagging and forwarding classifiers
+// under threshold sweeps (50%..100%) for the selective scenarios random-p
+// (left plot) and random-pp (right plot).
+#include <iostream>
+
+#include "common.h"
+#include "eval/report.h"
+#include "eval/roc.h"
+
+using namespace bgpcu;
+
+int main() {
+  bench::print_banner("Figure 2 — ROC curves under threshold sweep", "Fig. 2");
+  bench::WorldParams params;
+  params.num_ases = 2500;
+  params.peers = 60;
+  params.with_pollution = false;
+  auto world = bench::make_world(params);
+
+  for (const auto kind : {sim::ScenarioKind::kRandomP, sim::ScenarioKind::kRandomPp}) {
+    sim::ScenarioConfig config;
+    config.kind = kind;
+    config.seed = params.seed;
+    const auto truth = sim::build_scenario(world.topo, world.substrate, config);
+
+    std::cout << "\nscenario " << sim::to_string(kind) << " ("
+              << (kind == sim::ScenarioKind::kRandomP ? "left plot" : "right plot") << ")\n";
+    eval::TextTable table({"threshold", "tag TPR", "tag FPR", "fwd TPR", "fwd FPR"});
+    for (const auto& point : eval::roc_sweep(world.topo, truth, 50, 100, 5)) {
+      table.add_row({eval::ratio2(point.threshold), eval::ratio2(point.tagging_tpr),
+                     eval::ratio2(point.tagging_fpr), eval::ratio2(point.forwarding_tpr),
+                     eval::ratio2(point.forwarding_fpr)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\npaper shape: raising the threshold 50%->100% drops the tagging FPR\n"
+               "~10%->1% and forwarding FPR ~1%->0 while TPR falls by ~20%; random-pp\n"
+               "runs at lower TPR than random-p. Performance is not threshold-sensitive.\n";
+  return 0;
+}

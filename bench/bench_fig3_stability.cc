@@ -1,0 +1,51 @@
+// Regenerates Figure 3: impact of incrementally adding more days of input.
+// Day k classifies the union of days 1..k; for each full class we report how
+// many member ASes are new, stable (since day 1), or recurring.
+#include <iostream>
+
+#include "common.h"
+#include "eval/report.h"
+#include "eval/stability.h"
+#include "sim/churn.h"
+
+using namespace bgpcu;
+
+int main() {
+  bench::print_banner("Figure 3 — stability over successive days", "Fig. 3");
+  bench::WorldParams params;
+  params.num_ases = 4000;
+  params.peers = 80;
+  auto world = bench::make_world(params);
+
+  sim::ChurnConfig churn;
+  churn.seed = params.seed;
+  constexpr std::uint32_t kDays = 5;
+
+  eval::StabilityTracker tracker;
+  core::Dataset cumulative;
+  for (std::uint32_t day = 0; day < kDays; ++day) {
+    cumulative = sim::merge_datasets(std::move(cumulative),
+                                     sim::day_dataset(world.dataset, churn, day));
+    tracker.add_day(core::ColumnEngine().run(cumulative));
+    std::cout << "day +" << day + 1 << ": cumulative tuples " << cumulative.size() << "\n";
+  }
+
+  for (const auto cls : {eval::FullClass::kTf, eval::FullClass::kTc, eval::FullClass::kSf,
+                         eval::FullClass::kSc}) {
+    std::cout << "\n" << eval::to_string(cls) << "\n";
+    eval::TextTable table({"day", "new", "stable", "recurring", "total"});
+    const auto& series = tracker.series(cls);
+    for (std::size_t day = 0; day < series.size(); ++day) {
+      table.add_row({"+" + std::to_string(day + 1), eval::with_commas(series[day].fresh),
+                     eval::with_commas(series[day].stable),
+                     eval::with_commas(series[day].recurring),
+                     eval::with_commas(series[day].total())});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\npaper shape: after day 1 only a handful of ASes are new (max ~10);\n"
+               "90-97% of members are stable since day 1 — one day of data already\n"
+               "gives stable inferences.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Regenerates Figure 5: community source-group counts (peer / foreign /
+// stray / private) observed at the fully-classified collector peers, split
+// by full class. The paper plots these as log-scale heat strips; we print
+// the per-class totals and a per-peer breakdown for the busiest peers.
+#include <algorithm>
+#include <iostream>
+
+#include "common.h"
+#include "core/community_source.h"
+#include "eval/report.h"
+
+using namespace bgpcu;
+
+int main() {
+  bench::print_banner("Figure 5 — community types at fully-classified peers", "Fig. 5");
+  bench::WorldParams params;
+  params.num_ases = 5000;
+  params.peers = 90;
+  auto world = bench::make_world(params);
+  const auto result = world.infer();
+
+  struct PeerRow {
+    bgp::Asn peer = 0;
+    std::string cls;
+    core::SourceGroupCounts counts;
+  };
+  std::unordered_map<bgp::Asn, PeerRow> rows;
+  for (const auto& tuple : world.dataset) {
+    const auto usage = result.usage(tuple.peer());
+    if (!usage.full()) continue;
+    auto& row = rows[tuple.peer()];
+    row.peer = tuple.peer();
+    row.cls = usage.code();
+    row.counts += core::count_sources(tuple, world.topo.registry);
+  }
+
+  // Per-class aggregate: the four strips of the figure.
+  for (const std::string cls : {"tf", "tc", "sf", "sc"}) {
+    core::SourceGroupCounts total;
+    std::size_t peers = 0;
+    for (const auto& [asn, row] : rows) {
+      if (row.cls != cls) continue;
+      total += row.counts;
+      ++peers;
+    }
+    std::cout << "\nclass " << cls << " (" << peers << " fully-classified peers)\n";
+    eval::TextTable table({"type", "communities"});
+    for (const auto group : {core::SourceGroup::kPeer, core::SourceGroup::kForeign,
+                             core::SourceGroup::kStray, core::SourceGroup::kPrivate}) {
+      table.add_row({core::to_string(group), eval::with_commas(total.of(group))});
+    }
+    table.print(std::cout);
+  }
+
+  // Busiest individual peers, ordered like the figure's x-axis.
+  std::vector<PeerRow> ordered;
+  for (const auto& [asn, row] : rows) ordered.push_back(row);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const PeerRow& a, const PeerRow& b) { return a.counts.total() > b.counts.total(); });
+  std::cout << "\nbusiest fully-classified peers\n";
+  eval::TextTable table({"peer AS", "class", "peer", "foreign", "stray", "private"});
+  for (std::size_t i = 0; i < ordered.size() && i < 12; ++i) {
+    const auto& row = ordered[i];
+    table.add_row({std::to_string(row.peer), row.cls,
+                   eval::with_commas(row.counts.of(core::SourceGroup::kPeer)),
+                   eval::with_commas(row.counts.of(core::SourceGroup::kForeign)),
+                   eval::with_commas(row.counts.of(core::SourceGroup::kStray)),
+                   eval::with_commas(row.counts.of(core::SourceGroup::kPrivate))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper shape: peer communities appear for t* classes and (almost)\n"
+               "vanish for s*; foreign communities appear for *f and (almost) vanish\n"
+               "for *c; stray/private appear across all classes since the inference\n"
+               "ignores them.\n";
+  return 0;
+}

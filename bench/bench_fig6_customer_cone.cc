@@ -1,0 +1,77 @@
+// Regenerates Figure 6: CDFs of customer-cone sizes per inferred tagging
+// class (top plot) and forwarding class (bottom plot), printed as the CDF
+// value at log-spaced cone sizes.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common.h"
+#include "eval/report.h"
+#include "topology/cone.h"
+
+using namespace bgpcu;
+
+namespace {
+
+void print_cdfs(const std::map<std::string, std::vector<std::uint32_t>>& by_class) {
+  const std::uint32_t points[] = {1, 2, 5, 10, 50, 100, 1000, 10000};
+  std::vector<std::string> header{"cone <="};
+  for (const auto& [cls, cones] : by_class) {
+    header.push_back(cls + "(" + std::to_string(cones.size()) + ")");
+  }
+  eval::TextTable table(std::move(header));
+  for (const auto point : points) {
+    std::vector<std::string> row{std::to_string(point)};
+    for (const auto& [cls, cones] : by_class) {
+      if (cones.empty()) {
+        row.push_back("-");
+        continue;
+      }
+      const auto below = static_cast<double>(std::count_if(
+          cones.begin(), cones.end(), [point](std::uint32_t c) { return c <= point; }));
+      row.push_back(eval::ratio2(below / static_cast<double>(cones.size())));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 6 — customer cone size CDFs per class", "Fig. 6");
+  bench::WorldParams params;
+  params.num_ases = 5000;
+  params.peers = 90;
+  auto world = bench::make_world(params);
+  const auto result = world.infer();
+  const auto cones = topology::customer_cone_sizes(world.topo.graph);
+
+  std::map<std::string, std::vector<std::uint32_t>> tagging, forwarding;
+  for (topology::NodeId n = 0; n < world.topo.graph.node_count(); ++n) {
+    const auto asn = world.topo.graph.asn_of(n);
+    const auto usage = result.usage(asn);
+    const char tag = core::to_char(usage.tagging);
+    const char fwd = core::to_char(usage.forwarding);
+    const std::string tag_name = tag == 't'   ? "tagger"
+                                 : tag == 's' ? "silent"
+                                 : tag == 'u' ? "undecided"
+                                              : "none";
+    const std::string fwd_name = fwd == 'f'   ? "forward"
+                                 : fwd == 'c' ? "cleaner"
+                                 : fwd == 'u' ? "undecided"
+                                              : "none";
+    tagging[tag_name].push_back(cones[n]);
+    forwarding[fwd_name].push_back(cones[n]);
+  }
+
+  std::cout << "\ntagging behavior (top plot)\n";
+  print_cdfs(tagging);
+  std::cout << "\nforwarding behavior (bottom plot)\n";
+  print_cdfs(forwarding);
+
+  std::cout << "\npaper shape: ~70% of silent ASes are cone-1 leaves while ~50% of\n"
+               "taggers have cones > 10; undecided resembles tagger; `none` is ~90%\n"
+               "leaf; cleaner and forward skew to larger ASes.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark): throughput of the building blocks —
+// column engine, row baseline, MRT parsing, sanitizer, route computation and
+// customer-cone computation. These are engineering numbers, not paper
+// figures; they bound what a full-scale (73k-AS / 77M-tuple) run would cost.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "core/row_baseline.h"
+#include "sim/churn.h"
+#include "topology/cone.h"
+#include "topology/routing.h"
+
+namespace {
+
+using namespace bgpcu;
+
+const bench::World& world() {
+  static const bench::World w = [] {
+    bench::WorldParams params;
+    params.num_ases = 3000;
+    params.peers = 60;
+    return bench::make_world(params);
+  }();
+  return w;
+}
+
+void BM_ColumnEngine(benchmark::State& state) {
+  const auto& dataset = world().dataset;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ColumnEngine().run(dataset));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_ColumnEngine)->Unit(benchmark::kMillisecond);
+
+void BM_RowEngine(benchmark::State& state) {
+  const auto& dataset = world().dataset;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RowEngine().run(dataset));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_RowEngine)->Unit(benchmark::kMillisecond);
+
+void BM_MrtEmitParse(benchmark::State& state) {
+  const auto& w = world();
+  const collector::PathOutputs outputs(w.dataset);
+  collector::EmissionConfig emission;
+  const auto dumps = collector::emit_project(w.topo, w.substrate, outputs, w.projects[2],
+                                             emission);  // Isolario: smallest
+  std::size_t bytes = 0;
+  for (const auto& d : dumps) bytes += d.rib_dump.size() + d.update_dump.size();
+  for (auto _ : state) {
+    collector::DatasetBuilder builder(w.topo.registry);
+    for (const auto& d : dumps) {
+      builder.add_dump(d.rib_dump);
+      builder.add_dump(d.update_dump);
+    }
+    benchmark::DoNotOptimize(builder.finish());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MrtEmitParse)->Unit(benchmark::kMillisecond);
+
+void BM_RouteComputation(benchmark::State& state) {
+  const auto& w = world();
+  topology::RouteComputer computer(w.topo.graph);
+  topology::NodeId origin = 0;
+  for (auto _ : state) {
+    computer.compute(origin);
+    origin = (origin + 97) % static_cast<topology::NodeId>(w.topo.graph.node_count());
+    benchmark::DoNotOptimize(computer);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.topo.graph.edge_count()));
+}
+BENCHMARK(BM_RouteComputation);
+
+void BM_CustomerCones(benchmark::State& state) {
+  const auto& graph = world().topo.graph;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::customer_cone_sizes(graph));
+  }
+}
+BENCHMARK(BM_CustomerCones)->Unit(benchmark::kMillisecond);
+
+void BM_Deduplicate(benchmark::State& state) {
+  const auto& w = world();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto copy = w.dataset;
+    copy.insert(copy.end(), w.dataset.begin(), w.dataset.end());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(core::deduplicate(copy));
+  }
+}
+BENCHMARK(BM_Deduplicate)->Unit(benchmark::kMillisecond);
+
+void BM_DayChurn(benchmark::State& state) {
+  const auto& w = world();
+  sim::ChurnConfig churn;
+  std::uint32_t day = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::day_dataset(w.dataset, churn, day++));
+  }
+}
+BENCHMARK(BM_DayChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

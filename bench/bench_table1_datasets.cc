@@ -1,0 +1,74 @@
+// Regenerates Table 1: data-set overview per collector project (RIPE,
+// RouteViews, Isolario, PCH) plus the RIPE+RouteViews+Isolario aggregate "d".
+// Runs the full pipeline: routes -> MRT emission -> extraction -> sanitation
+// -> statistics. The right-most column quotes the paper's d values.
+#include <iostream>
+
+#include "common.h"
+#include "eval/report.h"
+
+using namespace bgpcu;
+
+int main() {
+  bench::print_banner("Table 1 — data sets overview", "Table 1");
+  bench::WorldParams params;
+  params.num_ases = 5000;
+  params.peers = 130;
+  auto world = bench::make_world(params);
+
+  const collector::PathOutputs outputs(world.dataset);
+  collector::EmissionConfig emission;
+  emission.seed = params.seed;
+
+  std::vector<collector::DatasetStats> stats;
+  std::vector<std::string> names;
+  collector::DatasetBundle aggregate;
+  for (std::size_t i = 0; i < world.projects.size(); ++i) {
+    collector::DatasetBuilder builder(world.topo.registry);
+    for (const auto& emitted : collector::emit_project(world.topo, world.substrate, outputs,
+                                                       world.projects[i], emission)) {
+      builder.add_dump(emitted.rib_dump);
+      builder.add_dump(emitted.update_dump);
+    }
+    auto bundle = builder.finish();
+    stats.push_back(collector::compute_stats(bundle, world.topo.registry));
+    names.push_back(world.projects[i].name);
+    if (i < 3) aggregate.merge(std::move(bundle));  // d = RIPE+RouteViews+Isolario
+  }
+  // Insert the aggregate before PCH, like the paper's column order.
+  stats.insert(stats.begin() + 3, collector::compute_stats(aggregate, world.topo.registry));
+  names.insert(names.begin() + 3, "d(aggr)");
+
+  eval::TextTable table({"Input data", names[0], names[1], names[2], names[3], names[4],
+                         "paper d"});
+  const auto row = [&](const std::string& label, auto field, const std::string& paper) {
+    std::vector<std::string> cells{label};
+    for (const auto& s : stats) cells.push_back(eval::with_commas(field(s)));
+    cells.push_back(paper);
+    table.add_row(std::move(cells));
+  };
+  using S = collector::DatasetStats;
+  row("Entries total", [](const S& s) { return s.entries_total; }, "9,010M");
+  row("incl. RIB entries", [](const S& s) { return s.rib_entries; }, "5,458M");
+  row("Uniq. (path,comm)", [](const S& s) { return s.unique_tuples; }, "77M");
+  row("AS numbers", [](const S& s) { return s.asns_raw; }, "80,651");
+  row("After cleaning", [](const S& s) { return s.asns_clean; }, "72,951");
+  row("incl. Leaf ASes", [](const S& s) { return s.leaf_ases; }, "60,420");
+  row("incl. 32-bit ASes", [](const S& s) { return s.asns_32bit; }, "31,239");
+  row("Collector peers", [](const S& s) { return s.collector_peers; }, "766");
+  row("Communities", [](const S& s) { return s.communities_total; }, "39,703M");
+  row("incl. large", [](const S& s) { return s.large_communities_total; }, "7,093M");
+  row("Unique communities", [](const S& s) { return s.unique_communities; }, "84,186");
+  row("incl. large", [](const S& s) { return s.unique_large_communities; }, "5,326");
+  row("Uniq. upper (regular)", [](const S& s) { return s.uniq_upper_regular; }, "6,385");
+  row("Uniq. upper (large)", [](const S& s) { return s.uniq_upper_large; }, "384");
+  row("Uniq. upper (both)", [](const S& s) { return s.uniq_upper_both; }, "6,643");
+  row("w/o private", [](const S& s) { return s.uniq_upper_wo_private; }, "6,025");
+  row("w/o stray", [](const S& s) { return s.uniq_upper_wo_stray; }, "4,579");
+  table.print(std::cout);
+
+  std::cout << "\nShape checks (paper): RIB entries dominate entries for RIB projects;\n"
+               "PCH contributes updates only; upper-field counts shrink monotonically\n"
+               "both -> w/o private -> w/o stray.\n";
+  return 0;
+}

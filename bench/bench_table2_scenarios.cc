@@ -1,0 +1,109 @@
+// Regenerates Table 2: classification results and performance on the ground
+// truth scenarios (alltc, alltf, random, random+noise, random-p, random-pp).
+// Random-based scenarios are averaged over several seeds, like the paper's
+// 10 iterations. The paper's values are printed beneath each row.
+#include <iostream>
+
+#include "common.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+using namespace bgpcu;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double tag_rec = 0, tag_prec = 0, fwd_rec = 0, fwd_prec = 0;
+  double tc = 0, sc = 0, tf = 0, sf = 0, tn = 0, sn = 0, nc = 0, nf = 0;
+  double nn = 0, tag_u = 0, fwd_u = 0, uu = 0;
+
+  void accumulate(const eval::ScenarioEvaluation& ev) {
+    tag_rec += ev.tagging_pr.recall;
+    tag_prec += ev.tagging_pr.precision;
+    fwd_rec += ev.forwarding_pr.recall;
+    fwd_prec += ev.forwarding_pr.precision;
+    const auto& h = ev.classes;
+    tc += static_cast<double>(h.tc);
+    sc += static_cast<double>(h.sc);
+    tf += static_cast<double>(h.tf);
+    sf += static_cast<double>(h.sf);
+    tn += static_cast<double>(h.tn);
+    sn += static_cast<double>(h.sn);
+    nc += static_cast<double>(h.nc);
+    nf += static_cast<double>(h.nf);
+    nn += static_cast<double>(h.nn);
+    tag_u += static_cast<double>(h.tag_u);
+    fwd_u += static_cast<double>(h.fwd_u);
+    uu += static_cast<double>(h.uu);
+  }
+  void divide(double n) {
+    for (double* v : {&tag_rec, &tag_prec, &fwd_rec, &fwd_prec, &tc, &sc, &tf, &sf, &tn, &sn,
+                      &nc, &nf, &nn, &tag_u, &fwd_u, &uu}) {
+      *v /= n;
+    }
+  }
+};
+
+std::string num(double v) { return eval::with_commas(static_cast<std::uint64_t>(v + 0.5)); }
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Table 2 — scenario classification results", "Table 2");
+  bench::WorldParams params;
+  params.num_ases = 5000;
+  params.peers = 90;
+  params.with_pollution = false;  // scenarios replace the wild roles entirely
+  auto world = bench::make_world(params);
+
+  constexpr int kIterations = 3;  // paper: 10 per random scenario
+  const struct {
+    sim::ScenarioKind kind;
+    bool randomized;
+    const char* paper;
+  } specs[] = {
+      {sim::ScenarioKind::kAllTc, false,
+       "paper: rec 1.00/0.82 prec 1.00/1.00; tc=578, tn=188, nn=72,185"},
+      {sim::ScenarioKind::kAllTf, false,
+       "paper: rec 0.96/0.83 prec 1.00/1.00; tf=10,427, tn=59,570, nn=2,954"},
+      {sim::ScenarioKind::kRandom, true,
+       "paper: rec 0.93/0.70 prec 1.00/1.00; ~1,300 per full class, tn/sn~20k"},
+      {sim::ScenarioKind::kRandomNoise, true,
+       "paper: rec 0.55/0.45 prec 1.00/1.00; u*=17,518, *u=1,288, uu=412"},
+      {sim::ScenarioKind::kRandomP, true,
+       "paper: rec 0.42/0.39 prec 0.86/0.97; nn=48,980, u*=622"},
+      {sim::ScenarioKind::kRandomPp, true,
+       "paper: rec 0.18/0.18 prec 0.89/0.94; nn=62,035"},
+  };
+
+  eval::TextTable table({"scenario", "tag.rec", "tag.prec", "fwd.rec", "fwd.prec", "tc", "sc",
+                         "tf", "sf", "tn", "sn", "nc", "nf", "nn", "u*", "*u", "uu"});
+  for (const auto& spec : specs) {
+    Row row;
+    row.name = sim::to_string(spec.kind);
+    const int iterations = spec.randomized ? kIterations : 1;
+    for (int it = 0; it < iterations; ++it) {
+      sim::ScenarioConfig config;
+      config.kind = spec.kind;
+      config.seed = params.seed + static_cast<std::uint64_t>(it) * 101;
+      const auto truth = sim::build_scenario(world.topo, world.substrate, config);
+      const auto result = core::ColumnEngine().run(truth.dataset);
+      row.accumulate(eval::evaluate_scenario(world.topo, truth, result));
+    }
+    row.divide(iterations);
+    table.add_row({row.name, eval::ratio2(row.tag_rec), eval::ratio2(row.tag_prec),
+                   eval::ratio2(row.fwd_rec), eval::ratio2(row.fwd_prec), num(row.tc),
+                   num(row.sc), num(row.tf), num(row.sf), num(row.tn), num(row.sn), num(row.nc),
+                   num(row.nf), num(row.nn), num(row.tag_u), num(row.fwd_u), num(row.uu)});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+  for (const auto& spec : specs) {
+    std::cout << "  " << sim::to_string(spec.kind) << " -> " << spec.paper << '\n';
+  }
+  std::cout << "\nShape checks: precision 1.00 in consistent scenarios; noise floods\n"
+               "u* while taggers stay classified; selective scenarios cut recall and\n"
+               "precision; nn(alltf) < nn(random) < nn(alltc).\n";
+  return 0;
+}

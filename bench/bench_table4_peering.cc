@@ -1,0 +1,56 @@
+// Regenerates Table 4: PEERING-testbed validation. Three temporally
+// uncorrelated experiments (different seeds) announce a /24 with per-PoP
+// community pairs; we report the share of AS paths containing at least one
+// inferred cleaner, for paths that did and did not deliver our communities.
+#include <iostream>
+
+#include "common.h"
+#include "eval/report.h"
+#include "sim/peering.h"
+
+using namespace bgpcu;
+
+namespace {
+
+std::string pct(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return "-";
+  return std::to_string(part * 100 / whole) + "%";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Table 4 — PEERING validation experiments", "Table 4");
+  bench::WorldParams params;
+  params.num_ases = 5000;
+  params.peers = 90;
+  auto world = bench::make_world(params);
+  const auto inference = world.infer();
+
+  eval::TextTable table({"experiment", "with comms: cleaner", "(undecided)",
+                         "without comms: cleaner", "(undecided)"});
+  const char* dates[] = {"2021-05-19", "2021-07-15", "2021-08-15"};
+  for (int exp = 0; exp < 3; ++exp) {
+    sim::PeeringConfig config;
+    config.seed = 100 + static_cast<std::uint64_t>(exp);
+    const auto obs = sim::run_peering_experiment(world.topo, world.substrate.peers, world.roles,
+                                                 config);
+    const auto v = sim::validate_observation(obs, inference, 47065);
+    table.add_row({dates[exp],
+                   std::to_string(v.with_comms_cleaner) + "/" + std::to_string(v.with_comms) +
+                       " (" + pct(v.with_comms_cleaner, v.with_comms) + ")",
+                   pct(v.with_comms_undecided, v.with_comms),
+                   std::to_string(v.without_comms_cleaner) + "/" +
+                       std::to_string(v.without_comms) + " (" +
+                       pct(v.without_comms_cleaner, v.without_comms) + ")",
+                   pct(v.without_comms_undecided, v.without_comms)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper values: communities present -> cleaner on path in 6/177 (3%),\n"
+               "1/104 (1%), 0/61 (0%); communities absent -> cleaner on path in\n"
+               "285/367 (78%), 286/365 (78%), 300/359 (84%).\n"
+               "Shape check: contradictions (left) stay near zero; most community-less\n"
+               "paths contain an identified cleaner, the rest mostly undecided ASes.\n";
+  return 0;
+}

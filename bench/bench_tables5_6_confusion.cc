@@ -1,0 +1,64 @@
+// Regenerates Tables 5 and 6: full confusion matrices (assigned roles,
+// including hidden and leaf sub-rows, versus classification result) for
+// every verification scenario.
+#include <iostream>
+
+#include "common.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+using namespace bgpcu;
+
+int main() {
+  bench::print_banner("Tables 5+6 — confusion matrices per scenario", "Tables 5, 6");
+  bench::WorldParams params;
+  params.num_ases = 4000;
+  params.peers = 80;
+  params.with_pollution = false;
+  auto world = bench::make_world(params);
+
+  const sim::ScenarioKind kinds[] = {
+      sim::ScenarioKind::kAllTf,  sim::ScenarioKind::kAllTc,    sim::ScenarioKind::kRandom,
+      sim::ScenarioKind::kRandomNoise, sim::ScenarioKind::kRandomP, sim::ScenarioKind::kRandomPp,
+  };
+
+  for (const auto kind : kinds) {
+    sim::ScenarioConfig config;
+    config.kind = kind;
+    config.seed = params.seed;
+    const auto truth = sim::build_scenario(world.topo, world.substrate, config);
+    const auto result = core::ColumnEngine().run(truth.dataset);
+    const auto ev = eval::evaluate_scenario(world.topo, truth, result);
+
+    std::cout << "\n=== scenario " << sim::to_string(kind) << " ===\n";
+    std::cout << "tagging (Table 5 block)\n";
+    eval::TextTable tag({"assigned \\ result", "tagger", "silent", "undecided", "none"});
+    for (std::size_t r = 0; r < static_cast<std::size_t>(eval::TagRow::kCount); ++r) {
+      const auto row = static_cast<eval::TagRow>(r);
+      if (ev.tagging.row_total(row) == 0) continue;
+      tag.add_row({eval::to_string(row), eval::with_commas(ev.tagging.at(row, 0)),
+                   eval::with_commas(ev.tagging.at(row, 1)),
+                   eval::with_commas(ev.tagging.at(row, 2)),
+                   eval::with_commas(ev.tagging.at(row, 3))});
+    }
+    tag.print(std::cout);
+
+    std::cout << "forwarding (Table 6 block)\n";
+    eval::TextTable fwd({"assigned \\ result", "forward", "cleaner", "undecided", "none"});
+    for (std::size_t r = 0; r < static_cast<std::size_t>(eval::FwdRow::kCount); ++r) {
+      const auto row = static_cast<eval::FwdRow>(r);
+      if (ev.forwarding.row_total(row) == 0) continue;
+      fwd.add_row({eval::to_string(row), eval::with_commas(ev.forwarding.at(row, 0)),
+                   eval::with_commas(ev.forwarding.at(row, 1)),
+                   eval::with_commas(ev.forwarding.at(row, 2)),
+                   eval::with_commas(ev.forwarding.at(row, 3))});
+    }
+    fwd.print(std::cout);
+  }
+
+  std::cout << "\npaper shape: hidden and leaf rows land in `none` (no counters); in\n"
+               "consistent scenarios the visible diagonal is exact; noise moves silent\n"
+               "and cleaner mass into `undecided`; selective scenarios split the\n"
+               "selective row across tagger/silent/undecided.\n";
+  return 0;
+}

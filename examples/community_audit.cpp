@@ -1,0 +1,75 @@
+// Operator-style community audit (§7.2): for each collector peer, break the
+// observed communities into source groups (peer / foreign / stray / private)
+// and cross-check them against the peer's inferred class — foreign
+// communities at an inferred cleaner contradict the inference, stray and
+// private communities are unattributable noise worth filtering.
+#include <algorithm>
+#include <iostream>
+
+#include "core/community_source.h"
+#include "core/engine.h"
+#include "sim/scenario.h"
+#include "sim/substrate.h"
+#include "sim/wild.h"
+#include "topology/generator.h"
+
+int main() {
+  using namespace bgpcu;
+
+  topology::GeneratorParams gen;
+  gen.num_ases = 2000;
+  gen.seed = 11;
+  const auto topo = topology::generate(gen);
+  const auto peers = sim::select_collector_peers(topo, 40, gen.seed);
+  const auto substrate = sim::build_substrate(topo, peers);
+
+  sim::WildParams wild;
+  wild.seed = gen.seed;
+  const auto roles = sim::assign_wild_roles(topo, wild);
+  sim::OutputConfig output;
+  output.pollution = wild.pollution;  // include stray/private noise
+  const auto dataset = sim::generate_dataset(topo, substrate, roles, output, gen.seed);
+  const auto inference = core::ColumnEngine().run(dataset);
+
+  struct Audit {
+    std::string cls;
+    core::SourceGroupCounts counts;
+    std::uint64_t tuples = 0;
+  };
+  std::unordered_map<bgp::Asn, Audit> audits;
+  for (const auto& tuple : dataset) {
+    auto& audit = audits[tuple.peer()];
+    audit.cls = inference.usage(tuple.peer()).code();
+    audit.counts += core::count_sources(tuple, topo.registry);
+    ++audit.tuples;
+  }
+
+  std::vector<std::pair<bgp::Asn, Audit>> rows(audits.begin(), audits.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.counts.total() > b.second.counts.total();
+  });
+
+  std::cout << "peer AS   class   tuples   peer  foreign  stray  private   notes\n";
+  for (const auto& [asn, audit] : rows) {
+    std::string notes;
+    const bool cleaner = audit.cls[1] == 'c';
+    if (cleaner && audit.counts.of(core::SourceGroup::kForeign) > 0) {
+      notes = "foreign comms at a cleaner: investigate";
+    } else if (audit.counts.of(core::SourceGroup::kStray) +
+                   audit.counts.of(core::SourceGroup::kPrivate) >
+               audit.counts.total() / 2) {
+      notes = "mostly unattributable communities";
+    }
+    std::printf("%-9u %-7s %-8llu %-5llu %-8llu %-6llu %-9llu %s\n", asn, audit.cls.c_str(),
+                static_cast<unsigned long long>(audit.tuples),
+                static_cast<unsigned long long>(audit.counts.of(core::SourceGroup::kPeer)),
+                static_cast<unsigned long long>(audit.counts.of(core::SourceGroup::kForeign)),
+                static_cast<unsigned long long>(audit.counts.of(core::SourceGroup::kStray)),
+                static_cast<unsigned long long>(audit.counts.of(core::SourceGroup::kPrivate)),
+                notes.c_str());
+  }
+  std::cout << "\nexpectation (§7.2): t* classes show peer communities, *f classes show\n"
+               "foreign communities; stray/private appear everywhere and are ignored\n"
+               "by the inference.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Active-measurement validation (§7.4): infer community usage passively,
+// then inject a /24 announcement with per-PoP communities from a testbed AS
+// and check the inferences against what actually arrives at the collectors.
+#include <iostream>
+
+#include "core/engine.h"
+#include "sim/peering.h"
+#include "sim/scenario.h"
+#include "sim/substrate.h"
+#include "sim/wild.h"
+#include "topology/generator.h"
+
+int main() {
+  using namespace bgpcu;
+
+  topology::GeneratorParams gen;
+  gen.num_ases = 2000;
+  gen.seed = 7;
+  const auto topo = topology::generate(gen);
+  const auto peers = sim::select_collector_peers(topo, 50, gen.seed);
+  const auto substrate = sim::build_substrate(topo, peers);
+
+  sim::WildParams wild;
+  wild.seed = gen.seed;
+  const auto roles = sim::assign_wild_roles(topo, wild);
+  const auto dataset =
+      sim::generate_dataset(topo, substrate, roles, sim::OutputConfig{}, gen.seed);
+  const auto inference = core::ColumnEngine().run(dataset);
+  std::cout << "passive inference over " << dataset.size() << " tuples done\n";
+
+  sim::PeeringConfig config;
+  config.seed = 42;
+  const auto obs = sim::run_peering_experiment(topo, peers, roles, config);
+  std::cout << "announced /24 via " << obs.pop_asns.size() << " PoPs; observed "
+            << obs.tuples.size() << " unique (path, comm) tuples\n";
+
+  const auto v = sim::validate_observation(obs, inference, 47065);
+  std::cout << "\npaths delivering our communities:   " << v.with_comms << "\n"
+            << "  ...with an inferred cleaner:      " << v.with_comms_cleaner
+            << "  <- contradictions\n"
+            << "  ...with undecided ASes only:      " << v.with_comms_undecided << "\n"
+            << "paths missing our communities:      " << v.without_comms << "\n"
+            << "  ...with an inferred cleaner:      " << v.without_comms_cleaner
+            << "  <- explained\n"
+            << "  ...with undecided ASes only:      " << v.without_comms_undecided << "\n";
+
+  // Contradictions are inferences proven wrong (a "cleaner" forwarded our
+  // tags). Paths whose responsible cleaner was classified neither cleaner
+  // nor undecided are coverage gaps (`none`), not wrong inferences — the
+  // paper's >90% agreement statement concerns the ASes it classified.
+  const auto contradictions = v.with_comms_cleaner;
+  const auto gaps = v.without_comms - v.without_comms_cleaner - v.without_comms_undecided;
+  const auto total = v.with_comms + v.without_comms;
+  std::cout << "\n" << total - contradictions - gaps << "/" << total
+            << " observations agree with the inferences, " << gaps
+            << " fall outside inference coverage, " << contradictions
+            << " contradict them (paper: >90% agreement among classified ASes)\n";
+  return 0;
+}

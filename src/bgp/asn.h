@@ -1,0 +1,54 @@
+// Autonomous System Number taxonomy: 16-bit vs 32-bit ASNs and the IANA
+// special-purpose ranges the paper's sanitation and community grouping rely
+// on (private, reserved, documentation, AS_TRANS).
+#ifndef BGPCU_BGP_ASN_H
+#define BGPCU_BGP_ASN_H
+
+#include <cstdint>
+#include <string>
+
+namespace bgpcu::bgp {
+
+/// An Autonomous System Number. 32-bit per RFC 6793; values <= 65535 are
+/// classic 16-bit ASNs.
+using Asn = std::uint32_t;
+
+/// AS_TRANS (RFC 6793): placeholder 16-bit ASN used where a 4-byte ASN does
+/// not fit in a 2-byte field.
+inline constexpr Asn kAsTrans = 23456;
+
+/// Returns true if `asn` fits in the classic 16-bit ASN space.
+[[nodiscard]] constexpr bool is_16bit_asn(Asn asn) noexcept { return asn <= 0xFFFF; }
+
+/// Returns true if `asn` requires 4-byte encoding (RFC 6793).
+[[nodiscard]] constexpr bool is_32bit_asn(Asn asn) noexcept { return asn > 0xFFFF; }
+
+/// Private-use ASNs: 64512-65534 (RFC 6996) and 4200000000-4294967294.
+[[nodiscard]] constexpr bool is_private_asn(Asn asn) noexcept {
+  return (asn >= 64512 && asn <= 65534) || (asn >= 4200000000u && asn <= 4294967294u);
+}
+
+/// Documentation ASNs: 64496-64511 and 65536-65551 (RFC 5398).
+[[nodiscard]] constexpr bool is_documentation_asn(Asn asn) noexcept {
+  return (asn >= 64496 && asn <= 64511) || (asn >= 65536 && asn <= 65551);
+}
+
+/// Reserved ASNs: 0 (RFC 7607), 65535 (RFC 7300), 4294967295 (RFC 7300) and
+/// AS_TRANS which never identifies a real network.
+[[nodiscard]] constexpr bool is_reserved_asn(Asn asn) noexcept {
+  return asn == 0 || asn == 65535 || asn == 4294967295u || asn == kAsTrans;
+}
+
+/// An ASN that can never identify a public network: private, reserved, or
+/// documentation. The paper's community grouping treats communities whose
+/// upper field falls in these ranges as `private` (Section 3.2).
+[[nodiscard]] constexpr bool is_special_purpose_asn(Asn asn) noexcept {
+  return is_private_asn(asn) || is_documentation_asn(asn) || is_reserved_asn(asn);
+}
+
+/// Formats an ASN in the canonical "asplain" decimal notation (RFC 5396).
+[[nodiscard]] inline std::string asn_to_string(Asn asn) { return std::to_string(asn); }
+
+}  // namespace bgpcu::bgp
+
+#endif  // BGPCU_BGP_ASN_H

@@ -1,0 +1,64 @@
+#include "bgp/community.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "bgp/wire.h"
+
+namespace bgpcu::bgp {
+
+namespace {
+
+std::uint64_t parse_field(std::string_view text, std::uint64_t max, const std::string& ctx) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (text.empty() || ec != std::errc() || ptr != text.data() + text.size() || value > max) {
+    throw WireError("invalid community field in '" + ctx + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string CommunityValue::to_string() const {
+  std::string out = std::to_string(upper);
+  out += ':';
+  out += std::to_string(low1);
+  if (kind == CommunityKind::kLarge) {
+    out += ':';
+    out += std::to_string(low2);
+  }
+  return out;
+}
+
+CommunityValue CommunityValue::parse(const std::string& text) {
+  const auto c1 = text.find(':');
+  if (c1 == std::string::npos) throw WireError("community missing ':': " + text);
+  const auto c2 = text.find(':', c1 + 1);
+  const std::string_view f1(text.data(), c1);
+  if (c2 == std::string::npos) {
+    const std::string_view f2(text.data() + c1 + 1, text.size() - c1 - 1);
+    const auto admin = parse_field(f1, 0xFFFF, text);
+    const auto value = parse_field(f2, 0xFFFF, text);
+    return regular(static_cast<std::uint16_t>(admin), static_cast<std::uint16_t>(value));
+  }
+  const std::string_view f2(text.data() + c1 + 1, c2 - c1 - 1);
+  const std::string_view f3(text.data() + c2 + 1, text.size() - c2 - 1);
+  const auto admin = parse_field(f1, 0xFFFFFFFFull, text);
+  const auto v1 = parse_field(f2, 0xFFFFFFFFull, text);
+  const auto v2 = parse_field(f3, 0xFFFFFFFFull, text);
+  return large(static_cast<Asn>(admin), static_cast<std::uint32_t>(v1),
+               static_cast<std::uint32_t>(v2));
+}
+
+void normalize(CommunitySet& set) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+bool contains_upper(const CommunitySet& set, Asn asn) noexcept {
+  return std::any_of(set.begin(), set.end(),
+                     [asn](const CommunityValue& c) { return c.upper == asn; });
+}
+
+}  // namespace bgpcu::bgp

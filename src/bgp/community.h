@@ -1,0 +1,94 @@
+// BGP community values: regular communities (RFC 1997, 32-bit "asn:value")
+// and large communities (RFC 8092, 96-bit "admin:local1:local2"). The paper
+// unifies both by their *upper field* (the Global Administrator) which is the
+// only part its inference algorithm consults.
+#ifndef BGPCU_BGP_COMMUNITY_H
+#define BGPCU_BGP_COMMUNITY_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/asn.h"
+#include "bgp/wire.h"
+
+namespace bgpcu::bgp {
+
+/// Kind of community attribute a value came from.
+enum class CommunityKind : std::uint8_t { kRegular, kLarge };
+
+/// Well-known regular community values (RFC 1997 / RFC 8642).
+inline constexpr std::uint32_t kNoExport = 0xFFFFFF01;
+inline constexpr std::uint32_t kNoAdvertise = 0xFFFFFF02;
+inline constexpr std::uint32_t kNoExportSubconfed = 0xFFFFFF03;
+
+/// A single community value in either variant, unified on the upper field.
+///
+/// * Regular `a:b`  -> upper = a (16-bit admin), low1 = b, low2 unused.
+/// * Large `a:b:c`  -> upper = a (32-bit admin), low1 = b, low2 = c.
+struct CommunityValue {
+  Asn upper = 0;            ///< Global Administrator field.
+  std::uint32_t low1 = 0;   ///< Regular: 16-bit value. Large: first 32-bit datum.
+  std::uint32_t low2 = 0;   ///< Large only: second 32-bit datum.
+  CommunityKind kind = CommunityKind::kRegular;
+
+  /// Builds a regular community a:b (a, b both 16-bit).
+  static constexpr CommunityValue regular(std::uint16_t admin, std::uint16_t value) noexcept {
+    return CommunityValue{admin, value, 0, CommunityKind::kRegular};
+  }
+
+  /// Builds a large community a:b:c.
+  static constexpr CommunityValue large(Asn admin, std::uint32_t v1, std::uint32_t v2) noexcept {
+    return CommunityValue{admin, v1, v2, CommunityKind::kLarge};
+  }
+
+  /// Packed 32-bit wire form of a regular community.
+  [[nodiscard]] constexpr std::uint32_t packed_regular() const noexcept {
+    return (static_cast<std::uint32_t>(upper) << 16) | (low1 & 0xFFFF);
+  }
+
+  /// Unpacks a regular community from its 32-bit wire form.
+  static constexpr CommunityValue from_packed_regular(std::uint32_t raw) noexcept {
+    return regular(static_cast<std::uint16_t>(raw >> 16), static_cast<std::uint16_t>(raw));
+  }
+
+  /// True for RFC 1997 well-known communities (0xFFFFxxxx block); these have
+  /// global semantics and no meaningful administrator.
+  [[nodiscard]] constexpr bool is_well_known() const noexcept {
+    return kind == CommunityKind::kRegular && upper == 0xFFFF;
+  }
+
+  /// "a:b" or "a:b:c" text form.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "a:b" (regular) or "a:b:c" (large). Throws WireError.
+  static CommunityValue parse(const std::string& text);
+
+  friend constexpr auto operator<=>(const CommunityValue&, const CommunityValue&) = default;
+};
+
+/// A community set as carried by one announcement (order preserved from the
+/// wire; duplicates possible on the wire but removed by `normalize`).
+using CommunitySet = std::vector<CommunityValue>;
+
+/// Sorts and deduplicates a community set in place.
+void normalize(CommunitySet& set);
+
+/// True if `set` contains any community whose upper field equals `asn`.
+[[nodiscard]] bool contains_upper(const CommunitySet& set, Asn asn) noexcept;
+
+}  // namespace bgpcu::bgp
+
+template <>
+struct std::hash<bgpcu::bgp::CommunityValue> {
+  std::size_t operator()(const bgpcu::bgp::CommunityValue& c) const noexcept {
+    std::size_t h = c.upper;
+    h = h * 1099511628211ull + c.low1;
+    h = h * 1099511628211ull + c.low2;
+    h = h * 1099511628211ull + static_cast<std::size_t>(c.kind);
+    return h;
+  }
+};
+
+#endif  // BGPCU_BGP_COMMUNITY_H

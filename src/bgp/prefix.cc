@@ -1,0 +1,217 @@
+#include "bgp/prefix.h"
+
+#include <charconv>
+#include <cstring>
+
+namespace bgpcu::bgp {
+
+namespace {
+
+constexpr std::size_t addr_width(Afi afi) { return afi == Afi::kIpv4 ? 4 : 16; }
+
+std::uint8_t parse_u8(std::string_view text, const char* what) {
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value > 255) {
+    throw WireError(std::string("invalid ") + what + ": '" + std::string(text) + "'");
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+Prefix Prefix::ipv4(std::uint32_t addr, std::uint8_t length) {
+  if (length > 32) throw WireError("IPv4 prefix length > 32");
+  Prefix p;
+  p.afi_ = Afi::kIpv4;
+  p.length_ = length;
+  for (int i = 0; i < 4; ++i) {
+    p.addr_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(addr >> (24 - 8 * i));
+  }
+  p.normalize();
+  return p;
+}
+
+Prefix Prefix::ipv6(const std::array<std::uint8_t, 16>& addr, std::uint8_t length) {
+  if (length > 128) throw WireError("IPv6 prefix length > 128");
+  Prefix p;
+  p.afi_ = Afi::kIpv6;
+  p.length_ = length;
+  p.addr_ = addr;
+  p.normalize();
+  return p;
+}
+
+Prefix Prefix::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) throw WireError("prefix missing '/len': " + text);
+  const std::string addr = text.substr(0, slash);
+  const std::string len = text.substr(slash + 1);
+
+  if (addr.find(':') != std::string::npos) {
+    // IPv6: support the canonical textual subset we emit (full or '::'-
+    // compressed groups of hex quads).
+    std::array<std::uint16_t, 8> groups{};
+    std::size_t ngroups = 0;
+    std::size_t tail_start = 8;
+    std::string_view rest = addr;
+    const auto dc = rest.find("::");
+    auto parse_groups = [&](std::string_view part, std::size_t base, std::size_t limit) {
+      std::size_t count = 0;
+      while (!part.empty()) {
+        const auto colon = part.find(':');
+        const std::string_view g = part.substr(0, colon);
+        if (g.empty() || count >= limit) throw WireError("bad IPv6 prefix: " + text);
+        unsigned value = 0;
+        const auto [p, ec] = std::from_chars(g.data(), g.data() + g.size(), value, 16);
+        if (ec != std::errc() || p != g.data() + g.size() || value > 0xFFFF) {
+          throw WireError("bad IPv6 group in: " + text);
+        }
+        groups.at(base + count) = static_cast<std::uint16_t>(value);
+        ++count;
+        if (colon == std::string_view::npos) break;
+        part.remove_prefix(colon + 1);
+      }
+      return count;
+    };
+    if (dc == std::string_view::npos) {
+      ngroups = parse_groups(rest, 0, 8);
+      if (ngroups != 8) throw WireError("bad IPv6 prefix: " + text);
+    } else {
+      const std::string_view head = rest.substr(0, dc);
+      const std::string_view tail = rest.substr(dc + 2);
+      const std::size_t nh = head.empty() ? 0 : parse_groups(head, 0, 8);
+      std::array<std::uint16_t, 8> tail_groups{};
+      std::size_t nt = 0;
+      if (!tail.empty()) {
+        std::string_view part = tail;
+        while (!part.empty()) {
+          const auto colon = part.find(':');
+          const std::string_view g = part.substr(0, colon);
+          unsigned value = 0;
+          const auto [p, ec] = std::from_chars(g.data(), g.data() + g.size(), value, 16);
+          if (g.empty() || ec != std::errc() || p != g.data() + g.size() || value > 0xFFFF ||
+              nt >= 8) {
+            throw WireError("bad IPv6 prefix: " + text);
+          }
+          tail_groups.at(nt++) = static_cast<std::uint16_t>(value);
+          if (colon == std::string_view::npos) break;
+          part.remove_prefix(colon + 1);
+        }
+      }
+      if (nh + nt > 7) throw WireError("bad IPv6 '::' prefix: " + text);
+      tail_start = 8 - nt;
+      for (std::size_t i = 0; i < nt; ++i) groups.at(tail_start + i) = tail_groups.at(i);
+      ngroups = nh;
+      (void)ngroups;
+    }
+    std::array<std::uint8_t, 16> bytes{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      bytes[2 * i] = static_cast<std::uint8_t>(groups[i] >> 8);
+      bytes[2 * i + 1] = static_cast<std::uint8_t>(groups[i]);
+    }
+    unsigned length_value = 0;
+    const auto [p, ec] = std::from_chars(len.data(), len.data() + len.size(), length_value);
+    if (ec != std::errc() || p != len.data() + len.size() || length_value > 128) {
+      throw WireError("bad IPv6 prefix length: " + text);
+    }
+    return ipv6(bytes, static_cast<std::uint8_t>(length_value));
+  }
+
+  // IPv4 dotted quad.
+  std::uint32_t v4 = 0;
+  std::string_view rest = addr;
+  for (int i = 0; i < 4; ++i) {
+    const auto dot = rest.find('.');
+    const bool last = (i == 3);
+    if (last != (dot == std::string_view::npos)) throw WireError("bad IPv4 prefix: " + text);
+    const std::string_view octet = last ? rest : rest.substr(0, dot);
+    v4 = (v4 << 8) | parse_u8(octet, "IPv4 octet");
+    if (!last) rest.remove_prefix(dot + 1);
+  }
+  const std::uint8_t length_value = parse_u8(len, "prefix length");
+  if (length_value > 32) throw WireError("bad IPv4 prefix length: " + text);
+  return ipv4(v4, length_value);
+}
+
+std::uint32_t Prefix::ipv4_addr() const noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | addr_[static_cast<std::size_t>(i)];
+  return v;
+}
+
+void Prefix::normalize() noexcept {
+  const std::size_t width = addr_width(afi_);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i >= width) {
+      addr_[i] = 0;
+      continue;
+    }
+    const std::size_t bit_start = i * 8;
+    if (bit_start >= length_) {
+      addr_[i] = 0;
+    } else if (bit_start + 8 > length_) {
+      const auto keep = static_cast<unsigned>(length_ - bit_start);
+      addr_[i] = static_cast<std::uint8_t>(addr_[i] & (0xFFu << (8 - keep)));
+    }
+  }
+}
+
+bool Prefix::contains(const Prefix& other) const noexcept {
+  if (afi_ != other.afi_ || other.length_ < length_) return false;
+  std::size_t bits = length_;
+  for (std::size_t i = 0; i < addr_width(afi_) && bits > 0; ++i) {
+    const unsigned take = bits >= 8 ? 8 : static_cast<unsigned>(bits);
+    const auto mask = static_cast<std::uint8_t>(0xFFu << (8 - take));
+    if ((addr_[i] & mask) != (other.addr_[i] & mask)) return false;
+    bits -= take;
+  }
+  return true;
+}
+
+std::string Prefix::to_string() const {
+  std::string out;
+  if (afi_ == Afi::kIpv4) {
+    for (int i = 0; i < 4; ++i) {
+      if (i) out += '.';
+      out += std::to_string(addr_[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    char buf[8];
+    for (std::size_t i = 0; i < 8; ++i) {
+      if (i) out += ':';
+      const unsigned g = (static_cast<unsigned>(addr_[2 * i]) << 8) | addr_[2 * i + 1];
+      std::snprintf(buf, sizeof buf, "%x", g);
+      out += buf;
+    }
+  }
+  out += '/';
+  out += std::to_string(length_);
+  return out;
+}
+
+void Prefix::encode_nlri(ByteWriter& w) const {
+  w.u8(length_);
+  const std::size_t octets = (static_cast<std::size_t>(length_) + 7) / 8;
+  w.bytes(std::span<const std::uint8_t>(addr_.data(), octets));
+}
+
+Prefix Prefix::decode_nlri(ByteReader& r, Afi afi) {
+  const std::uint8_t length = r.u8();
+  const std::size_t max_bits = addr_width(afi) * 8;
+  if (length > max_bits) {
+    throw WireError("NLRI length " + std::to_string(length) + " exceeds AFI maximum");
+  }
+  const std::size_t octets = (static_cast<std::size_t>(length) + 7) / 8;
+  const auto raw = r.bytes(octets);
+  std::array<std::uint8_t, 16> bytes{};
+  std::memcpy(bytes.data(), raw.data(), raw.size());
+  Prefix p;
+  p.afi_ = afi;
+  p.length_ = length;
+  p.addr_ = bytes;
+  p.normalize();
+  return p;
+}
+
+}  // namespace bgpcu::bgp

@@ -1,0 +1,78 @@
+// IPv4/IPv6 prefix model with text parsing/formatting and the wire helpers
+// BGP NLRI encoding needs (RFC 4271 section 4.3: length-prefixed, minimal
+// octets).
+#ifndef BGPCU_BGP_PREFIX_H
+#define BGPCU_BGP_PREFIX_H
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "bgp/wire.h"
+
+namespace bgpcu::bgp {
+
+/// Address family of a prefix.
+enum class Afi : std::uint16_t { kIpv4 = 1, kIpv6 = 2 };
+
+/// An IP prefix (address + mask length). IPv4 addresses occupy the first 4
+/// bytes of `addr`; unused trailing bytes are zero. Prefixes are normalized
+/// on construction: bits beyond `length` are cleared so equality and hashing
+/// are well-defined.
+class Prefix {
+ public:
+  Prefix() = default;
+
+  /// Builds an IPv4 prefix from a host-order 32-bit address.
+  static Prefix ipv4(std::uint32_t addr, std::uint8_t length);
+
+  /// Builds an IPv6 prefix from 16 raw bytes.
+  static Prefix ipv6(const std::array<std::uint8_t, 16>& addr, std::uint8_t length);
+
+  /// Parses "a.b.c.d/len" or an IPv6 "hex:hex::/len" form. Throws WireError
+  /// on malformed text.
+  static Prefix parse(const std::string& text);
+
+  [[nodiscard]] Afi afi() const noexcept { return afi_; }
+  [[nodiscard]] std::uint8_t length() const noexcept { return length_; }
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const noexcept { return addr_; }
+
+  /// Host-order IPv4 address; only meaningful when afi() == kIpv4.
+  [[nodiscard]] std::uint32_t ipv4_addr() const noexcept;
+
+  /// True if `other` is equal to or more specific than (contained in) *this.
+  [[nodiscard]] bool contains(const Prefix& other) const noexcept;
+
+  /// Canonical "addr/len" text form.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Encodes as BGP NLRI: one length octet followed by ceil(length/8)
+  /// address octets.
+  void encode_nlri(ByteWriter& w) const;
+
+  /// Decodes one NLRI entry for the given address family.
+  static Prefix decode_nlri(ByteReader& r, Afi afi);
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  void normalize() noexcept;
+
+  Afi afi_ = Afi::kIpv4;
+  std::uint8_t length_ = 0;
+  std::array<std::uint8_t, 16> addr_{};
+};
+
+}  // namespace bgpcu::bgp
+
+template <>
+struct std::hash<bgpcu::bgp::Prefix> {
+  std::size_t operator()(const bgpcu::bgp::Prefix& p) const noexcept {
+    std::size_t h = static_cast<std::size_t>(p.afi()) * 1315423911u + p.length();
+    for (auto b : p.bytes()) h = h * 1099511628211ull + b;
+    return h;
+  }
+};
+
+#endif  // BGPCU_BGP_PREFIX_H

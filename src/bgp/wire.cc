@@ -1,0 +1,97 @@
+#include "bgp/wire.h"
+
+namespace bgpcu::bgp {
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw WireError("buffer underrun: need " + std::to_string(n) + " bytes, have " +
+                    std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  require(2);
+  const auto v = static_cast<std::uint16_t>((static_cast<std::uint16_t>(data_[pos_]) << 8) |
+                                            data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  require(n);
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+ByteReader ByteReader::sub(std::size_t n) { return ByteReader(bytes(n)); }
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::size_t ByteWriter::placeholder(std::size_t width) {
+  const std::size_t off = buf_.size();
+  buf_.insert(buf_.end(), width, 0);
+  return off;
+}
+
+void ByteWriter::patch_u8(std::size_t offset, std::uint8_t v) { buf_.at(offset) = v; }
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    buf_.at(offset + i) = static_cast<std::uint8_t>(v >> (24 - 8 * i));
+  }
+}
+
+}  // namespace bgpcu::bgp

@@ -1,0 +1,85 @@
+// Bounds-checked big-endian (network byte order) wire codec used by the BGP
+// and MRT substrates. All multi-byte integers on the wire are big-endian per
+// RFC 4271 / RFC 6396.
+#ifndef BGPCU_BGP_WIRE_H
+#define BGPCU_BGP_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bgpcu::bgp {
+
+/// Thrown when a decoder runs past the end of its buffer or encounters a
+/// structurally invalid field. Carries a human-readable context string.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sequential reader over an immutable byte buffer. Every accessor checks
+/// bounds and throws WireError on underrun; there is no undefined behavior on
+/// malformed (e.g. truncated) input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+
+  /// Returns a view of the next `n` bytes and advances past them.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n);
+
+  /// Skips `n` bytes.
+  void skip(std::size_t n);
+
+  /// Returns a sub-reader over the next `n` bytes and advances past them.
+  /// Used to hard-limit nested structures (e.g. a path attribute body) so a
+  /// corrupt inner length cannot read past its enclosing record.
+  [[nodiscard]] ByteReader sub(std::size_t n);
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only big-endian writer. Grows an internal vector; `take()` moves
+/// the buffer out.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Reserves a placeholder of `width` bytes (1, 2, or 4) and returns its
+  /// offset; `patch_uN` later overwrites it. Used for length fields whose
+  /// value is known only after the body is serialized.
+  [[nodiscard]] std::size_t placeholder(std::size_t width);
+  void patch_u8(std::size_t offset, std::uint8_t v);
+  void patch_u16(std::size_t offset, std::uint16_t v);
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace bgpcu::bgp
+
+#endif  // BGPCU_BGP_WIRE_H

@@ -1,0 +1,210 @@
+#include "collector/emit.h"
+
+#include <algorithm>
+
+#include "bgp/message.h"
+#include "mrt/writer.h"
+#include "topology/rng.h"
+
+namespace bgpcu::collector {
+
+namespace {
+
+using topology::NodeId;
+
+// Splits a merged community set into the two wire attributes.
+void split_communities(const bgp::CommunitySet& all, bgp::PathAttributes& attrs) {
+  for (const auto& c : all) {
+    if (c.kind == bgp::CommunityKind::kRegular) {
+      attrs.communities.push_back(c);
+    } else {
+      attrs.large_communities.push_back(c);
+    }
+  }
+}
+
+// Applies origin-side realism to a clean ASN path: prepending, aggregation
+// AS_SETs, and (rarely) a bogus unallocated ASN. Returns the wire AsPath.
+bgp::AsPath messy_path(const std::vector<bgp::Asn>& asns, const EmissionConfig& config,
+                       const registry::AllocationRegistry& reg, topology::Rng& rng) {
+  std::vector<bgp::Asn> seq = asns;
+  if (!seq.empty() && rng.chance(config.prepend_prob)) {
+    const auto copies = 1 + rng.below(2);
+    for (std::uint64_t i = 0; i < copies; ++i) seq.push_back(seq.back());
+  }
+  if (rng.chance(config.bogus_asn_prob)) {
+    // Splice in an unallocated ASN (the generator leaves gaps above 4.1e9
+    // which are public-format but never delegated).
+    bgp::Asn bogus = 4100000000u + static_cast<bgp::Asn>(rng.below(1000000));
+    while (reg.is_public_allocated(bogus)) ++bogus;
+    seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(rng.below(seq.size() + 1)), bogus);
+  }
+  bgp::AsPath path = bgp::AsPath::from_sequence(std::move(seq));
+  if (rng.chance(config.as_set_prob)) {
+    // Aggregated route: an AS_SET of sibling origins trails the sequence.
+    auto segments = path.segments();
+    bgp::AsPathSegment set;
+    set.type = bgp::SegmentType::kAsSet;
+    set.asns = {asns.back(), asns.back() == 3 ? 4 : asns.back() - 1};
+    segments.push_back(std::move(set));
+    path = bgp::AsPath(std::move(segments));
+  }
+  return path;
+}
+
+bgp::PathAttributes make_attributes(const bgp::AsPath& path, const bgp::CommunitySet& comms,
+                                    std::uint32_t next_hop) {
+  bgp::PathAttributes attrs;
+  attrs.origin = bgp::Origin::kIgp;
+  attrs.as_path = path;
+  attrs.next_hop = next_hop;
+  split_communities(comms, attrs);
+  return attrs;
+}
+
+std::uint32_t peer_ip_of(NodeId node) { return 0xC0A80000u + node; }
+
+}  // namespace
+
+PathOutputs::PathOutputs(const core::Dataset& dataset) {
+  by_path_.reserve(dataset.size());
+  for (const auto& tuple : dataset) {
+    by_path_.emplace(tuple.path, tuple.comms);
+  }
+}
+
+const bgp::CommunitySet& PathOutputs::lookup(const std::vector<bgp::Asn>& path_asns) const {
+  const auto it = by_path_.find(path_asns);
+  return it == by_path_.end() ? empty_ : it->second;
+}
+
+std::vector<EmittedCollector> emit_project(const topology::GeneratedTopology& topo,
+                                           const sim::PathSubstrate& substrate,
+                                           const PathOutputs& outputs, const ProjectSpec& project,
+                                           const EmissionConfig& config) {
+  topology::Rng rng(config.seed ^ std::hash<std::string>{}(project.name));
+
+  // Group substrate paths by their collector peer.
+  std::unordered_map<NodeId, std::vector<const std::vector<NodeId>*>> by_peer;
+  for (const auto& path : substrate.paths) {
+    by_peer[path.front()].push_back(&path);
+  }
+
+  std::vector<EmittedCollector> out;
+  out.reserve(project.collectors.size());
+
+  for (const auto& coll : project.collectors) {
+    EmittedCollector emitted;
+    emitted.name = coll.name;
+
+    mrt::MrtWriter rib_writer;
+    mrt::MrtWriter upd_writer;
+
+    // PEER_INDEX_TABLE: one entry per session; route-server sessions appear
+    // under the RS's ASN (the member's ASN shows only in the path).
+    mrt::PeerIndexTable table;
+    table.collector_bgp_id = coll.bgp_id;
+    table.view_name = coll.name;
+    for (const auto& session : coll.sessions) {
+      const bgp::Asn session_asn =
+          session.route_server ? session.rs_asn : topo.graph.asn_of(session.peer);
+      table.peers.push_back(mrt::PeerEntry::ipv4_peer(
+          0x0A000000u + session.peer, peer_ip_of(session.peer), session_asn));
+    }
+    if (project.emit_ribs) rib_writer.write_peer_index(config.base_timestamp, table);
+
+    std::uint32_t sequence = 0;
+    for (std::size_t s = 0; s < coll.sessions.size(); ++s) {
+      const auto& session = coll.sessions[s];
+      const auto it = by_peer.find(session.peer);
+      if (it == by_peer.end()) continue;
+      const bgp::Asn session_asn =
+          session.route_server ? session.rs_asn : topo.graph.asn_of(session.peer);
+
+      for (const auto* path_nodes : it->second) {
+        // Partial feeds: IXP-style peers export only a slice of their table.
+        if (project.feed_fraction < 1.0 && !rng.chance(project.feed_fraction)) continue;
+        // Resolve the path to ASNs and its community output.
+        std::vector<bgp::Asn> asns;
+        asns.reserve(path_nodes->size());
+        for (const NodeId node : *path_nodes) asns.push_back(topo.graph.asn_of(node));
+        const auto& comms = outputs.lookup(asns);
+        const NodeId origin = path_nodes->back();
+
+        const auto wire_path = messy_path(asns, config, topo.registry, rng);
+        const auto attrs = make_attributes(wire_path, comms, peer_ip_of(session.peer));
+
+        // Announced prefixes: the origin's allocated blocks, occasionally an
+        // unallocated one (exercises the §4.1 filter).
+        std::vector<bgp::Prefix> prefixes = topo.prefixes[origin];
+        if (rng.chance(config.bogus_prefix_prob)) {
+          prefixes.push_back(
+              bgp::Prefix::ipv4(0xF0000000u + (static_cast<std::uint32_t>(rng.below(0xFFFF)) << 8),
+                                24));
+        }
+
+        if (project.emit_ribs) {
+          for (const auto& prefix : prefixes) {
+            mrt::RibRecord rib;
+            rib.sequence = sequence++;
+            rib.prefix = prefix;
+            mrt::RibEntry entry;
+            entry.peer_index = static_cast<std::uint16_t>(s);
+            entry.originated_time =
+                config.base_timestamp - static_cast<std::uint32_t>(rng.below(7 * 86400));
+            entry.attributes = attrs;
+            rib.entries.push_back(std::move(entry));
+            rib_writer.write_rib(config.base_timestamp, rib);
+          }
+        }
+
+        // Update stream: a sampled share of routes re-announces during the
+        // day; duplicates and occasional withdraw+re-announce model churn.
+        if (rng.chance(config.update_share)) {
+          const std::uint32_t count = 1 + (rng.chance(config.update_dup_prob) ? 1 : 0);
+          for (std::uint32_t rep = 0; rep < count; ++rep) {
+            const std::uint32_t when =
+                config.base_timestamp + static_cast<std::uint32_t>(rng.below(config.day_seconds));
+            bgp::UpdateMessage update;
+            if (rng.chance(config.withdraw_prob) && !prefixes.empty()) {
+              bgp::UpdateMessage withdraw;
+              withdraw.withdrawn.push_back(prefixes.front());
+              upd_writer.write_message(
+                  when, mrt::Bgp4mpMessage::ipv4_session(session_asn, 12654,
+                                                         peer_ip_of(session.peer), 0xC0A80001u,
+                                                         withdraw.encode(true)));
+            }
+            // IPv4 prefixes travel as classic NLRI; IPv6 via MP_REACH_NLRI.
+            update.attributes = attrs;
+            for (const auto& prefix : prefixes) {
+              if (prefix.afi() == bgp::Afi::kIpv4) {
+                update.nlri.push_back(prefix);
+              } else {
+                if (!update.attributes.mp_reach) {
+                  bgp::MpReach mp;
+                  mp.afi = bgp::Afi::kIpv6;
+                  mp.next_hop.assign(16, 0);
+                  mp.next_hop[0] = 0x2A;
+                  mp.next_hop[15] = static_cast<std::uint8_t>(session.peer);
+                  update.attributes.mp_reach = std::move(mp);
+                }
+                update.attributes.mp_reach->nlri.push_back(prefix);
+              }
+            }
+            upd_writer.write_message(
+                when + 1, mrt::Bgp4mpMessage::ipv4_session(session_asn, 12654,
+                                                           peer_ip_of(session.peer), 0xC0A80001u,
+                                                           update.encode(true)));
+          }
+        }
+      }
+    }
+
+    emitted.rib_dump = rib_writer.take();
+    emitted.update_dump = upd_writer.take();
+    out.push_back(std::move(emitted));
+  }
+  return out;
+}
+
+}  // namespace bgpcu::collector

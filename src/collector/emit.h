@@ -1,0 +1,79 @@
+// MRT emission: turns the synthetic Internet's routes + community outputs
+// into the byte-exact MRT dumps a real collector would archive — TABLE_DUMP_V2
+// RIB snapshots and BGP4MP_MESSAGE_AS4 update streams — including the messy
+// parts the paper's sanitation handles: route-server sessions whose peer ASN
+// is absent from the path, origin-side path prepending, aggregation AS_SETs,
+// and announcements referencing unallocated resources.
+#ifndef BGPCU_COLLECTOR_EMIT_H
+#define BGPCU_COLLECTOR_EMIT_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "collector/spec.h"
+#include "core/types.h"
+#include "sim/substrate.h"
+#include "topology/generator.h"
+
+namespace bgpcu::collector {
+
+/// Emission realism knobs.
+struct EmissionConfig {
+  std::uint32_t base_timestamp = 1621382400;  ///< 2021-05-19 00:00:00 UTC.
+  std::uint32_t day_seconds = 86400;
+  /// Share of routes re-announced in updates during the day (RIB-carrying
+  /// projects see every route regardless; update-only projects see only
+  /// this churn slice of their — already partial — feeds).
+  double update_share = 0.35;
+  double update_dup_prob = 0.45;   ///< Chance of an extra duplicate update.
+  double withdraw_prob = 0.03;     ///< Updates preceded by a withdrawal.
+  double prepend_prob = 0.06;      ///< Origin-side AS-path prepending.
+  double as_set_prob = 0.008;      ///< Aggregated routes carrying an AS_SET.
+  double bogus_asn_prob = 0.004;   ///< Unallocated ASN spliced into the path.
+  double bogus_prefix_prob = 0.004;///< Unallocated prefix announced.
+  std::uint64_t seed = 1;
+};
+
+/// The MRT image of one collector for one day.
+struct EmittedCollector {
+  std::string name;
+  std::vector<std::uint8_t> rib_dump;     ///< Empty for update-only projects.
+  std::vector<std::uint8_t> update_dump;
+};
+
+/// Maps a path (ASN sequence, peer first) to the community set output(A1)
+/// computed by the output model, so that every collector observing the same
+/// path reports the same communities.
+class PathOutputs {
+ public:
+  /// Indexes `dataset` (one tuple per path, as produced by
+  /// sim::generate_dataset before any churn).
+  explicit PathOutputs(const core::Dataset& dataset);
+
+  /// Returns the community set for `path_asns`, or an empty set if unknown.
+  [[nodiscard]] const bgp::CommunitySet& lookup(const std::vector<bgp::Asn>& path_asns) const;
+
+ private:
+  struct VecHash {
+    std::size_t operator()(const std::vector<bgp::Asn>& v) const noexcept {
+      std::size_t h = 14695981039346656037ull;
+      for (const auto a : v) h = (h ^ a) * 1099511628211ull;
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<bgp::Asn>, bgp::CommunitySet, VecHash> by_path_;
+  bgp::CommunitySet empty_;
+};
+
+/// Emits a full project (all collectors). Paths come from `substrate`
+/// (peer-keyed best routes), communities from `outputs`, prefixes from the
+/// topology's per-origin allocations.
+[[nodiscard]] std::vector<EmittedCollector> emit_project(
+    const topology::GeneratedTopology& topo, const sim::PathSubstrate& substrate,
+    const PathOutputs& outputs, const ProjectSpec& project, const EmissionConfig& config);
+
+}  // namespace bgpcu::collector
+
+#endif  // BGPCU_COLLECTOR_EMIT_H

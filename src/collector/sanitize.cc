@@ -1,0 +1,69 @@
+#include "collector/sanitize.h"
+
+namespace bgpcu::collector {
+
+SanitationStats& SanitationStats::operator+=(const SanitationStats& other) noexcept {
+  input += other.input;
+  dropped_unallocated_prefix += other.dropped_unallocated_prefix;
+  dropped_unallocated_asn += other.dropped_unallocated_asn;
+  as_sets_removed += other.as_sets_removed;
+  peer_prepended += other.peer_prepended;
+  prepending_collapsed += other.prepending_collapsed;
+  dropped_empty_path += other.dropped_empty_path;
+  output += other.output;
+  return *this;
+}
+
+std::optional<core::PathCommTuple> Sanitizer::process(const RawEntry& entry) {
+  ++stats_.input;
+
+  // Step 1 — allocation filter.
+  if (!registry_->prefix_allocated(entry.prefix)) {
+    ++stats_.dropped_unallocated_prefix;
+    return std::nullopt;
+  }
+  for (const auto& segment : entry.as_path.segments()) {
+    for (const bgp::Asn asn : segment.asns) {
+      if (!registry_->is_public_allocated(asn)) {
+        ++stats_.dropped_unallocated_asn;
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Step 2 — AS_SET removal (keep the sequence segments).
+  if (entry.as_path.has_as_set()) ++stats_.as_sets_removed;
+  std::vector<bgp::Asn> path = entry.as_path.sequence_asns();
+  if (path.empty()) {
+    ++stats_.dropped_empty_path;
+    return std::nullopt;
+  }
+
+  // Step 3 — peer-ASN prepend (route-server sessions).
+  if (path.front() != entry.session_peer_asn) {
+    path.insert(path.begin(), entry.session_peer_asn);
+    ++stats_.peer_prepended;
+  }
+
+  // Step 4 — prepending collapse.
+  bool collapsed = false;
+  std::vector<bgp::Asn> clean;
+  clean.reserve(path.size());
+  for (const bgp::Asn asn : path) {
+    if (!clean.empty() && clean.back() == asn) {
+      collapsed = true;
+      continue;
+    }
+    clean.push_back(asn);
+  }
+  if (collapsed) ++stats_.prepending_collapsed;
+
+  core::PathCommTuple tuple;
+  tuple.path = std::move(clean);
+  tuple.comms = entry.comms;
+  bgp::normalize(tuple.comms);
+  ++stats_.output;
+  return tuple;
+}
+
+}  // namespace bgpcu::collector

@@ -1,0 +1,93 @@
+#include "collector/spec.h"
+
+#include <algorithm>
+
+#include "sim/substrate.h"
+#include "topology/rng.h"
+
+namespace bgpcu::collector {
+
+std::vector<topology::NodeId> ProjectSpec::distinct_peers() const {
+  std::vector<topology::NodeId> out;
+  for (const auto& c : collectors) {
+    for (const auto& s : c.sessions) out.push_back(s.peer);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ProjectSpec> default_projects(topology::GeneratedTopology& topo,
+                                          const ProjectLayoutParams& params) {
+  topology::Rng rng(params.seed ^ 0x70C7ull);
+  const auto pool = sim::select_collector_peers(topo, params.total_peers, params.seed);
+
+  // Paper peer counts: RIPE 525, RouteViews 291, Isolario 108, PCH 1,304
+  // (Table 1) — we keep the proportions over the shared pool.
+  struct Layout {
+    const char* name;
+    std::size_t collectors;
+    double peer_share;  // relative to pool size (can exceed 1 across projects)
+    bool emit_ribs;
+    double feed_fraction;
+  };
+  const Layout layouts[] = {
+      {"RIPE", 5, 0.40, true, 1.0},
+      {"RouteViews", 6, 0.24, true, 1.0},
+      {"Isolario", 3, 0.12, true, 1.0},
+      {"PCH", 10, 0.95, false, 0.02},
+  };
+
+  // Route servers get their own ASNs, allocated past the generated space so
+  // they never collide with topology ASes.
+  bgp::Asn next_rs_asn = 59000;
+
+  std::vector<ProjectSpec> projects;
+  for (const auto& layout : layouts) {
+    ProjectSpec project;
+    project.name = layout.name;
+    project.emit_ribs = layout.emit_ribs;
+    project.feed_fraction = layout.feed_fraction;
+    const auto want =
+        std::max<std::size_t>(2, static_cast<std::size_t>(layout.peer_share *
+                                                          static_cast<double>(pool.size())));
+    // Sample the project's peers from the pool without replacement.
+    std::vector<topology::NodeId> shuffled = pool;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    }
+    shuffled.resize(std::min(want, shuffled.size()));
+
+    project.collectors.resize(layout.collectors);
+    for (std::size_t c = 0; c < layout.collectors; ++c) {
+      project.collectors[c].name = project.name + "-" + std::to_string(c);
+      project.collectors[c].bgp_id = 0xC6000000u + static_cast<std::uint32_t>(
+                                                       projects.size() * 64 + c);
+    }
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      PeerSession session;
+      session.peer = shuffled[i];
+      if (rng.chance(params.rs_session_share)) {
+        session.route_server = true;
+        session.rs_asn = next_rs_asn++;
+        topo.registry.allocate_asn(session.rs_asn);
+      }
+      project.collectors[i % layout.collectors].sessions.push_back(session);
+    }
+    projects.push_back(std::move(project));
+  }
+  return projects;
+}
+
+std::vector<topology::NodeId> all_peers(const std::vector<ProjectSpec>& projects) {
+  std::vector<topology::NodeId> out;
+  for (const auto& p : projects) {
+    const auto peers = p.distinct_peers();
+    out.insert(out.end(), peers.begin(), peers.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace bgpcu::collector

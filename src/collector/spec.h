@@ -1,0 +1,66 @@
+// Route-collector project specifications. Models the four projects the paper
+// ingests — RIPE RIS, RouteViews, Isolario and PCH — scaled to the synthetic
+// Internet: each project runs several collectors, each collector has a set
+// of peer sessions (some through IXP route servers), and PCH contributes
+// updates only because its RIBs lack the community attribute (§4).
+#ifndef BGPCU_COLLECTOR_SPEC_H
+#define BGPCU_COLLECTOR_SPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/generator.h"
+
+namespace bgpcu::collector {
+
+/// One BGP session a collector maintains.
+struct PeerSession {
+  topology::NodeId peer = 0;  ///< The AS whose routes this session exports.
+  bool route_server = false;  ///< MRT peer ASN is the RS's, path starts at member.
+  bgp::Asn rs_asn = 0;        ///< Route-server ASN when route_server is true.
+};
+
+/// One collector box.
+struct CollectorSpec {
+  std::string name;
+  std::uint32_t bgp_id = 0;
+  std::vector<PeerSession> sessions;
+};
+
+/// One collector project.
+struct ProjectSpec {
+  std::string name;
+  std::vector<CollectorSpec> collectors;
+  bool emit_ribs = true;  ///< PCH: updates only (its RIBs carry no communities).
+  /// Fraction of each peer's routes visible to this project. PCH peers sit
+  /// at IXPs and export partial feeds (own + customer routes), which is why
+  /// PCH contributes 1M unique tuples against RIPE's 46M (Table 1) and
+  /// yields the fewest inferences despite having the most peers.
+  double feed_fraction = 1.0;
+
+  /// Distinct peer ASes across all collectors of the project.
+  [[nodiscard]] std::vector<topology::NodeId> distinct_peers() const;
+};
+
+/// Scaling knobs for the default four-project layout.
+struct ProjectLayoutParams {
+  std::size_t total_peers = 150;  ///< Distinct peer ASes across all projects.
+  double rs_session_share = 0.10; ///< Sessions that run through an IXP RS.
+  std::uint64_t seed = 1;
+};
+
+/// Builds RIPE / RouteViews / Isolario / PCH specs with the paper's relative
+/// peer-count proportions (525 : 291 : 108 : 1304) over a shared peer pool;
+/// a peer AS can appear at multiple projects, like in the real feeds.
+/// Mutates `topo.registry` to allocate the route servers' ASNs (they are
+/// real, delegated ASNs and must survive the §4.1 allocation filter).
+[[nodiscard]] std::vector<ProjectSpec> default_projects(topology::GeneratedTopology& topo,
+                                                        const ProjectLayoutParams& params);
+
+/// Union of all projects' distinct peers (for substrate construction).
+[[nodiscard]] std::vector<topology::NodeId> all_peers(const std::vector<ProjectSpec>& projects);
+
+}  // namespace bgpcu::collector
+
+#endif  // BGPCU_COLLECTOR_SPEC_H

@@ -1,0 +1,83 @@
+#include "core/classifier.h"
+
+namespace bgpcu::core {
+
+char to_char(TaggingClass c) noexcept {
+  switch (c) {
+    case TaggingClass::kNone:
+      return 'n';
+    case TaggingClass::kTagger:
+      return 't';
+    case TaggingClass::kSilent:
+      return 's';
+    case TaggingClass::kUndecided:
+      return 'u';
+  }
+  return '?';
+}
+
+char to_char(ForwardingClass c) noexcept {
+  switch (c) {
+    case ForwardingClass::kNone:
+      return 'n';
+    case ForwardingClass::kForward:
+      return 'f';
+    case ForwardingClass::kCleaner:
+      return 'c';
+    case ForwardingClass::kUndecided:
+      return 'u';
+  }
+  return '?';
+}
+
+bool is_tagger(const UsageCounters& k, const Thresholds& th) noexcept {
+  const std::uint64_t total = k.t + k.s;
+  return total > 0 && static_cast<double>(k.t) >= th.tagger * static_cast<double>(total);
+}
+
+bool is_silent(const UsageCounters& k, const Thresholds& th) noexcept {
+  const std::uint64_t total = k.t + k.s;
+  return total > 0 && static_cast<double>(k.s) >= th.silent * static_cast<double>(total);
+}
+
+bool is_forward(const UsageCounters& k, const Thresholds& th) noexcept {
+  const std::uint64_t total = k.f + k.c;
+  return total > 0 && static_cast<double>(k.f) >= th.forward * static_cast<double>(total);
+}
+
+bool is_cleaner(const UsageCounters& k, const Thresholds& th) noexcept {
+  const std::uint64_t total = k.f + k.c;
+  return total > 0 && static_cast<double>(k.c) >= th.cleaner * static_cast<double>(total);
+}
+
+TaggingClass classify_tagging(const UsageCounters& k, const Thresholds& th) noexcept {
+  if (k.t + k.s == 0) return TaggingClass::kNone;
+  if (is_tagger(k, th)) return TaggingClass::kTagger;
+  if (is_silent(k, th)) return TaggingClass::kSilent;
+  return TaggingClass::kUndecided;
+}
+
+ForwardingClass classify_forwarding(const UsageCounters& k, const Thresholds& th) noexcept {
+  if (k.f + k.c == 0) return ForwardingClass::kNone;
+  if (is_forward(k, th)) return ForwardingClass::kForward;
+  if (is_cleaner(k, th)) return ForwardingClass::kCleaner;
+  return ForwardingClass::kUndecided;
+}
+
+std::string UsageClass::code() const {
+  return std::string{to_char(tagging), to_char(forwarding)};
+}
+
+bool UsageClass::full() const noexcept {
+  const bool tag_decided =
+      tagging == TaggingClass::kTagger || tagging == TaggingClass::kSilent;
+  const bool fwd_decided =
+      forwarding == ForwardingClass::kForward || forwarding == ForwardingClass::kCleaner;
+  return tag_decided && fwd_decided;
+}
+
+UsageClass classify(const UsageCounters& k, const Thresholds& th) noexcept {
+  return UsageClass{classify_tagging(k, th), classify_forwarding(k, th)};
+}
+
+}  // namespace bgpcu::core

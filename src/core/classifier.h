@@ -1,0 +1,88 @@
+// Per-AS usage counters and the threshold classifier of §5.3/§5.5: counters
+// t/s (tagging evidence) and f/c (forwarding evidence) turn into the classes
+// tagger/silent/undecided/none and forward/cleaner/undecided/none.
+#ifndef BGPCU_CORE_CLASSIFIER_H
+#define BGPCU_CORE_CLASSIFIER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "bgp/asn.h"
+
+namespace bgpcu::core {
+
+/// Tagging behavior classes (§3.3.1 / §5.5).
+enum class TaggingClass : std::uint8_t { kNone, kTagger, kSilent, kUndecided };
+
+/// Forwarding behavior classes (§3.3.1 / §5.5).
+enum class ForwardingClass : std::uint8_t { kNone, kForward, kCleaner, kUndecided };
+
+/// Single-character code per the paper: t/s/u/n and f/c/u/n.
+[[nodiscard]] char to_char(TaggingClass c) noexcept;
+[[nodiscard]] char to_char(ForwardingClass c) noexcept;
+
+/// Evidence counters for one AS (§5.3).
+struct UsageCounters {
+  std::uint64_t t = 0;  ///< Own community present under Cond1.
+  std::uint64_t s = 0;  ///< Own community absent under Cond1.
+  std::uint64_t f = 0;  ///< Downstream tagger's community present under Cond1+Cond2.
+  std::uint64_t c = 0;  ///< Downstream tagger's community absent under Cond1+Cond2.
+
+  friend bool operator==(const UsageCounters&, const UsageCounters&) = default;
+};
+
+/// Classifier thresholds. The paper tunes all four to 0.99 ("we want the
+/// threshold to be as high as possible, but at the same time allow for
+/// exceptions"); Fig. 2 sweeps 0.50–1.00.
+struct Thresholds {
+  double tagger = 0.99;
+  double silent = 0.99;
+  double forward = 0.99;
+  double cleaner = 0.99;
+
+  /// Uniform thresholds at `value` for all four classes.
+  static constexpr Thresholds uniform(double value) noexcept {
+    return Thresholds{value, value, value, value};
+  }
+};
+
+/// is_tagger predicate: share of t over tagging evidence meets the threshold.
+[[nodiscard]] bool is_tagger(const UsageCounters& k, const Thresholds& th) noexcept;
+/// is_silent predicate.
+[[nodiscard]] bool is_silent(const UsageCounters& k, const Thresholds& th) noexcept;
+/// is_forward predicate: share of f over forwarding evidence meets threshold.
+[[nodiscard]] bool is_forward(const UsageCounters& k, const Thresholds& th) noexcept;
+/// is_cleaner predicate.
+[[nodiscard]] bool is_cleaner(const UsageCounters& k, const Thresholds& th) noexcept;
+
+/// get_tagging (§5.5): none when no evidence, else tagger/silent/undecided.
+[[nodiscard]] TaggingClass classify_tagging(const UsageCounters& k, const Thresholds& th) noexcept;
+/// get_forwarding (§5.5).
+[[nodiscard]] ForwardingClass classify_forwarding(const UsageCounters& k,
+                                                  const Thresholds& th) noexcept;
+
+/// Full classification of one AS.
+struct UsageClass {
+  TaggingClass tagging = TaggingClass::kNone;
+  ForwardingClass forwarding = ForwardingClass::kNone;
+
+  /// Two-character code, e.g. "tf", "sc", "nu" (§5.5 get_class).
+  [[nodiscard]] std::string code() const;
+
+  /// True when both behaviors are decided (t/s and f/c) — the paper's
+  /// "full classification".
+  [[nodiscard]] bool full() const noexcept;
+
+  friend bool operator==(const UsageClass&, const UsageClass&) = default;
+};
+
+/// get_class (§5.5).
+[[nodiscard]] UsageClass classify(const UsageCounters& k, const Thresholds& th) noexcept;
+
+/// Counter table keyed by ASN — output of the counting engines.
+using CounterMap = std::unordered_map<bgp::Asn, UsageCounters>;
+
+}  // namespace bgpcu::core
+
+#endif  // BGPCU_CORE_CLASSIFIER_H

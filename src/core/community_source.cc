@@ -1,0 +1,46 @@
+#include "core/community_source.h"
+
+#include <algorithm>
+
+namespace bgpcu::core {
+
+const char* to_string(SourceGroup group) noexcept {
+  switch (group) {
+    case SourceGroup::kPeer:
+      return "peer";
+    case SourceGroup::kForeign:
+      return "foreign";
+    case SourceGroup::kStray:
+      return "stray";
+    case SourceGroup::kPrivate:
+      return "private";
+  }
+  return "?";
+}
+
+SourceGroup classify_source(const PathCommTuple& tuple, const bgp::CommunityValue& community,
+                            const registry::AllocationRegistry& registry) noexcept {
+  const bgp::Asn upper = community.upper;
+  if (!tuple.path.empty() && upper == tuple.path.front()) return SourceGroup::kPeer;
+  if (std::find(tuple.path.begin(), tuple.path.end(), upper) != tuple.path.end()) {
+    return SourceGroup::kForeign;
+  }
+  if (registry.is_public_allocated(upper)) return SourceGroup::kStray;
+  return SourceGroup::kPrivate;
+}
+
+SourceGroupCounts& SourceGroupCounts::operator+=(const SourceGroupCounts& other) noexcept {
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  return *this;
+}
+
+SourceGroupCounts count_sources(const PathCommTuple& tuple,
+                                const registry::AllocationRegistry& registry) {
+  SourceGroupCounts out;
+  for (const auto& c : tuple.comms) {
+    ++out.counts[static_cast<std::size_t>(classify_source(tuple, c, registry))];
+  }
+  return out;
+}
+
+}  // namespace bgpcu::core

@@ -1,0 +1,53 @@
+// Community source groups (§3.2): every community in a (path, comm) tuple is
+// grouped by where its upper field (Global Administrator) sits relative to
+// the AS path. The inference method uses only peer and foreign communities;
+// stray and private carry no attributable source.
+#ifndef BGPCU_CORE_COMMUNITY_SOURCE_H
+#define BGPCU_CORE_COMMUNITY_SOURCE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "registry/registry.h"
+
+namespace bgpcu::core {
+
+/// Source group of one community occurrence (§3.2).
+enum class SourceGroup : std::uint8_t {
+  kPeer = 0,     ///< upper == A1 (the collector peer).
+  kForeign = 1,  ///< upper == some Ai, i > 1.
+  kStray = 2,    ///< upper is a public allocated ASN not in the path.
+  kPrivate = 3,  ///< upper is private / reserved / unallocated.
+};
+
+/// Human-readable group name ("peer", "foreign", "stray", "private").
+[[nodiscard]] const char* to_string(SourceGroup group) noexcept;
+
+/// Classifies one community occurrence within the context of a tuple.
+[[nodiscard]] SourceGroup classify_source(const PathCommTuple& tuple,
+                                          const bgp::CommunityValue& community,
+                                          const registry::AllocationRegistry& registry) noexcept;
+
+/// Per-group occurrence counts; used for the Fig. 5 analysis and Table 1's
+/// "w/o private" / "w/o stray" rows.
+struct SourceGroupCounts {
+  std::array<std::uint64_t, 4> counts{};
+
+  [[nodiscard]] std::uint64_t of(SourceGroup group) const noexcept {
+    return counts[static_cast<std::size_t>(group)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return counts[0] + counts[1] + counts[2] + counts[3];
+  }
+  SourceGroupCounts& operator+=(const SourceGroupCounts& other) noexcept;
+};
+
+/// Counts the source groups of every community occurrence in `tuple`.
+[[nodiscard]] SourceGroupCounts count_sources(const PathCommTuple& tuple,
+                                              const registry::AllocationRegistry& registry);
+
+}  // namespace bgpcu::core
+
+#endif  // BGPCU_CORE_COMMUNITY_SOURCE_H

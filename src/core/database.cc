@@ -1,0 +1,87 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bgpcu::core {
+
+namespace {
+constexpr const char* kMagic = "# bgpcu-inference-db v1";
+}
+
+void write_database(std::ostream& os, const InferenceResult& result) {
+  const auto& th = result.thresholds();
+  os << kMagic << '\n';
+  os << "# thresholds tagger=" << th.tagger << " silent=" << th.silent
+     << " forward=" << th.forward << " cleaner=" << th.cleaner << '\n';
+  os << "# asn class t s f c\n";
+
+  std::vector<bgp::Asn> asns;
+  asns.reserve(result.counter_map().size());
+  for (const auto& [asn, counters] : result.counter_map()) asns.push_back(asn);
+  std::sort(asns.begin(), asns.end());
+  for (const auto asn : asns) {
+    const auto k = result.counters(asn);
+    os << asn << ' ' << result.usage(asn).code() << ' ' << k.t << ' ' << k.s << ' ' << k.f
+       << ' ' << k.c << '\n';
+  }
+}
+
+void write_database_file(const std::string& path, const InferenceResult& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open database file for writing: " + path);
+  write_database(out, result);
+  if (!out) throw std::runtime_error("short write to database file: " + path);
+}
+
+InferenceResult read_database(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("not a bgpcu inference database (bad magic)");
+  }
+
+  Thresholds thresholds;
+  CounterMap counters;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line);
+      std::string hash, keyword;
+      header >> hash >> keyword;
+      if (keyword == "thresholds") {
+        std::string kv;
+        while (header >> kv) {
+          const auto eq = kv.find('=');
+          if (eq == std::string::npos) continue;
+          const std::string key = kv.substr(0, eq);
+          const double value = std::stod(kv.substr(eq + 1));
+          if (key == "tagger") thresholds.tagger = value;
+          if (key == "silent") thresholds.silent = value;
+          if (key == "forward") thresholds.forward = value;
+          if (key == "cleaner") thresholds.cleaner = value;
+        }
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    std::uint64_t asn = 0;
+    std::string cls;
+    UsageCounters k;
+    if (!(row >> asn >> cls >> k.t >> k.s >> k.f >> k.c) || asn > 0xFFFFFFFFull) {
+      throw std::runtime_error("malformed database row: " + line);
+    }
+    counters.emplace(static_cast<bgp::Asn>(asn), k);
+  }
+  return InferenceResult(std::move(counters), thresholds, 0);
+}
+
+InferenceResult read_database_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open database file: " + path);
+  return read_database(in);
+}
+
+}  // namespace bgpcu::core

@@ -1,0 +1,36 @@
+// Inference database serialization. The paper releases its algorithm and
+// per-AS inferences as a public resource [5]; this module defines that
+// artifact for this library: a line-oriented text format that round-trips an
+// InferenceResult, diffable and greppable:
+//
+//   # bgpcu-inference-db v1
+//   # thresholds tagger=0.99 silent=0.99 forward=0.99 cleaner=0.99
+//   # asn class t s f c
+//   3356 tf 1042 3 977 0
+//   ...
+#ifndef BGPCU_CORE_DATABASE_H
+#define BGPCU_CORE_DATABASE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/engine.h"
+
+namespace bgpcu::core {
+
+/// Writes `result` (sorted by ASN) to `os`.
+void write_database(std::ostream& os, const InferenceResult& result);
+
+/// Writes to a file; throws std::runtime_error on I/O failure.
+void write_database_file(const std::string& path, const InferenceResult& result);
+
+/// Parses a database produced by write_database. Throws std::runtime_error
+/// on malformed input (unknown header version, bad row).
+[[nodiscard]] InferenceResult read_database(std::istream& is);
+
+/// Reads from a file; throws std::runtime_error on I/O failure.
+[[nodiscard]] InferenceResult read_database_file(const std::string& path);
+
+}  // namespace bgpcu::core
+
+#endif  // BGPCU_CORE_DATABASE_H

@@ -1,0 +1,167 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+namespace bgpcu::core {
+
+namespace {
+
+/// Maximum supported path length; a bit in `upper_mask` per position.
+constexpr std::size_t kMaxPathLength = 32;
+
+/// Compact per-tuple view: borrowed path plus a bitmask telling, for every
+/// path position, whether the community set contains a community whose upper
+/// field equals the ASN at that position. Only this relation matters to the
+/// counting rules, so precomputing it removes the inner-loop set scans.
+struct TupleView {
+  const std::vector<bgp::Asn>* path = nullptr;
+  std::uint32_t upper_mask = 0;
+
+  [[nodiscard]] bool upper_at(std::size_t index0) const noexcept {
+    return (upper_mask >> index0) & 1u;
+  }
+};
+
+/// Dense ASN -> small-integer index map so per-AS state lives in flat arrays.
+class AsnIndex {
+ public:
+  explicit AsnIndex(const Dataset& dataset) {
+    for (const auto& tuple : dataset) {
+      for (const auto asn : tuple.path) {
+        if (map_.emplace(asn, asns_.size()).second) asns_.push_back(asn);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t of(bgp::Asn asn) const { return map_.at(asn); }
+  [[nodiscard]] std::size_t size() const noexcept { return asns_.size(); }
+  [[nodiscard]] const std::vector<bgp::Asn>& asns() const noexcept { return asns_; }
+
+ private:
+  std::unordered_map<bgp::Asn, std::size_t> map_;
+  std::vector<bgp::Asn> asns_;
+};
+
+}  // namespace
+
+UsageCounters InferenceResult::counters(bgp::Asn asn) const {
+  const auto it = counters_.find(asn);
+  return it == counters_.end() ? UsageCounters{} : it->second;
+}
+
+UsageClass InferenceResult::usage(bgp::Asn asn) const { return usage(asn, thresholds_); }
+
+UsageClass InferenceResult::usage(bgp::Asn asn, const Thresholds& th) const {
+  return classify(counters(asn), th);
+}
+
+TaggingClass InferenceResult::tagging(bgp::Asn asn) const {
+  return classify_tagging(counters(asn), thresholds_);
+}
+
+ForwardingClass InferenceResult::forwarding(bgp::Asn asn) const {
+  return classify_forwarding(counters(asn), thresholds_);
+}
+
+InferenceResult ColumnEngine::run(const Dataset& dataset) const {
+  const AsnIndex index(dataset);
+
+  // Precompute views; drop (and effectively ignore) over-long paths.
+  std::vector<TupleView> views;
+  views.reserve(dataset.size());
+  std::size_t max_len = 0;
+  for (const auto& tuple : dataset) {
+    if (tuple.path.empty() || tuple.path.size() > kMaxPathLength) continue;
+    TupleView view;
+    view.path = &tuple.path;
+    for (std::size_t i = 0; i < tuple.path.size(); ++i) {
+      if (bgp::contains_upper(tuple.comms, tuple.path[i])) {
+        view.upper_mask |= (1u << i);
+      }
+    }
+    views.push_back(view);
+    max_len = std::max(max_len, tuple.path.size());
+  }
+
+  std::vector<UsageCounters> counters(index.size());
+
+  // Per-phase snapshots of the class predicates (deterministic counting).
+  std::vector<std::uint8_t> forward_flag(index.size(), 0);
+  std::vector<std::uint8_t> tagger_flag(index.size(), 0);
+  const auto snapshot = [&] {
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      forward_flag[i] = is_forward(counters[i], config_.thresholds) ? 1 : 0;
+      tagger_flag[i] = is_tagger(counters[i], config_.thresholds) ? 1 : 0;
+    }
+  };
+
+  // Cond1 for target position x (1-based): all A_i, i < x classify forward.
+  const auto cond1 = [&](const std::vector<bgp::Asn>& path, std::size_t x) {
+    for (std::size_t i = 0; i + 1 < x; ++i) {
+      if (!forward_flag[index.of(path[i])]) return false;
+    }
+    return true;
+  };
+
+  std::size_t columns = max_len;
+  if (config_.max_columns != 0) columns = std::min(columns, config_.max_columns);
+
+  std::size_t swept = 0;
+  for (std::size_t x = 1; x <= columns; ++x) {
+    ++swept;
+    std::uint64_t increments = 0;
+
+    // PHASE 1: count tagging at column x.
+    snapshot();
+    for (const auto& view : views) {
+      const auto& path = *view.path;
+      if (path.size() < x || !cond1(path, x)) continue;
+      auto& k = counters[index.of(path[x - 1])];
+      if (view.upper_at(x - 1)) {
+        ++k.t;
+      } else {
+        ++k.s;
+      }
+      ++increments;
+    }
+
+    // PHASE 2: count forwarding at column x (Cond1 + Cond2). The snapshot
+    // now includes the tagging evidence gathered in phase 1.
+    snapshot();
+    for (const auto& view : views) {
+      const auto& path = *view.path;
+      if (path.size() < x || !cond1(path, x)) continue;
+      // Cond2: nearest downstream tagger A_t with only forward ASes strictly
+      // between x and t.
+      std::size_t t_pos = 0;  // 1-based; 0 = not found
+      for (std::size_t j = x + 1; j <= path.size(); ++j) {
+        const std::size_t id = index.of(path[j - 1]);
+        if (tagger_flag[id]) {
+          t_pos = j;
+          break;
+        }
+        if (!forward_flag[id]) break;
+      }
+      if (t_pos == 0) continue;
+      auto& k = counters[index.of(path[x - 1])];
+      if (view.upper_at(t_pos - 1)) {
+        ++k.f;
+      } else {
+        ++k.c;
+      }
+      ++increments;
+    }
+
+    if (config_.early_stop && increments == 0) break;
+  }
+
+  CounterMap out;
+  out.reserve(index.size());
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const auto& k = counters[i];
+    if (k.t | k.s | k.f | k.c) out.emplace(index.asns()[i], k);
+  }
+  return InferenceResult(std::move(out), config_.thresholds, swept);
+}
+
+}  // namespace bgpcu::core

@@ -1,0 +1,39 @@
+#include "core/row_baseline.h"
+
+#include "core/engine.h"
+
+namespace bgpcu::core {
+
+InferenceResult RowEngine::run(const Dataset& dataset) const {
+  CounterMap counters;
+
+  // PHASE 1: count tagging at every path position, unconditionally.
+  for (const auto& tuple : dataset) {
+    for (const auto asn : tuple.path) {
+      auto& k = counters[asn];
+      if (bgp::contains_upper(tuple.comms, asn)) {
+        ++k.t;
+      } else {
+        ++k.s;
+      }
+    }
+  }
+
+  // PHASE 2: count forwarding from the origin side (Listing 2 lines 10-14).
+  for (const auto& tuple : dataset) {
+    const auto& path = tuple.path;
+    if (path.size() < 2) continue;
+    for (std::size_t x = path.size() - 1; x >= 1; --x) {
+      const bgp::Asn downstream = path[x];  // A_{x+1} in 1-based notation
+      if (bgp::contains_upper(tuple.comms, downstream)) {
+        for (std::size_t j = 0; j < x; ++j) ++counters[path[j]].f;
+      } else {
+        ++counters[path[x - 1]].c;
+      }
+    }
+  }
+
+  return InferenceResult(std::move(counters), thresholds_, /*columns_swept=*/0);
+}
+
+}  // namespace bgpcu::core

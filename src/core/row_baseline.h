@@ -1,0 +1,32 @@
+// The row-based counting baseline the paper contrasts with its column-based
+// design (§5.7, Appendix Listing 2). Each path is processed independently,
+// without pre-existing knowledge, so no Cond1/Cond2 gating is possible: the
+// approach is cheaper per pass but counts through cleaners and unilluminated
+// segments, trading away precision. Kept as an ablation comparator.
+#ifndef BGPCU_CORE_ROW_BASELINE_H
+#define BGPCU_CORE_ROW_BASELINE_H
+
+#include "core/classifier.h"
+#include "core/engine.h"
+#include "core/types.h"
+
+namespace bgpcu::core {
+
+/// Row-based counting engine (Listing 2).
+class RowEngine {
+ public:
+  explicit RowEngine(Thresholds thresholds = {}) : thresholds_(thresholds) {}
+
+  /// Phase 1 counts tagging for every position of every path; phase 2 walks
+  /// each path from the origin side: when the downstream neighbor's ASN
+  /// appears as a community upper field, every AS upstream of it gets
+  /// forward credit, otherwise the immediate upstream AS gets cleaner credit.
+  [[nodiscard]] InferenceResult run(const Dataset& dataset) const;
+
+ private:
+  Thresholds thresholds_;
+};
+
+}  // namespace bgpcu::core
+
+#endif  // BGPCU_CORE_ROW_BASELINE_H

@@ -1,0 +1,78 @@
+#include "core/vocabulary.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bgpcu::core {
+
+const char* to_string(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::kInformational:
+      return "informational";
+    case ValueKind::kSignaling:
+      return "signaling";
+    case ValueKind::kUnclassified:
+      return "unclassified";
+  }
+  return "?";
+}
+
+VocabularyMap infer_vocabulary(const Dataset& dataset, const InferenceResult& result,
+                               const VocabularyConfig& config) {
+  struct Accumulator {
+    std::uint64_t appearances = 0;
+    std::map<bgp::CommunityValue, std::uint64_t> values;
+  };
+  std::unordered_map<bgp::Asn, Accumulator> acc;
+
+  for (const auto& tuple : dataset) {
+    // Walk the path from the peer; stop at the first non-forward AS — beyond
+    // it the observation says nothing about who tagged (Cond1, §5.2).
+    for (std::size_t i = 0; i < tuple.path.size(); ++i) {
+      const bgp::Asn asn = tuple.path[i];
+      if (result.tagging(asn) == TaggingClass::kTagger) {
+        auto& a = acc[asn];
+        ++a.appearances;
+        for (const auto& c : tuple.comms) {
+          if (c.upper == asn) ++a.values[c];
+        }
+      }
+      if (i + 1 < tuple.path.size() &&
+          result.forwarding(asn) != ForwardingClass::kForward) {
+        break;
+      }
+    }
+  }
+
+  VocabularyMap out;
+  for (auto& [asn, a] : acc) {
+    if (a.values.empty()) continue;
+    std::vector<VocabularyEntry> entries;
+    entries.reserve(a.values.size());
+    for (const auto& [value, occurrences] : a.values) {
+      VocabularyEntry entry;
+      entry.value = value;
+      entry.occurrences = occurrences;
+      entry.appearances = a.appearances;
+      entry.coverage = a.appearances == 0 ? 0.0
+                                          : static_cast<double>(occurrences) /
+                                                static_cast<double>(a.appearances);
+      if (a.appearances >= config.min_appearances) {
+        if (entry.coverage >= config.informational_min_coverage) {
+          entry.kind = ValueKind::kInformational;
+        } else if (entry.coverage <= config.signaling_max_coverage) {
+          entry.kind = ValueKind::kSignaling;
+        }
+      }
+      entries.push_back(entry);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const VocabularyEntry& x, const VocabularyEntry& y) {
+                return x.occurrences > y.occurrences;
+              });
+    out.emplace(asn, std::move(entries));
+  }
+  return out;
+}
+
+}  // namespace bgpcu::core

@@ -1,0 +1,63 @@
+// Tagger vocabulary inference — the paper's stated future work (§8): "we
+// wish to identify not only whether an AS is a tagger, but also which
+// communities it adds. This ability will be especially useful to
+// differentiate signaling versus informational communities."
+//
+// For every AS the engine classified as tagger, this module attributes the
+// community values carrying its ASN in the upper field and grades each value
+// by *coverage*: the share of the AS's visible (Cond1-clean) path
+// appearances on which the value occurs.
+//
+//   * informational values ride (nearly) every announcement the tagger
+//     forwards — geo/ingress tags: high coverage;
+//   * signaling/action values appear only on the few routes whose owners
+//     requested an action — low coverage;
+//   * values in between stay unclassified.
+#ifndef BGPCU_CORE_VOCABULARY_H
+#define BGPCU_CORE_VOCABULARY_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/types.h"
+
+namespace bgpcu::core {
+
+/// Usage kind of one community value within a tagger's vocabulary.
+enum class ValueKind : std::uint8_t { kInformational, kSignaling, kUnclassified };
+
+[[nodiscard]] const char* to_string(ValueKind kind) noexcept;
+
+/// One attributed community value.
+struct VocabularyEntry {
+  bgp::CommunityValue value;
+  std::uint64_t occurrences = 0;   ///< Tuples carrying the value.
+  std::uint64_t appearances = 0;   ///< Visible tuples containing the AS.
+  double coverage = 0.0;           ///< occurrences / appearances.
+  ValueKind kind = ValueKind::kUnclassified;
+};
+
+/// Classification thresholds on coverage.
+struct VocabularyConfig {
+  double informational_min_coverage = 0.50;
+  double signaling_max_coverage = 0.05;
+  /// Minimum visible appearances before grading is attempted.
+  std::uint64_t min_appearances = 5;
+};
+
+/// Vocabulary per tagger ASN.
+using VocabularyMap = std::unordered_map<bgp::Asn, std::vector<VocabularyEntry>>;
+
+/// Attributes community values to the taggers in `result`. Only tuples where
+/// the tagger's position satisfies Cond1 under `result`'s classification are
+/// counted (mirroring the engine's own visibility rules), so values that
+/// merely *survived* through the AS are not misattributed to it.
+[[nodiscard]] VocabularyMap infer_vocabulary(const Dataset& dataset,
+                                             const InferenceResult& result,
+                                             const VocabularyConfig& config = {});
+
+}  // namespace bgpcu::core
+
+#endif  // BGPCU_CORE_VOCABULARY_H

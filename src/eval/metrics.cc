@@ -1,0 +1,204 @@
+#include "eval/metrics.h"
+
+namespace bgpcu::eval {
+
+namespace {
+
+// Column index for an inferred tagging class: 0 tagger, 1 silent,
+// 2 undecided, 3 none.
+std::size_t tag_col(core::TaggingClass c) {
+  switch (c) {
+    case core::TaggingClass::kTagger:
+      return 0;
+    case core::TaggingClass::kSilent:
+      return 1;
+    case core::TaggingClass::kUndecided:
+      return 2;
+    case core::TaggingClass::kNone:
+      return 3;
+  }
+  return 3;
+}
+
+std::size_t fwd_col(core::ForwardingClass c) {
+  switch (c) {
+    case core::ForwardingClass::kForward:
+      return 0;
+    case core::ForwardingClass::kCleaner:
+      return 1;
+    case core::ForwardingClass::kUndecided:
+      return 2;
+    case core::ForwardingClass::kNone:
+      return 3;
+  }
+  return 3;
+}
+
+void finalize(PrecisionRecall& pr) {
+  pr.precision = pr.decided == 0
+                     ? 0.0
+                     : static_cast<double>(pr.decided_correct) / static_cast<double>(pr.decided);
+  pr.recall = pr.eligible == 0
+                  ? 0.0
+                  : static_cast<double>(pr.correct) / static_cast<double>(pr.eligible);
+}
+
+}  // namespace
+
+const char* to_string(TagRow row) noexcept {
+  switch (row) {
+    case TagRow::kTagger:
+      return "tagger";
+    case TagRow::kSilent:
+      return "silent";
+    case TagRow::kSelective:
+      return "selective";
+    case TagRow::kTaggerHidden:
+      return "tagger (hidden)";
+    case TagRow::kSilentHidden:
+      return "silent (hidden)";
+    case TagRow::kSelectiveHidden:
+      return "selective (hidden)";
+    case TagRow::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* to_string(FwdRow row) noexcept {
+  switch (row) {
+    case FwdRow::kForward:
+      return "forward";
+    case FwdRow::kCleaner:
+      return "cleaner";
+    case FwdRow::kForwardHidden:
+      return "forward (hidden)";
+    case FwdRow::kCleanerHidden:
+      return "cleaner (hidden)";
+    case FwdRow::kForwardLeaf:
+      return "forward (leaf)";
+    case FwdRow::kCleanerLeaf:
+      return "cleaner (leaf)";
+    case FwdRow::kCount:
+      break;
+  }
+  return "?";
+}
+
+ScenarioEvaluation evaluate_scenario(const topology::GeneratedTopology& topo,
+                                     const sim::GroundTruth& truth,
+                                     const core::InferenceResult& result) {
+  ScenarioEvaluation ev;
+
+  for (topology::NodeId node = 0; node < topo.graph.node_count(); ++node) {
+    if (!truth.present[node]) continue;
+    const bgp::Asn asn = topo.graph.asn_of(node);
+    const sim::Role& role = truth.roles[node];
+    const auto usage = result.usage(asn);
+
+    // ---- Tagging confusion + metrics --------------------------------------
+    {
+      const bool hidden = truth.tagging_hidden[node];
+      TagRow row;
+      if (role.is_selective()) {
+        row = hidden ? TagRow::kSelectiveHidden : TagRow::kSelective;
+      } else if (role.tagger) {
+        row = hidden ? TagRow::kTaggerHidden : TagRow::kTagger;
+      } else {
+        row = hidden ? TagRow::kSilentHidden : TagRow::kSilent;
+      }
+      ev.tagging.bump(row, tag_col(usage.tagging));
+
+      const bool decided = usage.tagging == core::TaggingClass::kTagger ||
+                           usage.tagging == core::TaggingClass::kSilent;
+      if (!hidden) {
+        // Precision: over decided, non-hidden ASes; a selective tagger
+        // counts as correctly "tagger".
+        if (decided) {
+          ++ev.tagging_pr.decided;
+          const bool correct = role.tagger
+                                   ? usage.tagging == core::TaggingClass::kTagger
+                                   : usage.tagging == core::TaggingClass::kSilent;
+          if (correct) ++ev.tagging_pr.decided_correct;
+        }
+        // Recall: all visible behaviors, selective included (their tagging
+        // counts as recovered only when inferred tagger).
+        ++ev.tagging_pr.eligible;
+        const bool correct = role.tagger ? usage.tagging == core::TaggingClass::kTagger
+                                         : usage.tagging == core::TaggingClass::kSilent;
+        if (correct) ++ev.tagging_pr.correct;
+      }
+    }
+
+    // ---- Forwarding confusion + metrics ------------------------------------
+    {
+      const bool leaf = truth.leaf[node];
+      const bool hidden = truth.forwarding_hidden[node];
+      FwdRow row;
+      if (leaf) {
+        row = role.cleaner ? FwdRow::kCleanerLeaf : FwdRow::kForwardLeaf;
+      } else if (hidden) {
+        row = role.cleaner ? FwdRow::kCleanerHidden : FwdRow::kForwardHidden;
+      } else {
+        row = role.cleaner ? FwdRow::kCleaner : FwdRow::kForward;
+      }
+      ev.forwarding.bump(row, fwd_col(usage.forwarding));
+
+      const bool decided = usage.forwarding == core::ForwardingClass::kForward ||
+                           usage.forwarding == core::ForwardingClass::kCleaner;
+      if (!leaf && !hidden) {
+        if (decided) {
+          ++ev.forwarding_pr.decided;
+          const bool correct = role.cleaner
+                                   ? usage.forwarding == core::ForwardingClass::kCleaner
+                                   : usage.forwarding == core::ForwardingClass::kForward;
+          if (correct) ++ev.forwarding_pr.decided_correct;
+        }
+        ++ev.forwarding_pr.eligible;
+        const bool correct = role.cleaner
+                                 ? usage.forwarding == core::ForwardingClass::kCleaner
+                                 : usage.forwarding == core::ForwardingClass::kForward;
+        if (correct) ++ev.forwarding_pr.correct;
+      }
+    }
+
+    // ---- Combined-class histogram (Table 2 columns) ------------------------
+    {
+      const bool tag_u = usage.tagging == core::TaggingClass::kUndecided;
+      const bool fwd_u = usage.forwarding == core::ForwardingClass::kUndecided;
+      const auto code = usage.code();
+      auto& h = ev.classes;
+      if (tag_u && fwd_u) {
+        ++h.uu;
+      } else if (tag_u) {
+        ++h.tag_u;
+      } else if (fwd_u) {
+        ++h.fwd_u;
+      } else if (code == "tf") {
+        ++h.tf;
+      } else if (code == "tc") {
+        ++h.tc;
+      } else if (code == "sf") {
+        ++h.sf;
+      } else if (code == "sc") {
+        ++h.sc;
+      } else if (code == "tn") {
+        ++h.tn;
+      } else if (code == "sn") {
+        ++h.sn;
+      } else if (code == "nf") {
+        ++h.nf;
+      } else if (code == "nc") {
+        ++h.nc;
+      } else {
+        ++h.nn;
+      }
+    }
+  }
+
+  finalize(ev.tagging_pr);
+  finalize(ev.forwarding_pr);
+  return ev;
+}
+
+}  // namespace bgpcu::eval

@@ -1,0 +1,113 @@
+// Scenario scoring: confusion matrices in the shape of the paper's Tables 5
+// and 6 (assigned role — including hidden/leaf sub-rows — versus inferred
+// class), the recall/precision numbers of Table 2, and the combined-class
+// histogram (full / partial / none-undecided columns).
+//
+// Metric definitions (documented here because the paper leaves some corner
+// semantics open; these choices reproduce Table 2's reported values within
+// seed noise):
+//  * recall denominator ("eligible"): present, visible (non-hidden) ASes
+//    with a true behavior to recover — including selective taggers, whose
+//    partial behavior the algorithm is expected to surface; for forwarding,
+//    leaf ASes are excluded ("missing" behavior, §6.3).
+//  * recall numerator: eligible ASes whose inferred class matches the role;
+//    a selective tagger counts as recalled when inferred tagger.
+//  * precision: over present, non-hidden ASes with a *decided* class
+//    (tagger/silent resp. forward/cleaner). A selective tagger inferred as
+//    tagger counts as correct (it does tag); inferred as silent counts as
+//    wrong.
+#ifndef BGPCU_EVAL_METRICS_H
+#define BGPCU_EVAL_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/engine.h"
+#include "sim/scenario.h"
+
+namespace bgpcu::eval {
+
+/// Confusion-matrix row kinds for tagging (Tables 5).
+enum class TagRow : std::uint8_t {
+  kTagger = 0,
+  kSilent,
+  kSelective,
+  kTaggerHidden,
+  kSilentHidden,
+  kSelectiveHidden,
+  kCount,
+};
+
+/// Confusion-matrix row kinds for forwarding (Table 6).
+enum class FwdRow : std::uint8_t {
+  kForward = 0,
+  kCleaner,
+  kForwardHidden,
+  kCleanerHidden,
+  kForwardLeaf,
+  kCleanerLeaf,
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(TagRow row) noexcept;
+[[nodiscard]] const char* to_string(FwdRow row) noexcept;
+
+/// Columns are the inferred classes: decided-positive, decided-negative,
+/// undecided, none — i.e. (tagger, silent, undecided, none) for tagging and
+/// (forward, cleaner, undecided, none) for forwarding.
+template <typename RowEnum>
+struct Confusion {
+  std::array<std::array<std::uint64_t, 4>, static_cast<std::size_t>(RowEnum::kCount)> m{};
+
+  [[nodiscard]] std::uint64_t at(RowEnum row, std::size_t col) const {
+    return m[static_cast<std::size_t>(row)][col];
+  }
+  void bump(RowEnum row, std::size_t col) { ++m[static_cast<std::size_t>(row)][col]; }
+
+  /// Sum over one row.
+  [[nodiscard]] std::uint64_t row_total(RowEnum row) const {
+    std::uint64_t t = 0;
+    for (const auto v : m[static_cast<std::size_t>(row)]) t += v;
+    return t;
+  }
+};
+
+using TaggingConfusion = Confusion<TagRow>;
+using ForwardingConfusion = Confusion<FwdRow>;
+
+/// Precision / recall with their raw ingredients.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  std::uint64_t decided = 0;          ///< Precision denominator.
+  std::uint64_t decided_correct = 0;  ///< Precision numerator.
+  std::uint64_t eligible = 0;         ///< Recall denominator.
+  std::uint64_t correct = 0;          ///< Recall numerator.
+};
+
+/// Combined-class histogram, the paper's Table 2 columns.
+struct ClassHistogram {
+  std::uint64_t tf = 0, tc = 0, sf = 0, sc = 0;        ///< Full classification.
+  std::uint64_t tn = 0, sn = 0, nf = 0, nc = 0;        ///< Partial.
+  std::uint64_t nn = 0, tag_u = 0, fwd_u = 0, uu = 0;  ///< none / undecided.
+};
+
+/// Everything a Table-2 row / Tables-5-6 block needs.
+struct ScenarioEvaluation {
+  TaggingConfusion tagging;
+  ForwardingConfusion forwarding;
+  PrecisionRecall tagging_pr;
+  PrecisionRecall forwarding_pr;
+  ClassHistogram classes;
+};
+
+/// Scores `result` against the ground truth. Only ASes present in the
+/// substrate are counted.
+[[nodiscard]] ScenarioEvaluation evaluate_scenario(const topology::GeneratedTopology& topo,
+                                                   const sim::GroundTruth& truth,
+                                                   const core::InferenceResult& result);
+
+}  // namespace bgpcu::eval
+
+#endif  // BGPCU_EVAL_METRICS_H

@@ -1,0 +1,79 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace bgpcu::eval {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), header_.size()));
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  const auto measure = [&width](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      if (i == 0) {
+        os << cell << std::string(width[i] - cell.size(), ' ');
+      } else {
+        os << "  " << std::string(width[i] - cell.size(), ' ') << cell;
+      }
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = width.empty() ? 0 : width[0];
+  for (std::size_t i = 1; i < width.size(); ++i) total += width[i] + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit(row);
+    }
+  }
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string human_count(std::uint64_t value) {
+  if (value >= 10'000'000ull) {
+    return with_commas(value / 1'000'000ull) + "M";
+  }
+  return with_commas(value);
+}
+
+std::string ratio2(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", value);
+  return buf;
+}
+
+}  // namespace bgpcu::eval

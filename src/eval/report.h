@@ -1,0 +1,44 @@
+// Fixed-width console table formatting shared by the bench binaries so every
+// regenerated table/figure prints in a consistent, paper-like layout.
+#ifndef BGPCU_EVAL_REPORT_H
+#define BGPCU_EVAL_REPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgpcu::eval {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  /// Renders with two-space column gaps; first column left-aligned, the rest
+  /// right-aligned (number-style).
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+/// 12345678 -> "12,345,678".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Compact human form: 9123456789 -> "9,123M"; small values unchanged.
+[[nodiscard]] std::string human_count(std::uint64_t value);
+
+/// Fixed two-decimal percentage/ratio formatting ("0.93").
+[[nodiscard]] std::string ratio2(double value);
+
+}  // namespace bgpcu::eval
+
+#endif  // BGPCU_EVAL_REPORT_H

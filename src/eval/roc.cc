@@ -1,0 +1,59 @@
+#include "eval/roc.h"
+
+namespace bgpcu::eval {
+
+std::vector<RocPoint> roc_sweep(const topology::GeneratedTopology& topo,
+                                const sim::GroundTruth& truth, unsigned lo, unsigned hi,
+                                unsigned step) {
+  std::vector<RocPoint> out;
+  for (unsigned pct = lo; pct <= hi; pct += step) {
+    core::EngineConfig config;
+    config.thresholds = core::Thresholds::uniform(static_cast<double>(pct) / 100.0);
+    const auto result = core::ColumnEngine(config).run(truth.dataset);
+
+    std::uint64_t tag_pos = 0, tag_tp = 0, tag_neg = 0, tag_fp = 0;
+    std::uint64_t fwd_pos = 0, fwd_tp = 0, fwd_neg = 0, fwd_fp = 0;
+
+    for (topology::NodeId node = 0; node < topo.graph.node_count(); ++node) {
+      if (!truth.present[node]) continue;
+      const bgp::Asn asn = topo.graph.asn_of(node);
+      const sim::Role& role = truth.roles[node];
+
+      if (!truth.tagging_hidden[node]) {
+        const bool predicted = result.tagging(asn) == core::TaggingClass::kTagger;
+        if (role.tagger && !role.is_selective()) {
+          ++tag_pos;
+          if (predicted) ++tag_tp;
+        } else {
+          ++tag_neg;
+          if (predicted) ++tag_fp;
+        }
+      }
+      if (!truth.leaf[node] && !truth.forwarding_hidden[node]) {
+        const bool predicted = result.forwarding(asn) == core::ForwardingClass::kCleaner;
+        if (role.cleaner) {
+          ++fwd_pos;
+          if (predicted) ++fwd_tp;
+        } else {
+          ++fwd_neg;
+          if (predicted) ++fwd_fp;
+        }
+      }
+    }
+
+    RocPoint point;
+    point.threshold = static_cast<double>(pct) / 100.0;
+    point.tagging_tpr =
+        tag_pos ? static_cast<double>(tag_tp) / static_cast<double>(tag_pos) : 0.0;
+    point.tagging_fpr =
+        tag_neg ? static_cast<double>(tag_fp) / static_cast<double>(tag_neg) : 0.0;
+    point.forwarding_tpr =
+        fwd_pos ? static_cast<double>(fwd_tp) / static_cast<double>(fwd_pos) : 0.0;
+    point.forwarding_fpr =
+        fwd_neg ? static_cast<double>(fwd_fp) / static_cast<double>(fwd_neg) : 0.0;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace bgpcu::eval

@@ -1,0 +1,37 @@
+// ROC threshold sweep (Fig. 2): re-runs the full inference for every
+// threshold in [50%, 100%] and reports true/false-positive rates for the
+// tagging and forwarding classifiers.
+//
+// Positive classes follow the paper's action-relevant reading: the tagging
+// classifier detects *consistent taggers* (selective taggers count as
+// negatives — they are not consistent), the forwarding classifier detects
+// *cleaners*. Rates are computed over visible (non-hidden, non-leaf) ASes.
+#ifndef BGPCU_EVAL_ROC_H
+#define BGPCU_EVAL_ROC_H
+
+#include <vector>
+
+#include "core/engine.h"
+#include "sim/scenario.h"
+
+namespace bgpcu::eval {
+
+/// One operating point.
+struct RocPoint {
+  double threshold = 0.0;
+  double tagging_tpr = 0.0;
+  double tagging_fpr = 0.0;
+  double forwarding_tpr = 0.0;
+  double forwarding_fpr = 0.0;
+};
+
+/// Sweeps thresholds from `lo` to `hi` percent (inclusive) in steps of
+/// `step` percent; each point re-runs the column engine on the ground
+/// truth's dataset with uniform thresholds.
+[[nodiscard]] std::vector<RocPoint> roc_sweep(const topology::GeneratedTopology& topo,
+                                              const sim::GroundTruth& truth, unsigned lo = 50,
+                                              unsigned hi = 100, unsigned step = 5);
+
+}  // namespace bgpcu::eval
+
+#endif  // BGPCU_EVAL_ROC_H

@@ -1,0 +1,63 @@
+#include "eval/stability.h"
+
+namespace bgpcu::eval {
+
+const char* to_string(FullClass cls) noexcept {
+  switch (cls) {
+    case FullClass::kTf:
+      return "tagger-forward";
+    case FullClass::kTc:
+      return "tagger-cleaner";
+    case FullClass::kSf:
+      return "silent-forward";
+    case FullClass::kSc:
+      return "silent-cleaner";
+    case FullClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+void StabilityTracker::add_day(const core::InferenceResult& result) {
+  const auto day = static_cast<std::uint32_t>(days_);
+  std::array<DayCounts, static_cast<std::size_t>(FullClass::kCount)> today{};
+
+  for (const auto& [asn, counters] : result.counter_map()) {
+    const auto usage = core::classify(counters, result.thresholds());
+    if (!usage.full()) continue;
+    const bool tagger = usage.tagging == core::TaggingClass::kTagger;
+    const bool cleaner = usage.forwarding == core::ForwardingClass::kCleaner;
+    const auto cls = static_cast<std::size_t>(tagger ? (cleaner ? FullClass::kTc : FullClass::kTf)
+                                                     : (cleaner ? FullClass::kSc : FullClass::kSf));
+
+    auto [it, inserted] = members_[cls].try_emplace(asn);
+    Membership& member = it->second;
+    if (inserted) {
+      member.first_day = day;
+      member.last_day = day;
+      member.since_day0 = (day == 0);
+      ++today[cls].fresh;
+    } else {
+      const bool contiguous = member.last_day + 1 == day || member.last_day == day;
+      member.since_day0 = member.since_day0 && contiguous;
+      if (member.since_day0) {
+        ++today[cls].stable;
+      } else if (!contiguous) {
+        ++today[cls].recurring;
+      } else {
+        // Contiguous run that did not start at day 0: it began as "fresh"
+        // on a later day; keep counting it as recurring per the paper's
+        // new/stable/recurring trichotomy.
+        ++today[cls].recurring;
+      }
+      member.last_day = day;
+    }
+  }
+
+  for (std::size_t cls = 0; cls < today.size(); ++cls) {
+    series_[cls].push_back(today[cls]);
+  }
+  ++days_;
+}
+
+}  // namespace bgpcu::eval

@@ -1,0 +1,62 @@
+// Stability tracking for the incremental multi-day experiment (Fig. 3):
+// classifies the cumulative dataset day by day and, for each full class
+// (tf/tc/sf/sc), counts how many ASes are *new* (first day ever in that
+// class), *stable* (in the class every day since day 1), or *recurring*
+// (returned after an interruption).
+#ifndef BGPCU_EVAL_STABILITY_H
+#define BGPCU_EVAL_STABILITY_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace bgpcu::eval {
+
+/// Index of a full class in the tracker's arrays.
+enum class FullClass : std::uint8_t { kTf = 0, kTc = 1, kSf = 2, kSc = 3, kCount };
+
+[[nodiscard]] const char* to_string(FullClass cls) noexcept;
+
+/// Per-day membership counts for one class.
+struct DayCounts {
+  std::uint64_t fresh = 0;      ///< First-ever appearance in the class.
+  std::uint64_t stable = 0;     ///< Present every day since day 0.
+  std::uint64_t recurring = 0;  ///< Reappeared after a gap.
+  [[nodiscard]] std::uint64_t total() const noexcept { return fresh + stable + recurring; }
+};
+
+/// Feed one inference result per day (cumulative input upstream); read the
+/// per-class series afterwards.
+class StabilityTracker {
+ public:
+  /// Records day `day_count()`'s classification.
+  void add_day(const core::InferenceResult& result);
+
+  [[nodiscard]] std::size_t day_count() const noexcept { return days_; }
+
+  /// Series for one class, one entry per day.
+  [[nodiscard]] const std::vector<DayCounts>& series(FullClass cls) const {
+    return series_[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  struct Membership {
+    std::uint32_t first_day = 0;
+    std::uint32_t last_day = 0;
+    bool since_day0 = false;  ///< Contiguous membership starting at day 0.
+  };
+
+  std::size_t days_ = 0;
+  std::array<std::unordered_map<bgp::Asn, Membership>,
+             static_cast<std::size_t>(FullClass::kCount)>
+      members_;
+  std::array<std::vector<DayCounts>, static_cast<std::size_t>(FullClass::kCount)> series_;
+};
+
+}  // namespace bgpcu::eval
+
+#endif  // BGPCU_EVAL_STABILITY_H

@@ -1,0 +1,44 @@
+#include "mrt/reader.h"
+
+#include <fstream>
+
+namespace bgpcu::mrt {
+
+std::optional<RawRecord> MrtReader::next() {
+  constexpr std::size_t kHeaderSize = 12;
+  if (reader_.remaining() == 0) return std::nullopt;
+  if (reader_.remaining() < kHeaderSize) {
+    stats_.truncated_tail += reader_.remaining();
+    reader_.skip(reader_.remaining());
+    return std::nullopt;
+  }
+  RawRecord rec;
+  rec.timestamp = reader_.u32();
+  rec.type = reader_.u16();
+  rec.subtype = reader_.u16();
+  const std::uint32_t length = reader_.u32();
+  if (length > reader_.remaining()) {
+    // Truncated final record: account for it and stop.
+    stats_.truncated_tail += kHeaderSize + reader_.remaining();
+    reader_.skip(reader_.remaining());
+    return std::nullopt;
+  }
+  const auto body = reader_.bytes(length);
+  rec.body.assign(body.begin(), body.end());
+  ++stats_.records;
+  return rec;
+}
+
+MrtFileReader::MrtFileReader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw bgp::WireError("cannot open MRT file: " + path);
+  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+  MrtReader reader(data);
+  while (auto rec = reader.next()) {
+    records_.push_back(std::move(*rec));
+  }
+  stats_ = reader.stats();
+}
+
+}  // namespace bgpcu::mrt

@@ -1,0 +1,13 @@
+#include "mrt/record.h"
+
+namespace bgpcu::mrt {
+
+void RawRecord::encode(bgp::ByteWriter& w) const {
+  w.u32(timestamp);
+  w.u16(type);
+  w.u16(subtype);
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.bytes(body);
+}
+
+}  // namespace bgpcu::mrt

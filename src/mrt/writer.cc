@@ -1,0 +1,56 @@
+#include "mrt/writer.h"
+
+#include <fstream>
+
+namespace bgpcu::mrt {
+
+void MrtWriter::write(const RawRecord& record) {
+  record.encode(writer_);
+  ++records_;
+}
+
+void MrtWriter::write_peer_index(std::uint32_t timestamp, const PeerIndexTable& table) {
+  RawRecord rec;
+  rec.timestamp = timestamp;
+  rec.type = static_cast<std::uint16_t>(MrtType::kTableDumpV2);
+  rec.subtype = static_cast<std::uint16_t>(TableDumpV2Subtype::kPeerIndexTable);
+  rec.body = table.encode();
+  write(rec);
+}
+
+void MrtWriter::write_rib(std::uint32_t timestamp, const RibRecord& rib) {
+  RawRecord rec;
+  rec.timestamp = timestamp;
+  rec.type = static_cast<std::uint16_t>(MrtType::kTableDumpV2);
+  rec.subtype = static_cast<std::uint16_t>(rib.subtype());
+  rec.body = rib.encode();
+  write(rec);
+}
+
+void MrtWriter::write_message(std::uint32_t timestamp, const Bgp4mpMessage& msg) {
+  RawRecord rec;
+  rec.timestamp = timestamp;
+  rec.type = static_cast<std::uint16_t>(MrtType::kBgp4mp);
+  rec.subtype = static_cast<std::uint16_t>(msg.subtype());
+  rec.body = msg.encode();
+  write(rec);
+}
+
+void MrtWriter::write_state_change(std::uint32_t timestamp, const Bgp4mpStateChange& change) {
+  RawRecord rec;
+  rec.timestamp = timestamp;
+  rec.type = static_cast<std::uint16_t>(MrtType::kBgp4mp);
+  rec.subtype = static_cast<std::uint16_t>(change.subtype());
+  rec.body = change.encode();
+  write(rec);
+}
+
+void MrtWriter::flush_to_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw bgp::WireError("cannot open MRT file for writing: " + path);
+  const auto& buf = writer_.buffer();
+  out.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  if (!out) throw bgp::WireError("short write to MRT file: " + path);
+}
+
+}  // namespace bgpcu::mrt

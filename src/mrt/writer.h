@@ -1,0 +1,49 @@
+// MRT writer: serializes typed records into an in-memory dump buffer and
+// optionally flushes it to a file, mirroring how collectors bin updates and
+// RIB snapshots into MRT files.
+#ifndef BGPCU_MRT_WRITER_H
+#define BGPCU_MRT_WRITER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mrt/bgp4mp.h"
+#include "mrt/record.h"
+#include "mrt/table_dump_v2.h"
+
+namespace bgpcu::mrt {
+
+/// Accumulates MRT records into one dump image.
+class MrtWriter {
+ public:
+  /// Appends a raw record.
+  void write(const RawRecord& record);
+
+  /// Appends a PEER_INDEX_TABLE record.
+  void write_peer_index(std::uint32_t timestamp, const PeerIndexTable& table);
+
+  /// Appends a RIB record (subtype chosen from the prefix AFI).
+  void write_rib(std::uint32_t timestamp, const RibRecord& rib);
+
+  /// Appends a BGP4MP message record (subtype chosen from `msg.as4`).
+  void write_message(std::uint32_t timestamp, const Bgp4mpMessage& msg);
+
+  /// Appends a BGP4MP state-change record.
+  void write_state_change(std::uint32_t timestamp, const Bgp4mpStateChange& change);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept { return writer_.buffer(); }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return writer_.take(); }
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return records_; }
+
+  /// Writes the accumulated buffer to `path`. Throws WireError on I/O error.
+  void flush_to_file(const std::string& path) const;
+
+ private:
+  bgp::ByteWriter writer_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace bgpcu::mrt
+
+#endif  // BGPCU_MRT_WRITER_H

@@ -1,0 +1,84 @@
+#include "registry/registry.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bgpcu::registry {
+
+namespace {
+
+// Inserts [lo, hi] into a sorted merged inclusive interval list.
+template <typename T>
+void insert_interval(std::vector<std::pair<T, T>>& ranges, T lo, T hi) {
+  auto it = std::lower_bound(ranges.begin(), ranges.end(), std::make_pair(lo, hi));
+  it = ranges.insert(it, {lo, hi});
+  // Merge left.
+  if (it != ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo || (lo > 0 && prev->second == lo - 1)) {
+      prev->second = std::max(prev->second, hi);
+      it = ranges.erase(it);
+      it = prev;
+    }
+  }
+  // Merge right.
+  while (std::next(it) != ranges.end()) {
+    auto next = std::next(it);
+    if (next->first <= it->second || (it->second < std::numeric_limits<T>::max() &&
+                                      next->first == it->second + 1)) {
+      it->second = std::max(it->second, next->second);
+      ranges.erase(next);
+    } else {
+      break;
+    }
+  }
+}
+
+// True iff [lo, hi] is fully contained in one interval of the merged list.
+template <typename T>
+bool contained(const std::vector<std::pair<T, T>>& ranges, T lo, T hi) {
+  auto it = std::upper_bound(ranges.begin(), ranges.end(), std::make_pair(lo, std::numeric_limits<T>::max()));
+  if (it == ranges.begin()) return false;
+  const auto& range = *std::prev(it);
+  return range.first <= lo && hi <= range.second;
+}
+
+}  // namespace
+
+void AllocationRegistry::allocate_asn_range(bgp::Asn lo, bgp::Asn hi) {
+  if (lo > hi) std::swap(lo, hi);
+  insert_interval(asn_ranges_, lo, hi);
+}
+
+AsnStatus AllocationRegistry::asn_status(bgp::Asn asn) const noexcept {
+  if (bgp::is_special_purpose_asn(asn)) return AsnStatus::kSpecialPurpose;
+  return contained(asn_ranges_, asn, asn) ? AsnStatus::kAllocated : AsnStatus::kUnallocated;
+}
+
+void AllocationRegistry::allocate_prefix(const bgp::Prefix& block) {
+  if (block.afi() == bgp::Afi::kIpv4) {
+    const std::uint64_t base = block.ipv4_addr();
+    const std::uint64_t span = block.length() >= 32 ? 1 : (1ull << (32 - block.length()));
+    insert_interval(v4_, base, base + span - 1);
+  } else {
+    v6_blocks_.push_back(block);
+  }
+}
+
+bool AllocationRegistry::prefix_allocated(const bgp::Prefix& p) const noexcept {
+  if (p.afi() == bgp::Afi::kIpv4) {
+    const std::uint64_t base = p.ipv4_addr();
+    const std::uint64_t span = p.length() >= 32 ? 1 : (1ull << (32 - p.length()));
+    return contained(v4_, base, base + span - 1);
+  }
+  return std::any_of(v6_blocks_.begin(), v6_blocks_.end(),
+                     [&p](const bgp::Prefix& block) { return block.contains(p); });
+}
+
+std::size_t AllocationRegistry::allocated_asn_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [lo, hi] : asn_ranges_) n += static_cast<std::size_t>(hi - lo) + 1;
+  return n;
+}
+
+}  // namespace bgpcu::registry

@@ -1,0 +1,64 @@
+// Number-resource allocation registry. Stands in for the RIR delegation
+// files the paper uses to drop "routing information that includes
+// unallocated prefixes or ASNs" (§4.1) and to decide whether a community's
+// upper field is a public ASN (the peer/foreign/stray/private grouping of
+// §3.2). IANA special-purpose ranges are built in; allocations are added by
+// the topology generator (synthetic Internet) or by loading a delegation
+// table.
+#ifndef BGPCU_REGISTRY_REGISTRY_H
+#define BGPCU_REGISTRY_REGISTRY_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bgp/asn.h"
+#include "bgp/prefix.h"
+
+namespace bgpcu::registry {
+
+/// Allocation status of an ASN.
+enum class AsnStatus : std::uint8_t {
+  kAllocated,       ///< Delegated to a network operator; may appear in paths.
+  kUnallocated,     ///< Not delegated; announcements referencing it are bogus.
+  kSpecialPurpose,  ///< Private / reserved / documentation (never public).
+};
+
+/// Tracks which ASNs and IPv4/IPv6 prefixes are delegated.
+///
+/// ASN allocations are kept as merged half-open-free inclusive intervals;
+/// IPv4 allocations as merged address intervals; IPv6 allocations as a block
+/// list (the synthetic Internet allocates few v6 blocks).
+class AllocationRegistry {
+ public:
+  /// Marks one ASN allocated. Special-purpose ASNs cannot be allocated.
+  void allocate_asn(bgp::Asn asn) { allocate_asn_range(asn, asn); }
+
+  /// Marks the inclusive range [lo, hi] allocated.
+  void allocate_asn_range(bgp::Asn lo, bgp::Asn hi);
+
+  /// Marks an address block allocated (prefixes contained in it become valid).
+  void allocate_prefix(const bgp::Prefix& block);
+
+  [[nodiscard]] AsnStatus asn_status(bgp::Asn asn) const noexcept;
+
+  /// True iff the ASN is allocated and not special-purpose — i.e. it can
+  /// legitimately identify a network in an AS path or community upper field.
+  [[nodiscard]] bool is_public_allocated(bgp::Asn asn) const noexcept {
+    return asn_status(asn) == AsnStatus::kAllocated;
+  }
+
+  /// True iff `p` is fully contained in an allocated block.
+  [[nodiscard]] bool prefix_allocated(const bgp::Prefix& p) const noexcept;
+
+  [[nodiscard]] std::size_t allocated_asn_count() const noexcept;
+
+ private:
+  std::vector<std::pair<bgp::Asn, bgp::Asn>> asn_ranges_;     // sorted, merged, inclusive
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> v4_;   // sorted, merged, inclusive
+  std::vector<bgp::Prefix> v6_blocks_;
+};
+
+}  // namespace bgpcu::registry
+
+#endif  // BGPCU_REGISTRY_REGISTRY_H

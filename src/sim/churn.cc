@@ -1,0 +1,44 @@
+#include "sim/churn.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/rng.h"
+
+namespace bgpcu::sim {
+
+core::Dataset day_dataset(const core::Dataset& base, const ChurnConfig& config,
+                          std::uint32_t day) {
+  topology::Rng rng(config.seed ^ (0xDA11ull * (day + 1)));
+
+  // Draw the day's origin outages first so every tuple of an out origin
+  // disappears coherently. Origins are visited in sorted order so the draw
+  // sequence is deterministic.
+  std::vector<bgp::Asn> seen_origins;
+  seen_origins.reserve(base.size());
+  for (const auto& tuple : base) seen_origins.push_back(tuple.origin());
+  std::sort(seen_origins.begin(), seen_origins.end());
+  seen_origins.erase(std::unique(seen_origins.begin(), seen_origins.end()), seen_origins.end());
+  std::unordered_set<bgp::Asn> out_origins;
+  for (const auto origin : seen_origins) {
+    if (rng.chance(config.outage_prob)) out_origins.insert(origin);
+  }
+
+  core::Dataset out;
+  out.reserve(base.size());
+  for (const auto& tuple : base) {
+    if (out_origins.contains(tuple.origin())) continue;
+    if (!rng.chance(config.daily_visibility)) continue;
+    out.push_back(tuple);
+  }
+  return out;
+}
+
+core::Dataset merge_datasets(core::Dataset a, const core::Dataset& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  core::deduplicate(a);
+  return a;
+}
+
+}  // namespace bgpcu::sim

@@ -1,0 +1,32 @@
+// Daily churn model for the stability analysis (Fig. 3): each successive day
+// the collectors observe most — but not all — of the tuple universe (RIB
+// snapshots plus whatever re-announced that day), and a few origins suffer
+// outages that hide all their paths. Cumulative per-day unions reproduce the
+// paper's incremental-input experiment.
+#ifndef BGPCU_SIM_CHURN_H
+#define BGPCU_SIM_CHURN_H
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace bgpcu::sim {
+
+/// Day-to-day observation dynamics.
+struct ChurnConfig {
+  double daily_visibility = 0.92;  ///< P(tuple observed on a given day).
+  double outage_prob = 0.02;       ///< P(origin fully absent on a given day).
+  std::uint64_t seed = 1;
+};
+
+/// The subset of `base` visible on `day` (0-based). Day draws are
+/// independent and deterministic per (seed, day).
+[[nodiscard]] core::Dataset day_dataset(const core::Dataset& base, const ChurnConfig& config,
+                                        std::uint32_t day);
+
+/// Union of `a` and `b`, deduplicated — the cumulative input for day k.
+[[nodiscard]] core::Dataset merge_datasets(core::Dataset a, const core::Dataset& b);
+
+}  // namespace bgpcu::sim
+
+#endif  // BGPCU_SIM_CHURN_H

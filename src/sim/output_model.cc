@@ -1,0 +1,153 @@
+#include "sim/output_model.h"
+
+#include <algorithm>
+
+namespace bgpcu::sim {
+
+namespace {
+
+using topology::NodeId;
+
+std::uint64_t mix(std::uint64_t v) {
+  v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+  v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+  return v ^ (v >> 31);
+}
+
+// Builds one community with administrator `admin`; the variant follows the
+// administrator's ASN width (32-bit ASes cannot use regular communities).
+bgp::CommunityValue make_community(bgp::Asn admin, std::uint32_t value, bool force_large) {
+  if (force_large || bgp::is_32bit_asn(admin)) {
+    return bgp::CommunityValue::large(admin, value, value % 50);
+  }
+  return bgp::CommunityValue::regular(static_cast<std::uint16_t>(admin),
+                                      static_cast<std::uint16_t>(value % 0x10000));
+}
+
+}  // namespace
+
+std::vector<bool> mark_noisy(std::size_t node_count, const NoiseConfig& noise,
+                             std::uint64_t seed) {
+  std::vector<bool> noisy(node_count, false);
+  if (!noise.enabled) return noisy;
+  topology::Rng rng(seed ^ 0xA5A5A5A5ull);
+  for (std::size_t i = 0; i < node_count; ++i) noisy[i] = rng.chance(noise.noisy_as_fraction);
+  return noisy;
+}
+
+bgp::CommunitySet tagger_vocabulary(bgp::Asn asn, bgp::Asn peer_asn) {
+  bgp::CommunitySet out;
+  const std::uint64_t h = mix(asn);
+  // Some established 16-bit networks also deploy large communities.
+  const bool also_large = (h >> 16) % 100 < 15;
+
+  out.push_back(make_community(asn, 100 + static_cast<std::uint32_t>(h % 400), false));
+  if (h % 2 == 0) {
+    out.push_back(
+        make_community(asn, 500 + static_cast<std::uint32_t>((h >> 8) % 400), false));
+  }
+  if (also_large && bgp::is_16bit_asn(asn)) {
+    out.push_back(make_community(asn, 100 + static_cast<std::uint32_t>(h % 400), true));
+  }
+  // Ingress-dependent informational value (e.g. "learned at location X"),
+  // keyed on the collector peer so different vantage points see different
+  // low-order values — the upper field, which the inference uses, is stable.
+  const std::uint64_t hp = mix(asn ^ (static_cast<std::uint64_t>(peer_asn) << 20));
+  out.push_back(make_community(asn, 1000 + static_cast<std::uint32_t>(hp % 200), false));
+  return out;
+}
+
+bool tags_towards(const topology::AsGraph& graph, const Role& role, topology::NodeId node,
+                  topology::NodeId receiver, bool to_collector) {
+  if (!role.tagger) return false;
+  // Every selectivity mode in the paper tags toward the collector session.
+  if (to_collector) return true;
+  switch (role.selectivity) {
+    case Selectivity::kNone:
+      return true;
+    case Selectivity::kCollectorOnly:
+      return false;  // non-collector receiver
+    case Selectivity::kSkipProvider: {
+      const auto rel = graph.relationship(node, receiver);
+      return !(rel && *rel == topology::Relationship::kProvider);
+    }
+    case Selectivity::kSkipProviderPeer: {
+      const auto rel = graph.relationship(node, receiver);
+      return rel && *rel == topology::Relationship::kCustomer;
+    }
+  }
+  return true;
+}
+
+bgp::CommunitySet compute_output(const topology::GeneratedTopology& topo,
+                                 const std::vector<topology::NodeId>& path,
+                                 const RoleVector& roles, const std::vector<bool>& noisy,
+                                 const OutputConfig& config, topology::Rng& rng,
+                                 const bgp::CommunitySet* origin_override) {
+  bgp::CommunitySet comms;
+  if (path.empty()) return comms;
+  const auto& graph = topo.graph;
+  const bgp::Asn peer_asn = graph.asn_of(path.front());
+
+  for (std::size_t x = path.size(); x >= 1; --x) {
+    const NodeId node = path[x - 1];
+    const Role& role = roles[node];
+    const bool to_collector = (x == 1);
+    const NodeId receiver = to_collector ? node : path[x - 2];
+
+    // forwarding(A, input): a cleaner drops everything received downstream.
+    if (role.cleaner) comms.clear();
+
+    // tagging(A): own communities, subject to selectivity toward receiver.
+    if (origin_override != nullptr && x == path.size()) {
+      comms.insert(comms.end(), origin_override->begin(), origin_override->end());
+    } else if (tags_towards(graph, role, node, receiver, to_collector)) {
+      const auto vocab = tagger_vocabulary(graph.asn_of(node), peer_asn);
+      comms.insert(comms.end(), vocab.begin(), vocab.end());
+    }
+
+    // Noise source 1: an action community carrying the *upstream* neighbor's
+    // ASN, attached by a noisy AS; it rides the normal propagation (and is
+    // cleaned by any upstream cleaner).
+    if (config.noise.enabled && !to_collector && !noisy.empty() && noisy[node] &&
+        rng.chance(config.noise.action_prob)) {
+      const bgp::Asn upstream = graph.asn_of(path[x - 2]);
+      comms.push_back(make_community(upstream, 3000 + static_cast<std::uint32_t>(rng.below(64)),
+                                     false));
+    }
+
+    // Wild pollution: private-administrator community (e.g. internal or
+    // RTBH-style) attached in-path; cleaned normally.
+    if (config.pollution.private_prob > 0 && rng.chance(config.pollution.private_prob)) {
+      const bgp::Asn priv = 64512 + static_cast<bgp::Asn>(rng.below(1023));
+      comms.push_back(bgp::CommunityValue::regular(static_cast<std::uint16_t>(priv), 666));
+    }
+  }
+
+  // Noise source 2: a community carrying the originator's ASN appended to
+  // the observed output (tests the forwarding inference, §6.1).
+  if (config.noise.enabled && rng.chance(config.noise.origin_prob)) {
+    const bgp::Asn origin_asn = graph.asn_of(path.back());
+    comms.push_back(
+        make_community(origin_asn, 4000 + static_cast<std::uint32_t>(rng.below(32)), false));
+  }
+
+  // Wild pollution: stray community appended at the collector ingress (the
+  // route-server pattern: an administrator that never shows in the path).
+  if (config.pollution.stray_prob > 0 && rng.chance(config.pollution.stray_prob)) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const NodeId pick = static_cast<NodeId>(rng.below(graph.node_count()));
+      const bgp::Asn admin = graph.asn_of(pick);
+      if (std::find(path.begin(), path.end(), pick) == path.end()) {
+        comms.push_back(make_community(admin, 7000 + static_cast<std::uint32_t>(rng.below(16)),
+                                       false));
+        break;
+      }
+    }
+  }
+
+  bgp::normalize(comms);
+  return comms;
+}
+
+}  // namespace bgpcu::sim

@@ -1,0 +1,77 @@
+// Implements the paper's formal model (§3.3.2): given ground-truth roles and
+// an AS path, computes the community set output(A1) that the collector peer
+// exports — output(A) = tagging(A) ∪ forwarding(A, input(A)) evaluated from
+// the origin toward the peer — including the §6.1 noise sources and the
+// wild-mode stray/private community pollution.
+#ifndef BGPCU_SIM_OUTPUT_MODEL_H
+#define BGPCU_SIM_OUTPUT_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/community.h"
+#include "sim/roles.h"
+#include "topology/generator.h"
+#include "topology/rng.h"
+
+namespace bgpcu::sim {
+
+/// §6.1 noise configuration. Noise source 1 ("action"): a *noisy* AS
+/// attaches a community carrying its upstream neighbor's ASN, simulating an
+/// action community; it propagates subject to cleaning. Noise source 2
+/// ("origin"): a community carrying the originator's ASN is appended to the
+/// observed output.
+struct NoiseConfig {
+  bool enabled = false;
+  double noisy_as_fraction = 0.5;  ///< Share of ASes that ever emit noise 1.
+  double action_prob = 0.05;       ///< Per (tuple, noisy-AS occurrence).
+  double origin_prob = 0.05;       ///< Per tuple.
+};
+
+/// Wild-mode pollution that exercises the stray/private source groups
+/// (§3.2): blackhole-style private communities added in-path and
+/// route-server-style stray communities appended at the peer.
+struct PollutionConfig {
+  double private_prob = 0.0;  ///< Per tuple: add a private-admin community.
+  double stray_prob = 0.0;    ///< Per tuple: append an off-path-admin community.
+};
+
+/// Full output-model configuration.
+struct OutputConfig {
+  NoiseConfig noise;
+  PollutionConfig pollution;
+};
+
+/// Marks which ASes are "noisy" for noise source 1; deterministic per seed.
+[[nodiscard]] std::vector<bool> mark_noisy(std::size_t node_count, const NoiseConfig& noise,
+                                           std::uint64_t seed);
+
+/// The community vocabulary of one tagger: deterministic per ASN, regular
+/// values for 16-bit admins and large values for 32-bit admins (§3.2), with
+/// an ingress-dependent extra value keyed on the path's peer AS (geo-style
+/// informational tagging).
+[[nodiscard]] bgp::CommunitySet tagger_vocabulary(bgp::Asn asn, bgp::Asn peer_asn);
+
+/// True iff, per the mental model, `node` adds its own communities when
+/// exporting to `receiver` (`to_collector` for the collector session).
+[[nodiscard]] bool tags_towards(const topology::AsGraph& graph, const Role& role,
+                                topology::NodeId node, topology::NodeId receiver,
+                                bool to_collector);
+
+/// Computes output(A1) for `path` (path[0] = collector peer .. path.back() =
+/// origin) under `roles`. `noisy` may be empty when noise is disabled;
+/// `rng` drives the stochastic noise/pollution draws.
+///
+/// When `origin_override` is non-null, the origin exports exactly that
+/// community set instead of its role-derived vocabulary (used by the
+/// PEERING-testbed experiment, whose origin tags per-PoP community pairs).
+[[nodiscard]] bgp::CommunitySet compute_output(const topology::GeneratedTopology& topo,
+                                               const std::vector<topology::NodeId>& path,
+                                               const RoleVector& roles,
+                                               const std::vector<bool>& noisy,
+                                               const OutputConfig& config, topology::Rng& rng,
+                                               const bgp::CommunitySet* origin_override = nullptr);
+
+}  // namespace bgpcu::sim
+
+#endif  // BGPCU_SIM_OUTPUT_MODEL_H

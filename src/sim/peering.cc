@@ -1,0 +1,117 @@
+#include "sim/peering.h"
+
+#include <algorithm>
+
+#include "sim/output_model.h"
+#include "topology/routing.h"
+#include "topology/rng.h"
+
+namespace bgpcu::sim {
+
+using topology::NodeId;
+
+PeeringObservation run_peering_experiment(const topology::GeneratedTopology& topo,
+                                          const std::vector<topology::NodeId>& peers,
+                                          const RoleVector& roles, const PeeringConfig& config) {
+  PeeringObservation out;
+  topology::Rng rng(config.seed ^ 0x9EE21Aull);
+
+  // Extend a copy of the topology with the testbed AS, dodging an ASN
+  // collision with the synthetic allocation if necessary.
+  topology::GeneratedTopology ext = topo;
+  bgp::Asn testbed_asn = config.testbed_asn;
+  while (ext.graph.node_of(testbed_asn).has_value()) ++testbed_asn;
+  const NodeId testbed = ext.graph.add_as(testbed_asn);
+  ext.tier.push_back(topology::Tier::kLeaf);
+  ext.prefixes.emplace_back();
+
+  // Attach the testbed to `num_pops` distinct transit upstreams (the PoPs).
+  std::vector<NodeId> pops;
+  std::vector<NodeId> transit_pool;
+  for (NodeId node = 0; node < topo.graph.node_count(); ++node) {
+    const auto tier = topo.tier_of(node);
+    if (tier == topology::Tier::kLargeTransit || tier == topology::Tier::kSmallTransit) {
+      transit_pool.push_back(node);
+    }
+  }
+  while (pops.size() < config.num_pops && pops.size() < transit_pool.size()) {
+    const NodeId cand = transit_pool[rng.below(transit_pool.size())];
+    if (std::find(pops.begin(), pops.end(), cand) == pops.end()) {
+      pops.push_back(cand);
+      ext.graph.add_c2p(testbed, cand);
+    }
+  }
+  out.pop_asns.reserve(pops.size());
+  for (const NodeId pop : pops) out.pop_asns.push_back(ext.graph.asn_of(pop));
+
+  // The testbed is a consistent tagger; every other AS keeps its wild role.
+  RoleVector ext_roles = roles;
+  ext_roles.push_back(Role{true, false, Selectivity::kNone});
+
+  // Propagate the /24 announcement and collect what each collector peer
+  // exports. The per-PoP community pair is keyed on the first-hop upstream.
+  topology::RouteComputer computer(ext.graph);
+  computer.compute(testbed);
+  const std::vector<bool> no_noise;
+  OutputConfig output;  // the injected announcement itself is noise-free
+
+  for (const NodeId peer : peers) {
+    if (!computer.has_route(peer)) continue;
+    const auto path = computer.path_from(peer);
+    if (path.size() < 2) continue;
+    const NodeId pop = path[path.size() - 2];
+    const auto pop_index = static_cast<std::uint32_t>(
+        std::find(pops.begin(), pops.end(), pop) - pops.begin());
+
+    bgp::CommunitySet origin_set{
+        bgp::CommunityValue::regular(static_cast<std::uint16_t>(testbed_asn),
+                                     static_cast<std::uint16_t>(1000 + 2 * pop_index)),
+        bgp::CommunityValue::regular(static_cast<std::uint16_t>(testbed_asn),
+                                     static_cast<std::uint16_t>(1001 + 2 * pop_index)),
+    };
+
+    core::PathCommTuple tuple;
+    tuple.path.reserve(path.size());
+    for (const NodeId node : path) tuple.path.push_back(ext.graph.asn_of(node));
+    tuple.comms = compute_output(ext, path, ext_roles, no_noise, output, rng, &origin_set);
+    out.tuples.push_back(std::move(tuple));
+  }
+  core::deduplicate(out.tuples);
+  return out;
+}
+
+PeeringValidation validate_observation(const PeeringObservation& obs,
+                                       const core::InferenceResult& inference,
+                                       bgp::Asn testbed_asn) {
+  PeeringValidation v;
+  for (const auto& tuple : obs.tuples) {
+    const bool ours = bgp::contains_upper(tuple.comms, testbed_asn);
+    bool cleaner = false;
+    bool undecided = false;
+    // Scan every AS that handled the announcement after the testbed (the
+    // origin itself cannot clean its own communities).
+    for (std::size_t i = 0; i + 1 < tuple.path.size(); ++i) {
+      const auto fwd = inference.forwarding(tuple.path[i]);
+      cleaner |= fwd == core::ForwardingClass::kCleaner;
+      undecided |= fwd == core::ForwardingClass::kUndecided;
+    }
+    if (ours) {
+      ++v.with_comms;
+      if (cleaner) {
+        ++v.with_comms_cleaner;  // contradiction
+      } else if (undecided) {
+        ++v.with_comms_undecided;
+      }
+    } else {
+      ++v.without_comms;
+      if (cleaner) {
+        ++v.without_comms_cleaner;  // consistent with the inference
+      } else if (undecided) {
+        ++v.without_comms_undecided;
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace bgpcu::sim

@@ -1,0 +1,63 @@
+// PEERING-testbed experiment simulation (§7.4): a testbed AS (AS 47065)
+// announces a /24 through several PoP upstreams, attaching a unique pair of
+// communities per PoP, and we observe which announcements reach the
+// collector peers with the communities intact. Validation then checks the
+// observed presence/absence of our communities against the cleaners the
+// inference identified on each path.
+#ifndef BGPCU_SIM_PEERING_H
+#define BGPCU_SIM_PEERING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/types.h"
+#include "sim/roles.h"
+#include "sim/substrate.h"
+#include "topology/generator.h"
+
+namespace bgpcu::sim {
+
+/// Experiment parameters.
+struct PeeringConfig {
+  bgp::Asn testbed_asn = 47065;  ///< PEERING's ASN.
+  std::uint32_t num_pops = 12;   ///< Distinct first-hop upstreams.
+  std::uint64_t seed = 1;
+};
+
+/// The announcements observed for the testbed prefix.
+struct PeeringObservation {
+  core::Dataset tuples;             ///< Unique (path, comm) for our /24.
+  std::vector<bgp::Asn> pop_asns;   ///< The PoP upstream ASNs used.
+};
+
+/// Validation outcome in the shape of the paper's Table 4.
+struct PeeringValidation {
+  // Tuples whose community set contains our communities:
+  std::uint64_t with_comms = 0;
+  std::uint64_t with_comms_cleaner = 0;    ///< ≥1 inferred cleaner (contradiction).
+  std::uint64_t with_comms_undecided = 0;  ///< No cleaner but ≥1 undecided fwd.
+  // Tuples without our communities:
+  std::uint64_t without_comms = 0;
+  std::uint64_t without_comms_cleaner = 0;   ///< ≥1 inferred cleaner (consistent).
+  std::uint64_t without_comms_undecided = 0; ///< No cleaner but ≥1 undecided fwd.
+};
+
+/// Announces the testbed prefix via `num_pops` transit upstreams over a copy
+/// of `topo` extended with the testbed AS, propagates with `roles` (the
+/// testbed itself tags its per-PoP communities), and returns the tuples seen
+/// by `peers`.
+[[nodiscard]] PeeringObservation run_peering_experiment(
+    const topology::GeneratedTopology& topo, const std::vector<topology::NodeId>& peers,
+    const RoleVector& roles, const PeeringConfig& config);
+
+/// Scores an observation against an inference result (Table 4 semantics):
+/// paths carrying our communities must contain no inferred cleaner; paths
+/// missing them should contain at least one.
+[[nodiscard]] PeeringValidation validate_observation(const PeeringObservation& obs,
+                                                     const core::InferenceResult& inference,
+                                                     bgp::Asn testbed_asn);
+
+}  // namespace bgpcu::sim
+
+#endif  // BGPCU_SIM_PEERING_H

@@ -1,0 +1,48 @@
+// Ground-truth community-usage roles assigned to simulated ASes, following
+// the paper's mental model (§3.3): a tagging behavior (tagger/silent), a
+// forwarding behavior (forward/cleaner), and — for §6.2 — a tagging
+// selectivity based on the business relationship to the receiving neighbor.
+#ifndef BGPCU_SIM_ROLES_H
+#define BGPCU_SIM_ROLES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace bgpcu::sim {
+
+/// Selective-tagging modes (§6.2, §5.4). Selectivity never applies to the
+/// collector session: even selective taggers tag toward collectors in the
+/// paper's random-p / random-pp scenarios. kCollectorOnly is the §5.4
+/// worst-case (tags only toward the collector).
+enum class Selectivity : std::uint8_t {
+  kNone,              ///< Tags on every external session.
+  kSkipProvider,      ///< random-p: no tags on provider links.
+  kSkipProviderPeer,  ///< random-pp: tags only to customers (and collectors).
+  kCollectorOnly,     ///< Tags only on collector sessions.
+};
+
+/// Ground-truth role of one AS.
+struct Role {
+  bool tagger = false;   ///< Adds own communities (subject to selectivity).
+  bool cleaner = false;  ///< Removes communities set by others.
+  Selectivity selectivity = Selectivity::kNone;
+
+  [[nodiscard]] bool is_selective() const noexcept {
+    return tagger && selectivity != Selectivity::kNone;
+  }
+
+  /// Two-character role code as the paper writes it: tf / tc / sf / sc.
+  [[nodiscard]] std::string code() const {
+    return std::string{tagger ? 't' : 's', cleaner ? 'c' : 'f'};
+  }
+};
+
+/// Role table indexed by topology NodeId.
+using RoleVector = std::vector<Role>;
+
+}  // namespace bgpcu::sim
+
+#endif  // BGPCU_SIM_ROLES_H

@@ -1,0 +1,156 @@
+#include "sim/scenario.h"
+
+#include "topology/rng.h"
+
+namespace bgpcu::sim {
+
+using topology::NodeId;
+
+const char* to_string(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::kAllTf:
+      return "alltf";
+    case ScenarioKind::kAllTc:
+      return "alltc";
+    case ScenarioKind::kRandom:
+      return "random";
+    case ScenarioKind::kRandomNoise:
+      return "random+noise";
+    case ScenarioKind::kRandomP:
+      return "random-p";
+    case ScenarioKind::kRandomPp:
+      return "random-pp";
+  }
+  return "?";
+}
+
+RoleVector assign_roles(const topology::GeneratedTopology& topo, const ScenarioConfig& config) {
+  const std::size_t n = topo.graph.node_count();
+  RoleVector roles(n);
+  topology::Rng rng(config.seed ^ 0x50CE7A21ull);
+
+  switch (config.kind) {
+    case ScenarioKind::kAllTf:
+      for (auto& role : roles) role = Role{true, false, Selectivity::kNone};
+      return roles;
+    case ScenarioKind::kAllTc:
+      for (auto& role : roles) role = Role{true, true, Selectivity::kNone};
+      return roles;
+    case ScenarioKind::kRandom:
+    case ScenarioKind::kRandomNoise:
+    case ScenarioKind::kRandomP:
+    case ScenarioKind::kRandomPp:
+      break;
+  }
+
+  // Uniform tf/tc/sf/sc draw, identical across the random-based kinds for a
+  // given seed (the selectivity pass below consumes a forked stream so the
+  // base roles stay aligned).
+  for (auto& role : roles) {
+    const auto draw = rng.below(4);
+    role.tagger = (draw & 1) != 0;
+    role.cleaner = (draw & 2) != 0;
+    role.selectivity = Selectivity::kNone;
+  }
+
+  if (config.kind == ScenarioKind::kRandomP || config.kind == ScenarioKind::kRandomPp) {
+    topology::Rng sel_rng = rng.fork(0x5E1Eull);
+    const Selectivity mode = config.kind == ScenarioKind::kRandomP
+                                 ? Selectivity::kSkipProvider
+                                 : Selectivity::kSkipProviderPeer;
+    for (auto& role : roles) {
+      if (role.tagger && sel_rng.chance(config.selective_share)) role.selectivity = mode;
+    }
+  }
+  return roles;
+}
+
+core::Dataset generate_dataset(const topology::GeneratedTopology& topo,
+                               const PathSubstrate& substrate, const RoleVector& roles,
+                               const OutputConfig& config, std::uint64_t seed,
+                               std::uint32_t observations) {
+  if (observations == 0) observations = 1;
+  // Without stochastic elements every observation of a path is identical;
+  // skip the redundant draws instead of deduplicating them away.
+  const bool stochastic = config.noise.enabled || config.pollution.private_prob > 0 ||
+                          config.pollution.stray_prob > 0;
+  if (!stochastic) observations = 1;
+
+  core::Dataset dataset;
+  dataset.reserve(substrate.paths.size() * observations);
+  topology::Rng rng(seed ^ 0xDA7A5E7ull);
+  const std::vector<bool> noisy = mark_noisy(topo.graph.node_count(), config.noise, seed);
+
+  for (const auto& path : substrate.paths) {
+    std::vector<bgp::Asn> asns;
+    asns.reserve(path.size());
+    for (const NodeId node : path) asns.push_back(topo.graph.asn_of(node));
+    for (std::uint32_t obs = 0; obs < observations; ++obs) {
+      core::PathCommTuple tuple;
+      tuple.path = asns;
+      tuple.comms = compute_output(topo, path, roles, noisy, config, rng);
+      dataset.push_back(std::move(tuple));
+    }
+  }
+  core::deduplicate(dataset);
+  return dataset;
+}
+
+void compute_visibility(const topology::GeneratedTopology& topo, const PathSubstrate& substrate,
+                        const RoleVector& roles, std::vector<bool>& tagging_visible,
+                        std::vector<bool>& forwarding_visible) {
+  const std::size_t n = topo.graph.node_count();
+  tagging_visible.assign(n, false);
+  forwarding_visible.assign(n, false);
+
+  for (const auto& path : substrate.paths) {
+    bool upstream_all_forward = true;  // positions 0 .. i-1 are all non-cleaner
+    for (std::size_t i = 0; i < path.size() && upstream_all_forward; ++i) {
+      const NodeId node = path[i];
+      tagging_visible[node] = true;
+      // Forwarding needs a downstream illuminator: the nearest tagger that
+      // actually tags on this path segment, with no cleaner strictly before
+      // it (a tagger-cleaner illuminates with its own tags, then blocks).
+      if (i + 1 < path.size() && !forwarding_visible[node]) {
+        for (std::size_t j = i + 1; j < path.size(); ++j) {
+          const NodeId cand = path[j];
+          if (roles[cand].tagger &&
+              tags_towards(topo.graph, roles[cand], cand, path[j - 1], false)) {
+            forwarding_visible[node] = true;
+            break;
+          }
+          if (roles[cand].cleaner) break;
+        }
+      }
+      if (roles[node].cleaner) upstream_all_forward = false;
+    }
+  }
+}
+
+GroundTruth build_scenario(const topology::GeneratedTopology& topo,
+                           const PathSubstrate& substrate, const ScenarioConfig& config) {
+  GroundTruth out;
+  out.roles = assign_roles(topo, config);
+
+  OutputConfig output;
+  output.noise = config.noise;
+  if (config.kind == ScenarioKind::kRandomNoise) output.noise.enabled = true;
+
+  out.dataset = generate_dataset(topo, substrate, out.roles, output, config.seed,
+                                 config.observations_per_path);
+  out.present = substrate.present_flags(topo.graph.node_count());
+  out.leaf = substrate.leaf_flags(topo.graph.node_count());
+
+  std::vector<bool> tagging_visible, forwarding_visible;
+  compute_visibility(topo, substrate, out.roles, tagging_visible, forwarding_visible);
+  const std::size_t n = topo.graph.node_count();
+  out.tagging_hidden.assign(n, false);
+  out.forwarding_hidden.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.tagging_hidden[i] = out.present[i] && !tagging_visible[i];
+    out.forwarding_hidden[i] = out.present[i] && !out.leaf[i] && !forwarding_visible[i];
+  }
+  return out;
+}
+
+}  // namespace bgpcu::sim

@@ -1,0 +1,83 @@
+// Ground-truth scenario construction (§6.1, §6.2): assigns known roles to
+// every AS of a path substrate, computes the community output every collector
+// peer would export, and derives the per-AS visibility flags (hidden / leaf)
+// that the paper's confusion matrices (Tables 5 and 6) are built from.
+#ifndef BGPCU_SIM_SCENARIO_H
+#define BGPCU_SIM_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+#include "sim/output_model.h"
+#include "sim/roles.h"
+#include "sim/substrate.h"
+
+namespace bgpcu::sim {
+
+/// The paper's verification scenarios (§6).
+enum class ScenarioKind {
+  kAllTf,        ///< Everyone tagger-forward: visibility maximized.
+  kAllTc,        ///< Everyone tagger-cleaner: visibility minimized.
+  kRandom,       ///< Roles tf/tc/sf/sc uniform at random.
+  kRandomNoise,  ///< kRandom plus §6.1 noise.
+  kRandomP,      ///< kRandom; 50% of taggers skip provider links (§6.2).
+  kRandomPp,     ///< kRandom; 50% of taggers tag only customer links (§6.2).
+};
+
+[[nodiscard]] const char* to_string(ScenarioKind kind) noexcept;
+
+/// Scenario parameters.
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kRandom;
+  std::uint64_t seed = 1;
+  double selective_share = 0.5;  ///< Share of taggers made selective (-p/-pp).
+  /// Noise knobs; `enabled` is forced on for kRandomNoise.
+  NoiseConfig noise;
+  /// Independent observations per path (RIB snapshots + daylong update
+  /// re-announcements of the same route). Identical draws deduplicate, so
+  /// this only multiplies tuples when stochastic noise/pollution is active —
+  /// which is exactly how noisy variants of a path accumulate as distinct
+  /// unique tuples in the paper's 77M-tuple input.
+  std::uint32_t observations_per_path = 3;
+};
+
+/// A generated ground-truth data set: the tuples the engine will consume
+/// plus everything needed to score it afterwards.
+struct GroundTruth {
+  core::Dataset dataset;
+  RoleVector roles;                    ///< By NodeId.
+  std::vector<bool> present;           ///< Appears in the substrate.
+  std::vector<bool> leaf;              ///< Never at a transit position (§3.1).
+  std::vector<bool> tagging_hidden;    ///< No cleaner-free upstream anywhere.
+  std::vector<bool> forwarding_hidden; ///< Additionally never illuminated.
+};
+
+/// Assigns roles for `config.kind`; deterministic per seed. Roles use the
+/// same seed across kinds so kRandom / kRandomNoise / kRandomP share role
+/// draws like the paper's "same seed" comparison (§6.4).
+[[nodiscard]] RoleVector assign_roles(const topology::GeneratedTopology& topo,
+                                      const ScenarioConfig& config);
+
+/// Computes output(A1) for every substrate path under `roles`, dedups, and
+/// returns the dataset. `observations` independent draws are made per path
+/// (see ScenarioConfig::observations_per_path).
+[[nodiscard]] core::Dataset generate_dataset(const topology::GeneratedTopology& topo,
+                                             const PathSubstrate& substrate,
+                                             const RoleVector& roles, const OutputConfig& config,
+                                             std::uint64_t seed, std::uint32_t observations = 1);
+
+/// True-role visibility analysis (§5.1.2, §6.4): which ASes' behaviors can
+/// possibly be observed given the cleaner placement and selective tagging.
+void compute_visibility(const topology::GeneratedTopology& topo, const PathSubstrate& substrate,
+                        const RoleVector& roles, std::vector<bool>& tagging_visible,
+                        std::vector<bool>& forwarding_visible);
+
+/// One-call scenario build: roles + dataset + flags.
+[[nodiscard]] GroundTruth build_scenario(const topology::GeneratedTopology& topo,
+                                         const PathSubstrate& substrate,
+                                         const ScenarioConfig& config);
+
+}  // namespace bgpcu::sim
+
+#endif  // BGPCU_SIM_SCENARIO_H

@@ -1,0 +1,85 @@
+#include "sim/substrate.h"
+
+#include <algorithm>
+
+#include "topology/rng.h"
+
+namespace bgpcu::sim {
+
+using topology::NodeId;
+
+std::vector<bool> PathSubstrate::present_flags(std::size_t node_count) const {
+  std::vector<bool> present(node_count, false);
+  for (const auto& path : paths) {
+    for (const NodeId node : path) present[node] = true;
+  }
+  return present;
+}
+
+std::vector<bool> PathSubstrate::leaf_flags(std::size_t node_count) const {
+  std::vector<bool> leaf = present_flags(node_count);
+  // Start from "present"; anything seen at a transit (non-origin) position
+  // is not a leaf. Absent nodes are not leaves either.
+  for (const auto& path : paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) leaf[path[i]] = false;
+  }
+  return leaf;
+}
+
+std::vector<NodeId> select_collector_peers(const topology::GeneratedTopology& topo,
+                                           std::size_t count, std::uint64_t seed) {
+  topology::Rng rng(seed ^ 0xC011EC70ull);
+  std::vector<NodeId> peers;
+  // Tier-1s and large transits peer with collectors with high probability;
+  // fill the remainder with smaller networks, like the real peer mix.
+  std::vector<NodeId> pool_big, pool_rest;
+  for (NodeId node = 0; node < topo.graph.node_count(); ++node) {
+    switch (topo.tier_of(node)) {
+      case topology::Tier::kTier1:
+      case topology::Tier::kLargeTransit:
+        pool_big.push_back(node);
+        break;
+      case topology::Tier::kSmallTransit:
+        pool_rest.push_back(node);
+        break;
+      case topology::Tier::kLeaf:
+        if (rng.chance(0.02)) pool_rest.push_back(node);  // a few stub peers
+        break;
+    }
+  }
+  const std::size_t from_big = std::min(pool_big.size(), count * 55 / 100);
+  for (std::size_t i = 0; i < from_big; ++i) {
+    peers.push_back(pool_big[rng.below(pool_big.size())]);
+  }
+  while (peers.size() < count && !pool_rest.empty()) {
+    peers.push_back(pool_rest[rng.below(pool_rest.size())]);
+  }
+  std::sort(peers.begin(), peers.end());
+  peers.erase(std::unique(peers.begin(), peers.end()), peers.end());
+  return peers;
+}
+
+PathSubstrate build_substrate(const topology::GeneratedTopology& topo,
+                              std::vector<topology::NodeId> peers,
+                              std::uint32_t origin_stride) {
+  PathSubstrate out;
+  out.peers = std::move(peers);
+  topology::RouteComputer computer(topo.graph);
+  const auto n = static_cast<NodeId>(topo.graph.node_count());
+  if (origin_stride == 0) origin_stride = 1;
+
+  for (NodeId origin = 0; origin < n; origin += origin_stride) {
+    computer.compute(origin);
+    for (const NodeId peer : out.peers) {
+      if (!computer.has_route(peer)) continue;
+      auto path = computer.path_from(peer);
+      if (path.size() < 1) continue;
+      out.paths.push_back(std::move(path));
+    }
+  }
+  std::sort(out.paths.begin(), out.paths.end());
+  out.paths.erase(std::unique(out.paths.begin(), out.paths.end()), out.paths.end());
+  return out;
+}
+
+}  // namespace bgpcu::sim

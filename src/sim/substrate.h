@@ -1,0 +1,43 @@
+// Path substrate generation: the set of AS paths observed by collector
+// peers, computed with valley-free routing over the generated topology.
+// This is this repo's stand-in for "all available AS paths from RIPE,
+// RouteViews and Isolario" that the paper uses as the simulation substrate
+// (§6), and it also feeds the collector MRT emission.
+#ifndef BGPCU_SIM_SUBSTRATE_H
+#define BGPCU_SIM_SUBSTRATE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/generator.h"
+#include "topology/routing.h"
+
+namespace bgpcu::sim {
+
+/// The observed path set: unique node-id paths A1..An (A1 = collector peer,
+/// An = origin) plus the peer set that produced them.
+struct PathSubstrate {
+  std::vector<std::vector<topology::NodeId>> paths;
+  std::vector<topology::NodeId> peers;
+
+  /// Per-node presence/leaf flags derived from the path set (§3.1: a leaf AS
+  /// never appears at a non-origin position).
+  [[nodiscard]] std::vector<bool> present_flags(std::size_t node_count) const;
+  [[nodiscard]] std::vector<bool> leaf_flags(std::size_t node_count) const;
+};
+
+/// Selects `count` collector-peer ASes, biased toward large (transit) ASes
+/// like real collector peers; always includes some tier-1s.
+[[nodiscard]] std::vector<topology::NodeId> select_collector_peers(
+    const topology::GeneratedTopology& topo, std::size_t count, std::uint64_t seed);
+
+/// Computes the unique best paths from every origin to every peer.
+/// `origin_stride` > 1 subsamples origins (every k-th AS originates) to
+/// bound dataset size at large scales.
+[[nodiscard]] PathSubstrate build_substrate(const topology::GeneratedTopology& topo,
+                                            std::vector<topology::NodeId> peers,
+                                            std::uint32_t origin_stride = 1);
+
+}  // namespace bgpcu::sim
+
+#endif  // BGPCU_SIM_SUBSTRATE_H

@@ -1,0 +1,29 @@
+#include "sim/wild.h"
+
+#include "topology/rng.h"
+
+namespace bgpcu::sim {
+
+RoleVector assign_wild_roles(const topology::GeneratedTopology& topo, const WildParams& params) {
+  const std::size_t n = topo.graph.node_count();
+  RoleVector roles(n);
+  topology::Rng rng(params.seed ^ 0x317Dull);
+
+  for (std::size_t node = 0; node < n; ++node) {
+    const auto tier_idx = static_cast<std::size_t>(topo.tier_of(static_cast<topology::NodeId>(node)));
+    Role role;
+    role.tagger = rng.chance(params.p_tagger[tier_idx]);
+    role.cleaner = rng.chance(params.p_cleaner[tier_idx]);
+    if (role.tagger && rng.chance(params.selective_share)) {
+      const double u = rng.uniform();
+      role.selectivity = u < params.sel_skip_provider ? Selectivity::kSkipProvider
+                         : u < params.sel_skip_provider + params.sel_skip_provider_peer
+                             ? Selectivity::kSkipProviderPeer
+                             : Selectivity::kCollectorOnly;
+    }
+    roles[node] = role;
+  }
+  return roles;
+}
+
+}  // namespace bgpcu::sim

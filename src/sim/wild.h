@@ -1,0 +1,44 @@
+// "Wild" role model: a realistic (non-uniform) assignment of community-usage
+// roles used to stand in for the real Internet in the §7 analyses. The
+// distribution follows the paper's findings: taggers are predominantly
+// large transit networks, the edge is mostly silent, cleaners appear across
+// all sizes, and a share of taggers behaves selectively.
+#ifndef BGPCU_SIM_WILD_H
+#define BGPCU_SIM_WILD_H
+
+#include <array>
+#include <cstdint>
+
+#include "sim/output_model.h"
+#include "sim/roles.h"
+#include "topology/generator.h"
+
+namespace bgpcu::sim {
+
+/// Wild role-model parameters; arrays are indexed by topology::Tier.
+struct WildParams {
+  std::uint64_t seed = 1;
+  /// P(tagger) per tier — §7.3: tagger ASes typically have large cones.
+  std::array<double, 4> p_tagger{0.45, 0.28, 0.10, 0.01};
+  /// P(cleaner) per tier — §7.3: cleaners are common across all sizes, and
+  /// Table 3 finds more cleaners than forwarders among classified ASes
+  /// (417 vs 271), so the transit core leans cleaner.
+  std::array<double, 4> p_cleaner{0.50, 0.50, 0.45, 0.45};
+  /// Share of taggers that tag selectively (drives undecided inferences).
+  double selective_share = 0.35;
+  /// Among selective taggers: P(skip provider), P(skip provider+peer); the
+  /// remainder tags only toward collectors (the §5.4 worst case, which is
+  /// also the main source of undecided tagging at collector peers).
+  double sel_skip_provider = 0.45;
+  double sel_skip_provider_peer = 0.25;
+  /// Community pollution, exercising stray/private source groups (Fig. 5).
+  PollutionConfig pollution{0.008, 0.01};
+};
+
+/// Assigns wild roles; deterministic per seed.
+[[nodiscard]] RoleVector assign_wild_roles(const topology::GeneratedTopology& topo,
+                                           const WildParams& params);
+
+}  // namespace bgpcu::sim
+
+#endif  // BGPCU_SIM_WILD_H

@@ -1,0 +1,57 @@
+#include "topology/cone.h"
+
+namespace bgpcu::topology {
+
+namespace {
+
+// Iterative downward BFS with an epoch-stamped visited array (no clearing
+// between nodes).
+class ConeWalker {
+ public:
+  explicit ConeWalker(const AsGraph& graph)
+      : graph_(graph), stamp_(graph.node_count(), 0) {}
+
+  std::uint32_t size_of(NodeId start) {
+    ++epoch_;
+    std::uint32_t count = 0;
+    stack_.clear();
+    stack_.push_back(start);
+    stamp_[start] = epoch_;
+    while (!stack_.empty()) {
+      const NodeId u = stack_.back();
+      stack_.pop_back();
+      ++count;
+      for (const NodeId c : graph_.customers(u)) {
+        if (stamp_[c] != epoch_) {
+          stamp_[c] = epoch_;
+          stack_.push_back(c);
+        }
+      }
+    }
+    return count;
+  }
+
+ private:
+  const AsGraph& graph_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> customer_cone_sizes(const AsGraph& graph) {
+  ConeWalker walker(graph);
+  std::vector<std::uint32_t> sizes(graph.node_count());
+  for (NodeId node = 0; node < graph.node_count(); ++node) {
+    sizes[node] = walker.size_of(node);
+  }
+  return sizes;
+}
+
+std::uint32_t customer_cone_size(const AsGraph& graph, NodeId node) {
+  ConeWalker walker(graph);
+  return walker.size_of(node);
+}
+
+}  // namespace bgpcu::topology

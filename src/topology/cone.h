@@ -1,0 +1,24 @@
+// Customer cone computation. The customer cone of an AS is itself plus every
+// AS reachable by walking only provider→customer edges downward (CAIDA's
+// definition); cone size serves as the AS-size indicator for Fig. 6 and the
+// wild-scenario role model.
+#ifndef BGPCU_TOPOLOGY_CONE_H
+#define BGPCU_TOPOLOGY_CONE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace bgpcu::topology {
+
+/// Exact customer-cone sizes for every node (leafs have size 1). Cost is
+/// bounded by the sum of cone sizes (small except for the core).
+[[nodiscard]] std::vector<std::uint32_t> customer_cone_sizes(const AsGraph& graph);
+
+/// Exact cone size for one node.
+[[nodiscard]] std::uint32_t customer_cone_size(const AsGraph& graph, NodeId node);
+
+}  // namespace bgpcu::topology
+
+#endif  // BGPCU_TOPOLOGY_CONE_H

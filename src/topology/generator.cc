@@ -1,0 +1,209 @@
+#include "topology/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "topology/rng.h"
+
+namespace bgpcu::topology {
+
+namespace {
+
+// Picks `count` distinct elements of `pool` (count <= pool size), biased
+// toward the front of the pool (earlier = larger AS) by squaring the draw.
+std::vector<NodeId> pick_biased(const std::vector<NodeId>& pool, std::size_t count, Rng& rng) {
+  std::vector<NodeId> out;
+  out.reserve(count);
+  std::size_t guard = 0;
+  while (out.size() < count && guard++ < count * 64 + 16) {
+    const double u = rng.uniform();
+    const auto idx = static_cast<std::size_t>(u * u * static_cast<double>(pool.size()));
+    const NodeId candidate = pool[std::min(idx, pool.size() - 1)];
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace
+
+GeneratedTopology generate(const GeneratorParams& params) {
+  if (params.num_ases < params.num_tier1 + 8) {
+    throw std::invalid_argument("topology too small for requested tier-1 clique");
+  }
+  GeneratedTopology out;
+  Rng rng(params.seed);
+
+  const std::uint32_t n = params.num_ases;
+  const auto n_t1 = params.num_tier1;
+  const auto n_large = static_cast<std::uint32_t>(static_cast<double>(n) * params.large_transit_share);
+  const auto n_small = static_cast<std::uint32_t>(static_cast<double>(n) * params.small_transit_share);
+
+  // --- ASN assignment -----------------------------------------------------
+  // 16-bit ASNs are drawn ascending from 3; 32-bit ASNs from 131072 (the
+  // first allocatable 4-byte value past the 16-bit space and documentation
+  // range). Tier-1/large-transit networks are old, established networks and
+  // always get 16-bit ASNs; the 32-bit share is carried by the rest, like
+  // the real Internet's allocation history.
+  bgp::Asn next16 = 3;
+  bgp::Asn next32 = 131072;
+  std::vector<Tier> tiers;
+  tiers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i < n_t1) {
+      tiers.push_back(Tier::kTier1);
+    } else if (i < n_t1 + n_large) {
+      tiers.push_back(Tier::kLargeTransit);
+    } else if (i < n_t1 + n_large + n_small) {
+      tiers.push_back(Tier::kSmallTransit);
+    } else {
+      tiers.push_back(Tier::kLeaf);
+    }
+  }
+
+  // Number of non-transit-core ASes that must take 32-bit ASNs to meet the
+  // requested fraction.
+  const auto want32 = static_cast<std::uint32_t>(static_cast<double>(n) * params.frac_32bit_asn);
+  std::uint32_t assigned32 = 0;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const bool core = tiers[i] == Tier::kTier1 || tiers[i] == Tier::kLargeTransit;
+    bgp::Asn asn;
+    const std::uint32_t remaining = n - i;
+    const std::uint32_t need32 = want32 > assigned32 ? want32 - assigned32 : 0;
+    const bool force32 = !core && need32 >= remaining;
+    const bool take32 = force32 || (!core && assigned32 < want32 &&
+                                    rng.chance(static_cast<double>(need32) /
+                                               static_cast<double>(remaining)));
+    if (take32) {
+      asn = next32;
+      next32 += 1 + static_cast<bgp::Asn>(rng.below(3));  // leave unallocated gaps
+      ++assigned32;
+    } else {
+      asn = next16;
+      next16 += 1 + static_cast<bgp::Asn>(rng.below(2));
+      if (next16 >= 64000) {  // stay clear of private space
+        asn = next32;
+        next32 += 1 + static_cast<bgp::Asn>(rng.below(3));
+      }
+    }
+    const NodeId node = out.graph.add_as(asn);
+    (void)node;
+    out.registry.allocate_asn(asn);
+  }
+  out.tier = std::move(tiers);
+
+  // --- Address blocks ------------------------------------------------------
+  // Sequential carve-out of the unicast space; transits get shorter (larger)
+  // blocks. Gaps between blocks stay unallocated for the sanitizer to catch.
+  std::uint32_t next_block = 0x0B000000;  // start at 11.0.0.0
+  std::uint32_t next_v6_site = 1;
+  out.prefixes.resize(n);
+  for (NodeId node = 0; node < n; ++node) {
+    const Tier tier = out.tier[node];
+    const std::uint8_t len = tier == Tier::kTier1          ? 14
+                             : tier == Tier::kLargeTransit ? 16
+                             : tier == Tier::kSmallTransit ? 19
+                                                           : 22;
+    const std::uint32_t span = 1u << (32 - len);
+    const auto block = bgp::Prefix::ipv4(next_block, len);
+    out.registry.allocate_prefix(block);
+    out.prefixes[node].push_back(block);
+    // Skip the block plus an unallocated guard gap.
+    next_block += span + (rng.chance(0.25) ? span : 0);
+
+    // Transit networks are dual-stacked: each also originates an IPv6 /32
+    // (carved sequentially from a 2a00::/12-style provider space).
+    if (tier != Tier::kLeaf) {
+      std::array<std::uint8_t, 16> v6{};
+      v6[0] = 0x2A;
+      v6[1] = static_cast<std::uint8_t>(next_v6_site >> 16);
+      v6[2] = static_cast<std::uint8_t>(next_v6_site >> 8);
+      v6[3] = static_cast<std::uint8_t>(next_v6_site);
+      ++next_v6_site;
+      const auto v6_block = bgp::Prefix::ipv6(v6, 32);
+      out.registry.allocate_prefix(v6_block);
+      out.prefixes[node].push_back(v6_block);
+    }
+  }
+
+  // --- Tier-1 clique --------------------------------------------------------
+  out.tier1.reserve(n_t1);
+  for (NodeId a = 0; a < n_t1; ++a) {
+    out.tier1.push_back(a);
+    for (NodeId b = a + 1; b < n_t1; ++b) out.graph.add_p2p(a, b);
+  }
+
+  // Pools for provider selection, front-biased toward bigger networks.
+  std::vector<NodeId> t1_pool = out.tier1;
+  std::vector<NodeId> large_pool, small_pool;
+  for (NodeId node = n_t1; node < n; ++node) {
+    if (out.tier[node] == Tier::kLargeTransit) large_pool.push_back(node);
+    if (out.tier[node] == Tier::kSmallTransit) small_pool.push_back(node);
+  }
+
+  // --- Provider edges -------------------------------------------------------
+  for (NodeId node = n_t1; node < n; ++node) {
+    switch (out.tier[node]) {
+      case Tier::kLargeTransit: {
+        const auto count = 1 + rng.geometric(0.55, 2);
+        for (const NodeId p : pick_biased(t1_pool, count, rng)) out.graph.add_c2p(node, p);
+        break;
+      }
+      case Tier::kSmallTransit: {
+        const auto count = 1 + rng.geometric(0.5, 2);
+        // Mostly large transits, sometimes direct tier-1.
+        for (std::uint32_t k = 0; k < count; ++k) {
+          const auto& pool = (rng.chance(0.2) || large_pool.empty()) ? t1_pool : large_pool;
+          const auto picks = pick_biased(pool, 1, rng);
+          if (!picks.empty()) out.graph.add_c2p(node, picks[0]);
+        }
+        break;
+      }
+      case Tier::kLeaf: {
+        const auto count = 1 + rng.geometric(0.35, 2);
+        for (std::uint32_t k = 0; k < count; ++k) {
+          const double u = rng.uniform();
+          const auto& pool = (u < 0.70 && !small_pool.empty())   ? small_pool
+                             : (u < 0.94 && !large_pool.empty()) ? large_pool
+                                                                 : t1_pool;
+          const auto picks = pick_biased(pool, 1, rng);
+          if (!picks.empty()) out.graph.add_c2p(node, picks[0]);
+        }
+        break;
+      }
+      case Tier::kTier1:
+        break;
+    }
+  }
+
+  // --- Peering ---------------------------------------------------------------
+  // Large transits peer densely with each other (settlement-free backbone).
+  for (std::size_t i = 0; i < large_pool.size(); ++i) {
+    for (std::size_t j = i + 1; j < large_pool.size(); ++j) {
+      if (rng.chance(0.18)) out.graph.add_p2p(large_pool[i], large_pool[j]);
+    }
+  }
+  // IXP meshes: members sampled from small transits plus some leaves.
+  for (std::uint32_t ixp = 0; ixp < params.ixp_count; ++ixp) {
+    std::vector<NodeId> members;
+    const std::size_t member_count = 8 + rng.below(24);
+    for (std::size_t k = 0; k < member_count; ++k) {
+      if (!small_pool.empty() && rng.chance(0.75)) {
+        members.push_back(small_pool[rng.below(small_pool.size())]);
+      } else {
+        members.push_back(static_cast<NodeId>(n_t1 + rng.below(n - n_t1)));
+      }
+    }
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (rng.chance(params.ixp_mesh_prob)) out.graph.add_p2p(members[i], members[j]);
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace bgpcu::topology

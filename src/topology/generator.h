@@ -1,0 +1,55 @@
+// Synthetic Internet generator: a hierarchical AS topology with a tier-1
+// clique, two transit tiers, a leaf majority (~83%, matching the paper's
+// ~60k of 73k), IXP-style peering meshes, 16-/32-bit ASN population and
+// per-AS IPv4 address blocks registered in an AllocationRegistry.
+#ifndef BGPCU_TOPOLOGY_GENERATOR_H
+#define BGPCU_TOPOLOGY_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "registry/registry.h"
+#include "topology/graph.h"
+
+namespace bgpcu::topology {
+
+/// Coarse size tier of an AS; drives provider selection, peering and the
+/// wild-scenario role probabilities.
+enum class Tier : std::uint8_t {
+  kTier1 = 0,         ///< Clique core, no providers.
+  kLargeTransit = 1,  ///< Regional/continental transit.
+  kSmallTransit = 2,  ///< Local transit / access aggregators.
+  kLeaf = 3,          ///< Stub: originates only.
+};
+
+/// Generator knobs. Defaults yield paper-like proportions at any scale.
+struct GeneratorParams {
+  std::uint32_t num_ases = 10000;
+  std::uint32_t num_tier1 = 12;
+  double large_transit_share = 0.025;  ///< Fraction of ASes in tier 1.5.
+  double small_transit_share = 0.145;  ///< Together with tier-1: ~17% transit.
+  double frac_32bit_asn = 0.43;        ///< Paper: ~31k of 73k ASes are 32-bit.
+  std::uint32_t ixp_count = 6;         ///< Peering meshes.
+  double ixp_mesh_prob = 0.25;         ///< Pairwise peering prob within an IXP.
+  std::uint64_t seed = 1;
+};
+
+/// Generator output: the graph plus per-node metadata and the registry
+/// pre-loaded with every allocated ASN and address block.
+struct GeneratedTopology {
+  AsGraph graph;
+  std::vector<Tier> tier;                          ///< Indexed by NodeId.
+  std::vector<std::vector<bgp::Prefix>> prefixes;  ///< Originated blocks per node.
+  registry::AllocationRegistry registry;
+  std::vector<NodeId> tier1;
+
+  [[nodiscard]] Tier tier_of(NodeId node) const { return tier.at(node); }
+};
+
+/// Generates a topology. Deterministic for a given `params` (including seed).
+[[nodiscard]] GeneratedTopology generate(const GeneratorParams& params);
+
+}  // namespace bgpcu::topology
+
+#endif  // BGPCU_TOPOLOGY_GENERATOR_H

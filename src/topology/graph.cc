@@ -1,0 +1,51 @@
+#include "topology/graph.h"
+
+#include <stdexcept>
+
+namespace bgpcu::topology {
+
+NodeId AsGraph::add_as(bgp::Asn asn) {
+  const auto node = static_cast<NodeId>(asns_.size());
+  if (!by_asn_.emplace(asn, node).second) {
+    throw std::invalid_argument("duplicate ASN " + std::to_string(asn));
+  }
+  asns_.push_back(asn);
+  providers_.emplace_back();
+  customers_.emplace_back();
+  peers_.emplace_back();
+  return node;
+}
+
+void AsGraph::add_c2p(NodeId customer, NodeId provider) {
+  if (customer == provider) throw std::invalid_argument("self edge");
+  if (rel_.contains(edge_key(customer, provider))) return;  // keep first relationship
+  providers_.at(customer).push_back(provider);
+  customers_.at(provider).push_back(customer);
+  rel_.emplace(edge_key(customer, provider), Relationship::kProvider);
+  rel_.emplace(edge_key(provider, customer), Relationship::kCustomer);
+  ++edges_;
+}
+
+void AsGraph::add_p2p(NodeId a, NodeId b) {
+  if (a == b) throw std::invalid_argument("self edge");
+  if (rel_.contains(edge_key(a, b))) return;
+  peers_.at(a).push_back(b);
+  peers_.at(b).push_back(a);
+  rel_.emplace(edge_key(a, b), Relationship::kPeer);
+  rel_.emplace(edge_key(b, a), Relationship::kPeer);
+  ++edges_;
+}
+
+std::optional<NodeId> AsGraph::node_of(bgp::Asn asn) const {
+  const auto it = by_asn_.find(asn);
+  if (it == by_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Relationship> AsGraph::relationship(NodeId a, NodeId b) const {
+  const auto it = rel_.find(edge_key(a, b));
+  if (it == rel_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bgpcu::topology

@@ -1,0 +1,86 @@
+// AS-level topology with Gao-Rexford business relationships: directed
+// customer→provider edges and undirected peer-peer edges (§3.1). This is the
+// substrate the collector simulation and the ground-truth scenarios run on;
+// it stands in for the real Internet + CAIDA's relationship inferences.
+#ifndef BGPCU_TOPOLOGY_GRAPH_H
+#define BGPCU_TOPOLOGY_GRAPH_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/asn.h"
+
+namespace bgpcu::topology {
+
+/// Dense node handle (index into the graph's arrays).
+using NodeId = std::uint32_t;
+
+/// Relationship of neighbor B from A's point of view.
+enum class Relationship : std::uint8_t {
+  kProvider,  ///< B is A's provider (A pays B).
+  kCustomer,  ///< B is A's customer.
+  kPeer,      ///< Settlement-free peer.
+};
+
+/// AS-level graph. Nodes are added once per ASN; edges are typed. Adjacency
+/// is exposed as per-kind neighbor lists, which is the access pattern of the
+/// valley-free route computation.
+class AsGraph {
+ public:
+  /// Adds an AS and returns its node id. Throws std::invalid_argument on a
+  /// duplicate ASN.
+  NodeId add_as(bgp::Asn asn);
+
+  /// Adds a customer→provider edge.
+  void add_c2p(NodeId customer, NodeId provider);
+
+  /// Adds a peer-peer edge.
+  void add_p2p(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return asns_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+
+  [[nodiscard]] bgp::Asn asn_of(NodeId node) const { return asns_.at(node); }
+  [[nodiscard]] std::optional<NodeId> node_of(bgp::Asn asn) const;
+
+  [[nodiscard]] const std::vector<NodeId>& providers(NodeId node) const {
+    return providers_.at(node);
+  }
+  [[nodiscard]] const std::vector<NodeId>& customers(NodeId node) const {
+    return customers_.at(node);
+  }
+  [[nodiscard]] const std::vector<NodeId>& peers(NodeId node) const { return peers_.at(node); }
+
+  /// A leaf (stub) AS has no customers: it originates but never transits.
+  [[nodiscard]] bool is_leaf(NodeId node) const { return customers_.at(node).empty(); }
+
+  /// Relationship of `b` from `a`'s point of view, if adjacent.
+  [[nodiscard]] std::optional<Relationship> relationship(NodeId a, NodeId b) const;
+
+  /// Degree (number of neighbors of any kind).
+  [[nodiscard]] std::size_t degree(NodeId node) const {
+    return providers_.at(node).size() + customers_.at(node).size() + peers_.at(node).size();
+  }
+
+  /// All ASNs in node order.
+  [[nodiscard]] const std::vector<bgp::Asn>& asns() const noexcept { return asns_; }
+
+ private:
+  [[nodiscard]] static std::uint64_t edge_key(NodeId a, NodeId b) noexcept {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::vector<bgp::Asn> asns_;
+  std::unordered_map<bgp::Asn, NodeId> by_asn_;
+  std::vector<std::vector<NodeId>> providers_;
+  std::vector<std::vector<NodeId>> customers_;
+  std::vector<std::vector<NodeId>> peers_;
+  std::unordered_map<std::uint64_t, Relationship> rel_;  ///< (a,b) -> rel of b w.r.t. a
+  std::size_t edges_ = 0;
+};
+
+}  // namespace bgpcu::topology
+
+#endif  // BGPCU_TOPOLOGY_GRAPH_H

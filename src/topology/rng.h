@@ -1,0 +1,60 @@
+// Small deterministic PRNG (SplitMix64) with the handful of draw helpers the
+// generators need. Used instead of <random> distributions so that generated
+// topologies and scenarios are reproducible byte-for-byte across standard
+// library implementations.
+#ifndef BGPCU_TOPOLOGY_RNG_H
+#define BGPCU_TOPOLOGY_RNG_H
+
+#include <cstdint>
+
+namespace bgpcu::topology {
+
+/// SplitMix64: tiny, fast, well-distributed; sufficient for workload
+/// synthesis (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Geometric-ish small count: number of successes of repeated `p` trials,
+  /// capped at `max`. Used for multihoming degree draws.
+  std::uint32_t geometric(double p, std::uint32_t max) noexcept {
+    std::uint32_t n = 0;
+    while (n < max && chance(p)) ++n;
+    return n;
+  }
+
+  /// Derives an independent stream (for per-subsystem determinism).
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept {
+    return Rng(next() ^ (salt * 0xD1B54A32D192ED03ull));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bgpcu::topology
+
+#endif  // BGPCU_TOPOLOGY_RNG_H

@@ -1,0 +1,120 @@
+#include "topology/routing.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bgpcu::topology {
+
+namespace {
+constexpr std::uint16_t kInf = std::numeric_limits<std::uint16_t>::max();
+}
+
+RouteComputer::RouteComputer(const AsGraph& graph)
+    : graph_(graph),
+      cls_(graph.node_count(), RouteClass::kNone),
+      dist_(graph.node_count(), kInf),
+      parent_(graph.node_count(), 0) {}
+
+void RouteComputer::compute(NodeId origin) {
+  std::fill(cls_.begin(), cls_.end(), RouteClass::kNone);
+  std::fill(dist_.begin(), dist_.end(), kInf);
+
+  cls_[origin] = RouteClass::kSelf;
+  dist_[origin] = 0;
+  parent_[origin] = origin;
+
+  // Stage A — customer routes propagate up the provider hierarchy, layered
+  // BFS. Ties at equal distance resolve to the lowest-ASN exporting
+  // neighbor; candidates for layer d+1 are gathered from the entire layer d
+  // before assignment, so tuple/edge order cannot influence the result.
+  std::vector<NodeId> frontier{origin};
+  std::vector<NodeId> cand;  // candidate nodes of the next layer
+  while (!frontier.empty()) {
+    cand.clear();
+    for (const NodeId u : frontier) {
+      for (const NodeId p : graph_.providers(u)) {
+        if (cls_[p] == RouteClass::kNone) {
+          cls_[p] = RouteClass::kCustomer;
+          dist_[p] = static_cast<std::uint16_t>(dist_[u] + 1);
+          parent_[p] = u;
+          cand.push_back(p);
+        } else if (cls_[p] == RouteClass::kCustomer &&
+                   dist_[p] == static_cast<std::uint16_t>(dist_[u] + 1) &&
+                   graph_.asn_of(u) < graph_.asn_of(parent_[p])) {
+          parent_[p] = u;  // deterministic tie-break within the layer
+        }
+      }
+    }
+    frontier.swap(cand);
+  }
+
+  // Stage B — peer routes: every node holding a self/customer route exports
+  // to its peers; peers without a customer route take the best offer.
+  struct PeerOffer {
+    NodeId node;
+    std::uint16_t dist;
+    NodeId parent;
+  };
+  std::vector<PeerOffer> offers;
+  for (NodeId u = 0; u < graph_.node_count(); ++u) {
+    if (cls_[u] != RouteClass::kSelf && cls_[u] != RouteClass::kCustomer) continue;
+    for (const NodeId v : graph_.peers(u)) {
+      if (cls_[v] == RouteClass::kSelf || cls_[v] == RouteClass::kCustomer) continue;
+      offers.push_back({v, static_cast<std::uint16_t>(dist_[u] + 1), u});
+    }
+  }
+  for (const auto& offer : offers) {
+    if (cls_[offer.node] == RouteClass::kNone || offer.dist < dist_[offer.node] ||
+        (offer.dist == dist_[offer.node] &&
+         graph_.asn_of(offer.parent) < graph_.asn_of(parent_[offer.node]))) {
+      cls_[offer.node] = RouteClass::kPeer;
+      dist_[offer.node] = offer.dist;
+      parent_[offer.node] = offer.parent;
+    }
+  }
+
+  // Stage C — provider routes cascade down to customers, processed in
+  // distance order (bucket BFS with multi-distance sources) so each node is
+  // final before it exports.
+  const std::size_t n = graph_.node_count();
+  std::vector<std::vector<NodeId>> buckets;
+  const auto push_bucket = [&buckets](std::uint16_t d, NodeId node) {
+    if (buckets.size() <= d) buckets.resize(static_cast<std::size_t>(d) + 1);
+    buckets[d].push_back(node);
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    if (cls_[u] != RouteClass::kNone) push_bucket(dist_[u], u);
+  }
+  for (std::uint16_t d = 0; d < buckets.size(); ++d) {
+    for (std::size_t i = 0; i < buckets[d].size(); ++i) {
+      const NodeId u = buckets[d][i];
+      if (dist_[u] != d) continue;  // stale entry (improved meanwhile)
+      for (const NodeId v : graph_.customers(u)) {
+        const auto nd = static_cast<std::uint16_t>(d + 1);
+        if (cls_[v] == RouteClass::kNone ||
+            (cls_[v] == RouteClass::kProvider &&
+             (nd < dist_[v] || (nd == dist_[v] && graph_.asn_of(u) < graph_.asn_of(parent_[v]))))) {
+          const bool fresh = cls_[v] == RouteClass::kNone || nd < dist_[v];
+          cls_[v] = RouteClass::kProvider;
+          dist_[v] = nd;
+          parent_[v] = u;
+          if (fresh) push_bucket(nd, v);
+        }
+      }
+    }
+  }
+}
+
+std::vector<NodeId> RouteComputer::path_from(NodeId node) const {
+  std::vector<NodeId> path;
+  if (cls_[node] == RouteClass::kNone) return path;
+  NodeId cur = node;
+  path.push_back(cur);
+  while (cls_[cur] != RouteClass::kSelf && path.size() <= graph_.node_count()) {
+    cur = parent_[cur];
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace bgpcu::topology

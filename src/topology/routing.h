@@ -1,0 +1,58 @@
+// Valley-free route computation (Gao-Rexford model): for a given origin,
+// computes each AS's best route under the standard export policy —
+//   * routes learned from customers are exported to everyone,
+//   * routes learned from peers/providers are exported to customers only —
+// and the standard preference order customer > peer > provider, then
+// shortest AS path, then lowest-ASN neighbor for determinism. This yields
+// the AS path each (simulated) collector peer announces to its collector.
+#ifndef BGPCU_TOPOLOGY_ROUTING_H
+#define BGPCU_TOPOLOGY_ROUTING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace bgpcu::topology {
+
+/// Route preference class, in preference order.
+enum class RouteClass : std::uint8_t {
+  kSelf = 0,      ///< The origin itself.
+  kCustomer = 1,  ///< Learned from a customer.
+  kPeer = 2,      ///< Learned from a peer.
+  kProvider = 3,  ///< Learned from a provider.
+  kNone = 255,
+};
+
+/// Computes best routes from every AS toward one origin at a time. Buffers
+/// are reused across `compute` calls; one instance per thread.
+class RouteComputer {
+ public:
+  explicit RouteComputer(const AsGraph& graph);
+
+  /// Computes routes toward `origin` for all nodes, replacing prior state.
+  void compute(NodeId origin);
+
+  /// True if `node` has any route to the current origin.
+  [[nodiscard]] bool has_route(NodeId node) const {
+    return cls_[node] != RouteClass::kNone;
+  }
+
+  [[nodiscard]] RouteClass route_class(NodeId node) const { return cls_[node]; }
+
+  /// AS-level hops to the origin (0 for the origin itself).
+  [[nodiscard]] std::uint16_t distance(NodeId node) const { return dist_[node]; }
+
+  /// The best path `node .. origin` (inclusive). Empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> path_from(NodeId node) const;
+
+ private:
+  const AsGraph& graph_;
+  std::vector<RouteClass> cls_;
+  std::vector<std::uint16_t> dist_;
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace bgpcu::topology
+
+#endif  // BGPCU_TOPOLOGY_ROUTING_H

@@ -1,0 +1,98 @@
+#include "bgp/community.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/asn.h"
+
+namespace bgpcu::bgp {
+namespace {
+
+TEST(Community, RegularPackUnpack) {
+  const auto c = CommunityValue::regular(64500, 666);
+  EXPECT_EQ(c.packed_regular(), (64500u << 16) | 666u);
+  EXPECT_EQ(CommunityValue::from_packed_regular(c.packed_regular()), c);
+}
+
+TEST(Community, ParseRegular) {
+  const auto c = CommunityValue::parse("3356:123");
+  EXPECT_EQ(c.kind, CommunityKind::kRegular);
+  EXPECT_EQ(c.upper, 3356u);
+  EXPECT_EQ(c.low1, 123u);
+  EXPECT_EQ(c.to_string(), "3356:123");
+}
+
+TEST(Community, ParseLarge) {
+  const auto c = CommunityValue::parse("4200000001:7:9");
+  EXPECT_EQ(c.kind, CommunityKind::kLarge);
+  EXPECT_EQ(c.upper, 4200000001u);
+  EXPECT_EQ(c.low1, 7u);
+  EXPECT_EQ(c.low2, 9u);
+  EXPECT_EQ(c.to_string(), "4200000001:7:9");
+}
+
+TEST(Community, ParseErrors) {
+  EXPECT_THROW(CommunityValue::parse("3356"), WireError);
+  EXPECT_THROW(CommunityValue::parse("65536:1"), WireError);  // regular admin > 16 bit
+  EXPECT_THROW(CommunityValue::parse("1:65536"), WireError);  // regular value > 16 bit
+  EXPECT_THROW(CommunityValue::parse("a:b"), WireError);
+  EXPECT_THROW(CommunityValue::parse(":1"), WireError);
+  EXPECT_THROW(CommunityValue::parse("4294967296:1:1"), WireError);  // large admin > 32 bit
+}
+
+TEST(Community, WellKnownDetection) {
+  EXPECT_TRUE(CommunityValue::from_packed_regular(kNoExport).is_well_known());
+  EXPECT_TRUE(CommunityValue::from_packed_regular(kNoAdvertise).is_well_known());
+  EXPECT_FALSE(CommunityValue::regular(3356, 1).is_well_known());
+}
+
+TEST(Community, NormalizeSortsAndDeduplicates) {
+  CommunitySet set = {
+      CommunityValue::regular(20, 2),
+      CommunityValue::regular(10, 1),
+      CommunityValue::regular(20, 2),
+      CommunityValue::large(10, 1, 1),
+  };
+  normalize(set);
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+}
+
+TEST(Community, ContainsUpperChecksAdministratorOnly) {
+  const CommunitySet set = {CommunityValue::regular(10, 1), CommunityValue::large(4200000, 5, 5)};
+  EXPECT_TRUE(contains_upper(set, 10));
+  EXPECT_TRUE(contains_upper(set, 4200000));
+  EXPECT_FALSE(contains_upper(set, 1));
+  EXPECT_FALSE(contains_upper(set, 5));
+}
+
+TEST(Community, RegularAndLargeWithSameAdminAreDistinctValues) {
+  const auto r = CommunityValue::regular(100, 1);
+  const auto l = CommunityValue::large(100, 1, 0);
+  EXPECT_NE(r, l);
+  EXPECT_NE(std::hash<CommunityValue>{}(r), std::hash<CommunityValue>{}(l));
+}
+
+TEST(Asn, WidthPredicates) {
+  EXPECT_TRUE(is_16bit_asn(65535));
+  EXPECT_FALSE(is_16bit_asn(65536));
+  EXPECT_TRUE(is_32bit_asn(4200000000u));
+}
+
+TEST(Asn, SpecialPurposeRanges) {
+  EXPECT_TRUE(is_private_asn(64512));
+  EXPECT_TRUE(is_private_asn(65534));
+  EXPECT_FALSE(is_private_asn(65535));  // reserved, not private
+  EXPECT_TRUE(is_reserved_asn(65535));
+  EXPECT_TRUE(is_private_asn(4200000000u));
+  EXPECT_TRUE(is_private_asn(4294967294u));
+  EXPECT_TRUE(is_reserved_asn(4294967295u));
+  EXPECT_TRUE(is_reserved_asn(0));
+  EXPECT_TRUE(is_reserved_asn(kAsTrans));
+  EXPECT_TRUE(is_documentation_asn(64496));
+  EXPECT_TRUE(is_documentation_asn(65551));
+  EXPECT_FALSE(is_special_purpose_asn(3356));
+  EXPECT_TRUE(is_special_purpose_asn(64512));
+}
+
+}  // namespace
+}  // namespace bgpcu::bgp

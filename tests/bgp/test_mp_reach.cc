@@ -1,0 +1,107 @@
+// RFC 4760 multiprotocol attribute tests (IPv6 announcements/withdrawals).
+#include <gtest/gtest.h>
+
+#include "bgp/message.h"
+#include "bgp/path_attribute.h"
+
+namespace bgpcu::bgp {
+namespace {
+
+PathAttributes round_trip(const PathAttributes& attrs) {
+  ByteWriter w;
+  attrs.encode(w, true);
+  return PathAttributes::decode(ByteReader(w.buffer()), true);
+}
+
+MpReach sample_reach() {
+  MpReach mp;
+  mp.afi = Afi::kIpv6;
+  mp.next_hop.assign(16, 0);
+  mp.next_hop[0] = 0x2A;
+  mp.nlri = {Prefix::parse("2a00:1:2::/48"), Prefix::parse("2a00:3::/32")};
+  return mp;
+}
+
+TEST(MpReach, RoundTrip) {
+  PathAttributes attrs;
+  attrs.as_path = AsPath::from_sequence({10, 20});
+  attrs.mp_reach = sample_reach();
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(MpReach, Ipv4AfiRoundTrip) {
+  PathAttributes attrs;
+  MpReach mp;
+  mp.afi = Afi::kIpv4;
+  mp.next_hop = {192, 0, 2, 1};
+  mp.nlri = {Prefix::parse("203.0.113.0/24")};
+  attrs.mp_reach = mp;
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(MpUnreach, RoundTrip) {
+  PathAttributes attrs;
+  MpUnreach mp;
+  mp.afi = Afi::kIpv6;
+  mp.withdrawn = {Prefix::parse("2a00:1::/32")};
+  attrs.mp_unreach = mp;
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(MpReach, CoexistsWithClassicAttributes) {
+  PathAttributes attrs;
+  attrs.origin = Origin::kIgp;
+  attrs.as_path = AsPath::from_sequence({10});
+  attrs.next_hop = 0xC0000201;
+  attrs.communities = {CommunityValue::regular(10, 1)};
+  attrs.mp_reach = sample_reach();
+  EXPECT_EQ(round_trip(attrs), attrs);
+}
+
+TEST(MpReach, BadAfiRejected) {
+  ByteWriter w;
+  w.u8(0x80);
+  w.u8(14);  // MP_REACH_NLRI
+  w.u8(4);
+  w.u16(9);  // bogus AFI
+  w.u8(1);
+  w.u8(0);
+  EXPECT_THROW((void)PathAttributes::decode(ByteReader(w.buffer()), true), WireError);
+}
+
+TEST(MpReach, UnsupportedSafiRejected) {
+  ByteWriter w;
+  w.u8(0x80);
+  w.u8(14);
+  w.u8(4);
+  w.u16(2);
+  w.u8(128);  // MPLS VPN SAFI: unsupported
+  w.u8(0);
+  EXPECT_THROW((void)PathAttributes::decode(ByteReader(w.buffer()), true), WireError);
+}
+
+TEST(MpReach, TruncatedNextHopRejected) {
+  ByteWriter w;
+  w.u8(0x80);
+  w.u8(14);
+  w.u8(5);
+  w.u16(2);
+  w.u8(1);
+  w.u8(16);  // claims 16 next-hop bytes, provides one
+  w.u8(0);
+  EXPECT_THROW((void)PathAttributes::decode(ByteReader(w.buffer()), true), WireError);
+}
+
+TEST(MpReach, RidesInsideUpdateMessage) {
+  UpdateMessage update;
+  update.attributes.as_path = AsPath::from_sequence({10, 20});
+  update.attributes.mp_reach = sample_reach();
+  const auto wire = update.encode(true);
+  const auto decoded = UpdateMessage::decode(wire, true);
+  ASSERT_TRUE(decoded.attributes.mp_reach.has_value());
+  EXPECT_EQ(decoded.attributes.mp_reach->nlri, sample_reach().nlri);
+  EXPECT_TRUE(decoded.nlri.empty()) << "v6 routes do not appear as classic NLRI";
+}
+
+}  // namespace
+}  // namespace bgpcu::bgp

@@ -1,0 +1,104 @@
+#include "bgp/prefix.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::bgp {
+namespace {
+
+TEST(Prefix, ParseAndFormatIpv4) {
+  const auto p = Prefix::parse("192.0.2.0/24");
+  EXPECT_EQ(p.afi(), Afi::kIpv4);
+  EXPECT_EQ(p.length(), 24);
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(p.ipv4_addr(), 0xC0000200u);
+}
+
+TEST(Prefix, NormalizationClearsHostBits) {
+  const auto p = Prefix::ipv4(0xC0000207u, 24);  // 192.0.2.7/24
+  EXPECT_EQ(p.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(p, Prefix::parse("192.0.2.0/24"));
+}
+
+TEST(Prefix, PartialOctetMasking) {
+  const auto p = Prefix::ipv4(0xC00002FFu, 28);  // low 4 bits cleared
+  EXPECT_EQ(p.ipv4_addr(), 0xC00002F0u);
+}
+
+TEST(Prefix, ContainsHierarchy) {
+  const auto block = Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(block.contains(Prefix::parse("10.1.0.0/16")));
+  EXPECT_TRUE(block.contains(block));
+  EXPECT_FALSE(block.contains(Prefix::parse("11.0.0.0/16")));
+  EXPECT_FALSE(Prefix::parse("10.1.0.0/16").contains(block)) << "less specific not contained";
+}
+
+TEST(Prefix, ContainsRespectsAfi) {
+  const auto v4 = Prefix::parse("10.0.0.0/8");
+  const auto v6 = Prefix::parse("2001:db8::/32");
+  EXPECT_FALSE(v4.contains(v6));
+  EXPECT_FALSE(v6.contains(v4));
+}
+
+TEST(Prefix, ParseIpv6Compressed) {
+  const auto p = Prefix::parse("2001:db8::/32");
+  EXPECT_EQ(p.afi(), Afi::kIpv6);
+  EXPECT_EQ(p.length(), 32);
+  EXPECT_EQ(p.bytes()[0], 0x20);
+  EXPECT_EQ(p.bytes()[1], 0x01);
+  EXPECT_EQ(p.bytes()[2], 0x0d);
+  EXPECT_EQ(p.bytes()[3], 0xb8);
+}
+
+TEST(Prefix, ParseIpv6Full) {
+  const auto p = Prefix::parse("2001:db8:0:0:0:0:0:1/128");
+  EXPECT_EQ(p.length(), 128);
+  EXPECT_EQ(p.bytes()[15], 0x01);
+}
+
+TEST(Prefix, ParseErrors) {
+  EXPECT_THROW(Prefix::parse("10.0.0.0"), WireError);        // no length
+  EXPECT_THROW(Prefix::parse("10.0.0/8"), WireError);        // short quad
+  EXPECT_THROW(Prefix::parse("10.0.0.256/8"), WireError);    // octet range
+  EXPECT_THROW(Prefix::parse("10.0.0.0/33"), WireError);     // length range
+  EXPECT_THROW(Prefix::parse("2001:db8::/129"), WireError);  // v6 length range
+  EXPECT_THROW(Prefix::parse("g::/32"), WireError);          // bad hex
+}
+
+TEST(Prefix, NlriRoundTripUsesMinimalOctets) {
+  const auto p = Prefix::parse("203.0.113.0/25");
+  ByteWriter w;
+  p.encode_nlri(w);
+  EXPECT_EQ(w.size(), 1u + 4u);  // 25 bits -> 4 octets
+  ByteReader r(w.buffer());
+  EXPECT_EQ(Prefix::decode_nlri(r, Afi::kIpv4), p);
+
+  const auto slash8 = Prefix::parse("10.0.0.0/8");
+  ByteWriter w8;
+  slash8.encode_nlri(w8);
+  EXPECT_EQ(w8.size(), 2u);  // 1 length + 1 address octet
+}
+
+TEST(Prefix, NlriDefaultRoute) {
+  const auto p = Prefix::ipv4(0, 0);
+  ByteWriter w;
+  p.encode_nlri(w);
+  EXPECT_EQ(w.size(), 1u);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(Prefix::decode_nlri(r, Afi::kIpv4), p);
+}
+
+TEST(Prefix, NlriRejectsOversizedLength) {
+  const std::uint8_t bogus[] = {33, 0x0A, 0x00, 0x00, 0x00, 0x00};
+  ByteReader r(bogus);
+  EXPECT_THROW((void)Prefix::decode_nlri(r, Afi::kIpv4), WireError);
+}
+
+TEST(Prefix, OrderingAndHash) {
+  const auto a = Prefix::parse("10.0.0.0/8");
+  const auto b = Prefix::parse("10.0.0.0/9");
+  EXPECT_NE(a, b);
+  EXPECT_NE(std::hash<Prefix>{}(a), std::hash<Prefix>{}(b));
+}
+
+}  // namespace
+}  // namespace bgpcu::bgp

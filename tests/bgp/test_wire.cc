@@ -1,0 +1,90 @@
+#include "bgp/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::bgp {
+namespace {
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090A0B0C0D0E0Full);
+  const auto& buf = w.buffer();
+  ASSERT_EQ(buf.size(), 15u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(buf[6], 0x07);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(buf[14], 0x0F);
+}
+
+TEST(ByteReaderWriter, RoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0x12345678);
+  w.u64(0xFEDCBA9876543210ull);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0x12345678u);
+  EXPECT_EQ(r.u64(), 0xFEDCBA9876543210ull);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, UnderrunThrows) {
+  const std::uint8_t data[] = {1, 2};
+  ByteReader r(data);
+  EXPECT_THROW((void)r.u32(), WireError);
+  EXPECT_EQ(r.remaining(), 2u) << "failed read must not consume";
+  (void)r.u16();
+  EXPECT_THROW((void)r.u8(), WireError);
+}
+
+TEST(ByteReader, SubReaderIsBounded) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  ByteReader sub = r.sub(2);
+  EXPECT_EQ(sub.u8(), 1);
+  EXPECT_EQ(sub.u8(), 2);
+  EXPECT_THROW((void)sub.u8(), WireError);
+  EXPECT_EQ(r.u8(), 3) << "outer reader resumes after the sub-span";
+}
+
+TEST(ByteReader, SkipAndPosition) {
+  const std::uint8_t data[] = {1, 2, 3, 4};
+  ByteReader r(data);
+  r.skip(3);
+  EXPECT_EQ(r.position(), 3u);
+  EXPECT_THROW(r.skip(2), WireError);
+}
+
+TEST(ByteWriter, PlaceholderPatching) {
+  ByteWriter w;
+  const auto off16 = w.placeholder(2);
+  w.u8(0x42);
+  const auto off32 = w.placeholder(4);
+  w.patch_u16(off16, 0xBEEF);
+  w.patch_u32(off32, 0xCAFEBABE);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u8(), 0x42);
+  EXPECT_EQ(r.u32(), 0xCAFEBABEu);
+}
+
+TEST(ByteReader, BytesView) {
+  const std::uint8_t data[] = {9, 8, 7};
+  ByteReader r(data);
+  const auto view = r.bytes(2);
+  EXPECT_EQ(view[0], 9);
+  EXPECT_EQ(view[1], 8);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace bgpcu::bgp

@@ -1,0 +1,155 @@
+// §4.1 sanitation pipeline tests, step by step and end to end.
+#include "collector/sanitize.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::collector {
+namespace {
+
+registry::AllocationRegistry test_registry() {
+  registry::AllocationRegistry reg;
+  reg.allocate_asn_range(1, 10000);
+  reg.allocate_prefix(bgp::Prefix::parse("10.0.0.0/8"));
+  return reg;
+}
+
+RawEntry valid_entry() {
+  RawEntry e;
+  e.prefix = bgp::Prefix::parse("10.1.0.0/16");
+  e.session_peer_asn = 10;
+  e.as_path = bgp::AsPath::from_sequence({10, 20, 30});
+  e.comms = {bgp::CommunityValue::regular(20, 5)};
+  return e;
+}
+
+TEST(Sanitizer, CleanEntryPassesUnchanged) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  const auto out = s.process(valid_entry());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->path, (std::vector<bgp::Asn>{10, 20, 30}));
+  EXPECT_EQ(out->comms.size(), 1u);
+  EXPECT_EQ(s.stats().output, 1u);
+  EXPECT_EQ(s.stats().peer_prepended, 0u);
+}
+
+TEST(Sanitizer, DropsUnallocatedPrefix) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.prefix = bgp::Prefix::parse("240.0.0.0/24");
+  EXPECT_FALSE(s.process(e).has_value());
+  EXPECT_EQ(s.stats().dropped_unallocated_prefix, 1u);
+}
+
+TEST(Sanitizer, DropsUnallocatedAsn) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.as_path = bgp::AsPath::from_sequence({10, 50000, 30});  // 50000 not delegated
+  EXPECT_FALSE(s.process(e).has_value());
+  EXPECT_EQ(s.stats().dropped_unallocated_asn, 1u);
+}
+
+TEST(Sanitizer, DropsPrivateAsnInPath) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.as_path = bgp::AsPath::from_sequence({10, 64512, 30});
+  EXPECT_FALSE(s.process(e).has_value());
+  EXPECT_EQ(s.stats().dropped_unallocated_asn, 1u);
+}
+
+TEST(Sanitizer, RemovesAsSetSegmentsKeepsSequence) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.as_path = bgp::AsPath({{bgp::SegmentType::kAsSequence, {10, 20}},
+                           {bgp::SegmentType::kAsSet, {30, 40}}});
+  const auto out = s.process(e);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->path, (std::vector<bgp::Asn>{10, 20}));
+  EXPECT_EQ(s.stats().as_sets_removed, 1u);
+}
+
+TEST(Sanitizer, AsSetAsnsStillAllocationChecked) {
+  // Step 1 (allocation) runs before step 2 (AS_SET removal): bogus ASNs
+  // inside a set still drop the entry, as in the paper's ordering.
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.as_path = bgp::AsPath({{bgp::SegmentType::kAsSequence, {10, 20}},
+                           {bgp::SegmentType::kAsSet, {50000}}});
+  EXPECT_FALSE(s.process(e).has_value());
+}
+
+TEST(Sanitizer, PrependsPeerAsnForRouteServerSessions) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.session_peer_asn = 99;  // RS ASN, absent from path
+  const auto out = s.process(e);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->path.front(), 99u);
+  EXPECT_EQ(out->path.size(), 4u);
+  EXPECT_EQ(s.stats().peer_prepended, 1u);
+}
+
+TEST(Sanitizer, CollapsesPathPrepending) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.as_path = bgp::AsPath::from_sequence({10, 20, 20, 20, 30, 30});
+  const auto out = s.process(e);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->path, (std::vector<bgp::Asn>{10, 20, 30}));
+  EXPECT_EQ(s.stats().prepending_collapsed, 1u);
+}
+
+TEST(Sanitizer, DropsEmptyPath) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.as_path = bgp::AsPath({{bgp::SegmentType::kAsSet, {20, 30}}});  // set only
+  EXPECT_FALSE(s.process(e).has_value());
+  EXPECT_EQ(s.stats().dropped_empty_path, 1u);
+}
+
+TEST(Sanitizer, NormalizesCommunities) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  auto e = valid_entry();
+  e.comms = {bgp::CommunityValue::regular(20, 5), bgp::CommunityValue::regular(20, 5),
+             bgp::CommunityValue::regular(10, 1)};
+  const auto out = s.process(e);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->comms.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(out->comms.begin(), out->comms.end()));
+}
+
+TEST(Sanitizer, StatsAccumulateAcrossEntries) {
+  const auto reg = test_registry();
+  Sanitizer s(reg);
+  (void)s.process(valid_entry());
+  auto bad = valid_entry();
+  bad.prefix = bgp::Prefix::parse("240.0.0.0/24");
+  (void)s.process(bad);
+  EXPECT_EQ(s.stats().input, 2u);
+  EXPECT_EQ(s.stats().output, 1u);
+}
+
+TEST(SanitationStats, Accumulation) {
+  SanitationStats a, b;
+  a.input = 5;
+  a.output = 4;
+  b.input = 3;
+  b.output = 2;
+  b.peer_prepended = 1;
+  a += b;
+  EXPECT_EQ(a.input, 8u);
+  EXPECT_EQ(a.output, 6u);
+  EXPECT_EQ(a.peer_prepended, 1u);
+}
+
+}  // namespace
+}  // namespace bgpcu::collector

@@ -1,0 +1,114 @@
+#include "collector/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpcu::collector {
+namespace {
+
+topology::GeneratedTopology make_topo() {
+  topology::GeneratorParams params;
+  params.num_ases = 400;
+  params.num_tier1 = 5;
+  params.seed = 31;
+  return topology::generate(params);
+}
+
+TEST(ProjectSpec, FourProjectsWithPaperNames) {
+  auto topo = make_topo();
+  ProjectLayoutParams layout;
+  layout.total_peers = 60;
+  const auto projects = default_projects(topo, layout);
+  ASSERT_EQ(projects.size(), 4u);
+  EXPECT_EQ(projects[0].name, "RIPE");
+  EXPECT_EQ(projects[1].name, "RouteViews");
+  EXPECT_EQ(projects[2].name, "Isolario");
+  EXPECT_EQ(projects[3].name, "PCH");
+}
+
+TEST(ProjectSpec, PchIsUpdateOnly) {
+  auto topo = make_topo();
+  const auto projects = default_projects(topo, {});
+  EXPECT_TRUE(projects[0].emit_ribs);
+  EXPECT_FALSE(projects[3].emit_ribs) << "PCH RIBs lack communities (§4)";
+}
+
+TEST(ProjectSpec, PeerProportionsFollowThePaper) {
+  auto topo = make_topo();
+  ProjectLayoutParams layout;
+  layout.total_peers = 100;
+  const auto projects = default_projects(topo, layout);
+  const auto ripe = projects[0].distinct_peers().size();
+  const auto rv = projects[1].distinct_peers().size();
+  const auto iso = projects[2].distinct_peers().size();
+  const auto pch = projects[3].distinct_peers().size();
+  EXPECT_GT(ripe, rv);
+  EXPECT_GT(rv, iso);
+  EXPECT_GT(pch, ripe) << "PCH has the most peers (Table 1)";
+}
+
+TEST(ProjectSpec, PeersCanAppearInMultipleProjects) {
+  auto topo = make_topo();
+  ProjectLayoutParams layout;
+  layout.total_peers = 40;
+  const auto projects = default_projects(topo, layout);
+  const auto global = all_peers(projects);
+  std::size_t sum = 0;
+  for (const auto& p : projects) sum += p.distinct_peers().size();
+  EXPECT_LT(global.size(), sum) << "overlap expected across projects";
+}
+
+TEST(ProjectSpec, RouteServerSessionsGetAllocatedAsns) {
+  auto topo = make_topo();
+  ProjectLayoutParams layout;
+  layout.total_peers = 60;
+  layout.rs_session_share = 0.5;
+  const auto projects = default_projects(topo, layout);
+  std::size_t rs_sessions = 0;
+  for (const auto& project : projects) {
+    for (const auto& coll : project.collectors) {
+      for (const auto& session : coll.sessions) {
+        if (session.route_server) {
+          ++rs_sessions;
+          EXPECT_GE(session.rs_asn, 59000u);
+          EXPECT_TRUE(topo.registry.is_public_allocated(session.rs_asn))
+              << "RS ASN must survive the allocation filter";
+          EXPECT_FALSE(topo.graph.node_of(session.rs_asn).has_value())
+              << "RS ASN must not collide with a topology AS";
+        }
+      }
+    }
+  }
+  EXPECT_GT(rs_sessions, 0u);
+}
+
+TEST(ProjectSpec, SessionsDistributedAcrossCollectors) {
+  auto topo = make_topo();
+  ProjectLayoutParams layout;
+  layout.total_peers = 80;
+  const auto projects = default_projects(topo, layout);
+  for (const auto& project : projects) {
+    std::size_t with_sessions = 0;
+    for (const auto& coll : project.collectors) {
+      if (!coll.sessions.empty()) ++with_sessions;
+    }
+    EXPECT_GT(with_sessions, 1u) << project.name << " concentrates sessions on one collector";
+  }
+}
+
+TEST(ProjectSpec, Deterministic) {
+  auto topo1 = make_topo();
+  auto topo2 = make_topo();
+  ProjectLayoutParams layout;
+  layout.seed = 5;
+  const auto a = default_projects(topo1, layout);
+  const auto b = default_projects(topo2, layout);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].distinct_peers(), b[i].distinct_peers());
+  }
+}
+
+}  // namespace
+}  // namespace bgpcu::collector

@@ -1,0 +1,130 @@
+// Threshold classifier tests (§5.3 predicates, §5.5 get_class).
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::core {
+namespace {
+
+TEST(Classifier, NoneWhenNoEvidence) {
+  const UsageCounters k{};
+  EXPECT_EQ(classify_tagging(k, {}), TaggingClass::kNone);
+  EXPECT_EQ(classify_forwarding(k, {}), ForwardingClass::kNone);
+  EXPECT_EQ(classify(k, {}).code(), "nn");
+}
+
+TEST(Classifier, PureCountersClassifyAtDefaultThreshold) {
+  UsageCounters k;
+  k.t = 100;
+  EXPECT_EQ(classify_tagging(k, {}), TaggingClass::kTagger);
+  k = {};
+  k.s = 1;
+  EXPECT_EQ(classify_tagging(k, {}), TaggingClass::kSilent);
+  k = {};
+  k.f = 3;
+  EXPECT_EQ(classify_forwarding(k, {}), ForwardingClass::kForward);
+  k = {};
+  k.c = 7;
+  EXPECT_EQ(classify_forwarding(k, {}), ForwardingClass::kCleaner);
+}
+
+TEST(Classifier, The99PercentDefaultAllowsRareExceptions) {
+  UsageCounters k;
+  k.t = 199;
+  k.s = 1;  // 99.5% tagger share
+  EXPECT_EQ(classify_tagging(k, {}), TaggingClass::kTagger);
+  k.t = 98;
+  k.s = 2;  // 98% < 99% -> undecided
+  EXPECT_EQ(classify_tagging(k, {}), TaggingClass::kUndecided);
+}
+
+TEST(Classifier, MixedEvidenceIsUndecided) {
+  UsageCounters k;
+  k.t = 1;
+  k.s = 1;
+  EXPECT_EQ(classify_tagging(k, {}), TaggingClass::kUndecided);
+  k = {};
+  k.f = 5;
+  k.c = 5;
+  EXPECT_EQ(classify_forwarding(k, {}), ForwardingClass::kUndecided);
+}
+
+TEST(Classifier, LooseThresholdsCanDecideMixedEvidence) {
+  UsageCounters k;
+  k.t = 6;
+  k.s = 4;
+  const auto th = Thresholds::uniform(0.5);
+  EXPECT_EQ(classify_tagging(k, th), TaggingClass::kTagger);
+  k.t = 4;
+  k.s = 6;
+  EXPECT_EQ(classify_tagging(k, th), TaggingClass::kSilent);
+}
+
+TEST(Classifier, TaggerPrecedesSilentWhenBothSatisfied) {
+  // At threshold 0.5 with a perfect tie both predicates hold; get_tagging
+  // checks is_tagger first (§5.5 order).
+  UsageCounters k;
+  k.t = 5;
+  k.s = 5;
+  EXPECT_EQ(classify_tagging(k, Thresholds::uniform(0.5)), TaggingClass::kTagger);
+}
+
+TEST(Classifier, CodeStringsMatchPaperNotation) {
+  UsageCounters k;
+  k.t = 10;
+  k.f = 10;
+  EXPECT_EQ(classify(k, {}).code(), "tf");
+  k = {};
+  k.s = 10;
+  k.c = 10;
+  EXPECT_EQ(classify(k, {}).code(), "sc");
+  k = {};
+  k.t = 1;
+  k.s = 1;
+  EXPECT_EQ(classify(k, {}).code(), "un");
+}
+
+TEST(Classifier, FullRequiresBothDecided) {
+  UsageCounters k;
+  k.t = 10;
+  k.f = 10;
+  EXPECT_TRUE(classify(k, {}).full());
+  k.f = 0;
+  EXPECT_FALSE(classify(k, {}).full());
+  k.f = 1;
+  k.c = 1;
+  EXPECT_FALSE(classify(k, {}).full());  // forwarding undecided
+}
+
+TEST(Classifier, CharCodes) {
+  EXPECT_EQ(to_char(TaggingClass::kTagger), 't');
+  EXPECT_EQ(to_char(TaggingClass::kSilent), 's');
+  EXPECT_EQ(to_char(TaggingClass::kUndecided), 'u');
+  EXPECT_EQ(to_char(TaggingClass::kNone), 'n');
+  EXPECT_EQ(to_char(ForwardingClass::kForward), 'f');
+  EXPECT_EQ(to_char(ForwardingClass::kCleaner), 'c');
+}
+
+// Threshold boundary sweep: is_tagger must hold exactly when share >= th.
+class ThresholdBoundary : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThresholdBoundary, PredicateMatchesShareComparison) {
+  const double th = GetParam() / 100.0;
+  const Thresholds thresholds = Thresholds::uniform(th);
+  for (std::uint64_t t = 0; t <= 20; ++t) {
+    for (std::uint64_t s = 0; s <= 20; ++s) {
+      if (t + s == 0) continue;
+      UsageCounters k;
+      k.t = t;
+      k.s = s;
+      const bool expected =
+          static_cast<double>(t) >= th * static_cast<double>(t + s);
+      EXPECT_EQ(is_tagger(k, thresholds), expected) << "t=" << t << " s=" << s << " th=" << th;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ThresholdBoundary, ::testing::Values(50, 66, 75, 90, 99, 100));
+
+}  // namespace
+}  // namespace bgpcu::core

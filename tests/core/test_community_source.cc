@@ -1,0 +1,94 @@
+// Community source-group tests (§3.2: peer / foreign / stray / private).
+#include "core/community_source.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::core {
+namespace {
+
+using bgp::CommunityValue;
+
+class CommunitySourceTest : public ::testing::Test {
+ protected:
+  CommunitySourceTest() {
+    reg_.allocate_asn_range(1, 1000);
+    tuple_.path = {10, 20, 30};
+  }
+  registry::AllocationRegistry reg_;
+  PathCommTuple tuple_;
+};
+
+TEST_F(CommunitySourceTest, PeerWhenUpperIsFirstHop) {
+  EXPECT_EQ(classify_source(tuple_, CommunityValue::regular(10, 1), reg_), SourceGroup::kPeer);
+}
+
+TEST_F(CommunitySourceTest, ForeignWhenUpperIsLaterHop) {
+  EXPECT_EQ(classify_source(tuple_, CommunityValue::regular(20, 1), reg_), SourceGroup::kForeign);
+  EXPECT_EQ(classify_source(tuple_, CommunityValue::regular(30, 1), reg_), SourceGroup::kForeign);
+}
+
+TEST_F(CommunitySourceTest, StrayWhenPublicButOffPath) {
+  EXPECT_EQ(classify_source(tuple_, CommunityValue::regular(999, 1), reg_), SourceGroup::kStray);
+}
+
+TEST_F(CommunitySourceTest, PrivateWhenSpecialPurposeUpper) {
+  EXPECT_EQ(classify_source(tuple_, CommunityValue::regular(64512, 666), reg_),
+            SourceGroup::kPrivate);
+  EXPECT_EQ(classify_source(tuple_, CommunityValue::regular(65535, 1), reg_),
+            SourceGroup::kPrivate);
+}
+
+TEST_F(CommunitySourceTest, PrivateWhenUnallocatedUpper) {
+  // 2000 is public-format but not delegated in this registry.
+  EXPECT_EQ(classify_source(tuple_, CommunityValue::regular(2000, 1), reg_),
+            SourceGroup::kPrivate);
+}
+
+TEST_F(CommunitySourceTest, LargeCommunityGroupedByUpperToo) {
+  EXPECT_EQ(classify_source(tuple_, CommunityValue::large(20, 1, 2), reg_),
+            SourceGroup::kForeign);
+}
+
+TEST_F(CommunitySourceTest, SameValueCanBePeerInOnePathForeignInAnother) {
+  // The paper notes a peer community in path p1 can be foreign in p2.
+  PathCommTuple other;
+  other.path = {20, 10};
+  const auto c = CommunityValue::regular(10, 1);
+  EXPECT_EQ(classify_source(tuple_, c, reg_), SourceGroup::kPeer);
+  EXPECT_EQ(classify_source(other, c, reg_), SourceGroup::kForeign);
+}
+
+TEST_F(CommunitySourceTest, CountSourcesTallies) {
+  tuple_.comms = {
+      CommunityValue::regular(10, 1),    // peer
+      CommunityValue::regular(30, 2),    // foreign
+      CommunityValue::regular(999, 3),   // stray
+      CommunityValue::regular(64513, 4), // private
+      CommunityValue::regular(10, 5),    // peer again
+  };
+  const auto counts = count_sources(tuple_, reg_);
+  EXPECT_EQ(counts.of(SourceGroup::kPeer), 2u);
+  EXPECT_EQ(counts.of(SourceGroup::kForeign), 1u);
+  EXPECT_EQ(counts.of(SourceGroup::kStray), 1u);
+  EXPECT_EQ(counts.of(SourceGroup::kPrivate), 1u);
+  EXPECT_EQ(counts.total(), 5u);
+}
+
+TEST_F(CommunitySourceTest, CountsAccumulate) {
+  SourceGroupCounts a, b;
+  a.counts = {1, 2, 3, 4};
+  b.counts = {10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.of(SourceGroup::kPeer), 11u);
+  EXPECT_EQ(a.of(SourceGroup::kPrivate), 44u);
+}
+
+TEST_F(CommunitySourceTest, GroupNames) {
+  EXPECT_STREQ(to_string(SourceGroup::kPeer), "peer");
+  EXPECT_STREQ(to_string(SourceGroup::kForeign), "foreign");
+  EXPECT_STREQ(to_string(SourceGroup::kStray), "stray");
+  EXPECT_STREQ(to_string(SourceGroup::kPrivate), "private");
+}
+
+}  // namespace
+}  // namespace bgpcu::core

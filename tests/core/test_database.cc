@@ -1,0 +1,94 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+namespace bgpcu::core {
+namespace {
+
+InferenceResult sample_result() {
+  CounterMap counters;
+  counters[3356] = UsageCounters{1042, 3, 977, 0};
+  counters[1299] = UsageCounters{0, 500, 0, 120};
+  counters[4200000001u] = UsageCounters{7, 0, 0, 0};
+  return InferenceResult(std::move(counters), Thresholds::uniform(0.95), 4);
+}
+
+TEST(Database, RoundTripPreservesCountersAndThresholds) {
+  const auto original = sample_result();
+  std::stringstream buffer;
+  write_database(buffer, original);
+  const auto loaded = read_database(buffer);
+
+  ASSERT_EQ(loaded.counter_map().size(), original.counter_map().size());
+  for (const auto& [asn, k] : original.counter_map()) {
+    EXPECT_EQ(loaded.counters(asn), k) << "ASN " << asn;
+    EXPECT_EQ(loaded.usage(asn), original.usage(asn));
+  }
+  EXPECT_DOUBLE_EQ(loaded.thresholds().tagger, 0.95);
+  EXPECT_DOUBLE_EQ(loaded.thresholds().cleaner, 0.95);
+}
+
+TEST(Database, OutputIsSortedByAsn) {
+  std::stringstream buffer;
+  write_database(buffer, sample_result());
+  std::string line;
+  std::uint64_t prev = 0;
+  bool seen_row = false;
+  while (std::getline(buffer, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto asn = std::stoull(line.substr(0, line.find(' ')));
+    if (seen_row) EXPECT_GT(asn, prev);
+    prev = asn;
+    seen_row = true;
+  }
+  EXPECT_TRUE(seen_row);
+}
+
+TEST(Database, RowsCarryClassCodes) {
+  std::stringstream buffer;
+  write_database(buffer, sample_result());
+  const auto text = buffer.str();
+  EXPECT_NE(text.find("3356 tf 1042 3 977 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("1299 sc 0 500 0 120"), std::string::npos);
+}
+
+TEST(Database, RejectsBadMagic) {
+  std::stringstream buffer("not a database\n1 tf 1 0 0 0\n");
+  EXPECT_THROW((void)read_database(buffer), std::runtime_error);
+}
+
+TEST(Database, RejectsMalformedRow) {
+  std::stringstream buffer("# bgpcu-inference-db v1\n3356 tf x y z w\n");
+  EXPECT_THROW((void)read_database(buffer), std::runtime_error);
+}
+
+TEST(Database, RejectsOverflowingAsn) {
+  std::stringstream buffer("# bgpcu-inference-db v1\n99999999999 tf 1 0 0 0\n");
+  EXPECT_THROW((void)read_database(buffer), std::runtime_error);
+}
+
+TEST(Database, EmptyDatabaseRoundTrips) {
+  const InferenceResult empty(CounterMap{}, Thresholds{}, 0);
+  std::stringstream buffer;
+  write_database(buffer, empty);
+  const auto loaded = read_database(buffer);
+  EXPECT_TRUE(loaded.counter_map().empty());
+}
+
+TEST(Database, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "bgpcu_test_db.txt";
+  write_database_file(path.string(), sample_result());
+  const auto loaded = read_database_file(path.string());
+  EXPECT_EQ(loaded.counters(3356).t, 1042u);
+  std::filesystem::remove(path);
+}
+
+TEST(Database, MissingFileThrows) {
+  EXPECT_THROW((void)read_database_file("/nonexistent/db.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bgpcu::core

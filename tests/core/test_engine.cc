@@ -1,0 +1,224 @@
+// Column-engine tests. The scenarios here are transcriptions of the paper's
+// worked examples in §5.1 (noise, hidden behavior, AS-level periphery),
+// §5.2.1 (race conditions) and §5.4 (selective behavior).
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+
+namespace bgpcu::core {
+namespace {
+
+using bgp::CommunityValue;
+
+PathCommTuple tuple(std::vector<bgp::Asn> path, std::vector<CommunityValue> comms) {
+  PathCommTuple t;
+  t.path = std::move(path);
+  t.comms = std::move(comms);
+  bgp::normalize(t.comms);
+  return t;
+}
+
+CommunityValue c(std::uint16_t admin, std::uint16_t value = 1) {
+  return CommunityValue::regular(admin, value);
+}
+
+InferenceResult run(const Dataset& d) { return ColumnEngine().run(d); }
+
+// --- §5.1: peer tagging is trivially observable ---------------------------
+
+TEST(ColumnEngine, PeerTaggerAndSilentAreDirectlyObservable) {
+  //   C <-X:*- X      C <-()- Y
+  const Dataset d = {tuple({10}, {c(10)}), tuple({20}, {})};
+  const auto r = run(d);
+  EXPECT_EQ(r.tagging(10), TaggingClass::kTagger);
+  EXPECT_EQ(r.tagging(20), TaggingClass::kSilent);
+  // No downstream taggers exist, so forwarding stays none.
+  EXPECT_EQ(r.forwarding(10), ForwardingClass::kNone);
+  EXPECT_EQ(r.forwarding(20), ForwardingClass::kNone);
+}
+
+// --- §5.1.2: a visible downstream tagger illuminates forwarding -----------
+
+TEST(ColumnEngine, DownstreamTaggerIlluminatesForwardBehavior) {
+  //   C <-Z:*- Z          (Z also peers with the collector)
+  //   C <-Z:*- X <- Z     (X forwards Z's tag)
+  const Dataset d = {tuple({30}, {c(30)}), tuple({10, 30}, {c(30)})};
+  const auto r = run(d);
+  EXPECT_EQ(r.tagging(30), TaggingClass::kTagger);
+  EXPECT_EQ(r.forwarding(10), ForwardingClass::kForward);
+  EXPECT_EQ(r.tagging(10), TaggingClass::kSilent);
+  // Z is the origin everywhere: nothing can illuminate its forwarding.
+  EXPECT_EQ(r.forwarding(30), ForwardingClass::kNone);
+}
+
+TEST(ColumnEngine, MissingTaggerCommunityMakesCleaner) {
+  //   C <-Z:*- Z          (Z is a known tagger)
+  //   C <-()-- Y <- Z     (Y removed Z's tag)
+  const Dataset d = {tuple({30}, {c(30)}), tuple({20, 30}, {})};
+  const auto r = run(d);
+  EXPECT_EQ(r.forwarding(20), ForwardingClass::kCleaner);
+}
+
+TEST(ColumnEngine, CleanerHidesEverythingBehindIt) {
+  //   C <-T:*- T          (T tagger peer)
+  //   C <-()-- X <- T     (X cleans: classified cleaner)
+  //   C <-()-- X <- Z     (Z is hidden behind X: must stay none, not silent)
+  const Dataset d = {tuple({40}, {c(40)}), tuple({10, 40}, {}), tuple({10, 50}, {})};
+  const auto r = run(d);
+  EXPECT_EQ(r.forwarding(10), ForwardingClass::kCleaner);
+  EXPECT_EQ(r.tagging(50), TaggingClass::kNone);
+  EXPECT_EQ(r.forwarding(50), ForwardingClass::kNone);
+  // T's tagging was counted at index 1 only; the hidden appearance behind X
+  // must not add silent evidence.
+  EXPECT_EQ(r.counters(40).t, 1u);
+  EXPECT_EQ(r.counters(40).s, 0u);
+}
+
+// --- §5.2.1: race condition ------------------------------------------------
+
+TEST(ColumnEngine, RaceConditionLeavesAsesUnclassified) {
+  //   C <-?- X <-?- Y with X, Y appearing nowhere else: X's forwarding needs
+  //   Y as a visible tagger, Y's tagging needs X to be forward.
+  const Dataset d = {tuple({10, 20}, {})};
+  const auto r = run(d);
+  EXPECT_EQ(r.tagging(10), TaggingClass::kSilent);  // peer tagging is trivial
+  EXPECT_EQ(r.forwarding(10), ForwardingClass::kNone);
+  EXPECT_EQ(r.tagging(20), TaggingClass::kNone);
+  EXPECT_EQ(r.forwarding(20), ForwardingClass::kNone);
+}
+
+// --- §5.4: selective behavior → undecided ----------------------------------
+
+TEST(ColumnEngine, SelectiveTaggerBecomesUndecided) {
+  // Z tags via X but not via Y; both X and Y are established forwarders via
+  // the downstream tagger W (and W peers with the collector).
+  const Dataset d = {
+      tuple({70}, {c(70)}),            // W peer: tagger
+      tuple({10, 70}, {c(70)}),        // X forwards W's tag
+      tuple({20, 70}, {c(70)}),        // Y forwards W's tag
+      tuple({10, 80}, {c(80)}),        // Z tags toward X
+      tuple({20, 80}, {}),             // Z silent toward Y
+  };
+  const auto r = run(d);
+  EXPECT_EQ(r.forwarding(10), ForwardingClass::kForward);
+  EXPECT_EQ(r.forwarding(20), ForwardingClass::kForward);
+  EXPECT_EQ(r.counters(80).t, 1u);
+  EXPECT_EQ(r.counters(80).s, 1u);
+  EXPECT_EQ(r.tagging(80), TaggingClass::kUndecided);
+}
+
+TEST(ColumnEngine, CollectorOnlyTaggerCausesCleanerMisclassification) {
+  // §5.4's worst case: Z tags only toward the collector. X (a true forward
+  // AS) is then classified cleaner because Z's tag never crosses X.
+  const Dataset d = {
+      tuple({80}, {c(80)}),   // Z peers with collector and tags
+      tuple({10, 80}, {}),    // X forwards, but Z did not tag here
+  };
+  const auto r = run(d);
+  EXPECT_EQ(r.tagging(80), TaggingClass::kTagger);
+  EXPECT_EQ(r.forwarding(10), ForwardingClass::kCleaner);
+}
+
+// --- Cond2 uses the nearest qualifying tagger ------------------------------
+
+TEST(ColumnEngine, Cond2StopsAtNonForwardIntermediate) {
+  // Path C <- A <- B <- T with T a known tagger but B a known cleaner:
+  // A's forwarding must not be counted via T (B breaks the chain).
+  const Dataset d = {
+      tuple({90}, {c(90)}),        // T tagger peer
+      tuple({20, 90}, {}),         // B cleans T's tag -> cleaner
+      tuple({10, 20, 90}, {}),     // A: B is not forward, no count
+  };
+  const auto r = run(d);
+  EXPECT_EQ(r.forwarding(20), ForwardingClass::kCleaner);
+  const auto k = r.counters(10);
+  EXPECT_EQ(k.f + k.c, 0u);
+  EXPECT_EQ(r.forwarding(10), ForwardingClass::kNone);
+}
+
+TEST(ColumnEngine, NearestTaggerWins) {
+  // C <- A <- T1 <- T2, both taggers visible: A's evidence comes from T1.
+  const Dataset d = {
+      tuple({91}, {c(91)}),
+      tuple({92}, {c(92)}),
+      // A forwards T1's tag but T2's was cleaned by T1 — nearest tagger T1
+      // is present, so A still counts as forward.
+      tuple({10, 91, 92}, {c(91)}),
+  };
+  const auto r = run(d);
+  EXPECT_EQ(r.forwarding(10), ForwardingClass::kForward);
+}
+
+// --- 32-bit ASNs via large communities --------------------------------------
+
+TEST(ColumnEngine, LargeCommunityUpperFieldCountsForTagging) {
+  const bgp::Asn big = 4200000;  // 32-bit ASN
+  const Dataset d = {tuple({big}, {CommunityValue::large(big, 7, 7)})};
+  const auto r = run(d);
+  EXPECT_EQ(r.tagging(big), TaggingClass::kTagger);
+}
+
+// --- Determinism and early stop ---------------------------------------------
+
+TEST(ColumnEngine, EarlyStopMatchesFullSweep) {
+  Dataset d;
+  for (bgp::Asn peer = 100; peer < 140; ++peer) {
+    d.push_back(tuple({peer}, {c(static_cast<std::uint16_t>(peer))}));
+    d.push_back(tuple({peer, 500, 600}, {c(static_cast<std::uint16_t>(peer)), c(600)}));
+    d.push_back(tuple({peer, 600}, {}));
+  }
+  EngineConfig with_stop;
+  with_stop.early_stop = true;
+  EngineConfig without_stop;
+  without_stop.early_stop = false;
+  const auto a = ColumnEngine(with_stop).run(d);
+  const auto b = ColumnEngine(without_stop).run(d);
+  ASSERT_EQ(a.counter_map().size(), b.counter_map().size());
+  for (const auto& [asn, k] : a.counter_map()) {
+    EXPECT_EQ(k, b.counters(asn)) << "ASN " << asn;
+  }
+}
+
+TEST(ColumnEngine, ResultIndependentOfTupleOrder) {
+  Dataset d = {
+      tuple({30}, {c(30)}),
+      tuple({10, 30}, {c(30)}),
+      tuple({20, 30}, {}),
+      tuple({10, 40, 30}, {c(30)}),
+  };
+  const auto a = run(d);
+  std::reverse(d.begin(), d.end());
+  const auto b = run(d);
+  for (const auto& [asn, k] : a.counter_map()) {
+    EXPECT_EQ(k, b.counters(asn)) << "ASN " << asn;
+  }
+}
+
+TEST(ColumnEngine, IgnoresPathsBeyondMaxLength) {
+  std::vector<bgp::Asn> longpath(40);
+  for (std::size_t i = 0; i < longpath.size(); ++i) longpath[i] = 1000 + static_cast<bgp::Asn>(i);
+  const Dataset d = {tuple(longpath, {}), tuple({10}, {c(10)})};
+  const auto r = run(d);
+  EXPECT_EQ(r.tagging(1000), TaggingClass::kNone);
+  EXPECT_EQ(r.tagging(10), TaggingClass::kTagger);
+}
+
+TEST(ColumnEngine, MaxColumnsCapsTheSweep) {
+  EngineConfig config;
+  config.max_columns = 1;
+  const Dataset d = {tuple({30}, {c(30)}), tuple({10, 30}, {c(30)})};
+  const auto r = ColumnEngine(config).run(d);
+  // Column 2 never runs: Z's tagging at index 2 is not counted.
+  EXPECT_EQ(r.counters(30).t, 1u);
+}
+
+TEST(ColumnEngine, EmptyDatasetYieldsEmptyResult) {
+  const auto r = run({});
+  EXPECT_TRUE(r.counter_map().empty());
+  EXPECT_EQ(r.tagging(1), TaggingClass::kNone);
+}
+
+}  // namespace
+}  // namespace bgpcu::core

@@ -1,0 +1,128 @@
+// Randomized engine property sweeps: structural invariants of the counting
+// rules that must hold on any input, checked over generated datasets.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/row_baseline.h"
+#include "topology/rng.h"
+
+namespace bgpcu::core {
+namespace {
+
+// Random (path, comm) dataset: ASNs 1..40 (small so ASes recur in different
+// positions), random path lengths, random community subsets keyed on path
+// members plus occasional off-path admins.
+Dataset random_dataset(std::uint64_t seed, std::size_t tuples) {
+  topology::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < tuples; ++i) {
+    PathCommTuple t;
+    const std::size_t len = 1 + rng.below(6);
+    while (t.path.size() < len) {
+      const bgp::Asn asn = 1 + static_cast<bgp::Asn>(rng.below(40));
+      if (std::find(t.path.begin(), t.path.end(), asn) == t.path.end()) t.path.push_back(asn);
+    }
+    for (const auto asn : t.path) {
+      if (rng.chance(0.3)) {
+        t.comms.push_back(bgp::CommunityValue::regular(static_cast<std::uint16_t>(asn),
+                                                       static_cast<std::uint16_t>(rng.below(4))));
+      }
+    }
+    if (rng.chance(0.1)) {
+      t.comms.push_back(bgp::CommunityValue::regular(
+          static_cast<std::uint16_t>(100 + rng.below(20)), 1));
+    }
+    d.push_back(std::move(t));
+  }
+  deduplicate(d);
+  return d;
+}
+
+class EngineProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineProperties, DeterministicAcrossRuns) {
+  const auto d = random_dataset(GetParam(), 400);
+  const auto a = ColumnEngine().run(d);
+  const auto b = ColumnEngine().run(d);
+  ASSERT_EQ(a.counter_map().size(), b.counter_map().size());
+  for (const auto& [asn, k] : a.counter_map()) EXPECT_EQ(k, b.counters(asn));
+}
+
+TEST_P(EngineProperties, PeerPositionsAlwaysCounted) {
+  // Cond1 is vacuous at index 1: every tuple contributes exactly one tagging
+  // count at its peer, so sum over peers of (t+s) >= number of... equals the
+  // per-peer tuple counts.
+  const auto d = random_dataset(GetParam(), 400);
+  const auto result = ColumnEngine().run(d);
+  std::unordered_map<bgp::Asn, std::uint64_t> tuples_per_peer;
+  for (const auto& t : d) ++tuples_per_peer[t.peer()];
+  for (const auto& [peer, expected] : tuples_per_peer) {
+    const auto k = result.counters(peer);
+    EXPECT_GE(k.t + k.s, expected) << "peer " << peer;
+  }
+}
+
+TEST_P(EngineProperties, CountsNeverExceedAppearances) {
+  const auto d = random_dataset(GetParam(), 400);
+  const auto result = ColumnEngine().run(d);
+  std::unordered_map<bgp::Asn, std::uint64_t> appearances;
+  for (const auto& t : d) {
+    for (const auto asn : t.path) ++appearances[asn];
+  }
+  for (const auto& [asn, k] : result.counter_map()) {
+    EXPECT_LE(k.t + k.s, appearances[asn]) << asn;
+    EXPECT_LE(k.f + k.c, appearances[asn]) << asn;
+  }
+}
+
+TEST_P(EngineProperties, ColumnCountsAreSubsetOfRowCounts) {
+  // The row baseline counts tagging unconditionally; the column engine only
+  // under Cond1 — so per AS, column tagging evidence can never exceed row's.
+  const auto d = random_dataset(GetParam(), 400);
+  const auto col = ColumnEngine().run(d);
+  const auto row = RowEngine().run(d);
+  for (const auto& [asn, k] : col.counter_map()) {
+    const auto r = row.counters(asn);
+    EXPECT_LE(k.t + k.s, r.t + r.s) << asn;
+  }
+}
+
+TEST_P(EngineProperties, ForwardingEvidenceRequiresTaggingEvidenceSomewhere) {
+  // f/c counting needs a classified downstream tagger, which needs tagging
+  // counters — so a dataset with no tagging evidence at all yields no
+  // forwarding evidence either.
+  auto d = random_dataset(GetParam(), 400);
+  for (auto& t : d) t.comms.clear();  // strip all communities
+  deduplicate(d);
+  const auto result = ColumnEngine().run(d);
+  for (const auto& [asn, k] : result.counter_map()) {
+    EXPECT_EQ(k.t, 0u);
+    EXPECT_EQ(k.f + k.c, 0u) << "no tagger can illuminate forwarding";
+  }
+}
+
+TEST_P(EngineProperties, OriginsNeverGetForwardingEvidenceFromTheirOwnPath) {
+  // The origin has no downstream; single-path ASNs appearing only as origin
+  // must have zero forwarding counters.
+  const auto d = random_dataset(GetParam(), 400);
+  std::unordered_map<bgp::Asn, bool> only_origin;
+  for (const auto& t : d) {
+    for (std::size_t i = 0; i < t.path.size(); ++i) {
+      const bool origin = i + 1 == t.path.size();
+      auto [it, inserted] = only_origin.try_emplace(t.path[i], origin);
+      if (!origin) it->second = false;
+    }
+  }
+  const auto result = ColumnEngine().run(d);
+  for (const auto& [asn, is_only_origin] : only_origin) {
+    if (!is_only_origin) continue;
+    const auto k = result.counters(asn);
+    EXPECT_EQ(k.f + k.c, 0u) << asn;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperties,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace bgpcu::core

@@ -1,0 +1,84 @@
+// Row-based baseline (Listing 2): verifies its unconditional counting and
+// the precision gap against the column engine that motivates §5.7.
+#include "core/row_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace bgpcu::core {
+namespace {
+
+using bgp::CommunityValue;
+
+PathCommTuple tuple(std::vector<bgp::Asn> path, std::vector<CommunityValue> comms) {
+  PathCommTuple t;
+  t.path = std::move(path);
+  t.comms = std::move(comms);
+  bgp::normalize(t.comms);
+  return t;
+}
+
+CommunityValue c(std::uint16_t admin) { return CommunityValue::regular(admin, 1); }
+
+TEST(RowEngine, CountsTaggingAtEveryPosition) {
+  const Dataset d = {tuple({10, 20, 30}, {c(20)})};
+  const auto r = RowEngine().run(d);
+  EXPECT_EQ(r.counters(10).s, 1u);
+  EXPECT_EQ(r.counters(20).t, 1u);
+  EXPECT_EQ(r.counters(30).s, 1u);
+}
+
+TEST(RowEngine, ForwardCreditPropagatesUpstreamOfVisibleTag) {
+  // A2's community visible -> both A1 gets forward credit (Listing 2 line 14).
+  const Dataset d = {tuple({10, 20, 30}, {c(30)})};
+  const auto r = RowEngine().run(d);
+  // Position walk: x=2 (A3=30 tagged): f for A1, A2; x=1 (A2=20 untagged): c for A1.
+  EXPECT_EQ(r.counters(10).f, 1u);
+  EXPECT_EQ(r.counters(20).f, 1u);
+  EXPECT_EQ(r.counters(10).c, 1u);
+}
+
+TEST(RowEngine, CountsThroughCleanersUnlikeColumnEngine) {
+  // The paper's §5.7 argument: the row approach counts Z silent behind a
+  // cleaner; the column engine refuses.
+  const Dataset d = {
+      tuple({40}, {c(40)}),   // T tagger peer
+      tuple({10, 40}, {}),    // X cleans -> column classifies cleaner
+      tuple({10, 50}, {}),    // Z hidden behind X
+  };
+  const auto row = RowEngine().run(d);
+  const auto col = ColumnEngine().run(d);
+  EXPECT_EQ(row.counters(50).s, 1u);  // row counts hidden Z as silent
+  EXPECT_EQ(col.counters(50).s, 0u);  // column does not
+  EXPECT_EQ(row.tagging(50), TaggingClass::kSilent);
+  EXPECT_EQ(col.tagging(50), TaggingClass::kNone);
+}
+
+TEST(RowEngine, MisclassifiesHiddenTaggerAsSilent) {
+  // Z is really a tagger whose tag a cleaner removes; the row baseline
+  // counts it silent — a false classification the column engine avoids.
+  const Dataset d = {
+      tuple({40}, {c(40)}),       // T tagger peer (for symmetry)
+      tuple({10, 40}, {}),        // X cleaner evidence
+      tuple({10, 50}, {}),        // Z tagged, X cleaned: observation is empty
+  };
+  const auto row = RowEngine().run(d);
+  EXPECT_EQ(row.tagging(50), TaggingClass::kSilent);  // wrong by construction
+}
+
+TEST(RowEngine, SinglePeerPathsMatchColumnEngineTagging) {
+  const Dataset d = {tuple({10}, {c(10)}), tuple({20}, {})};
+  const auto row = RowEngine().run(d);
+  const auto col = ColumnEngine().run(d);
+  EXPECT_EQ(row.tagging(10), col.tagging(10));
+  EXPECT_EQ(row.tagging(20), col.tagging(20));
+}
+
+TEST(RowEngine, EmptyDataset) {
+  const auto r = RowEngine().run({});
+  EXPECT_TRUE(r.counter_map().empty());
+}
+
+}  // namespace
+}  // namespace bgpcu::core

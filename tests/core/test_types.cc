@@ -1,0 +1,77 @@
+#include "core/types.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::core {
+namespace {
+
+using bgp::CommunityValue;
+
+TEST(PathCommTuple, Accessors) {
+  PathCommTuple t;
+  t.path = {10, 20, 30};
+  EXPECT_EQ(t.peer(), 10u);
+  EXPECT_EQ(t.origin(), 30u);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(PathCommTuple, ToStringShowsPathAndComms) {
+  PathCommTuple t;
+  t.path = {10, 20};
+  t.comms = {CommunityValue::regular(10, 5)};
+  EXPECT_EQ(t.to_string(), "10 20 | 10:5");
+}
+
+TEST(Deduplicate, RemovesExactDuplicates) {
+  Dataset d;
+  PathCommTuple a;
+  a.path = {1, 2};
+  a.comms = {CommunityValue::regular(1, 1)};
+  d.push_back(a);
+  d.push_back(a);
+  const auto removed = deduplicate(d);
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Deduplicate, NormalizesCommunityOrderBeforeComparing) {
+  PathCommTuple a, b;
+  a.path = b.path = {1, 2};
+  a.comms = {CommunityValue::regular(1, 1), CommunityValue::regular(2, 2)};
+  b.comms = {CommunityValue::regular(2, 2), CommunityValue::regular(1, 1)};
+  Dataset d = {a, b};
+  deduplicate(d);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(Deduplicate, KeepsDistinctCommSetsForSamePath) {
+  PathCommTuple a, b;
+  a.path = b.path = {1, 2};
+  a.comms = {CommunityValue::regular(1, 1)};
+  b.comms = {};
+  Dataset d = {a, b};
+  deduplicate(d);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DistinctAsns, SortedAndUnique) {
+  Dataset d;
+  PathCommTuple a;
+  a.path = {30, 10, 20};
+  PathCommTuple b;
+  b.path = {20, 40};
+  d = {a, b};
+  EXPECT_EQ(distinct_asns(d), (std::vector<bgp::Asn>{10, 20, 30, 40}));
+}
+
+TEST(TupleHash, DiffersForDifferentComms) {
+  PathCommTuple a, b;
+  a.path = b.path = {1, 2};
+  a.comms = {CommunityValue::regular(1, 1)};
+  const auto ha = std::hash<PathCommTuple>{}(a);
+  const auto hb = std::hash<PathCommTuple>{}(b);
+  EXPECT_NE(ha, hb);
+}
+
+}  // namespace
+}  // namespace bgpcu::core

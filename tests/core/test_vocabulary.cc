@@ -1,0 +1,129 @@
+// Vocabulary inference tests (§8 future work): attributing community values
+// to classified taggers and grading informational vs signaling usage.
+#include "core/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace bgpcu::core {
+namespace {
+
+using bgp::CommunityValue;
+
+PathCommTuple tuple(std::vector<bgp::Asn> path, std::vector<CommunityValue> comms) {
+  PathCommTuple t;
+  t.path = std::move(path);
+  t.comms = std::move(comms);
+  bgp::normalize(t.comms);
+  return t;
+}
+
+CommunityValue c(std::uint16_t admin, std::uint16_t value) {
+  return CommunityValue::regular(admin, value);
+}
+
+// A tagger peer (AS 10) that carries value 10:1 on every announcement and
+// 10:666 on exactly one — informational vs signaling.
+Dataset tagger_dataset() {
+  Dataset d;
+  for (std::uint16_t origin = 100; origin < 120; ++origin) {
+    std::vector<CommunityValue> comms{c(10, 1)};
+    if (origin == 100) comms.push_back(c(10, 666));
+    d.push_back(tuple({10, 50, origin}, comms));
+  }
+  d.push_back(tuple({10}, {c(10, 1)}));
+  deduplicate(d);
+  return d;
+}
+
+TEST(Vocabulary, AttributesValuesToTaggers) {
+  const auto d = tagger_dataset();
+  const auto result = ColumnEngine().run(d);
+  ASSERT_EQ(result.tagging(10), TaggingClass::kTagger);
+
+  const auto vocab = infer_vocabulary(d, result);
+  ASSERT_TRUE(vocab.contains(10));
+  const auto& entries = vocab.at(10);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].value, c(10, 1)) << "sorted by occurrences";
+  EXPECT_EQ(entries[1].value, c(10, 666));
+}
+
+TEST(Vocabulary, GradesInformationalVsSignaling) {
+  const auto d = tagger_dataset();
+  const auto result = ColumnEngine().run(d);
+  const auto vocab = infer_vocabulary(d, result);
+  const auto& entries = vocab.at(10);
+  EXPECT_EQ(entries[0].kind, ValueKind::kInformational);
+  EXPECT_GT(entries[0].coverage, 0.9);
+  EXPECT_EQ(entries[1].kind, ValueKind::kSignaling);
+  EXPECT_LT(entries[1].coverage, 0.1);
+}
+
+TEST(Vocabulary, NonTaggersGetNoVocabulary) {
+  const auto d = tagger_dataset();
+  const auto result = ColumnEngine().run(d);
+  const auto vocab = infer_vocabulary(d, result);
+  EXPECT_FALSE(vocab.contains(50)) << "AS 50 is silent";
+  for (std::uint16_t origin = 100; origin < 120; ++origin) {
+    EXPECT_FALSE(vocab.contains(origin));
+  }
+}
+
+TEST(Vocabulary, StopsAttributionBehindNonForwarders) {
+  // A tagger whose only appearances sit behind a cleaner must not accumulate
+  // appearance counts from those hidden positions.
+  Dataset d;
+  d.push_back(tuple({40}, {c(40, 9)}));        // tagger peer evidence
+  d.push_back(tuple({20, 40}, {}));            // 20 cleans -> cleaner
+  for (std::uint16_t origin = 200; origin < 210; ++origin) {
+    d.push_back(tuple({20, 40, origin}, {}));  // 40 behind cleaner 20
+  }
+  deduplicate(d);
+  const auto result = ColumnEngine().run(d);
+  ASSERT_EQ(result.tagging(40), TaggingClass::kTagger);
+  ASSERT_EQ(result.forwarding(20), ForwardingClass::kCleaner);
+
+  const auto vocab = infer_vocabulary(d, result);
+  ASSERT_TRUE(vocab.contains(40));
+  // Only the direct peer appearance counts; everything behind AS 20 is
+  // invisible.
+  EXPECT_EQ(vocab.at(40)[0].appearances, 1u);
+  EXPECT_DOUBLE_EQ(vocab.at(40)[0].coverage, 1.0);
+}
+
+TEST(Vocabulary, MinAppearancesGate) {
+  Dataset d;
+  d.push_back(tuple({10}, {c(10, 1)}));
+  deduplicate(d);
+  const auto result = ColumnEngine().run(d);
+  VocabularyConfig config;
+  config.min_appearances = 5;
+  const auto vocab = infer_vocabulary(d, result, config);
+  ASSERT_TRUE(vocab.contains(10));
+  EXPECT_EQ(vocab.at(10)[0].kind, ValueKind::kUnclassified) << "too few appearances to grade";
+}
+
+TEST(Vocabulary, LargeCommunityValuesAttributed) {
+  Dataset d;
+  const bgp::Asn big = 4200000;
+  for (std::uint16_t origin = 100; origin < 110; ++origin) {
+    d.push_back(tuple({big, origin}, {CommunityValue::large(big, 7, 7)}));
+  }
+  deduplicate(d);
+  const auto result = ColumnEngine().run(d);
+  const auto vocab = infer_vocabulary(d, result);
+  ASSERT_TRUE(vocab.contains(big));
+  EXPECT_EQ(vocab.at(big)[0].value, CommunityValue::large(big, 7, 7));
+  EXPECT_EQ(vocab.at(big)[0].kind, ValueKind::kInformational);
+}
+
+TEST(Vocabulary, KindNames) {
+  EXPECT_STREQ(to_string(ValueKind::kInformational), "informational");
+  EXPECT_STREQ(to_string(ValueKind::kSignaling), "signaling");
+  EXPECT_STREQ(to_string(ValueKind::kUnclassified), "unclassified");
+}
+
+}  // namespace
+}  // namespace bgpcu::core

@@ -1,0 +1,160 @@
+// Metric-layer tests on hand-built ground truths where every confusion cell
+// is predictable.
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::eval {
+namespace {
+
+using topology::NodeId;
+
+// Builds a 4-node world (asn 10,20,30,40) with fixed flags and a counter
+// map we control; the engine is bypassed so the metric logic is isolated.
+struct World {
+  topology::GeneratedTopology topo;
+  sim::GroundTruth truth;
+  core::CounterMap counters;
+
+  World() {
+    for (bgp::Asn asn : {10, 20, 30, 40}) topo.graph.add_as(asn);
+    topo.tier.assign(4, topology::Tier::kLeaf);
+    truth.roles.assign(4, sim::Role{});
+    truth.present.assign(4, true);
+    truth.leaf.assign(4, false);
+    truth.tagging_hidden.assign(4, false);
+    truth.forwarding_hidden.assign(4, false);
+  }
+
+  core::InferenceResult result() const {
+    return core::InferenceResult(counters, core::Thresholds{}, 1);
+  }
+
+  void set_counters(bgp::Asn asn, std::uint64_t t, std::uint64_t s, std::uint64_t f,
+                    std::uint64_t c) {
+    counters[asn] = core::UsageCounters{t, s, f, c};
+  }
+};
+
+TEST(Metrics, PerfectInferenceScoresPerfectly) {
+  World w;
+  w.truth.roles[0] = sim::Role{true, false};   // tagger-forward
+  w.truth.roles[1] = sim::Role{false, true};   // silent-cleaner
+  w.truth.roles[2] = sim::Role{true, true};    // tagger-cleaner
+  w.truth.roles[3] = sim::Role{false, false};  // silent-forward
+  w.set_counters(10, 100, 0, 100, 0);
+  w.set_counters(20, 0, 100, 0, 100);
+  w.set_counters(30, 100, 0, 0, 100);
+  w.set_counters(40, 0, 100, 100, 0);
+
+  const auto ev = evaluate_scenario(w.topo, w.truth, w.result());
+  EXPECT_DOUBLE_EQ(ev.tagging_pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(ev.tagging_pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(ev.forwarding_pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(ev.forwarding_pr.recall, 1.0);
+  EXPECT_EQ(ev.classes.tf, 1u);
+  EXPECT_EQ(ev.classes.sc, 1u);
+  EXPECT_EQ(ev.classes.tc, 1u);
+  EXPECT_EQ(ev.classes.sf, 1u);
+  EXPECT_EQ(ev.tagging.at(TagRow::kTagger, 0), 2u);
+  EXPECT_EQ(ev.tagging.at(TagRow::kSilent, 1), 2u);
+}
+
+TEST(Metrics, MisclassificationHitsPrecision) {
+  World w;
+  w.truth.roles[0] = sim::Role{true, false};
+  w.truth.roles[1] = sim::Role{false, false};
+  w.set_counters(10, 0, 100, 0, 0);  // true tagger inferred silent
+  w.set_counters(20, 0, 100, 0, 0);  // true silent inferred silent
+  const auto ev = evaluate_scenario(w.topo, w.truth, w.result());
+  EXPECT_EQ(ev.tagging_pr.decided, 2u);
+  EXPECT_EQ(ev.tagging_pr.decided_correct, 1u);
+  EXPECT_DOUBLE_EQ(ev.tagging_pr.precision, 0.5);
+  EXPECT_EQ(ev.tagging.at(TagRow::kTagger, 1), 1u) << "tagger->silent cell";
+}
+
+TEST(Metrics, NoneAndUndecidedHitRecallNotPrecision) {
+  World w;
+  w.truth.roles[0] = sim::Role{true, false};
+  w.truth.roles[1] = sim::Role{true, false};
+  w.set_counters(10, 1, 1, 0, 0);  // true tagger -> undecided
+  // ASN 20: no counters -> none. ASNs 30/40: true silent, no counters -> none.
+  const auto ev = evaluate_scenario(w.topo, w.truth, w.result());
+  EXPECT_EQ(ev.tagging_pr.decided, 0u) << "undecided/none never enter precision";
+  EXPECT_EQ(ev.tagging_pr.eligible, 4u);
+  EXPECT_EQ(ev.tagging_pr.correct, 0u) << "undecided and none are false negatives";
+  EXPECT_EQ(ev.tagging.at(TagRow::kTagger, 2), 1u);
+  EXPECT_EQ(ev.tagging.at(TagRow::kTagger, 3), 1u);
+  EXPECT_EQ(ev.tagging.at(TagRow::kSilent, 3), 2u);
+}
+
+TEST(Metrics, HiddenAsesExcludedFromBothMetrics) {
+  World w;
+  w.truth.roles[0] = sim::Role{true, false};
+  w.truth.tagging_hidden[0] = true;
+  w.truth.forwarding_hidden[0] = true;
+  w.set_counters(10, 100, 0, 100, 0);  // classified, but hidden
+  const auto ev = evaluate_scenario(w.topo, w.truth, w.result());
+  EXPECT_EQ(ev.tagging_pr.decided, 0u);
+  EXPECT_EQ(ev.tagging.at(TagRow::kTaggerHidden, 0), 1u);
+  EXPECT_EQ(ev.forwarding.at(FwdRow::kForwardHidden, 0), 1u);
+}
+
+TEST(Metrics, SelectiveTaggerCorrectAsTaggerWrongAsSilent) {
+  World w;
+  w.truth.roles[0] = sim::Role{true, false, sim::Selectivity::kSkipProvider};
+  w.truth.roles[1] = sim::Role{true, false, sim::Selectivity::kSkipProvider};
+  w.set_counters(10, 100, 0, 0, 0);  // selective inferred tagger: correct
+  w.set_counters(20, 0, 100, 0, 0);  // selective inferred silent: wrong
+  const auto ev = evaluate_scenario(w.topo, w.truth, w.result());
+  EXPECT_EQ(ev.tagging_pr.decided, 2u);
+  EXPECT_EQ(ev.tagging_pr.decided_correct, 1u);
+  EXPECT_EQ(ev.tagging_pr.eligible, 4u) << "selective ASes stay in the recall denominator";
+  EXPECT_EQ(ev.tagging_pr.correct, 1u) << "selective->tagger is the only recovered behavior";
+  EXPECT_EQ(ev.tagging.at(TagRow::kSelective, 0), 1u);
+  EXPECT_EQ(ev.tagging.at(TagRow::kSelective, 1), 1u);
+}
+
+TEST(Metrics, LeafForwardingOnlyInLeafRows) {
+  World w;
+  w.truth.leaf[0] = true;
+  w.truth.roles[0] = sim::Role{false, true};  // leaf "cleaner" by role draw
+  const auto ev = evaluate_scenario(w.topo, w.truth, w.result());
+  EXPECT_EQ(ev.forwarding.at(FwdRow::kCleanerLeaf, 3), 1u) << "leaf lands in (leaf, none)";
+  EXPECT_EQ(ev.forwarding_pr.eligible, 3u) << "leaf excluded from recall";
+}
+
+TEST(Metrics, AbsentAsesIgnoredEntirely) {
+  World w;
+  w.truth.present[0] = false;
+  w.set_counters(10, 100, 0, 0, 0);
+  const auto ev = evaluate_scenario(w.topo, w.truth, w.result());
+  EXPECT_EQ(ev.tagging.row_total(TagRow::kTagger), 0u);
+  EXPECT_EQ(ev.tagging_pr.eligible, 3u);
+}
+
+TEST(Metrics, ClassHistogramPartitions) {
+  World w;  // four ASes, all silent-forward roles by default
+  w.set_counters(10, 0, 100, 0, 100);  // sc
+  w.set_counters(20, 0, 100, 0, 0);    // sn
+  w.set_counters(30, 1, 1, 0, 100);    // tagging undecided -> u*
+  w.set_counters(40, 0, 100, 1, 1);    // forwarding undecided -> *u
+  const auto ev = evaluate_scenario(w.topo, w.truth, w.result());
+  EXPECT_EQ(ev.classes.sc, 1u);
+  EXPECT_EQ(ev.classes.sn, 1u);
+  EXPECT_EQ(ev.classes.tag_u, 1u);
+  EXPECT_EQ(ev.classes.fwd_u, 1u);
+  EXPECT_EQ(ev.classes.nn, 0u);
+  const auto total = ev.classes.tf + ev.classes.tc + ev.classes.sf + ev.classes.sc +
+                     ev.classes.tn + ev.classes.sn + ev.classes.nf + ev.classes.nc +
+                     ev.classes.nn + ev.classes.tag_u + ev.classes.fwd_u + ev.classes.uu;
+  EXPECT_EQ(total, 4u) << "histogram partitions the present ASes";
+}
+
+TEST(Metrics, RowNames) {
+  EXPECT_STREQ(to_string(TagRow::kSelectiveHidden), "selective (hidden)");
+  EXPECT_STREQ(to_string(FwdRow::kCleanerLeaf), "cleaner (leaf)");
+}
+
+}  // namespace
+}  // namespace bgpcu::eval

@@ -1,0 +1,78 @@
+#include "eval/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bgpcu::eval {
+namespace {
+
+TEST(Report, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(12), "12");
+  EXPECT_EQ(with_commas(123456), "123,456");
+}
+
+TEST(Report, HumanCount) {
+  EXPECT_EQ(human_count(532), "532");
+  EXPECT_EQ(human_count(532000000), "532M");
+  EXPECT_EQ(human_count(9010000000ull), "9,010M");
+  EXPECT_EQ(human_count(9999999), "9,999,999");
+}
+
+TEST(Report, Ratio2) {
+  EXPECT_EQ(ratio2(0.5), "0.50");
+  EXPECT_EQ(ratio2(1.0), "1.00");
+  EXPECT_EQ(ratio2(0.934), "0.93");
+}
+
+TEST(Report, TableAlignment) {
+  TextTable t({"name", "count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("12345"), std::string::npos);
+  // Right-aligned numeric column: "1" ends where "12345" ends.
+  std::istringstream lines(text);
+  std::string header, rule, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(row1.size(), row2.size());
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Report, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(Report, RuleSeparatesSections) {
+  TextTable t({"a"});
+  t.add_row({"x"});
+  t.add_rule();
+  t.add_row({"y"});
+  std::ostringstream os;
+  t.print(os);
+  // Three rules total: under header plus the explicit one.
+  std::istringstream lines(os.str());
+  std::string line;
+  int rules = 0;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos) ++rules;
+  }
+  EXPECT_EQ(rules, 2);
+}
+
+}  // namespace
+}  // namespace bgpcu::eval

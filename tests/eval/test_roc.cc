@@ -1,0 +1,85 @@
+// ROC sweep tests on the selective scenarios (Fig. 2 semantics).
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/substrate.h"
+#include "topology/generator.h"
+
+namespace bgpcu::eval {
+namespace {
+
+sim::GroundTruth make_truth(sim::ScenarioKind kind, topology::GeneratedTopology& topo) {
+  topology::GeneratorParams params;
+  params.num_ases = 350;
+  params.num_tier1 = 5;
+  params.seed = 13;
+  topo = topology::generate(params);
+  const auto substrate =
+      sim::build_substrate(topo, sim::select_collector_peers(topo, 25, 13));
+  sim::ScenarioConfig config;
+  config.kind = kind;
+  config.seed = 13;
+  return sim::build_scenario(topo, substrate, config);
+}
+
+TEST(Roc, SweepCoversRequestedThresholds) {
+  topology::GeneratedTopology topo;
+  const auto truth = make_truth(sim::ScenarioKind::kRandomP, topo);
+  const auto points = roc_sweep(topo, truth, 50, 100, 10);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_DOUBLE_EQ(points.front().threshold, 0.5);
+  EXPECT_DOUBLE_EQ(points.back().threshold, 1.0);
+}
+
+TEST(Roc, RatesAreRates) {
+  topology::GeneratedTopology topo;
+  const auto truth = make_truth(sim::ScenarioKind::kRandomP, topo);
+  for (const auto& p : roc_sweep(topo, truth, 50, 100, 25)) {
+    EXPECT_GE(p.tagging_tpr, 0.0);
+    EXPECT_LE(p.tagging_tpr, 1.0);
+    EXPECT_GE(p.tagging_fpr, 0.0);
+    EXPECT_LE(p.tagging_fpr, 1.0);
+    EXPECT_GE(p.forwarding_tpr, 0.0);
+    EXPECT_LE(p.forwarding_tpr, 1.0);
+    EXPECT_GE(p.forwarding_fpr, 0.0);
+    EXPECT_LE(p.forwarding_fpr, 1.0);
+  }
+}
+
+TEST(Roc, ConsistentScenarioHasZeroFalsePositives) {
+  // Without selective tagging or noise the engine never misclassifies
+  // (paper: precision 1.0 across thresholds).
+  topology::GeneratedTopology topo;
+  const auto truth = make_truth(sim::ScenarioKind::kRandom, topo);
+  for (const auto& p : roc_sweep(topo, truth, 50, 100, 10)) {
+    EXPECT_DOUBLE_EQ(p.tagging_fpr, 0.0) << "threshold " << p.threshold;
+    EXPECT_DOUBLE_EQ(p.forwarding_fpr, 0.0) << "threshold " << p.threshold;
+  }
+}
+
+TEST(Roc, TighteningThresholdReducesTaggingFalsePositives) {
+  // Fig. 2's trend: specificity grows with the threshold. Counting is
+  // re-gated per threshold (Cond1/Cond2 consult the classifier), so the
+  // curve can jitter point to point; the endpoints carry the claim.
+  topology::GeneratedTopology topo;
+  const auto truth = make_truth(sim::ScenarioKind::kRandomP, topo);
+  const auto points = roc_sweep(topo, truth, 50, 100, 10);
+  EXPECT_LE(points.back().tagging_fpr, points.front().tagging_fpr);
+  EXPECT_LE(points.back().forwarding_fpr, points.front().forwarding_fpr + 1e-9);
+}
+
+TEST(Roc, StricterScenarioHasLowerTruePositiveRate) {
+  // random-pp restricts tagging further than random-p: at the paper's 99%
+  // threshold its TPRs sit below random-p's (Fig. 2 right vs left).
+  topology::GeneratedTopology topo_p;
+  const auto truth_p = make_truth(sim::ScenarioKind::kRandomP, topo_p);
+  topology::GeneratedTopology topo_pp;
+  const auto truth_pp = make_truth(sim::ScenarioKind::kRandomPp, topo_pp);
+  const auto p99 = roc_sweep(topo_p, truth_p, 99, 99, 1).at(0);
+  const auto pp99 = roc_sweep(topo_pp, truth_pp, 99, 99, 1).at(0);
+  EXPECT_LT(pp99.tagging_tpr, p99.tagging_tpr);
+}
+
+}  // namespace
+}  // namespace bgpcu::eval

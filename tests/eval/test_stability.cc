@@ -1,0 +1,101 @@
+#include "eval/stability.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::eval {
+namespace {
+
+core::InferenceResult result_with(const std::vector<std::pair<bgp::Asn, std::string>>& classes) {
+  core::CounterMap counters;
+  for (const auto& [asn, code] : classes) {
+    core::UsageCounters k;
+    if (code[0] == 't') k.t = 100;
+    if (code[0] == 's') k.s = 100;
+    if (code[1] == 'f') k.f = 100;
+    if (code[1] == 'c') k.c = 100;
+    counters[asn] = k;
+  }
+  return core::InferenceResult(std::move(counters), core::Thresholds{}, 1);
+}
+
+TEST(Stability, FirstDayEveryoneIsNew) {
+  StabilityTracker tracker;
+  tracker.add_day(result_with({{1, "tf"}, {2, "sc"}, {3, "tf"}}));
+  EXPECT_EQ(tracker.series(FullClass::kTf)[0].fresh, 2u);
+  EXPECT_EQ(tracker.series(FullClass::kSc)[0].fresh, 1u);
+  EXPECT_EQ(tracker.series(FullClass::kTf)[0].stable, 0u);
+}
+
+TEST(Stability, ContinuousMembershipIsStable) {
+  StabilityTracker tracker;
+  for (int day = 0; day < 3; ++day) {
+    tracker.add_day(result_with({{1, "tf"}}));
+  }
+  EXPECT_EQ(tracker.series(FullClass::kTf)[2].stable, 1u);
+  EXPECT_EQ(tracker.series(FullClass::kTf)[2].fresh, 0u);
+  EXPECT_EQ(tracker.series(FullClass::kTf)[2].recurring, 0u);
+}
+
+TEST(Stability, GapMakesRecurring) {
+  StabilityTracker tracker;
+  tracker.add_day(result_with({{1, "tf"}}));
+  tracker.add_day(result_with({}));  // day 1: absent
+  tracker.add_day(result_with({{1, "tf"}}));
+  const auto& day2 = tracker.series(FullClass::kTf)[2];
+  EXPECT_EQ(day2.recurring, 1u);
+  EXPECT_EQ(day2.stable, 0u);
+  EXPECT_EQ(day2.fresh, 0u);
+}
+
+TEST(Stability, LateJoinerNeverStable) {
+  StabilityTracker tracker;
+  tracker.add_day(result_with({}));
+  tracker.add_day(result_with({{1, "sf"}}));  // first seen day 1
+  tracker.add_day(result_with({{1, "sf"}}));
+  EXPECT_EQ(tracker.series(FullClass::kSf)[1].fresh, 1u);
+  EXPECT_EQ(tracker.series(FullClass::kSf)[2].stable, 0u) << "did not start at day 0";
+  EXPECT_EQ(tracker.series(FullClass::kSf)[2].recurring, 1u);
+}
+
+TEST(Stability, ClassChangeIsNewInTheOtherClass) {
+  StabilityTracker tracker;
+  tracker.add_day(result_with({{1, "tf"}}));
+  tracker.add_day(result_with({{1, "tc"}}));
+  EXPECT_EQ(tracker.series(FullClass::kTc)[1].fresh, 1u);
+  EXPECT_EQ(tracker.series(FullClass::kTf)[1].total(), 0u);
+}
+
+TEST(Stability, PartialClassificationsIgnored) {
+  StabilityTracker tracker;
+  core::CounterMap counters;
+  counters[1] = core::UsageCounters{100, 0, 0, 0};  // tn: not a full class
+  counters[2] = core::UsageCounters{100, 0, 1, 1};  // tu: undecided forwarding
+  tracker.add_day(core::InferenceResult(std::move(counters), core::Thresholds{}, 1));
+  for (const auto cls : {FullClass::kTf, FullClass::kTc, FullClass::kSf, FullClass::kSc}) {
+    EXPECT_EQ(tracker.series(cls)[0].total(), 0u);
+  }
+}
+
+TEST(Stability, PaperShapeMostlyStableAfterDayOne) {
+  // Fig. 3: with near-identical daily inputs, 90%+ of members are stable.
+  StabilityTracker tracker;
+  std::vector<std::pair<bgp::Asn, std::string>> base;
+  for (bgp::Asn a = 1; a <= 100; ++a) base.emplace_back(a, "sc");
+  tracker.add_day(result_with(base));
+  for (int day = 1; day < 5; ++day) {
+    auto todays = base;
+    todays.resize(97);  // a few drop out each day
+    todays.emplace_back(200 + static_cast<bgp::Asn>(day), "sc");  // one new
+    tracker.add_day(result_with(todays));
+  }
+  const auto& last = tracker.series(FullClass::kSc).back();
+  EXPECT_GE(last.stable * 10, last.total() * 9);
+}
+
+TEST(Stability, FullClassNames) {
+  EXPECT_STREQ(to_string(FullClass::kTf), "tagger-forward");
+  EXPECT_STREQ(to_string(FullClass::kSc), "silent-cleaner");
+}
+
+}  // namespace
+}  // namespace bgpcu::eval

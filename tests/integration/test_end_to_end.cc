@@ -1,0 +1,205 @@
+// Full-pipeline integration: synthetic Internet → wild roles → MRT emission
+// (all four collector projects) → extraction → sanitation → column engine →
+// per-AS classes, with the cross-checks the paper's §7 analyses rely on.
+#include <gtest/gtest.h>
+
+#include "collector/emit.h"
+#include "collector/extract.h"
+#include "collector/spec.h"
+#include "core/community_source.h"
+#include "core/engine.h"
+#include "sim/peering.h"
+#include "sim/scenario.h"
+#include "sim/substrate.h"
+#include "sim/wild.h"
+#include "topology/cone.h"
+#include "topology/generator.h"
+
+namespace bgpcu {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    state_ = new State(55);
+  }
+  static void TearDownTestSuite() {
+    delete state_;
+    state_ = nullptr;
+  }
+
+  struct State {
+    topology::GeneratedTopology topo;
+    std::vector<collector::ProjectSpec> projects;
+    sim::PathSubstrate substrate;
+    sim::RoleVector roles;
+    core::Dataset truth_tuples;
+    collector::DatasetBundle aggregate;  // RIPE + RouteViews + Isolario
+    core::InferenceResult inference{core::CounterMap{}, core::Thresholds{}, 0};
+
+    explicit State(std::uint64_t seed) {
+      topology::GeneratorParams params;
+      params.num_ases = 500;
+      params.num_tier1 = 6;
+      params.seed = seed;
+      topo = topology::generate(params);
+
+      collector::ProjectLayoutParams layout;
+      layout.total_peers = 50;
+      layout.seed = seed;
+      projects = collector::default_projects(topo, layout);
+      substrate = sim::build_substrate(topo, collector::all_peers(projects));
+
+      sim::WildParams wild;
+      wild.seed = seed;
+      roles = sim::assign_wild_roles(topo, wild);
+      sim::OutputConfig output;
+      output.pollution = wild.pollution;
+      truth_tuples = sim::generate_dataset(topo, substrate, roles, output, seed);
+
+      const collector::PathOutputs outputs(truth_tuples);
+      collector::EmissionConfig emission;
+      emission.seed = seed;
+      for (std::size_t i = 0; i < 3; ++i) {  // the paper's d aggregate
+        collector::DatasetBuilder builder(topo.registry);
+        for (const auto& emitted :
+             collector::emit_project(topo, substrate, outputs, projects[i], emission)) {
+          builder.add_dump(emitted.rib_dump);
+          builder.add_dump(emitted.update_dump);
+        }
+        aggregate.merge(builder.finish());
+      }
+      inference = core::ColumnEngine().run(aggregate.dataset);
+    }
+  };
+
+  static State* state_;
+};
+
+EndToEnd::State* EndToEnd::state_ = nullptr;
+
+TEST_F(EndToEnd, PipelineProducesData) {
+  EXPECT_GT(state_->aggregate.extraction.entries_total, 1000u);
+  EXPECT_GT(state_->aggregate.dataset.size(), 100u);
+  EXPECT_FALSE(state_->inference.counter_map().empty());
+}
+
+TEST_F(EndToEnd, PeerTaggingMatchesGroundTruthRoles) {
+  // Collector peers' tagging behavior is directly observable; with wild
+  // (possibly selective) roles, a consistent tagger peer must never be
+  // classified silent, and a silent peer never tagger.
+  std::size_t checked = 0;
+  for (const auto peer : state_->substrate.peers) {
+    const auto asn = state_->topo.graph.asn_of(peer);
+    const auto cls = state_->inference.tagging(asn);
+    if (cls == core::TaggingClass::kNone) continue;
+    const auto& role = state_->roles[peer];
+    if (role.tagger && !role.is_selective()) {
+      EXPECT_NE(cls, core::TaggingClass::kSilent) << "peer " << asn;
+    }
+    if (!role.tagger) {
+      EXPECT_NE(cls, core::TaggingClass::kTagger) << "peer " << asn;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST_F(EndToEnd, InferredTaggersAreMostlyLargeAses) {
+  // §7.3 / Fig. 6: taggers have large customer cones; silent ASes sit at the
+  // edge. Compare median cones.
+  const auto cones = topology::customer_cone_sizes(state_->topo.graph);
+  std::vector<std::uint32_t> tagger_cones, silent_cones;
+  for (topology::NodeId n = 0; n < state_->topo.graph.node_count(); ++n) {
+    const auto asn = state_->topo.graph.asn_of(n);
+    switch (state_->inference.tagging(asn)) {
+      case core::TaggingClass::kTagger:
+        tagger_cones.push_back(cones[n]);
+        break;
+      case core::TaggingClass::kSilent:
+        silent_cones.push_back(cones[n]);
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_GT(tagger_cones.size(), 3u);
+  ASSERT_GT(silent_cones.size(), 20u);
+  const auto median = [](std::vector<std::uint32_t>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  EXPECT_GT(median(tagger_cones), median(silent_cones));
+}
+
+TEST_F(EndToEnd, PeerCommunityTypesAlignWithClasses) {
+  // §7.2 / Fig. 5: fully-classified *cleaner* peers show (almost) no foreign
+  // communities; forward peers connected to taggers do.
+  std::uint64_t cleaner_foreign = 0, cleaner_total = 0;
+  std::uint64_t forward_foreign = 0, forward_total = 0;
+  for (const auto& tuple : state_->aggregate.dataset) {
+    const auto fwd = state_->inference.forwarding(tuple.peer());
+    if (fwd != core::ForwardingClass::kCleaner && fwd != core::ForwardingClass::kForward) {
+      continue;
+    }
+    const auto counts = core::count_sources(tuple, state_->topo.registry);
+    if (fwd == core::ForwardingClass::kCleaner) {
+      cleaner_foreign += counts.of(core::SourceGroup::kForeign);
+      cleaner_total += counts.total();
+    } else {
+      forward_foreign += counts.of(core::SourceGroup::kForeign);
+      forward_total += counts.total();
+    }
+  }
+  if (forward_total > 0 && cleaner_total > 0) {
+    const double forward_share =
+        static_cast<double>(forward_foreign) / static_cast<double>(forward_total);
+    const double cleaner_share =
+        static_cast<double>(cleaner_foreign) / static_cast<double>(cleaner_total);
+    EXPECT_GT(forward_share, cleaner_share);
+  }
+}
+
+TEST_F(EndToEnd, PeeringValidationMostlyConsistent) {
+  // §7.4 / Table 4: validate the wild inference with injected announcements.
+  sim::PeeringConfig config;
+  config.seed = 9;
+  const auto obs = sim::run_peering_experiment(state_->topo, state_->substrate.peers,
+                                               state_->roles, config);
+  ASSERT_GT(obs.tuples.size(), 10u);
+  const auto v = sim::validate_observation(obs, state_->inference, 47065);
+  // Contradictions (a cleaner on a path that delivered our communities) must
+  // be rare: the paper sees 0-3%.
+  if (v.with_comms > 0) {
+    EXPECT_LT(static_cast<double>(v.with_comms_cleaner),
+              0.15 * static_cast<double>(v.with_comms));
+  }
+}
+
+TEST_F(EndToEnd, SourceGroupsAllObserved) {
+  // Wild pollution must exercise all four §3.2 groups at the collectors.
+  core::SourceGroupCounts totals;
+  for (const auto& tuple : state_->aggregate.dataset) {
+    totals += core::count_sources(tuple, state_->topo.registry);
+  }
+  EXPECT_GT(totals.of(core::SourceGroup::kPeer), 0u);
+  EXPECT_GT(totals.of(core::SourceGroup::kForeign), 0u);
+  EXPECT_GT(totals.of(core::SourceGroup::kStray), 0u);
+  EXPECT_GT(totals.of(core::SourceGroup::kPrivate), 0u);
+}
+
+TEST_F(EndToEnd, Table1StatsInternallyConsistent) {
+  const auto stats = collector::compute_stats(state_->aggregate, state_->topo.registry);
+  EXPECT_LE(stats.unique_tuples, stats.entries_total);
+  EXPECT_LE(stats.asns_clean, stats.asns_raw);
+  EXPECT_LE(stats.leaf_ases, stats.asns_clean);
+  EXPECT_LE(stats.asns_32bit, stats.asns_clean);
+  EXPECT_LE(stats.unique_large_communities, stats.unique_communities);
+  EXPECT_LE(stats.large_communities_total, stats.communities_total);
+  EXPECT_LE(stats.uniq_upper_wo_stray, stats.uniq_upper_wo_private);
+  EXPECT_LE(stats.uniq_upper_wo_private, stats.uniq_upper_both);
+  EXPECT_LE(stats.uniq_upper_both, stats.uniq_upper_regular + stats.uniq_upper_large);
+}
+
+}  // namespace
+}  // namespace bgpcu

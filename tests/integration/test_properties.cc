@@ -1,0 +1,156 @@
+// Paper-shape property sweeps (§6): invariants that must hold for any seed.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "eval/metrics.h"
+#include "sim/scenario.h"
+#include "sim/substrate.h"
+#include "topology/generator.h"
+
+namespace bgpcu {
+namespace {
+
+struct Env {
+  topology::GeneratedTopology topo;
+  sim::PathSubstrate substrate;
+
+  explicit Env(std::uint64_t seed) {
+    topology::GeneratorParams params;
+    params.num_ases = 400;
+    params.num_tier1 = 5;
+    params.seed = seed;
+    topo = topology::generate(params);
+    substrate = sim::build_substrate(topo, sim::select_collector_peers(topo, 30, seed));
+  }
+
+  eval::ScenarioEvaluation run(sim::ScenarioKind kind, std::uint64_t seed,
+                               std::uint32_t observations = 3) {
+    sim::ScenarioConfig config;
+    config.kind = kind;
+    config.seed = seed;
+    // The paper observes each AS through vastly more tuples than a unit-test
+    // topology provides; several observations per path (RIB + update churn)
+    // keep the per-AS noise-hit expectation in the paper's regime while the
+    // per-tuple probabilities stay at the paper's 5%.
+    config.observations_per_path = observations;
+    truth = sim::build_scenario(topo, substrate, config);
+    const auto result = core::ColumnEngine().run(truth.dataset);
+    return eval::evaluate_scenario(topo, truth, result);
+  }
+
+  sim::GroundTruth truth;
+};
+
+class ScenarioSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The paper's headline claim: on consistent behavior the algorithm never
+// misclassifies — precision 1.0 in every consistent scenario (Table 2).
+TEST_P(ScenarioSeeds, ConsistentScenariosHavePerfectPrecision) {
+  Env env(GetParam());
+  for (const auto kind :
+       {sim::ScenarioKind::kAllTf, sim::ScenarioKind::kAllTc, sim::ScenarioKind::kRandom}) {
+    const auto ev = env.run(kind, GetParam());
+    if (ev.tagging_pr.decided > 0) {
+      EXPECT_DOUBLE_EQ(ev.tagging_pr.precision, 1.0) << sim::to_string(kind);
+    }
+    if (ev.forwarding_pr.decided > 0) {
+      EXPECT_DOUBLE_EQ(ev.forwarding_pr.precision, 1.0) << sim::to_string(kind);
+    }
+  }
+}
+
+// §6.4 / Tables 5-6: ASes whose behavior is hidden behind a cleaner must not
+// be classified in noise-free scenarios.
+TEST_P(ScenarioSeeds, HiddenAsesNeverClassifiedWithoutNoise) {
+  Env env(GetParam());
+  for (const auto kind : {sim::ScenarioKind::kRandom, sim::ScenarioKind::kAllTc}) {
+    const auto ev = env.run(kind, GetParam());
+    for (std::size_t col = 0; col < 3; ++col) {  // tagger, silent, undecided columns
+      EXPECT_EQ(ev.tagging.at(eval::TagRow::kTaggerHidden, col), 0u) << sim::to_string(kind);
+      EXPECT_EQ(ev.tagging.at(eval::TagRow::kSilentHidden, col), 0u) << sim::to_string(kind);
+    }
+    for (std::size_t col = 0; col < 3; ++col) {
+      EXPECT_EQ(ev.forwarding.at(eval::FwdRow::kForwardHidden, col), 0u) << sim::to_string(kind);
+      EXPECT_EQ(ev.forwarding.at(eval::FwdRow::kCleanerHidden, col), 0u) << sim::to_string(kind);
+    }
+  }
+}
+
+// §5.1.3: leaf ASes have no forwarding behavior to observe — ever.
+TEST_P(ScenarioSeeds, LeafAsesNeverGetForwardingClass) {
+  Env env(GetParam());
+  const auto ev = env.run(sim::ScenarioKind::kRandom, GetParam());
+  for (std::size_t col = 0; col < 3; ++col) {
+    EXPECT_EQ(ev.forwarding.at(eval::FwdRow::kForwardLeaf, col), 0u);
+    EXPECT_EQ(ev.forwarding.at(eval::FwdRow::kCleanerLeaf, col), 0u);
+  }
+}
+
+// Table 2 ordering: visibility is best in alltf, worst in alltc; random and
+// the selective variants land in between (measured by `nn`).
+TEST_P(ScenarioSeeds, CoverageOrderingAcrossScenarios) {
+  Env env(GetParam());
+  const auto tf = env.run(sim::ScenarioKind::kAllTf, GetParam());
+  const auto rnd = env.run(sim::ScenarioKind::kRandom, GetParam());
+  const auto tc = env.run(sim::ScenarioKind::kAllTc, GetParam());
+  EXPECT_LT(tf.classes.nn, rnd.classes.nn);
+  EXPECT_LT(rnd.classes.nn, tc.classes.nn);
+}
+
+// §6.3: selective tagging depresses recall relative to the plain random
+// scenario, and random-pp is worse than random-p.
+TEST_P(ScenarioSeeds, SelectiveScenariosDepressRecall) {
+  Env env(GetParam());
+  const auto rnd = env.run(sim::ScenarioKind::kRandom, GetParam());
+  const auto p = env.run(sim::ScenarioKind::kRandomP, GetParam());
+  const auto pp = env.run(sim::ScenarioKind::kRandomPp, GetParam());
+  EXPECT_GT(rnd.tagging_pr.recall, p.tagging_pr.recall);
+  EXPECT_GE(p.tagging_pr.recall, pp.tagging_pr.recall)
+      << "-pp restricts tagging at least as much as -p";
+  EXPECT_GT(rnd.tagging_pr.recall, pp.tagging_pr.recall);
+}
+
+// §6.4 random+noise: noise pushes silent/cleaner ASes into undecided while
+// taggers are mostly unaffected, and hidden ASes stay (almost) unclassified
+// (paper: <0.5%).
+TEST_P(ScenarioSeeds, NoiseCreatesUndecidedNotMisclassification) {
+  Env env(GetParam());
+  const auto noise = env.run(sim::ScenarioKind::kRandomNoise, GetParam(), /*observations=*/16);
+  const auto undecided_silent = noise.tagging.at(eval::TagRow::kSilent, 2);
+  const auto silent_total = noise.tagging.row_total(eval::TagRow::kSilent);
+  // §6.4: noise pushes a large share of the counted silent ASes into
+  // undecided (the paper's 73k-AS run flips >80%; unit-test sample sizes
+  // leave a remainder of thinly-observed ASes, so require a strong effect
+  // rather than strict dominance).
+  EXPECT_GT(undecided_silent * 2, noise.tagging.at(eval::TagRow::kSilent, 1));
+  EXPECT_GT(undecided_silent, 0u);
+  EXPECT_GT(silent_total, 0u);
+
+  // Misclassified silent (inferred tagger) stays a small fraction.
+  EXPECT_LT(noise.tagging.at(eval::TagRow::kSilent, 0) * 10, silent_total);
+
+  // Hidden ASes classified at all stay a small fraction (paper: <0.5%; the
+  // bound is relaxed for unit-test sample sizes).
+  std::uint64_t hidden_classified = 0, hidden_total = 0;
+  for (const auto row : {eval::TagRow::kTaggerHidden, eval::TagRow::kSilentHidden}) {
+    hidden_total += noise.tagging.row_total(row);
+    for (std::size_t col = 0; col < 3; ++col) hidden_classified += noise.tagging.at(row, col);
+  }
+  if (hidden_total > 0) {
+    EXPECT_LT(static_cast<double>(hidden_classified), 0.03 * static_cast<double>(hidden_total));
+  }
+}
+
+// Undecided ASes only appear when selective tagging or noise is in play.
+TEST_P(ScenarioSeeds, NoUndecidedInConsistentScenarios) {
+  Env env(GetParam());
+  const auto ev = env.run(sim::ScenarioKind::kRandom, GetParam());
+  EXPECT_EQ(ev.classes.tag_u, 0u);
+  EXPECT_EQ(ev.classes.fwd_u, 0u);
+  EXPECT_EQ(ev.classes.uu, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioSeeds, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace bgpcu

@@ -1,0 +1,95 @@
+#include "registry/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::registry {
+namespace {
+
+TEST(Registry, UnallocatedByDefault) {
+  AllocationRegistry reg;
+  EXPECT_EQ(reg.asn_status(3356), AsnStatus::kUnallocated);
+  EXPECT_FALSE(reg.is_public_allocated(3356));
+}
+
+TEST(Registry, AllocationMakesPublic) {
+  AllocationRegistry reg;
+  reg.allocate_asn(3356);
+  EXPECT_EQ(reg.asn_status(3356), AsnStatus::kAllocated);
+  EXPECT_TRUE(reg.is_public_allocated(3356));
+  EXPECT_FALSE(reg.is_public_allocated(3357));
+}
+
+TEST(Registry, SpecialPurposeBeatsAllocation) {
+  AllocationRegistry reg;
+  reg.allocate_asn_range(64000, 65000);  // overlaps private space
+  EXPECT_EQ(reg.asn_status(64511), AsnStatus::kSpecialPurpose);  // documentation
+  EXPECT_EQ(reg.asn_status(64512), AsnStatus::kSpecialPurpose);  // private
+  EXPECT_EQ(reg.asn_status(64000), AsnStatus::kAllocated);
+}
+
+TEST(Registry, RangeMergingCountsOnce) {
+  AllocationRegistry reg;
+  reg.allocate_asn_range(10, 20);
+  reg.allocate_asn_range(15, 30);  // overlap
+  reg.allocate_asn_range(31, 40);  // adjacent
+  EXPECT_EQ(reg.allocated_asn_count(), 31u);  // 10..40
+  EXPECT_TRUE(reg.is_public_allocated(40));
+  EXPECT_FALSE(reg.is_public_allocated(41));
+}
+
+TEST(Registry, DisjointRanges) {
+  AllocationRegistry reg;
+  reg.allocate_asn_range(100, 110);
+  reg.allocate_asn_range(200, 210);
+  EXPECT_TRUE(reg.is_public_allocated(105));
+  EXPECT_FALSE(reg.is_public_allocated(150));
+  EXPECT_TRUE(reg.is_public_allocated(205));
+  EXPECT_EQ(reg.allocated_asn_count(), 22u);
+}
+
+TEST(Registry, ReversedRangeNormalized) {
+  AllocationRegistry reg;
+  reg.allocate_asn_range(50, 40);
+  EXPECT_TRUE(reg.is_public_allocated(45));
+}
+
+TEST(Registry, PrefixContainment) {
+  AllocationRegistry reg;
+  reg.allocate_prefix(bgp::Prefix::parse("10.0.0.0/8"));
+  EXPECT_TRUE(reg.prefix_allocated(bgp::Prefix::parse("10.1.2.0/24")));
+  EXPECT_TRUE(reg.prefix_allocated(bgp::Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(reg.prefix_allocated(bgp::Prefix::parse("11.0.0.0/24")));
+  EXPECT_FALSE(reg.prefix_allocated(bgp::Prefix::parse("10.0.0.0/7"))) << "covering supernet";
+}
+
+TEST(Registry, AdjacentV4BlocksMerge) {
+  AllocationRegistry reg;
+  reg.allocate_prefix(bgp::Prefix::parse("10.0.0.0/9"));
+  reg.allocate_prefix(bgp::Prefix::parse("10.128.0.0/9"));
+  EXPECT_TRUE(reg.prefix_allocated(bgp::Prefix::parse("10.0.0.0/8")))
+      << "merged adjacent halves cover the /8";
+}
+
+TEST(Registry, HostRoute) {
+  AllocationRegistry reg;
+  reg.allocate_prefix(bgp::Prefix::parse("192.0.2.1/32"));
+  EXPECT_TRUE(reg.prefix_allocated(bgp::Prefix::parse("192.0.2.1/32")));
+  EXPECT_FALSE(reg.prefix_allocated(bgp::Prefix::parse("192.0.2.2/32")));
+}
+
+TEST(Registry, Ipv6Blocks) {
+  AllocationRegistry reg;
+  reg.allocate_prefix(bgp::Prefix::parse("2001:db8::/32"));
+  EXPECT_TRUE(reg.prefix_allocated(bgp::Prefix::parse("2001:db8:1::/48")));
+  EXPECT_FALSE(reg.prefix_allocated(bgp::Prefix::parse("2001:db9::/48")));
+}
+
+TEST(Registry, ThirtyTwoBitAsns) {
+  AllocationRegistry reg;
+  reg.allocate_asn_range(4200000, 4300000);
+  EXPECT_TRUE(reg.is_public_allocated(4250000));
+  EXPECT_EQ(reg.asn_status(4200000000u), AsnStatus::kSpecialPurpose);
+}
+
+}  // namespace
+}  // namespace bgpcu::registry

@@ -1,0 +1,84 @@
+#include "sim/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bgpcu::sim {
+namespace {
+
+core::Dataset base_dataset() {
+  core::Dataset d;
+  for (bgp::Asn origin = 100; origin < 150; ++origin) {
+    for (bgp::Asn peer = 1; peer <= 5; ++peer) {
+      core::PathCommTuple t;
+      t.path = {peer, 50, origin};
+      d.push_back(std::move(t));
+    }
+  }
+  core::deduplicate(d);
+  return d;
+}
+
+TEST(Churn, DayDatasetIsSubset) {
+  const auto base = base_dataset();
+  ChurnConfig config;
+  const auto day = day_dataset(base, config, 1);
+  EXPECT_LT(day.size(), base.size());
+  EXPECT_GT(day.size(), base.size() / 2);
+  for (const auto& tuple : day) {
+    EXPECT_NE(std::find(base.begin(), base.end(), tuple), base.end());
+  }
+}
+
+TEST(Churn, DeterministicPerDaySeed) {
+  const auto base = base_dataset();
+  ChurnConfig config;
+  EXPECT_EQ(day_dataset(base, config, 2), day_dataset(base, config, 2));
+  EXPECT_NE(day_dataset(base, config, 2), day_dataset(base, config, 3));
+}
+
+TEST(Churn, OutageRemovesWholeOrigin) {
+  const auto base = base_dataset();
+  ChurnConfig config;
+  config.outage_prob = 0.3;
+  config.daily_visibility = 1.0;
+  const auto day = day_dataset(base, config, 1);
+  // Partition origins into fully-present and fully-absent.
+  std::unordered_set<bgp::Asn> present;
+  for (const auto& t : day) present.insert(t.origin());
+  for (bgp::Asn origin = 100; origin < 150; ++origin) {
+    const auto count = std::count_if(day.begin(), day.end(), [origin](const auto& t) {
+      return t.origin() == origin;
+    });
+    if (present.contains(origin)) {
+      EXPECT_EQ(count, 5) << "origin " << origin << " partially out";
+    } else {
+      EXPECT_EQ(count, 0);
+    }
+  }
+  EXPECT_LT(present.size(), 50u);
+}
+
+TEST(Churn, FullVisibilityNoOutageIsIdentity) {
+  const auto base = base_dataset();
+  ChurnConfig config;
+  config.daily_visibility = 1.0;
+  config.outage_prob = 0.0;
+  EXPECT_EQ(day_dataset(base, config, 1), base);
+}
+
+TEST(Churn, MergeDeduplicates) {
+  const auto base = base_dataset();
+  ChurnConfig config;
+  const auto day1 = day_dataset(base, config, 1);
+  const auto day2 = day_dataset(base, config, 2);
+  const auto merged = merge_datasets(day1, day2);
+  EXPECT_LE(merged.size(), base.size());
+  EXPECT_GE(merged.size(), std::max(day1.size(), day2.size()));
+  auto copy = merged;
+  EXPECT_EQ(core::deduplicate(copy), 0u);
+}
+
+}  // namespace
+}  // namespace bgpcu::sim

@@ -1,0 +1,237 @@
+// Output-model tests: the formal model of §3.3.2 — output(A) = tagging(A) ∪
+// forwarding(A, input(A)) — plus selectivity and noise mechanics.
+#include "sim/output_model.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpcu::sim {
+namespace {
+
+using topology::NodeId;
+
+// Minimal topology: chain leaf -> mid -> top (c2p), top is "peer".
+struct Chain {
+  topology::GeneratedTopology topo;
+  NodeId top, mid, leaf;
+  std::vector<NodeId> path;  // [top, mid, leaf]: top = collector peer
+  Chain() {
+    top = topo.graph.add_as(10);
+    mid = topo.graph.add_as(20);
+    leaf = topo.graph.add_as(30);
+    topo.tier = {topology::Tier::kTier1, topology::Tier::kSmallTransit, topology::Tier::kLeaf};
+    topo.graph.add_c2p(mid, top);
+    topo.graph.add_c2p(leaf, mid);
+    path = {top, mid, leaf};
+  }
+};
+
+bgp::CommunitySet run(const Chain& chain, const RoleVector& roles,
+                      const OutputConfig& config = {}) {
+  topology::Rng rng(1);
+  const std::vector<bool> noisy(chain.topo.graph.node_count(),
+                                config.noise.enabled);  // all noisy when enabled
+  return compute_output(chain.topo, chain.path, roles, noisy, config, rng);
+}
+
+TEST(OutputModel, AllSilentForwardYieldsEmpty) {
+  Chain chain;
+  const RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  EXPECT_TRUE(run(chain, roles).empty());
+}
+
+TEST(OutputModel, TaggerContributesOwnUpperField) {
+  Chain chain;
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  roles[chain.leaf] = Role{true, false, Selectivity::kNone};
+  const auto out = run(chain, roles);
+  EXPECT_TRUE(bgp::contains_upper(out, 30));
+  EXPECT_FALSE(bgp::contains_upper(out, 10));
+  EXPECT_FALSE(bgp::contains_upper(out, 20));
+}
+
+TEST(OutputModel, CleanerRemovesDownstreamTags) {
+  Chain chain;
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  roles[chain.leaf] = Role{true, false, Selectivity::kNone};
+  roles[chain.mid] = Role{false, true, Selectivity::kNone};  // cleaner
+  EXPECT_TRUE(run(chain, roles).empty());
+}
+
+TEST(OutputModel, TaggerCleanerKeepsOwnDropsOthers) {
+  Chain chain;
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  roles[chain.leaf] = Role{true, false, Selectivity::kNone};
+  roles[chain.mid] = Role{true, true, Selectivity::kNone};  // tc
+  const auto out = run(chain, roles);
+  EXPECT_TRUE(bgp::contains_upper(out, 20));
+  EXPECT_FALSE(bgp::contains_upper(out, 30));
+}
+
+TEST(OutputModel, CleanerAtPeerRemovesEverythingButOwn) {
+  Chain chain;
+  RoleVector roles(3, Role{true, false, Selectivity::kNone});  // everyone tags
+  roles[chain.top] = Role{false, true, Selectivity::kNone};    // peer cleans, silent
+  EXPECT_TRUE(run(chain, roles).empty());
+}
+
+TEST(OutputModel, SkipProviderSuppressesUphillTags) {
+  Chain chain;
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  // mid tags, but exports to `top` which is mid's provider -> suppressed.
+  roles[chain.mid] = Role{true, false, Selectivity::kSkipProvider};
+  const auto out = run(chain, roles);
+  EXPECT_FALSE(bgp::contains_upper(out, 20));
+}
+
+TEST(OutputModel, SkipProviderStillTagsTowardCollector) {
+  Chain chain;
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  roles[chain.top] = Role{true, false, Selectivity::kSkipProvider};  // peer position
+  const auto out = run(chain, roles);
+  EXPECT_TRUE(bgp::contains_upper(out, 10)) << "collector session is always tagged";
+}
+
+TEST(OutputModel, SkipProviderPeerTagsOnlyCustomers) {
+  // Path where the receiver is a customer: build peer-to-peer then downhill.
+  topology::GeneratedTopology topo;
+  const auto peerA = topo.graph.add_as(10);   // collector peer
+  const auto transit = topo.graph.add_as(20); // tags selectively
+  const auto origin = topo.graph.add_as(30);
+  topo.tier = {topology::Tier::kSmallTransit, topology::Tier::kSmallTransit,
+               topology::Tier::kLeaf};
+  // peerA is a CUSTOMER of transit: transit exports downhill to peerA.
+  topo.graph.add_c2p(peerA, transit);
+  topo.graph.add_c2p(origin, transit);
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  roles[transit] = Role{true, false, Selectivity::kSkipProviderPeer};
+  topology::Rng rng(1);
+  const std::vector<bool> noisy;
+  const auto out =
+      compute_output(topo, {peerA, transit, origin}, roles, noisy, OutputConfig{}, rng);
+  EXPECT_TRUE(bgp::contains_upper(out, 20)) << "receiver is a customer: tag applies";
+}
+
+TEST(OutputModel, CollectorOnlySuppressesNonCollectorSessions) {
+  Chain chain;
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  roles[chain.mid] = Role{true, false, Selectivity::kCollectorOnly};
+  roles[chain.top] = Role{true, false, Selectivity::kCollectorOnly};
+  const auto out = run(chain, roles);
+  EXPECT_FALSE(bgp::contains_upper(out, 20)) << "mid does not face the collector";
+  EXPECT_TRUE(bgp::contains_upper(out, 10)) << "top faces the collector";
+}
+
+TEST(OutputModel, OriginOverrideReplacesVocabulary) {
+  Chain chain;
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  roles[chain.leaf] = Role{true, false, Selectivity::kNone};
+  const bgp::CommunitySet pop = {bgp::CommunityValue::regular(47065, 1000)};
+  topology::Rng rng(1);
+  const std::vector<bool> noisy;
+  const auto out =
+      compute_output(chain.topo, chain.path, roles, noisy, OutputConfig{}, rng, &pop);
+  EXPECT_TRUE(bgp::contains_upper(out, 47065));
+  EXPECT_FALSE(bgp::contains_upper(out, 30)) << "override suppresses own vocabulary";
+}
+
+TEST(OutputModel, VocabularyStablePerAsnAndIngress) {
+  const auto a = tagger_vocabulary(3356, 10);
+  const auto b = tagger_vocabulary(3356, 10);
+  EXPECT_EQ(a, b);
+  for (const auto& c : a) EXPECT_EQ(c.upper, 3356u);
+}
+
+TEST(OutputModel, ThirtyTwoBitTaggersUseLargeCommunities) {
+  const auto vocab = tagger_vocabulary(4200000, 10);
+  for (const auto& c : vocab) {
+    EXPECT_EQ(c.kind, bgp::CommunityKind::kLarge);
+    EXPECT_EQ(c.upper, 4200000u);
+  }
+}
+
+TEST(OutputModel, NoiseAppendsOriginCommunityEventually) {
+  Chain chain;
+  const RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  OutputConfig config;
+  config.noise.enabled = true;
+  config.noise.origin_prob = 1.0;  // force
+  config.noise.action_prob = 0.0;
+  const auto out = run(chain, roles, config);
+  EXPECT_TRUE(bgp::contains_upper(out, 30)) << "origin-ASN noise community appended";
+}
+
+TEST(OutputModel, ActionNoiseUsesUpstreamNeighborAsn) {
+  Chain chain;
+  const RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  OutputConfig config;
+  config.noise.enabled = true;
+  config.noise.origin_prob = 0.0;
+  config.noise.action_prob = 1.0;  // force on every hop
+  const auto out = run(chain, roles, config);
+  // leaf attaches mid's ASN, mid attaches top's ASN; top has no upstream.
+  EXPECT_TRUE(bgp::contains_upper(out, 20));
+  EXPECT_TRUE(bgp::contains_upper(out, 10));
+}
+
+TEST(OutputModel, ActionNoiseIsCleanedUpstream) {
+  Chain chain;
+  RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  roles[chain.mid] = Role{false, true, Selectivity::kNone};  // cleaner at mid
+  OutputConfig config;
+  config.noise.enabled = true;
+  config.noise.origin_prob = 0.0;
+  config.noise.action_prob = 1.0;
+  const auto out = run(chain, roles, config);
+  // The leaf's action community (upper = mid) is cleaned by mid itself; the
+  // only survivor is mid's own action community naming top.
+  EXPECT_FALSE(bgp::contains_upper(out, 20));
+  EXPECT_TRUE(bgp::contains_upper(out, 10));
+}
+
+TEST(OutputModel, PrivatePollutionUsesPrivateAdmins) {
+  Chain chain;
+  const RoleVector roles(3, Role{false, false, Selectivity::kNone});
+  OutputConfig config;
+  config.pollution.private_prob = 1.0;
+  const auto out = run(chain, roles, config);
+  ASSERT_FALSE(out.empty());
+  for (const auto& c : out) EXPECT_TRUE(bgp::is_private_asn(c.upper));
+}
+
+TEST(OutputModel, StrayPollutionAdminOffPath) {
+  Chain chain;
+  // Add off-path ASes so the stray draw has candidates.
+  for (bgp::Asn asn = 100; asn < 110; ++asn) {
+    chain.topo.graph.add_as(asn);
+    chain.topo.tier.push_back(topology::Tier::kLeaf);
+  }
+  RoleVector roles(chain.topo.graph.node_count(), Role{false, false, Selectivity::kNone});
+  OutputConfig config;
+  config.pollution.stray_prob = 1.0;
+  topology::Rng rng(1);
+  const std::vector<bool> noisy;
+  const auto out = compute_output(chain.topo, chain.path, roles, noisy, config, rng);
+  ASSERT_FALSE(out.empty());
+  for (const auto& c : out) {
+    EXPECT_GE(c.upper, 100u);
+    EXPECT_LT(c.upper, 110u);
+  }
+}
+
+TEST(OutputModel, MarkNoisyRespectsFractionAndDeterminism) {
+  NoiseConfig noise;
+  noise.enabled = true;
+  noise.noisy_as_fraction = 0.5;
+  const auto a = mark_noisy(10000, noise, 42);
+  const auto b = mark_noisy(10000, noise, 42);
+  EXPECT_EQ(a, b);
+  const auto count = static_cast<double>(std::count(a.begin(), a.end(), true));
+  EXPECT_NEAR(count / 10000.0, 0.5, 0.03);
+  const auto off = mark_noisy(100, NoiseConfig{}, 42);
+  EXPECT_EQ(std::count(off.begin(), off.end(), true), 0);
+}
+
+}  // namespace
+}  // namespace bgpcu::sim

@@ -1,0 +1,122 @@
+// PEERING-testbed simulation tests (§7.4 semantics).
+#include "sim/peering.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sim/scenario.h"
+#include "sim/substrate.h"
+#include "sim/wild.h"
+#include "topology/generator.h"
+
+namespace bgpcu::sim {
+namespace {
+
+struct Fixture {
+  topology::GeneratedTopology topo;
+  PathSubstrate substrate;
+  RoleVector roles;
+  Fixture() {
+    topology::GeneratorParams params;
+    params.num_ases = 400;
+    params.num_tier1 = 5;
+    params.seed = 21;
+    topo = topology::generate(params);
+    substrate = build_substrate(topo, select_collector_peers(topo, 25, 21));
+    WildParams wild;
+    wild.seed = 21;
+    roles = assign_wild_roles(topo, wild);
+  }
+};
+
+TEST(Peering, ObservationReachesPeers) {
+  Fixture f;
+  PeeringConfig config;
+  config.seed = 1;
+  const auto obs = run_peering_experiment(f.topo, f.substrate.peers, f.roles, config);
+  EXPECT_FALSE(obs.tuples.empty());
+  EXPECT_EQ(obs.pop_asns.size(), config.num_pops);
+  for (const auto& tuple : obs.tuples) {
+    EXPECT_GE(tuple.path.size(), 2u);
+    EXPECT_EQ(tuple.path.back(), 47065u) << "origin is the testbed ASN";
+  }
+}
+
+TEST(Peering, CommunitiesPresentIffNoTrueCleanerUpstream) {
+  Fixture f;
+  PeeringConfig config;
+  config.seed = 2;
+  const auto obs = run_peering_experiment(f.topo, f.substrate.peers, f.roles, config);
+  for (const auto& tuple : obs.tuples) {
+    bool cleaner = false;
+    for (std::size_t i = 0; i + 1 < tuple.path.size(); ++i) {
+      const auto node = f.topo.graph.node_of(tuple.path[i]);
+      ASSERT_TRUE(node.has_value());
+      cleaner |= f.roles[*node].cleaner;
+    }
+    EXPECT_EQ(bgp::contains_upper(tuple.comms, 47065), !cleaner) << tuple.to_string();
+  }
+}
+
+TEST(Peering, PopCommunityPairIsUnique) {
+  Fixture f;
+  PeeringConfig config;
+  config.seed = 3;
+  const auto obs = run_peering_experiment(f.topo, f.substrate.peers, f.roles, config);
+  // Tuples carrying our communities must carry exactly the pair of their PoP.
+  for (const auto& tuple : obs.tuples) {
+    std::vector<std::uint32_t> ours;
+    for (const auto& c : tuple.comms) {
+      if (c.upper == 47065) ours.push_back(c.low1);
+    }
+    if (ours.empty()) continue;
+    ASSERT_EQ(ours.size(), 2u);
+    EXPECT_EQ(ours[0] / 2, ours[1] / 2) << "values form one PoP pair";
+  }
+}
+
+TEST(Peering, ValidationConsistentWithPerfectInference) {
+  // Feed the validator an inference that matches the ground truth exactly:
+  // no contradictions can remain.
+  Fixture f;
+  PeeringConfig config;
+  config.seed = 4;
+  const auto obs = run_peering_experiment(f.topo, f.substrate.peers, f.roles, config);
+
+  core::CounterMap counters;
+  for (topology::NodeId n = 0; n < f.topo.graph.node_count(); ++n) {
+    auto& k = counters[f.topo.graph.asn_of(n)];
+    if (f.roles[n].cleaner) {
+      k.c = 100;
+    } else {
+      k.f = 100;
+    }
+    k.t = 100;
+  }
+  const core::InferenceResult oracle(std::move(counters), core::Thresholds{}, 1);
+
+  const auto v = validate_observation(obs, oracle, 47065);
+  EXPECT_EQ(v.with_comms_cleaner, 0u) << "no cleaner on paths that delivered our communities";
+  EXPECT_EQ(v.without_comms_cleaner, v.without_comms)
+      << "every community-less path contains the responsible cleaner";
+  EXPECT_EQ(v.with_comms + v.without_comms, obs.tuples.size());
+}
+
+TEST(Peering, AsnCollisionAvoided) {
+  Fixture f;
+  // Force a collision: add 47065 to the topology, then run.
+  topology::GeneratedTopology topo2 = f.topo;
+  topo2.graph.add_as(47065);
+  topo2.tier.push_back(topology::Tier::kLeaf);
+  topo2.prefixes.emplace_back();
+  RoleVector roles2 = f.roles;
+  roles2.push_back(Role{});
+  PeeringConfig config;
+  const auto obs = run_peering_experiment(topo2, f.substrate.peers, roles2, config);
+  for (const auto& tuple : obs.tuples) {
+    EXPECT_EQ(tuple.path.back(), 47066u) << "testbed dodged the collision";
+  }
+}
+
+}  // namespace
+}  // namespace bgpcu::sim

@@ -1,0 +1,191 @@
+// Scenario construction tests: role assignment, visibility flags, and the
+// ground-truth dataset generation of §6.
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/substrate.h"
+#include "topology/generator.h"
+
+namespace bgpcu::sim {
+namespace {
+
+using topology::NodeId;
+
+struct Fixture {
+  topology::GeneratedTopology topo;
+  PathSubstrate substrate;
+  Fixture() {
+    topology::GeneratorParams params;
+    params.num_ases = 300;
+    params.num_tier1 = 5;
+    params.seed = 11;
+    topo = topology::generate(params);
+    substrate = build_substrate(topo, select_collector_peers(topo, 20, 11));
+  }
+};
+
+TEST(Scenario, AllTfAssignsEveryoneTaggerForward) {
+  Fixture f;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kAllTf;
+  const auto roles = assign_roles(f.topo, config);
+  for (const auto& role : roles) {
+    EXPECT_TRUE(role.tagger);
+    EXPECT_FALSE(role.cleaner);
+  }
+}
+
+TEST(Scenario, AllTcAssignsEveryoneTaggerCleaner) {
+  Fixture f;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kAllTc;
+  const auto roles = assign_roles(f.topo, config);
+  for (const auto& role : roles) {
+    EXPECT_TRUE(role.tagger);
+    EXPECT_TRUE(role.cleaner);
+  }
+}
+
+TEST(Scenario, RandomRolesRoughlyUniform) {
+  Fixture f;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kRandom;
+  config.seed = 5;
+  const auto roles = assign_roles(f.topo, config);
+  std::size_t taggers = 0, cleaners = 0;
+  for (const auto& role : roles) {
+    taggers += role.tagger;
+    cleaners += role.cleaner;
+  }
+  const double n = static_cast<double>(roles.size());
+  EXPECT_NEAR(static_cast<double>(taggers) / n, 0.5, 0.1);
+  EXPECT_NEAR(static_cast<double>(cleaners) / n, 0.5, 0.1);
+}
+
+TEST(Scenario, RandomPKeepsBaseRolesAndAddsSelectivity) {
+  Fixture f;
+  ScenarioConfig base;
+  base.kind = ScenarioKind::kRandom;
+  base.seed = 5;
+  ScenarioConfig sel = base;
+  sel.kind = ScenarioKind::kRandomP;
+  const auto roles_base = assign_roles(f.topo, base);
+  const auto roles_sel = assign_roles(f.topo, sel);
+  std::size_t selective = 0;
+  for (std::size_t i = 0; i < roles_base.size(); ++i) {
+    EXPECT_EQ(roles_base[i].tagger, roles_sel[i].tagger) << "same seed, same base roles";
+    EXPECT_EQ(roles_base[i].cleaner, roles_sel[i].cleaner);
+    if (roles_sel[i].is_selective()) {
+      ++selective;
+      EXPECT_EQ(roles_sel[i].selectivity, Selectivity::kSkipProvider);
+    }
+  }
+  EXPECT_GT(selective, 0u);
+}
+
+TEST(Scenario, RandomPpUsesStricterSelectivity) {
+  Fixture f;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kRandomPp;
+  const auto roles = assign_roles(f.topo, config);
+  bool found = false;
+  for (const auto& role : roles) {
+    if (role.is_selective()) {
+      EXPECT_EQ(role.selectivity, Selectivity::kSkipProviderPeer);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Scenario, GroundTruthDatasetNonEmptyAndDeduplicated) {
+  Fixture f;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kRandom;
+  auto truth = build_scenario(f.topo, f.substrate, config);
+  EXPECT_FALSE(truth.dataset.empty());
+  const auto before = truth.dataset.size();
+  EXPECT_EQ(core::deduplicate(truth.dataset), 0u);
+  EXPECT_EQ(truth.dataset.size(), before);
+}
+
+TEST(Scenario, AllTfNothingHidden) {
+  Fixture f;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kAllTf;
+  const auto truth = build_scenario(f.topo, f.substrate, config);
+  for (NodeId n = 0; n < f.topo.graph.node_count(); ++n) {
+    EXPECT_FALSE(truth.tagging_hidden[n]);
+    if (truth.present[n] && !truth.leaf[n]) {
+      EXPECT_FALSE(truth.forwarding_hidden[n]) << "downstream taggers everywhere";
+    }
+  }
+}
+
+TEST(Scenario, AllTcEverythingBehindPeersHidden) {
+  Fixture f;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kAllTc;
+  const auto truth = build_scenario(f.topo, f.substrate, config);
+  std::size_t hidden = 0, visible = 0;
+  for (NodeId n = 0; n < f.topo.graph.node_count(); ++n) {
+    if (!truth.present[n]) continue;
+    if (truth.tagging_hidden[n]) {
+      ++hidden;
+    } else {
+      ++visible;
+    }
+  }
+  // Only ASes that appear as collector peers (index 1) are visible.
+  EXPECT_EQ(visible, f.substrate.peers.size());
+  EXPECT_GT(hidden, visible);
+}
+
+TEST(Scenario, LeafFlagsMatchSubstrateDefinition) {
+  Fixture f;
+  const auto leaf = f.substrate.leaf_flags(f.topo.graph.node_count());
+  const auto present = f.substrate.present_flags(f.topo.graph.node_count());
+  for (const auto& path : f.substrate.paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_FALSE(leaf[path[i]]) << "transit position implies non-leaf";
+    }
+  }
+  for (NodeId n = 0; n < f.topo.graph.node_count(); ++n) {
+    if (!present[n]) EXPECT_FALSE(leaf[n]);
+  }
+}
+
+TEST(Scenario, DatasetCommunitiesRespectCleaners) {
+  // In a consistent scenario the observed tuples must never carry an upper
+  // field of an AS that sits strictly below a cleaner on that path.
+  Fixture f;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kRandom;
+  config.seed = 3;
+  const auto truth = build_scenario(f.topo, f.substrate, config);
+  for (const auto& tuple : truth.dataset) {
+    bool clean_so_far = true;  // no cleaner seen at positions < i
+    for (std::size_t i = 0; i < tuple.path.size(); ++i) {
+      const auto node = f.topo.graph.node_of(tuple.path[i]);
+      ASSERT_TRUE(node.has_value());
+      if (!clean_so_far) {
+        EXPECT_FALSE(bgp::contains_upper(tuple.comms, tuple.path[i]))
+            << "community visible through a cleaner: " << tuple.to_string();
+      }
+      if (truth.roles[*node].cleaner) clean_so_far = false;
+    }
+  }
+}
+
+TEST(Scenario, ScenarioNames) {
+  EXPECT_STREQ(to_string(ScenarioKind::kAllTf), "alltf");
+  EXPECT_STREQ(to_string(ScenarioKind::kAllTc), "alltc");
+  EXPECT_STREQ(to_string(ScenarioKind::kRandom), "random");
+  EXPECT_STREQ(to_string(ScenarioKind::kRandomNoise), "random+noise");
+  EXPECT_STREQ(to_string(ScenarioKind::kRandomP), "random-p");
+  EXPECT_STREQ(to_string(ScenarioKind::kRandomPp), "random-pp");
+}
+
+}  // namespace
+}  // namespace bgpcu::sim

@@ -1,0 +1,98 @@
+#include "sim/substrate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/generator.h"
+
+namespace bgpcu::sim {
+namespace {
+
+using topology::NodeId;
+
+topology::GeneratedTopology small_topo(std::uint64_t seed = 9) {
+  topology::GeneratorParams params;
+  params.num_ases = 250;
+  params.num_tier1 = 5;
+  params.seed = seed;
+  return topology::generate(params);
+}
+
+TEST(Substrate, PeersSelectedAreDistinctAndBiasedLarge) {
+  const auto topo = small_topo();
+  const auto peers = select_collector_peers(topo, 25, 1);
+  EXPECT_GT(peers.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(peers.begin(), peers.end()));
+  EXPECT_EQ(std::adjacent_find(peers.begin(), peers.end()), peers.end());
+  std::size_t transit = 0;
+  for (const auto p : peers) {
+    if (topo.tier_of(p) != topology::Tier::kLeaf) ++transit;
+  }
+  EXPECT_GT(transit * 2, peers.size()) << "peer mix should lean transit";
+}
+
+TEST(Substrate, PathsStartAtPeerAndAreUnique) {
+  const auto topo = small_topo();
+  auto substrate = build_substrate(topo, select_collector_peers(topo, 20, 1));
+  ASSERT_FALSE(substrate.paths.empty());
+  for (const auto& path : substrate.paths) {
+    ASSERT_FALSE(path.empty());
+    EXPECT_TRUE(std::find(substrate.peers.begin(), substrate.peers.end(), path.front()) !=
+                substrate.peers.end());
+  }
+  auto copy = substrate.paths;
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(std::adjacent_find(copy.begin(), copy.end()), copy.end());
+}
+
+TEST(Substrate, EveryOriginReachesSomePeer) {
+  const auto topo = small_topo();
+  const auto substrate = build_substrate(topo, select_collector_peers(topo, 20, 1));
+  std::vector<bool> seen(topo.graph.node_count(), false);
+  for (const auto& path : substrate.paths) seen[path.back()] = true;
+  const auto covered = static_cast<std::size_t>(std::count(seen.begin(), seen.end(), true));
+  EXPECT_EQ(covered, topo.graph.node_count()) << "connected topology: all origins visible";
+}
+
+TEST(Substrate, OriginStrideSubsamples) {
+  const auto topo = small_topo();
+  const auto peers = select_collector_peers(topo, 20, 1);
+  const auto full = build_substrate(topo, peers, 1);
+  const auto half = build_substrate(topo, peers, 2);
+  EXPECT_LT(half.paths.size(), full.paths.size());
+  EXPECT_GT(half.paths.size(), full.paths.size() / 4);
+}
+
+TEST(Substrate, PresentAndLeafFlags) {
+  const auto topo = small_topo();
+  const auto substrate = build_substrate(topo, select_collector_peers(topo, 20, 1));
+  const auto present = substrate.present_flags(topo.graph.node_count());
+  const auto leaf = substrate.leaf_flags(topo.graph.node_count());
+  EXPECT_EQ(std::count(present.begin(), present.end(), true),
+            static_cast<std::ptrdiff_t>(topo.graph.node_count()));
+  // Topology stubs (no customers, no peers) can never transit announcements
+  // — unless they are collector peers themselves: a peer forwards to the
+  // collector and thus appears at a non-origin position (§3.1).
+  for (NodeId n = 0; n < topo.graph.node_count(); ++n) {
+    const bool is_peer = std::find(substrate.peers.begin(), substrate.peers.end(), n) !=
+                         substrate.peers.end();
+    if (topo.graph.is_leaf(n) && topo.graph.peers(n).empty() && !is_peer) {
+      EXPECT_TRUE(leaf[n]) << "stub AS " << n << " observed in transit position";
+    }
+  }
+}
+
+TEST(Substrate, NoDuplicateAsnsWithinAPath) {
+  const auto topo = small_topo();
+  const auto substrate = build_substrate(topo, select_collector_peers(topo, 20, 1));
+  for (const auto& path : substrate.paths) {
+    auto sorted = path;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "routing loop in path";
+  }
+}
+
+}  // namespace
+}  // namespace bgpcu::sim

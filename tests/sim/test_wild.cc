@@ -1,0 +1,94 @@
+// Wild role-model tests: the §7-calibrated role distribution.
+#include "sim/wild.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpcu::sim {
+namespace {
+
+topology::GeneratedTopology make_topo(std::uint64_t seed = 5) {
+  topology::GeneratorParams params;
+  params.num_ases = 3000;
+  params.num_tier1 = 8;
+  params.seed = seed;
+  return topology::generate(params);
+}
+
+TEST(WildRoles, Deterministic) {
+  const auto topo = make_topo();
+  WildParams params;
+  params.seed = 9;
+  const auto a = assign_wild_roles(topo, params);
+  const auto b = assign_wild_roles(topo, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tagger, b[i].tagger);
+    EXPECT_EQ(a[i].cleaner, b[i].cleaner);
+    EXPECT_EQ(a[i].selectivity, b[i].selectivity);
+  }
+}
+
+TEST(WildRoles, TaggerShareFollowsTierProbabilities) {
+  const auto topo = make_topo();
+  WildParams params;
+  const auto roles = assign_wild_roles(topo, params);
+
+  std::array<std::size_t, 4> taggers{}, totals{};
+  for (std::size_t n = 0; n < roles.size(); ++n) {
+    const auto tier = static_cast<std::size_t>(topo.tier_of(static_cast<topology::NodeId>(n)));
+    ++totals[tier];
+    taggers[tier] += roles[n].tagger;
+  }
+  for (std::size_t tier = 0; tier < 4; ++tier) {
+    if (totals[tier] < 30) continue;  // too small to bound tightly
+    const double share = static_cast<double>(taggers[tier]) / static_cast<double>(totals[tier]);
+    EXPECT_NEAR(share, params.p_tagger[tier], 0.12) << "tier " << tier;
+  }
+  // §7.3: the edge barely tags, the core does.
+  const double leaf_share = static_cast<double>(taggers[3]) / static_cast<double>(totals[3]);
+  const double core_share = static_cast<double>(taggers[1]) / static_cast<double>(totals[1]);
+  EXPECT_LT(leaf_share, 0.05);
+  EXPECT_GT(core_share, 0.1);
+}
+
+TEST(WildRoles, SelectiveOnlyAmongTaggers) {
+  const auto topo = make_topo();
+  WildParams params;
+  const auto roles = assign_wild_roles(topo, params);
+  std::size_t taggers = 0, selective = 0;
+  for (const auto& role : roles) {
+    if (!role.tagger) {
+      EXPECT_EQ(role.selectivity, Selectivity::kNone);
+      continue;
+    }
+    ++taggers;
+    selective += role.is_selective();
+  }
+  ASSERT_GT(taggers, 50u);
+  const double share = static_cast<double>(selective) / static_cast<double>(taggers);
+  EXPECT_NEAR(share, params.selective_share, 0.12);
+}
+
+TEST(WildRoles, AllSelectivityModesOccur) {
+  const auto topo = make_topo();
+  WildParams params;
+  const auto roles = assign_wild_roles(topo, params);
+  std::array<std::size_t, 4> modes{};
+  for (const auto& role : roles) ++modes[static_cast<std::size_t>(role.selectivity)];
+  EXPECT_GT(modes[static_cast<std::size_t>(Selectivity::kSkipProvider)], 0u);
+  EXPECT_GT(modes[static_cast<std::size_t>(Selectivity::kSkipProviderPeer)], 0u);
+  EXPECT_GT(modes[static_cast<std::size_t>(Selectivity::kCollectorOnly)], 0u);
+}
+
+TEST(WildRoles, RoleCodes) {
+  Role tf{true, false, Selectivity::kNone};
+  Role sc{false, true, Selectivity::kNone};
+  EXPECT_EQ(tf.code(), "tf");
+  EXPECT_EQ(sc.code(), "sc");
+  EXPECT_FALSE(sc.is_selective());
+}
+
+}  // namespace
+}  // namespace bgpcu::sim

@@ -1,0 +1,77 @@
+#include "topology/cone.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpcu::topology {
+namespace {
+
+TEST(CustomerCone, LeafHasConeOfOne) {
+  AsGraph g;
+  const auto top = g.add_as(1);
+  const auto leaf = g.add_as(2);
+  g.add_c2p(leaf, top);
+  EXPECT_EQ(customer_cone_size(g, leaf), 1u);
+  EXPECT_EQ(customer_cone_size(g, top), 2u);
+}
+
+TEST(CustomerCone, SharedCustomerCountedOnce) {
+  // top has two customers which share one sub-customer (multihoming).
+  AsGraph g;
+  const auto top = g.add_as(1);
+  const auto a = g.add_as(2);
+  const auto b = g.add_as(3);
+  const auto shared = g.add_as(4);
+  g.add_c2p(a, top);
+  g.add_c2p(b, top);
+  g.add_c2p(shared, a);
+  g.add_c2p(shared, b);
+  EXPECT_EQ(customer_cone_size(g, top), 4u);
+  EXPECT_EQ(customer_cone_size(g, a), 2u);
+}
+
+TEST(CustomerCone, PeersNotInCone) {
+  AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  const auto cust = g.add_as(3);
+  g.add_p2p(a, b);
+  g.add_c2p(cust, a);
+  EXPECT_EQ(customer_cone_size(g, a), 2u);
+  EXPECT_EQ(customer_cone_size(g, b), 1u);
+}
+
+TEST(CustomerCone, BulkMatchesSingle) {
+  GeneratorParams params;
+  params.num_ases = 300;
+  params.num_tier1 = 5;
+  const auto topo = generate(params);
+  const auto sizes = customer_cone_sizes(topo.graph);
+  ASSERT_EQ(sizes.size(), topo.graph.node_count());
+  for (NodeId n = 0; n < topo.graph.node_count(); n += 13) {
+    EXPECT_EQ(sizes[n], customer_cone_size(topo.graph, n));
+  }
+}
+
+TEST(CustomerCone, Tier1DominatesLeafCones) {
+  GeneratorParams params;
+  params.num_ases = 500;
+  params.num_tier1 = 5;
+  const auto topo = generate(params);
+  const auto sizes = customer_cone_sizes(topo.graph);
+  std::uint64_t tier1_min = UINT64_MAX;
+  for (const auto t1 : topo.tier1) tier1_min = std::min<std::uint64_t>(tier1_min, sizes[t1]);
+  std::size_t leaf_ones = 0, leaf_total = 0;
+  for (NodeId n = 0; n < topo.graph.node_count(); ++n) {
+    if (topo.tier_of(n) == Tier::kLeaf) {
+      ++leaf_total;
+      if (sizes[n] == 1) ++leaf_ones;
+    }
+  }
+  EXPECT_GT(tier1_min, 10u);
+  EXPECT_EQ(leaf_ones, leaf_total) << "leaves have no customers by construction";
+}
+
+}  // namespace
+}  // namespace bgpcu::topology

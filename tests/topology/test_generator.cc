@@ -1,0 +1,129 @@
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::topology {
+namespace {
+
+GeneratorParams small_params(std::uint64_t seed = 7) {
+  GeneratorParams p;
+  p.num_ases = 600;
+  p.num_tier1 = 6;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Generator, ProducesRequestedSize) {
+  const auto topo = generate(small_params());
+  EXPECT_EQ(topo.graph.node_count(), 600u);
+  EXPECT_EQ(topo.tier1.size(), 6u);
+  EXPECT_EQ(topo.tier.size(), 600u);
+  EXPECT_EQ(topo.prefixes.size(), 600u);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const auto a = generate(small_params(3));
+  const auto b = generate(small_params(3));
+  ASSERT_EQ(a.graph.node_count(), b.graph.node_count());
+  EXPECT_EQ(a.graph.asns(), b.graph.asns());
+  EXPECT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  const auto c = generate(small_params(4));
+  EXPECT_NE(a.graph.asns(), c.graph.asns());
+}
+
+TEST(Generator, Tier1FormsClique) {
+  const auto topo = generate(small_params());
+  for (const auto a : topo.tier1) {
+    for (const auto b : topo.tier1) {
+      if (a == b) continue;
+      EXPECT_EQ(topo.graph.relationship(a, b), Relationship::kPeer);
+    }
+  }
+}
+
+TEST(Generator, EveryNonTier1HasAProvider) {
+  const auto topo = generate(small_params());
+  for (NodeId n = 0; n < topo.graph.node_count(); ++n) {
+    if (topo.tier_of(n) == Tier::kTier1) {
+      EXPECT_TRUE(topo.graph.providers(n).empty()) << "tier-1 " << n << " has a provider";
+    } else {
+      EXPECT_FALSE(topo.graph.providers(n).empty()) << "node " << n << " is disconnected";
+    }
+  }
+}
+
+TEST(Generator, LeafMajorityLikeThePaper) {
+  const auto topo = generate(small_params());
+  std::size_t leaves = 0;
+  for (NodeId n = 0; n < topo.graph.node_count(); ++n) {
+    if (topo.tier_of(n) == Tier::kLeaf) ++leaves;
+  }
+  const double share = static_cast<double>(leaves) / static_cast<double>(topo.graph.node_count());
+  EXPECT_GT(share, 0.70);  // paper: ~60k of 73k (~83%)
+  EXPECT_LT(share, 0.95);
+}
+
+TEST(Generator, AsnAllocationRegistered) {
+  const auto topo = generate(small_params());
+  for (const auto asn : topo.graph.asns()) {
+    EXPECT_TRUE(topo.registry.is_public_allocated(asn)) << asn;
+    EXPECT_FALSE(bgp::is_special_purpose_asn(asn)) << asn;
+  }
+}
+
+TEST(Generator, ThirtyTwoBitShareApproximatelyMet) {
+  auto params = small_params();
+  params.num_ases = 2000;
+  const auto topo = generate(params);
+  std::size_t wide = 0;
+  for (const auto asn : topo.graph.asns()) {
+    if (bgp::is_32bit_asn(asn)) ++wide;
+  }
+  const double share = static_cast<double>(wide) / 2000.0;
+  EXPECT_NEAR(share, params.frac_32bit_asn, 0.05);
+}
+
+TEST(Generator, PrefixesAllocatedAndDisjointlyOwned) {
+  const auto topo = generate(small_params());
+  for (NodeId n = 0; n < topo.graph.node_count(); ++n) {
+    ASSERT_FALSE(topo.prefixes[n].empty());
+    for (const auto& p : topo.prefixes[n]) {
+      EXPECT_TRUE(topo.registry.prefix_allocated(p));
+    }
+  }
+  // Blocks are carved sequentially: no two nodes share a block.
+  for (NodeId a = 0; a + 1 < topo.graph.node_count(); ++a) {
+    EXPECT_FALSE(topo.prefixes[a][0].contains(topo.prefixes[a + 1][0]));
+  }
+}
+
+TEST(Generator, RejectsTinyTopology) {
+  GeneratorParams p;
+  p.num_ases = 10;
+  p.num_tier1 = 12;
+  EXPECT_THROW((void)generate(p), std::invalid_argument);
+}
+
+// Property sweep over seeds: structural invariants hold for any seed.
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, ConnectedToCore) {
+  const auto topo = generate(small_params(GetParam()));
+  // Walking providers upward from any node must reach a tier-1 within the
+  // node count (no provider cycles by construction).
+  for (NodeId n = 0; n < topo.graph.node_count(); ++n) {
+    NodeId cur = n;
+    std::size_t hops = 0;
+    while (topo.tier_of(cur) != Tier::kTier1 && hops <= topo.graph.node_count()) {
+      ASSERT_FALSE(topo.graph.providers(cur).empty());
+      cur = topo.graph.providers(cur)[0];
+      ++hops;
+    }
+    EXPECT_EQ(topo.tier_of(cur), Tier::kTier1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace bgpcu::topology

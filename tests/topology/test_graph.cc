@@ -1,0 +1,86 @@
+#include "topology/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace bgpcu::topology {
+namespace {
+
+TEST(AsGraph, AddAndLookup) {
+  AsGraph g;
+  const auto a = g.add_as(100);
+  const auto b = g.add_as(4200000);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.asn_of(a), 100u);
+  EXPECT_EQ(g.node_of(4200000), b);
+  EXPECT_FALSE(g.node_of(999).has_value());
+}
+
+TEST(AsGraph, DuplicateAsnRejected) {
+  AsGraph g;
+  g.add_as(100);
+  EXPECT_THROW(g.add_as(100), std::invalid_argument);
+}
+
+TEST(AsGraph, C2pEdgeAndRelationship) {
+  AsGraph g;
+  const auto cust = g.add_as(1);
+  const auto prov = g.add_as(2);
+  g.add_c2p(cust, prov);
+  EXPECT_EQ(g.relationship(cust, prov), Relationship::kProvider);
+  EXPECT_EQ(g.relationship(prov, cust), Relationship::kCustomer);
+  ASSERT_EQ(g.providers(cust).size(), 1u);
+  EXPECT_EQ(g.providers(cust)[0], prov);
+  ASSERT_EQ(g.customers(prov).size(), 1u);
+  EXPECT_TRUE(g.peers(cust).empty());
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AsGraph, P2pEdgeSymmetric) {
+  AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  g.add_p2p(a, b);
+  EXPECT_EQ(g.relationship(a, b), Relationship::kPeer);
+  EXPECT_EQ(g.relationship(b, a), Relationship::kPeer);
+}
+
+TEST(AsGraph, DuplicateEdgeIgnored) {
+  AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  g.add_c2p(a, b);
+  g.add_c2p(a, b);
+  g.add_p2p(a, b);  // conflicting relationship also ignored: first wins
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.relationship(a, b), Relationship::kProvider);
+}
+
+TEST(AsGraph, SelfEdgeRejected) {
+  AsGraph g;
+  const auto a = g.add_as(1);
+  EXPECT_THROW(g.add_c2p(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_p2p(a, a), std::invalid_argument);
+}
+
+TEST(AsGraph, LeafDetectionAndDegree) {
+  AsGraph g;
+  const auto leaf = g.add_as(1);
+  const auto transit = g.add_as(2);
+  const auto peer = g.add_as(3);
+  g.add_c2p(leaf, transit);
+  g.add_p2p(transit, peer);
+  EXPECT_TRUE(g.is_leaf(leaf));
+  EXPECT_FALSE(g.is_leaf(transit));
+  EXPECT_EQ(g.degree(transit), 2u);
+  EXPECT_EQ(g.degree(leaf), 1u);
+}
+
+TEST(AsGraph, UnrelatedNodes) {
+  AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  EXPECT_FALSE(g.relationship(a, b).has_value());
+}
+
+}  // namespace
+}  // namespace bgpcu::topology

@@ -1,0 +1,168 @@
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace bgpcu::topology {
+namespace {
+
+// Hand-built diamond:  T1a --peer-- T1b ; mid under both; leaf under mid;
+// stub under T1b only.
+struct Diamond {
+  AsGraph g;
+  NodeId t1a, t1b, mid, leaf, stub;
+  Diamond() {
+    t1a = g.add_as(10);
+    t1b = g.add_as(20);
+    mid = g.add_as(30);
+    leaf = g.add_as(40);
+    stub = g.add_as(50);
+    g.add_p2p(t1a, t1b);
+    g.add_c2p(mid, t1a);
+    g.add_c2p(mid, t1b);
+    g.add_c2p(leaf, mid);
+    g.add_c2p(stub, t1b);
+  }
+};
+
+TEST(RouteComputer, CustomerRoutePreferred) {
+  Diamond d;
+  RouteComputer rc(d.g);
+  rc.compute(d.leaf);
+  // t1a hears leaf via customer mid (dist 2) — customer route.
+  EXPECT_EQ(rc.route_class(d.t1a), RouteClass::kCustomer);
+  EXPECT_EQ(rc.distance(d.t1a), 2);
+  const auto path = rc.path_from(d.t1a);
+  EXPECT_EQ(path, (std::vector<NodeId>{d.t1a, d.mid, d.leaf}));
+}
+
+TEST(RouteComputer, PeerRouteWhenNoCustomerRoute) {
+  Diamond d;
+  RouteComputer rc(d.g);
+  rc.compute(d.stub);  // stub is under t1b only
+  EXPECT_EQ(rc.route_class(d.t1b), RouteClass::kCustomer);
+  EXPECT_EQ(rc.route_class(d.t1a), RouteClass::kPeer);  // via peer t1b
+  EXPECT_EQ(rc.path_from(d.t1a), (std::vector<NodeId>{d.t1a, d.t1b, d.stub}));
+}
+
+TEST(RouteComputer, ProviderRouteCascadesDown) {
+  Diamond d;
+  RouteComputer rc(d.g);
+  rc.compute(d.stub);
+  // leaf hears stub via its provider chain mid -> t1b (customer of... mid's
+  // providers) — a provider route.
+  EXPECT_EQ(rc.route_class(d.leaf), RouteClass::kProvider);
+  const auto path = rc.path_from(d.leaf);
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_EQ(path.front(), d.leaf);
+  EXPECT_EQ(path.back(), d.stub);
+}
+
+TEST(RouteComputer, ValleyFreePathsOnly) {
+  // Verify the classic violation is absent: a route learned from a peer is
+  // not exported to another peer. Build T1a - T1b - T1c chain of peers with
+  // origins below T1a; T1c must reach them through... nothing else: no route
+  // if only peer-peer-peer would work.
+  AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);
+  const auto c = g.add_as(3);
+  const auto origin = g.add_as(4);
+  g.add_p2p(a, b);
+  g.add_p2p(b, c);
+  g.add_c2p(origin, a);
+  RouteComputer rc(g);
+  rc.compute(origin);
+  EXPECT_TRUE(rc.has_route(b)) << "one peer hop from a customer route is legal";
+  EXPECT_FALSE(rc.has_route(c)) << "peer route must not be re-exported to a peer";
+}
+
+TEST(RouteComputer, OriginItself) {
+  Diamond d;
+  RouteComputer rc(d.g);
+  rc.compute(d.leaf);
+  EXPECT_EQ(rc.route_class(d.leaf), RouteClass::kSelf);
+  EXPECT_EQ(rc.distance(d.leaf), 0);
+  EXPECT_EQ(rc.path_from(d.leaf), (std::vector<NodeId>{d.leaf}));
+}
+
+TEST(RouteComputer, UnreachableNode) {
+  AsGraph g;
+  const auto a = g.add_as(1);
+  const auto b = g.add_as(2);  // isolated
+  RouteComputer rc(g);
+  rc.compute(a);
+  EXPECT_FALSE(rc.has_route(b));
+  EXPECT_TRUE(rc.path_from(b).empty());
+}
+
+TEST(RouteComputer, DeterministicTieBreakByAsn) {
+  // Two equal-length customer routes: parent with the lower ASN wins.
+  AsGraph g;
+  const auto top = g.add_as(100);
+  const auto left = g.add_as(10);   // lower ASN
+  const auto right = g.add_as(20);
+  const auto origin = g.add_as(30);
+  g.add_c2p(left, top);
+  g.add_c2p(right, top);
+  g.add_c2p(origin, left);
+  g.add_c2p(origin, right);
+  RouteComputer rc(g);
+  rc.compute(origin);
+  EXPECT_EQ(rc.path_from(top), (std::vector<NodeId>{top, left, origin}));
+}
+
+TEST(RouteComputer, ReusableAcrossOrigins) {
+  Diamond d;
+  RouteComputer rc(d.g);
+  rc.compute(d.leaf);
+  EXPECT_TRUE(rc.has_route(d.stub));
+  rc.compute(d.stub);
+  EXPECT_EQ(rc.route_class(d.stub), RouteClass::kSelf);
+  EXPECT_TRUE(rc.has_route(d.leaf));
+}
+
+// Generated-topology property: all produced paths are valley-free.
+class RoutingValleyFree : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingValleyFree, AllPathsValleyFree) {
+  GeneratorParams params;
+  params.num_ases = 400;
+  params.num_tier1 = 5;
+  params.seed = GetParam();
+  const auto topo = generate(params);
+  RouteComputer rc(topo.graph);
+
+  for (NodeId origin = 0; origin < topo.graph.node_count(); origin += 17) {
+    rc.compute(origin);
+    for (NodeId observer = 0; observer < topo.graph.node_count(); observer += 29) {
+      if (!rc.has_route(observer)) continue;
+      const auto path = rc.path_from(observer);
+      ASSERT_LE(path.size(), 12u) << "suspiciously long path";
+      // Announcement direction is path.back() -> path.front(). Legal shape:
+      // uphill (c2p) steps, at most one peer step, then downhill (p2c).
+      int phase = 0;  // 0 = uphill, 1 = after peer step, 2 = downhill
+      for (std::size_t i = path.size(); i >= 2; --i) {
+        const auto from = path[i - 1];
+        const auto to = path[i - 2];
+        const auto rel = topo.graph.relationship(from, to);
+        ASSERT_TRUE(rel.has_value());
+        // `to` is what `from` exports to; rel = what `to` is w.r.t. `from`.
+        if (*rel == Relationship::kProvider) {
+          ASSERT_EQ(phase, 0) << "uphill after peer/downhill";
+        } else if (*rel == Relationship::kPeer) {
+          ASSERT_EQ(phase, 0) << "second peer step";
+          phase = 1;
+        } else {
+          phase = 2;  // downhill can continue indefinitely
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingValleyFree, ::testing::Values(1, 7, 42));
+
+}  // namespace
+}  // namespace bgpcu::topology

@@ -1,0 +1,192 @@
+// bgpcu_classify — command-line front end to the inference pipeline.
+//
+// Reads MRT dump files (TABLE_DUMP_V2 RIBs and/or BGP4MP updates, e.g. from
+// RIPE RIS or RouteViews), applies the paper's sanitation (§4.1), runs the
+// column-based inference (§5.6) and writes the per-AS community-usage
+// database to stdout (or --output FILE).
+//
+// Usage:
+//   bgpcu_classify [options] DUMP.mrt [DUMP2.mrt ...]
+//
+// Options:
+//   --threshold P      classification threshold in [0.5, 1.0], default 0.99
+//   --allocations F    allocation table: lines "asn LO HI" or "prefix P/len";
+//                      without it every ASN/prefix is treated as allocated
+//                      (the allocation filter becomes a no-op)
+//   --output F         write the database to F instead of stdout
+//   --vocabulary       also emit per-tagger community vocabularies (§8)
+//   --summary          print class counts instead of the full database
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "collector/extract.h"
+#include "core/database.h"
+#include "core/engine.h"
+#include "core/vocabulary.h"
+#include "mrt/reader.h"
+#include "mrt/writer.h"
+#include "registry/registry.h"
+
+namespace {
+
+using namespace bgpcu;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--threshold P] [--allocations F] [--output F] [--vocabulary] [--summary]"
+               " DUMP.mrt...\n";
+  return 2;
+}
+
+registry::AllocationRegistry load_allocations(const std::string& path) {
+  registry::AllocationRegistry reg;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open allocations file: " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string kind;
+    row >> kind;
+    if (kind == "asn") {
+      std::uint64_t lo = 0, hi = 0;
+      if (!(row >> lo >> hi)) {
+        throw std::runtime_error("bad asn line " + std::to_string(lineno) + ": " + line);
+      }
+      reg.allocate_asn_range(static_cast<bgp::Asn>(lo), static_cast<bgp::Asn>(hi));
+    } else if (kind == "prefix") {
+      std::string text;
+      if (!(row >> text)) {
+        throw std::runtime_error("bad prefix line " + std::to_string(lineno) + ": " + line);
+      }
+      reg.allocate_prefix(bgp::Prefix::parse(text));
+    } else {
+      throw std::runtime_error("unknown record '" + kind + "' on line " +
+                               std::to_string(lineno));
+    }
+  }
+  return reg;
+}
+
+registry::AllocationRegistry allow_all_registry() {
+  registry::AllocationRegistry reg;
+  reg.allocate_asn_range(1, 4294967293u);  // special-purpose ranges still excluded
+  reg.allocate_prefix(bgp::Prefix::ipv4(0, 0));
+  std::array<std::uint8_t, 16> zero{};
+  reg.allocate_prefix(bgp::Prefix::ipv6(zero, 0));
+  return reg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.99;
+  std::string allocations_path;
+  std::string output_path;
+  bool vocabulary = false;
+  bool summary = false;
+  std::vector<std::string> dumps;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threshold") {
+      threshold = std::atof(next());
+      if (threshold < 0.5 || threshold > 1.0) {
+        std::cerr << "--threshold must be in [0.5, 1.0]\n";
+        return 2;
+      }
+    } else if (arg == "--allocations") {
+      allocations_path = next();
+    } else if (arg == "--output") {
+      output_path = next();
+    } else if (arg == "--vocabulary") {
+      vocabulary = true;
+    } else if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      dumps.push_back(arg);
+    }
+  }
+  if (dumps.empty()) return usage(argv[0]);
+
+  try {
+    const auto reg = allocations_path.empty() ? allow_all_registry()
+                                              : load_allocations(allocations_path);
+    collector::DatasetBuilder builder(reg);
+    for (const auto& path : dumps) {
+      const mrt::MrtFileReader reader(path);
+      mrt::MrtWriter buffer;
+      for (const auto& rec : reader.records()) buffer.write(rec);
+      builder.add_dump(buffer.buffer());
+      std::cerr << path << ": " << reader.records().size() << " MRT records\n";
+    }
+    const auto bundle = builder.finish();
+    std::cerr << "entries: " << bundle.extraction.entries_total
+              << " (RIB " << bundle.extraction.rib_entries << ", decode errors "
+              << bundle.extraction.decode_errors << ")\n"
+              << "sanitation: " << bundle.sanitation.output << " of "
+              << bundle.sanitation.input << " entries kept, "
+              << bundle.dataset.size() << " unique (path, comm) tuples\n";
+
+    core::EngineConfig config;
+    config.thresholds = core::Thresholds::uniform(threshold);
+    const auto result = core::ColumnEngine(config).run(bundle.dataset);
+
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (!output_path.empty()) {
+      file.open(output_path, std::ios::trunc);
+      if (!file) throw std::runtime_error("cannot open output file: " + output_path);
+      out = &file;
+    }
+
+    if (summary) {
+      std::size_t tagger = 0, silent = 0, fwd = 0, cleaner = 0, undecided = 0, full = 0;
+      for (const auto& [asn, counters] : result.counter_map()) {
+        const auto usage_class = core::classify(counters, result.thresholds());
+        tagger += usage_class.tagging == core::TaggingClass::kTagger;
+        silent += usage_class.tagging == core::TaggingClass::kSilent;
+        undecided += usage_class.tagging == core::TaggingClass::kUndecided;
+        fwd += usage_class.forwarding == core::ForwardingClass::kForward;
+        cleaner += usage_class.forwarding == core::ForwardingClass::kCleaner;
+        full += usage_class.full();
+      }
+      *out << "tagger " << tagger << "\nsilent " << silent << "\nundecided " << undecided
+           << "\nforward " << fwd << "\ncleaner " << cleaner << "\nfull " << full << "\n";
+    } else {
+      core::write_database(*out, result);
+    }
+
+    if (vocabulary) {
+      const auto vocab = core::infer_vocabulary(bundle.dataset, result);
+      *out << "# vocabulary: asn value occurrences coverage kind\n";
+      for (const auto& [asn, entries] : vocab) {
+        for (const auto& entry : entries) {
+          *out << "V " << asn << ' ' << entry.value.to_string() << ' ' << entry.occurrences
+               << ' ' << entry.coverage << ' ' << core::to_string(entry.kind) << '\n';
+        }
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -21,6 +21,7 @@ ExtractionStats& ExtractionStats::operator+=(const ExtractionStats& other) noexc
 }
 
 void DatasetBundle::merge(DatasetBundle&& other) {
+  dataset.reserve(dataset.size() + other.dataset.size());
   dataset.insert(dataset.end(), std::make_move_iterator(other.dataset.begin()),
                  std::make_move_iterator(other.dataset.end()));
   core::deduplicate(dataset);
@@ -31,7 +32,7 @@ void DatasetBundle::merge(DatasetBundle&& other) {
   session_peers.merge(other.session_peers);
 }
 
-void DatasetBuilder::ingest(RawEntry&& entry) {
+void DatasetBuilder::ingest(const RawEntry& entry) {
   ++bundle_.extraction.entries_total;
   if (entry.from_rib) ++bundle_.extraction.rib_entries;
   bundle_.session_peers.insert(entry.session_peer_asn);
@@ -61,8 +62,8 @@ void DatasetBuilder::add_dump(std::span<const std::uint8_t> dump) {
             peer_table = mrt::PeerIndexTable::decode(rec->body);
             break;
           }
-          const auto rib = mrt::RibRecord::decode(rec->body, subtype);
-          for (const auto& entry : rib.entries) {
+          auto rib = mrt::RibRecord::decode(rec->body, subtype);
+          for (auto& entry : rib.entries) {
             if (!peer_table || entry.peer_index >= peer_table->peers.size()) {
               ++bundle_.extraction.decode_errors;
               continue;
@@ -70,10 +71,12 @@ void DatasetBuilder::add_dump(std::span<const std::uint8_t> dump) {
             RawEntry raw;
             raw.prefix = rib.prefix;
             raw.session_peer_asn = peer_table->peers[entry.peer_index].asn;
-            if (entry.attributes.as_path) raw.as_path = *entry.attributes.as_path;
+            // Each RIB entry is consumed exactly once: steal its path
+            // instead of deep-copying the ASN vectors.
+            if (entry.attributes.as_path) raw.as_path = std::move(*entry.attributes.as_path);
             raw.comms = entry.attributes.all_communities();
             raw.from_rib = true;
-            ingest(std::move(raw));
+            ingest(raw);
           }
           break;
         }
@@ -88,19 +91,23 @@ void DatasetBuilder::add_dump(std::span<const std::uint8_t> dump) {
           const auto header = bgp::peek_header(msg.bgp_message);
           if (header.type != bgp::MessageType::kUpdate) break;
           ++bundle_.extraction.update_messages;
-          const auto update = bgp::UpdateMessage::decode(msg.bgp_message, msg.as4);
+          auto update = bgp::UpdateMessage::decode(msg.bgp_message, msg.as4);
           bundle_.extraction.withdrawals += update.withdrawn.size();
           if (update.attributes.mp_unreach) {
             bundle_.extraction.withdrawals += update.attributes.mp_unreach->withdrawn.size();
           }
+          // All announced prefixes share one attribute block: build the
+          // entry once (moving the path and merged communities in) and only
+          // swap the prefix per NLRI, instead of re-copying path +
+          // communities for every prefix.
+          RawEntry raw;
+          raw.session_peer_asn = msg.peer_asn;
+          raw.comms = update.attributes.all_communities();
+          if (update.attributes.as_path) raw.as_path = std::move(*update.attributes.as_path);
+          raw.from_rib = false;
           const auto ingest_prefix = [&](const bgp::Prefix& prefix) {
-            RawEntry raw;
             raw.prefix = prefix;
-            raw.session_peer_asn = msg.peer_asn;
-            if (update.attributes.as_path) raw.as_path = *update.attributes.as_path;
-            raw.comms = update.attributes.all_communities();
-            raw.from_rib = false;
-            ingest(std::move(raw));
+            ingest(raw);
           };
           for (const auto& prefix : update.nlri) ingest_prefix(prefix);
           if (update.attributes.mp_reach) {

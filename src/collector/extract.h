@@ -54,7 +54,7 @@ class DatasetBuilder {
   [[nodiscard]] DatasetBundle finish();
 
  private:
-  void ingest(RawEntry&& entry);
+  void ingest(const RawEntry& entry);
 
   Sanitizer sanitizer_;
   DatasetBundle bundle_;

@@ -6,28 +6,12 @@ namespace bgpcu::core {
 
 namespace {
 
-/// Maximum supported path length; a bit in `upper_mask` per position.
-constexpr std::size_t kMaxPathLength = 32;
-
-/// Compact per-tuple view: borrowed path plus a bitmask telling, for every
-/// path position, whether the community set contains a community whose upper
-/// field equals the ASN at that position. Only this relation matters to the
-/// counting rules, so precomputing it removes the inner-loop set scans.
-struct TupleView {
-  const std::vector<bgp::Asn>* path = nullptr;
-  std::uint32_t upper_mask = 0;
-
-  [[nodiscard]] bool upper_at(std::size_t index0) const noexcept {
-    return (upper_mask >> index0) & 1u;
-  }
-};
-
 /// Dense ASN -> small-integer index map so per-AS state lives in flat arrays.
 class AsnIndex {
  public:
-  explicit AsnIndex(const Dataset& dataset) {
-    for (const auto& tuple : dataset) {
-      for (const auto asn : tuple.path) {
+  explicit AsnIndex(std::span<const TupleView> views) {
+    for (const auto& view : views) {
+      for (const auto asn : *view.path) {
         if (map_.emplace(asn, asns_.size()).second) asns_.push_back(asn);
       }
     }
@@ -43,6 +27,18 @@ class AsnIndex {
 };
 
 }  // namespace
+
+std::optional<TupleView> TupleView::prepare(const PathCommTuple& tuple) {
+  if (tuple.path.empty() || tuple.path.size() > kMaxPathLength) return std::nullopt;
+  TupleView view;
+  view.path = &tuple.path;
+  for (std::size_t i = 0; i < tuple.path.size(); ++i) {
+    if (bgp::contains_upper(tuple.comms, tuple.path[i])) {
+      view.upper_mask |= (1u << i);
+    }
+  }
+  return view;
+}
 
 UsageCounters InferenceResult::counters(bgp::Asn asn) const {
   const auto it = counters_.find(asn);
@@ -63,25 +59,11 @@ ForwardingClass InferenceResult::forwarding(bgp::Asn asn) const {
   return classify_forwarding(counters(asn), thresholds_);
 }
 
-InferenceResult ColumnEngine::run(const Dataset& dataset) const {
-  const AsnIndex index(dataset);
+InferenceResult sweep_columns(std::span<const TupleView> views, const EngineConfig& config) {
+  const AsnIndex index(views);
 
-  // Precompute views; drop (and effectively ignore) over-long paths.
-  std::vector<TupleView> views;
-  views.reserve(dataset.size());
   std::size_t max_len = 0;
-  for (const auto& tuple : dataset) {
-    if (tuple.path.empty() || tuple.path.size() > kMaxPathLength) continue;
-    TupleView view;
-    view.path = &tuple.path;
-    for (std::size_t i = 0; i < tuple.path.size(); ++i) {
-      if (bgp::contains_upper(tuple.comms, tuple.path[i])) {
-        view.upper_mask |= (1u << i);
-      }
-    }
-    views.push_back(view);
-    max_len = std::max(max_len, tuple.path.size());
-  }
+  for (const auto& view : views) max_len = std::max(max_len, view.path->size());
 
   std::vector<UsageCounters> counters(index.size());
 
@@ -90,8 +72,8 @@ InferenceResult ColumnEngine::run(const Dataset& dataset) const {
   std::vector<std::uint8_t> tagger_flag(index.size(), 0);
   const auto snapshot = [&] {
     for (std::size_t i = 0; i < counters.size(); ++i) {
-      forward_flag[i] = is_forward(counters[i], config_.thresholds) ? 1 : 0;
-      tagger_flag[i] = is_tagger(counters[i], config_.thresholds) ? 1 : 0;
+      forward_flag[i] = is_forward(counters[i], config.thresholds) ? 1 : 0;
+      tagger_flag[i] = is_tagger(counters[i], config.thresholds) ? 1 : 0;
     }
   };
 
@@ -104,7 +86,7 @@ InferenceResult ColumnEngine::run(const Dataset& dataset) const {
   };
 
   std::size_t columns = max_len;
-  if (config_.max_columns != 0) columns = std::min(columns, config_.max_columns);
+  if (config.max_columns != 0) columns = std::min(columns, config.max_columns);
 
   std::size_t swept = 0;
   for (std::size_t x = 1; x <= columns; ++x) {
@@ -152,7 +134,7 @@ InferenceResult ColumnEngine::run(const Dataset& dataset) const {
       ++increments;
     }
 
-    if (config_.early_stop && increments == 0) break;
+    if (config.early_stop && increments == 0) break;
   }
 
   CounterMap out;
@@ -161,7 +143,16 @@ InferenceResult ColumnEngine::run(const Dataset& dataset) const {
     const auto& k = counters[i];
     if (k.t | k.s | k.f | k.c) out.emplace(index.asns()[i], k);
   }
-  return InferenceResult(std::move(out), config_.thresholds, swept);
+  return InferenceResult(std::move(out), config.thresholds, swept);
+}
+
+InferenceResult ColumnEngine::run(const Dataset& dataset) const {
+  std::vector<TupleView> views;
+  views.reserve(dataset.size());
+  for (const auto& tuple : dataset) {
+    if (auto view = TupleView::prepare(tuple)) views.push_back(*view);
+  }
+  return sweep_columns(views, config_);
 }
 
 }  // namespace bgpcu::core

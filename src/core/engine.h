@@ -18,6 +18,8 @@
 #define BGPCU_CORE_ENGINE_H
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +27,30 @@
 #include "core/types.h"
 
 namespace bgpcu::core {
+
+/// Maximum supported path length; a bit in TupleView::upper_mask per
+/// position. Post-sanitation no longer paths exist (the paper's maximum
+/// is 19); overlong tuples are ignored by the engines.
+inline constexpr std::size_t kMaxPathLength = 32;
+
+/// Compact per-tuple view: borrowed path plus a bitmask telling, for every
+/// path position, whether the community set contains a community whose upper
+/// field equals the ASN at that position. Only this relation matters to the
+/// counting rules, so precomputing it removes the inner-loop set scans — and
+/// lets callers that keep tuples resident (the stream engine) pay the cost
+/// once at ingest instead of once per sweep.
+struct TupleView {
+  const std::vector<bgp::Asn>* path = nullptr;
+  std::uint32_t upper_mask = 0;
+
+  [[nodiscard]] bool upper_at(std::size_t index0) const noexcept {
+    return (upper_mask >> index0) & 1u;
+  }
+
+  /// Builds the view for `tuple` (which must outlive it); nullopt when the
+  /// path is empty or longer than kMaxPathLength.
+  [[nodiscard]] static std::optional<TupleView> prepare(const PathCommTuple& tuple);
+};
 
 /// Engine tuning knobs.
 struct EngineConfig {
@@ -68,6 +94,15 @@ class InferenceResult {
   std::size_t columns_swept_ = 0;
 };
 
+/// The counting primitive: runs the full two-pass-per-column sweep over
+/// prepared views and returns the per-AS counters. Deterministic for a given
+/// view *set* — totals do not depend on view order (per-phase predicate
+/// snapshots decouple counting from iteration order). Both `ColumnEngine`
+/// and `stream::StreamEngine` are thin wrappers over this, which is what
+/// makes their results bit-for-bit comparable.
+[[nodiscard]] InferenceResult sweep_columns(std::span<const TupleView> views,
+                                            const EngineConfig& config);
+
 /// Column-based counting engine. Stateless between runs; `run` is
 /// deterministic for a given dataset + config.
 class ColumnEngine {
@@ -75,8 +110,7 @@ class ColumnEngine {
   explicit ColumnEngine(EngineConfig config = {}) : config_(config) {}
 
   /// Runs the full two-pass-per-column sweep over `dataset` and returns the
-  /// per-AS counters. Paths longer than 32 hops (post-sanitation none exist;
-  /// the paper's maximum is 19) are ignored.
+  /// per-AS counters. Paths longer than kMaxPathLength hops are ignored.
   [[nodiscard]] InferenceResult run(const Dataset& dataset) const;
 
  private:

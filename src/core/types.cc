@@ -21,8 +21,13 @@ std::string PathCommTuple::to_string() const {
 std::size_t deduplicate(Dataset& tuples) {
   for (auto& t : tuples) bgp::normalize(t.comms);
   const std::size_t before = tuples.size();
+  // Single-pass lexicographic comparison: the naive (a.path != b.path)
+  // pre-check walked both vectors twice per comparison in the sort's inner
+  // loop, which dominated dedup time on update-heavy inputs.
   std::sort(tuples.begin(), tuples.end(), [](const PathCommTuple& a, const PathCommTuple& b) {
-    if (a.path != b.path) return a.path < b.path;
+    const auto path_cmp = std::lexicographical_compare_three_way(
+        a.path.begin(), a.path.end(), b.path.begin(), b.path.end());
+    if (path_cmp != 0) return path_cmp < 0;
     return a.comms < b.comms;
   });
   tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
@@ -30,7 +35,10 @@ std::size_t deduplicate(Dataset& tuples) {
 }
 
 std::vector<bgp::Asn> distinct_asns(const Dataset& tuples) {
+  std::size_t total = 0;
+  for (const auto& t : tuples) total += t.path.size();
   std::vector<bgp::Asn> asns;
+  asns.reserve(total);
   for (const auto& t : tuples) {
     asns.insert(asns.end(), t.path.begin(), t.path.end());
   }

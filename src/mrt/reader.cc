@@ -29,11 +29,19 @@ std::optional<RawRecord> MrtReader::next() {
   return rec;
 }
 
-MrtFileReader::MrtFileReader(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+std::vector<std::uint8_t> load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw bgp::WireError("cannot open MRT file: " + path);
-  std::vector<std::uint8_t> data((std::istreambuf_iterator<char>(in)),
-                                 std::istreambuf_iterator<char>());
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw bgp::WireError("cannot read MRT file: " + path);
+  return bytes;
+}
+
+MrtFileReader::MrtFileReader(const std::string& path) {
+  const auto data = load_file(path);
   MrtReader reader(data);
   while (auto rec = reader.next()) {
     records_.push_back(std::move(*rec));

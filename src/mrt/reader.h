@@ -42,6 +42,10 @@ class MrtReader {
   ReaderStats stats_;
 };
 
+/// Loads a file's raw bytes (the shared helper behind the file-based
+/// consumers). Throws WireError when the file cannot be opened or read.
+[[nodiscard]] std::vector<std::uint8_t> load_file(const std::string& path);
+
 /// Loads an MRT file fully into memory and exposes `records()`. Suitable for
 /// the file sizes the simulator emits; real multi-GB dumps would use the
 /// streaming reader on an mmap.

@@ -1,7 +1,11 @@
 #include "registry/registry.h"
 
 #include <algorithm>
+#include <array>
+#include <fstream>
 #include <limits>
+#include <sstream>
+#include <stdexcept>
 
 namespace bgpcu::registry {
 
@@ -79,6 +83,46 @@ std::size_t AllocationRegistry::allocated_asn_count() const noexcept {
   std::size_t n = 0;
   for (const auto& [lo, hi] : asn_ranges_) n += static_cast<std::size_t>(hi - lo) + 1;
   return n;
+}
+
+AllocationRegistry load_allocations(const std::string& path) {
+  AllocationRegistry reg;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open allocations file: " + path);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string kind;
+    row >> kind;
+    if (kind == "asn") {
+      std::uint64_t lo = 0, hi = 0;
+      if (!(row >> lo >> hi)) {
+        throw std::runtime_error("bad asn line " + std::to_string(lineno) + ": " + line);
+      }
+      reg.allocate_asn_range(static_cast<bgp::Asn>(lo), static_cast<bgp::Asn>(hi));
+    } else if (kind == "prefix") {
+      std::string text;
+      if (!(row >> text)) {
+        throw std::runtime_error("bad prefix line " + std::to_string(lineno) + ": " + line);
+      }
+      reg.allocate_prefix(bgp::Prefix::parse(text));
+    } else {
+      throw std::runtime_error("unknown record '" + kind + "' on line " + std::to_string(lineno));
+    }
+  }
+  return reg;
+}
+
+AllocationRegistry allow_all() {
+  AllocationRegistry reg;
+  reg.allocate_asn_range(1, 4294967293u);  // special-purpose ranges still excluded
+  reg.allocate_prefix(bgp::Prefix::ipv4(0, 0));
+  std::array<std::uint8_t, 16> zero{};
+  reg.allocate_prefix(bgp::Prefix::ipv6(zero, 0));
+  return reg;
 }
 
 }  // namespace bgpcu::registry

@@ -9,6 +9,7 @@
 #define BGPCU_REGISTRY_REGISTRY_H
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -58,6 +59,16 @@ class AllocationRegistry {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> v4_;   // sorted, merged, inclusive
   std::vector<bgp::Prefix> v6_blocks_;
 };
+
+/// Loads an allocation table: lines "asn LO HI" or "prefix P/len", '#'
+/// comments and blank lines ignored. Throws std::runtime_error on a missing
+/// file or malformed line. Shared by the CLI tools.
+[[nodiscard]] AllocationRegistry load_allocations(const std::string& path);
+
+/// A registry treating every ASN/prefix as allocated (special-purpose ranges
+/// still excluded) — for tool runs without a delegation table, where the
+/// allocation filter becomes a no-op.
+[[nodiscard]] AllocationRegistry allow_all();
 
 }  // namespace bgpcu::registry
 

@@ -41,4 +41,14 @@ core::Dataset merge_datasets(core::Dataset a, const core::Dataset& b) {
   return a;
 }
 
+std::vector<core::Dataset> day_batches(const core::Dataset& base, const ChurnConfig& config,
+                                       std::uint32_t days) {
+  std::vector<core::Dataset> batches;
+  batches.reserve(days);
+  for (std::uint32_t day = 0; day < days; ++day) {
+    batches.push_back(day_dataset(base, config, day));
+  }
+  return batches;
+}
+
 }  // namespace bgpcu::sim

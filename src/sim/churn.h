@@ -27,6 +27,13 @@ struct ChurnConfig {
 /// Union of `a` and `b`, deduplicated — the cumulative input for day k.
 [[nodiscard]] core::Dataset merge_datasets(core::Dataset a, const core::Dataset& b);
 
+/// The first `days` daily observation batches in order — the churn-driven
+/// input stream the streaming engine consumes (one batch per epoch).
+/// Equivalent to calling day_dataset for day = 0..days-1.
+[[nodiscard]] std::vector<core::Dataset> day_batches(const core::Dataset& base,
+                                                     const ChurnConfig& config,
+                                                     std::uint32_t days);
+
 }  // namespace bgpcu::sim
 
 #endif  // BGPCU_SIM_CHURN_H

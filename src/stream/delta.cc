@@ -1,0 +1,33 @@
+#include "stream/delta.h"
+
+#include <algorithm>
+
+namespace bgpcu::stream {
+
+std::string ClassChange::to_string(Epoch epoch) const {
+  std::string out = "AS " + std::to_string(asn) + " changed " + before.code() + "->" +
+                    after.code() + " at epoch " + std::to_string(epoch);
+  return out;
+}
+
+std::vector<ClassChange> diff_classifications(const core::InferenceResult& before,
+                                              const core::InferenceResult& after) {
+  std::vector<bgp::Asn> asns;
+  asns.reserve(before.counter_map().size() + after.counter_map().size());
+  for (const auto& [asn, k] : before.counter_map()) asns.push_back(asn);
+  for (const auto& [asn, k] : after.counter_map()) asns.push_back(asn);
+  std::sort(asns.begin(), asns.end());
+  asns.erase(std::unique(asns.begin(), asns.end()), asns.end());
+
+  std::vector<ClassChange> changes;
+  for (const auto asn : asns) {
+    ClassChange change;
+    change.asn = asn;
+    change.before = before.usage(asn);
+    change.after = after.usage(asn);
+    if (change.before != change.after) changes.push_back(change);
+  }
+  return changes;
+}
+
+}  // namespace bgpcu::stream

@@ -1,0 +1,37 @@
+// Snapshot-to-snapshot classification deltas: the stream service's "AS X
+// changed tf -> tc at epoch E" feed. Consumers are anomaly detectors in the
+// CommunityWatch mold — they care about class transitions, not raw counter
+// motion, so a delta is emitted only when the two-character class code
+// actually changes.
+#ifndef BGPCU_STREAM_DELTA_H
+#define BGPCU_STREAM_DELTA_H
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "stream/shard.h"
+
+namespace bgpcu::stream {
+
+/// One AS whose usage class differs between two snapshots.
+struct ClassChange {
+  bgp::Asn asn = 0;
+  core::UsageClass before;  ///< kNone/kNone when the AS is new.
+  core::UsageClass after;   ///< kNone/kNone when the AS disappeared.
+
+  /// "AS X changed tf->tc at epoch E" (epoch supplied by the caller).
+  [[nodiscard]] std::string to_string(Epoch epoch) const;
+
+  friend bool operator==(const ClassChange&, const ClassChange&) = default;
+};
+
+/// All class transitions from `before` to `after`, sorted by ASN. Each
+/// snapshot is classified under its own thresholds. ASes absent from a
+/// snapshot's counter map classify as none/none on that side.
+[[nodiscard]] std::vector<ClassChange> diff_classifications(
+    const core::InferenceResult& before, const core::InferenceResult& after);
+
+}  // namespace bgpcu::stream
+
+#endif  // BGPCU_STREAM_DELTA_H

@@ -1,0 +1,107 @@
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bgpcu::stream {
+
+namespace {
+
+/// SplitMix64 finalizer: ASNs are dense small integers, so identity hashing
+/// would pile consecutive peers into neighboring shards; mix first.
+std::uint64_t mix_asn(bgp::Asn asn) noexcept {
+  std::uint64_t z = static_cast<std::uint64_t>(asn) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(StreamConfig config) : config_(config) {
+  config_.shards = std::max<std::size_t>(1, config_.shards);
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<TupleShard>());
+  }
+}
+
+std::size_t StreamEngine::shard_of(bgp::Asn peer) const noexcept {
+  return static_cast<std::size_t>(mix_asn(peer) % shards_.size());
+}
+
+IngestStats StreamEngine::ingest(core::Dataset batch) {
+  IngestStats stats;
+
+  // Phase 1, lock-free: normalize, mask, and partition by peer-ASN hash.
+  std::vector<std::vector<PreparedTuple>> buckets(shards_.size());
+  for (auto& tuple : batch) {
+    bgp::normalize(tuple.comms);
+    const auto view = core::TupleView::prepare(tuple);
+    if (!view) {
+      ++stats.rejected;
+      continue;
+    }
+    buckets[shard_of(tuple.peer())].push_back({std::move(tuple), view->upper_mask});
+  }
+
+  // Phase 2: one lock acquisition per affected shard.
+  const std::shared_lock lock(engine_mutex_);
+  const Epoch epoch = epoch_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i].empty()) continue;
+    shards_[i]->ingest_batch(std::move(buckets[i]), epoch, stats);
+  }
+  return stats;
+}
+
+Epoch StreamEngine::advance_epoch() {
+  const std::unique_lock lock(engine_mutex_);
+  const Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
+  epoch_.store(next, std::memory_order_relaxed);
+  if (config_.window_epochs != 0 && next >= config_.window_epochs) {
+    const Epoch min_epoch = next - config_.window_epochs + 1;
+    std::uint64_t evicted = 0;
+    for (auto& shard : shards_) evicted += shard->evict_older_than(min_epoch);
+    evicted_total_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  return next;
+}
+
+Epoch StreamEngine::epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+core::InferenceResult StreamEngine::snapshot() const {
+  const std::unique_lock lock(engine_mutex_);
+  std::uint64_t version = 0;
+  std::size_t live = 0;
+  for (const auto& shard : shards_) {
+    version += shard->version();
+    live += shard->size();
+  }
+  if (cached_ && cached_version_ == version) return *cached_;
+
+  std::vector<core::TupleView> views;
+  views.reserve(live);
+  for (const auto& shard : shards_) shard->collect_views(views);
+  cached_ = core::sweep_columns(views, config_.engine);
+  cached_version_ = version;
+  return *cached_;
+}
+
+core::UsageCounters StreamEngine::live_counters(bgp::Asn asn) const {
+  const std::shared_lock lock(engine_mutex_);
+  return shards_[shard_of(asn)]->live_counters(asn);
+}
+
+std::size_t StreamEngine::live_tuples() const {
+  const std::shared_lock lock(engine_mutex_);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->size();
+  return total;
+}
+
+std::uint64_t StreamEngine::evicted_total() const {
+  return evicted_total_.load(std::memory_order_relaxed);
+}
+
+}  // namespace bgpcu::stream

@@ -1,0 +1,99 @@
+// The streaming inference core: a long-running service wrapper around the
+// paper's column-counting algorithm. Tuples arrive in batches (from MRT
+// update feeds, RIB refreshes, or simulators), land in ASN-hash shards under
+// per-shard mutexes (the concurrent hot path), and age out of a sliding
+// epoch window when configured. `snapshot()` produces an InferenceResult
+// that is bit-for-bit identical to what `core::ColumnEngine::run` would
+// return on the deduplicated union of all live tuples — both call the same
+// `core::sweep_columns` primitive — which is this subsystem's correctness
+// contract (enforced by tests/stream/test_stream_property.cc).
+//
+// Incrementality model: the column algorithm transfers classification
+// knowledge from lower to higher path indices, so a new tuple can in
+// principle flip evidence at every column — exact per-column deltas are not
+// possible. What *is* hoisted out of the sweep is everything per-tuple:
+// normalization, deduplication, and the upper-field masks are paid once at
+// ingest; a snapshot only gathers cached views and sweeps, and a snapshot of
+// an unchanged engine returns the cached result without sweeping at all.
+// The peer-column (index 1) evidence, where Cond1 is vacuous, is maintained
+// fully incrementally and queryable in real time via `live_counters`.
+#ifndef BGPCU_STREAM_ENGINE_H
+#define BGPCU_STREAM_ENGINE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/engine.h"
+#include "stream/shard.h"
+
+namespace bgpcu::stream {
+
+/// Stream engine tuning knobs.
+struct StreamConfig {
+  core::EngineConfig engine;  ///< Thresholds + sweep limits for snapshots.
+  /// Number of ASN-hash shards; ingest from distinct peers contends only
+  /// within a shard. Clamped to >= 1.
+  std::size_t shards = 8;
+  /// Sliding window in epochs: a snapshot at epoch E covers tuples last seen
+  /// at epochs (E - window_epochs, E]. 0 = unbounded (nothing ages out).
+  std::uint64_t window_epochs = 0;
+};
+
+/// Incremental, sharded community-usage classification engine.
+///
+/// Thread model: `ingest` and `live_counters` may run concurrently from any
+/// number of threads (shared engine lock + per-shard mutexes);
+/// `advance_epoch` and `snapshot` serialize against everything (exclusive
+/// engine lock) — they are the rare, heavyweight operations.
+class StreamEngine {
+ public:
+  explicit StreamEngine(StreamConfig config = {});
+
+  /// Ingests one batch at the current epoch. Tuples are normalized, masked,
+  /// and partitioned by peer-ASN hash outside any lock, then each affected
+  /// shard is locked exactly once — the concurrent hot path.
+  IngestStats ingest(core::Dataset batch);
+
+  /// Advances to the next epoch and evicts tuples that fell out of the
+  /// window (no-op eviction when window_epochs == 0). Returns the new epoch.
+  Epoch advance_epoch();
+
+  [[nodiscard]] Epoch epoch() const;
+
+  /// Exact inference over the current live tuple set. Returns the cached
+  /// result when nothing changed since the previous snapshot.
+  [[nodiscard]] core::InferenceResult snapshot() const;
+
+  /// Real-time peer-column evidence for `asn` (no sweep; see header note).
+  [[nodiscard]] core::UsageCounters live_counters(bgp::Asn asn) const;
+
+  /// Number of live unique tuples across all shards.
+  [[nodiscard]] std::size_t live_tuples() const;
+
+  /// Tuples evicted by window aging over the engine's lifetime.
+  [[nodiscard]] std::uint64_t evicted_total() const;
+
+  [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] std::size_t shard_of(bgp::Asn peer) const noexcept;
+
+  StreamConfig config_;
+  std::vector<std::unique_ptr<TupleShard>> shards_;
+  /// Shared: ingest/live queries. Exclusive: epoch advance + snapshot (views
+  /// borrow shard internals, so mutation must pause during a sweep).
+  mutable std::shared_mutex engine_mutex_;
+  std::atomic<Epoch> epoch_{0};
+  std::atomic<std::uint64_t> evicted_total_{0};
+  /// Snapshot cache, keyed by the sum of shard versions.
+  mutable std::optional<core::InferenceResult> cached_;
+  mutable std::uint64_t cached_version_ = 0;
+};
+
+}  // namespace bgpcu::stream
+
+#endif  // BGPCU_STREAM_ENGINE_H

@@ -1,0 +1,74 @@
+#include "stream/feed.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+
+#include "mrt/reader.h"
+
+namespace bgpcu::stream {
+
+namespace fs = std::filesystem;
+
+DirectoryFeed::DirectoryFeed(std::string directory, const registry::AllocationRegistry& registry,
+                             std::string extension, std::uint32_t settle_seconds)
+    : directory_(std::move(directory)),
+      registry_(&registry),
+      extension_(std::move(extension)),
+      settle_seconds_(settle_seconds) {}
+
+FeedPoll DirectoryFeed::poll() {
+  std::error_code ec;
+  fs::directory_iterator it(directory_, ec);
+  if (ec) throw std::runtime_error("cannot scan feed directory " + directory_ + ": " + ec.message());
+
+  // error_code overloads throughout the scan: a writer renaming or deleting
+  // a file between the iterator yielding it and us stat-ing it is a normal
+  // race for a tailed directory, not a reason to kill the service.
+  std::vector<std::string> fresh;
+  for (fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec) || ec) continue;
+    const auto& path = it->path();
+    if (!extension_.empty() && path.extension() != extension_) continue;
+    // Quiescence guard against collectors that write in place (no atomic
+    // rename): leave a file alone until it stopped changing for the settle
+    // window, so a half-written dump's tail is not permanently missed.
+    if (settle_seconds_ != 0) {
+      const auto mtime = it->last_write_time(ec);
+      if (ec) continue;
+      const auto age = std::chrono::duration_cast<std::chrono::seconds>(
+          fs::file_time_type::clock::now() - mtime);
+      if (age.count() < static_cast<std::int64_t>(settle_seconds_)) continue;
+    }
+    auto text = path.string();
+    if (!seen_.contains(text)) fresh.push_back(std::move(text));
+  }
+  std::sort(fresh.begin(), fresh.end());
+
+  FeedPoll result;
+  if (fresh.empty()) return result;
+
+  collector::DatasetBuilder builder(*registry_);
+  for (const auto& path : fresh) {
+    // A file that vanished or is unreadable stays unmarked (retried next
+    // poll) and must not abort the batch — earlier files' tuples already
+    // live in this builder.
+    try {
+      builder.add_dump(mrt::load_file(path));
+    } catch (const std::exception&) {
+      result.failed.push_back(path);
+      continue;
+    }
+    seen_.insert(path);
+    result.files.push_back(path);
+  }
+  auto bundle = builder.finish();
+  result.batch = std::move(bundle.dataset);
+  result.extraction = bundle.extraction;
+  result.sanitation = bundle.sanitation;
+  return result;
+}
+
+}  // namespace bgpcu::stream

@@ -1,0 +1,66 @@
+// Directory feed: turns a directory that collectors (or the repo's own MRT
+// writer) drop update/RIB dumps into, into PathCommTuple batches for the
+// stream engine. Each poll scans for files not yet processed, decodes them
+// through the standard extraction + sanitation pipeline, and returns one
+// batch. Files are processed in lexicographic name order — collector
+// archives name dumps by timestamp (updates.20210519.0845), so name order is
+// arrival order.
+#ifndef BGPCU_STREAM_FEED_H
+#define BGPCU_STREAM_FEED_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "collector/extract.h"
+#include "core/types.h"
+#include "registry/registry.h"
+
+namespace bgpcu::stream {
+
+/// Result of one directory scan.
+struct FeedPoll {
+  core::Dataset batch;                  ///< Sanitized, deduplicated tuples.
+  std::vector<std::string> files;       ///< Newly processed paths, in order.
+  std::vector<std::string> failed;      ///< Unreadable paths; retried next poll.
+  collector::ExtractionStats extraction;
+  collector::SanitationStats sanitation;
+
+  [[nodiscard]] bool empty() const noexcept { return files.empty(); }
+};
+
+/// Tails a directory of MRT dumps. Not thread-safe (one poller per feed).
+class DirectoryFeed {
+ public:
+  /// `registry` must outlive the feed. Only files with `extension` (default:
+  /// any) are considered; set e.g. ".mrt" to skip snapshots written next to
+  /// the inputs. `settle_seconds` > 0 skips files modified within the last N
+  /// seconds, protecting against collectors that write dumps in place
+  /// instead of renaming them in (a partial file read once would otherwise
+  /// be marked seen and its tail lost forever).
+  DirectoryFeed(std::string directory, const registry::AllocationRegistry& registry,
+                std::string extension = {}, std::uint32_t settle_seconds = 0);
+
+  /// Scans for unseen files and extracts them. Returns an empty poll when
+  /// nothing new appeared. Throws std::runtime_error only when the directory
+  /// itself cannot be scanned; an individual file that cannot be read (race
+  /// with a writer, permissions) is reported in FeedPoll::failed, left
+  /// unmarked, and retried on the next poll. Decode errors inside a file are
+  /// counted, not thrown.
+  [[nodiscard]] FeedPoll poll();
+
+  /// Paths already processed (for status reporting).
+  [[nodiscard]] std::size_t files_seen() const noexcept { return seen_.size(); }
+
+ private:
+  std::string directory_;
+  const registry::AllocationRegistry* registry_;
+  std::string extension_;
+  std::uint32_t settle_seconds_ = 0;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace bgpcu::stream
+
+#endif  // BGPCU_STREAM_FEED_H

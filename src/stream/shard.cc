@@ -1,0 +1,106 @@
+#include "stream/shard.h"
+
+#include <utility>
+
+namespace bgpcu::stream {
+
+IngestStats& IngestStats::operator+=(const IngestStats& other) noexcept {
+  accepted += other.accepted;
+  refreshed += other.refreshed;
+  duplicates += other.duplicates;
+  rejected += other.rejected;
+  return *this;
+}
+
+IngestOutcome TupleShard::ingest(core::PathCommTuple&& tuple, Epoch epoch) {
+  const auto view = core::TupleView::prepare(tuple);
+  if (!view) return IngestOutcome::kRejected;
+
+  std::vector<PreparedTuple> batch;
+  batch.push_back({std::move(tuple), view->upper_mask});
+  IngestStats stats;
+  ingest_batch(std::move(batch), epoch, stats);
+  if (stats.accepted) return IngestOutcome::kAccepted;
+  if (stats.refreshed) return IngestOutcome::kRefreshed;
+  return IngestOutcome::kDuplicate;
+}
+
+void TupleShard::ingest_batch(std::vector<PreparedTuple>&& batch, Epoch epoch,
+                              IngestStats& stats) {
+  const std::lock_guard lock(mutex_);
+  bool mutated = false;
+  for (auto& prepared : batch) {
+    const bgp::Asn peer = prepared.tuple.peer();
+    auto [it, inserted] = tuples_.try_emplace(std::move(prepared.tuple));
+    if (!inserted) {
+      if (it->second.last_seen == epoch) {
+        ++stats.duplicates;
+      } else {
+        it->second.last_seen = epoch;
+        ++stats.refreshed;
+      }
+      continue;
+    }
+    it->second.upper_mask = prepared.upper_mask;
+    it->second.last_seen = epoch;
+    auto& k = live_[peer];
+    if ((prepared.upper_mask & 1u) != 0) {
+      ++k.t;
+    } else {
+      ++k.s;
+    }
+    ++stats.accepted;
+    mutated = true;
+  }
+  if (mutated) ++version_;
+}
+
+std::size_t TupleShard::evict_older_than(Epoch min_epoch) {
+  const std::lock_guard lock(mutex_);
+  std::size_t evicted = 0;
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (it->second.last_seen >= min_epoch) {
+      ++it;
+      continue;
+    }
+    const auto live_it = live_.find(it->first.peer());
+    if (live_it != live_.end()) {
+      auto& k = live_it->second;
+      if ((it->second.upper_mask & 1u) != 0) {
+        --k.t;
+      } else {
+        --k.s;
+      }
+      if ((k.t | k.s | k.f | k.c) == 0) live_.erase(live_it);
+    }
+    it = tuples_.erase(it);
+    ++evicted;
+  }
+  if (evicted != 0) ++version_;
+  return evicted;
+}
+
+void TupleShard::collect_views(std::vector<core::TupleView>& out) const {
+  const std::lock_guard lock(mutex_);
+  for (const auto& [tuple, meta] : tuples_) {
+    out.push_back(core::TupleView{&tuple.path, meta.upper_mask});
+  }
+}
+
+core::UsageCounters TupleShard::live_counters(bgp::Asn asn) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = live_.find(asn);
+  return it == live_.end() ? core::UsageCounters{} : it->second;
+}
+
+std::size_t TupleShard::size() const {
+  const std::lock_guard lock(mutex_);
+  return tuples_.size();
+}
+
+std::uint64_t TupleShard::version() const {
+  const std::lock_guard lock(mutex_);
+  return version_;
+}
+
+}  // namespace bgpcu::stream

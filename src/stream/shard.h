@@ -1,0 +1,95 @@
+// One ASN-hash shard of the stream engine's live tuple store. A shard owns
+// every tuple whose collector peer hashes to it, keeps each tuple's
+// precomputed TupleView mask and last-seen epoch, and maintains the
+// *live* per-AS peer-column counters (t/s evidence at path index 1, where
+// Cond1 is vacuous) incrementally on ingest/evict — so real-time queries
+// never need a sweep. Each shard carries its own mutex; cross-shard
+// synchronization is the engine's job.
+#ifndef BGPCU_STREAM_SHARD_H
+#define BGPCU_STREAM_SHARD_H
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/engine.h"
+#include "core/types.h"
+
+namespace bgpcu::stream {
+
+/// Monotone ingestion epoch; advanced by the engine, never by shards.
+using Epoch = std::uint64_t;
+
+/// What happened to one tuple offered to a shard.
+enum class IngestOutcome : std::uint8_t {
+  kAccepted,   ///< New unique tuple, now live.
+  kRefreshed,  ///< Already live; last-seen epoch bumped.
+  kDuplicate,  ///< Already live at this epoch; no state change.
+  kRejected,   ///< Empty or overlong path; never stored.
+};
+
+/// Per-batch ingestion accounting.
+struct IngestStats {
+  std::uint64_t accepted = 0;    ///< New unique live tuples.
+  std::uint64_t refreshed = 0;   ///< Live tuples re-observed (epoch bumped).
+  std::uint64_t duplicates = 0;  ///< Already live at the current epoch.
+  std::uint64_t rejected = 0;    ///< Empty/overlong paths, dropped.
+
+  IngestStats& operator+=(const IngestStats& other) noexcept;
+  friend bool operator==(const IngestStats&, const IngestStats&) = default;
+};
+
+/// A tuple with its ingest-time precomputation done: communities normalized,
+/// upper mask derived. Built outside any lock so the critical section is
+/// pure hash-table work.
+struct PreparedTuple {
+  core::PathCommTuple tuple;
+  std::uint32_t upper_mask = 0;
+};
+
+/// A mutex-protected slice of the live tuple universe.
+class TupleShard {
+ public:
+  /// Offers one tuple (communities must already be normalized). Thread-safe.
+  IngestOutcome ingest(core::PathCommTuple&& tuple, Epoch epoch);
+
+  /// Offers a pre-partitioned batch under one lock acquisition; outcome
+  /// counts accumulate into `stats`. Thread-safe.
+  void ingest_batch(std::vector<PreparedTuple>&& batch, Epoch epoch, IngestStats& stats);
+
+  /// Removes tuples last seen before `min_epoch`; returns how many died.
+  std::size_t evict_older_than(Epoch min_epoch);
+
+  /// Appends a view per live tuple to `out`. The views borrow the shard's
+  /// stored tuples: the caller must hold off mutations (via the engine's
+  /// snapshot lock) while using them.
+  void collect_views(std::vector<core::TupleView>& out) const;
+
+  /// Live peer-column evidence for `asn` (t/s at path index 1); zero-valued
+  /// when no live tuple has `asn` as its collector peer. Thread-safe.
+  [[nodiscard]] core::UsageCounters live_counters(bgp::Asn asn) const;
+
+  /// Number of live tuples. Thread-safe.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Bumped on every accepting/evicting mutation; lets the engine detect
+  /// "nothing changed since the last snapshot" without comparing stores.
+  [[nodiscard]] std::uint64_t version() const;
+
+ private:
+  struct TupleMeta {
+    std::uint32_t upper_mask = 0;
+    Epoch last_seen = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<core::PathCommTuple, TupleMeta> tuples_;
+  core::CounterMap live_;  ///< Peer-column t/s, one count per live tuple.
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace bgpcu::stream
+
+#endif  // BGPCU_STREAM_SHARD_H

@@ -1,0 +1,110 @@
+// Churn-driven streaming integration: a synthetic Internet's daily
+// observation batches (sim/churn) flow through the stream engine the way a
+// live collector feed would — one epoch per day, a sliding window for
+// Fig.-4-style longitudinal tracking — and every daily snapshot must match
+// the batch pipeline run over the same window, with deltas consistent
+// between consecutive snapshots.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sim/churn.h"
+#include "sim/scenario.h"
+#include "sim/substrate.h"
+#include "sim/wild.h"
+#include "stream/delta.h"
+#include "stream/engine.h"
+#include "topology/generator.h"
+
+namespace bgpcu {
+namespace {
+
+core::Dataset wild_dataset(std::uint64_t seed, topology::GeneratedTopology& topo_out) {
+  topology::GeneratorParams params;
+  params.num_ases = 300;
+  params.num_tier1 = 5;
+  params.seed = seed;
+  topo_out = topology::generate(params);
+  const auto substrate =
+      sim::build_substrate(topo_out, sim::select_collector_peers(topo_out, 30, seed));
+  sim::WildParams wild;
+  wild.seed = seed;
+  const auto roles = sim::assign_wild_roles(topo_out, wild);
+  return sim::generate_dataset(topo_out, substrate, roles, sim::OutputConfig{}, seed);
+}
+
+TEST(StreamChurnIntegration, DailySnapshotsMatchBatchPipelineOverWindow) {
+  topology::GeneratedTopology topo;
+  const auto base = wild_dataset(4242, topo);
+  ASSERT_GT(base.size(), 100u);
+
+  sim::ChurnConfig churn;
+  churn.seed = 9;
+  constexpr std::uint32_t kDays = 6;
+  constexpr std::uint64_t kWindow = 3;
+  const auto batches = sim::day_batches(base, churn, kDays);
+
+  stream::StreamEngine engine({.shards = 4, .window_epochs = kWindow});
+  core::InferenceResult previous({}, core::Thresholds{}, 0);
+
+  for (std::uint32_t day = 0; day < kDays; ++day) {
+    if (day > 0) engine.advance_epoch();
+    (void)engine.ingest(batches[day]);
+
+    // Batch-pipeline reference: union of the days inside the window.
+    core::Dataset window_union;
+    const std::uint32_t first = day + 1 >= kWindow ? day + 1 - static_cast<std::uint32_t>(kWindow) : 0;
+    for (std::uint32_t d = first; d <= day; ++d) {
+      window_union.insert(window_union.end(), batches[d].begin(), batches[d].end());
+    }
+    core::deduplicate(window_union);
+
+    const auto snap = engine.snapshot();
+    const auto reference = core::ColumnEngine().run(window_union);
+    ASSERT_EQ(snap.counter_map(), reference.counter_map()) << "day " << day;
+
+    // Delta consistency: every reported change really differs, and every
+    // AS whose class differs is reported.
+    const auto changes = stream::diff_classifications(previous, snap);
+    for (const auto& change : changes) {
+      EXPECT_NE(change.before, change.after);
+      EXPECT_EQ(change.after, snap.usage(change.asn));
+      EXPECT_EQ(change.before, previous.usage(change.asn));
+    }
+    for (const auto& [asn, k] : snap.counter_map()) {
+      if (previous.usage(asn) != snap.usage(asn)) {
+        EXPECT_TRUE(std::any_of(changes.begin(), changes.end(),
+                                [asn = asn](const stream::ClassChange& c) { return c.asn == asn; }))
+            << "missing delta for AS " << asn;
+      }
+    }
+    previous = snap;
+  }
+
+  // Longitudinal churn happened: the engine evicted something over the run.
+  EXPECT_GT(engine.evicted_total(), 0u);
+}
+
+TEST(StreamChurnIntegration, CumulativeModeMatchesMergedDatasets) {
+  // Unbounded window: after k days the live set is the cumulative union —
+  // exactly the paper's Fig. 3 incremental-input experiment.
+  topology::GeneratedTopology topo;
+  const auto base = wild_dataset(777, topo);
+  sim::ChurnConfig churn;
+  churn.seed = 3;
+
+  stream::StreamEngine engine({.shards = 4, .window_epochs = 0});
+  core::Dataset cumulative;
+  for (std::uint32_t day = 0; day < 4; ++day) {
+    if (day > 0) engine.advance_epoch();
+    const auto batch = sim::day_dataset(base, churn, day);
+    cumulative = sim::merge_datasets(std::move(cumulative), batch);
+    (void)engine.ingest(batch);
+    EXPECT_EQ(engine.live_tuples(), cumulative.size());
+  }
+  const auto snap = engine.snapshot();
+  const auto reference = core::ColumnEngine().run(cumulative);
+  EXPECT_EQ(snap.counter_map(), reference.counter_map());
+}
+
+}  // namespace
+}  // namespace bgpcu

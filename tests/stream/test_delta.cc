@@ -1,0 +1,61 @@
+// Class-change delta tests.
+#include <gtest/gtest.h>
+
+#include "stream/delta.h"
+
+namespace bgpcu::stream {
+namespace {
+
+core::InferenceResult result(core::CounterMap counters) {
+  return core::InferenceResult(std::move(counters), core::Thresholds{}, 1);
+}
+
+TEST(Delta, NoChangesOnIdenticalSnapshots) {
+  core::CounterMap m{{10, {.t = 100, .s = 0, .f = 0, .c = 0}}};
+  EXPECT_TRUE(diff_classifications(result(m), result(m)).empty());
+}
+
+TEST(Delta, CounterMotionWithoutClassChangeIsSilent) {
+  core::CounterMap before{{10, {.t = 100, .s = 0, .f = 0, .c = 0}}};
+  core::CounterMap after{{10, {.t = 250, .s = 1, .f = 0, .c = 0}}};  // still tagger
+  EXPECT_TRUE(diff_classifications(result(before), result(after)).empty());
+}
+
+TEST(Delta, ClassFlipIsReported) {
+  core::CounterMap before{{10, {.t = 100, .s = 0, .f = 100, .c = 0}}};  // tf
+  core::CounterMap after{{10, {.t = 100, .s = 0, .f = 0, .c = 100}}};   // tc
+  const auto changes = diff_classifications(result(before), result(after));
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].asn, 10u);
+  EXPECT_EQ(changes[0].before.code(), "tf");
+  EXPECT_EQ(changes[0].after.code(), "tc");
+  EXPECT_EQ(changes[0].to_string(12), "AS 10 changed tf->tc at epoch 12");
+}
+
+TEST(Delta, AppearanceAndDisappearanceUseNoneClass) {
+  core::CounterMap before{{10, {.t = 100, .s = 0, .f = 0, .c = 0}}};
+  core::CounterMap after{{20, {.t = 0, .s = 100, .f = 0, .c = 0}}};
+  auto changes = diff_classifications(result(before), result(after));
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].asn, 10u);
+  EXPECT_EQ(changes[0].after.code(), "nn");
+  EXPECT_EQ(changes[1].asn, 20u);
+  EXPECT_EQ(changes[1].before.code(), "nn");
+  EXPECT_EQ(changes[1].after.code(), "sn");
+}
+
+TEST(Delta, SortedByAsn) {
+  core::CounterMap before;
+  core::CounterMap after;
+  for (const bgp::Asn asn : {300u, 7u, 90u}) {
+    after.emplace(asn, core::UsageCounters{.t = 10, .s = 0, .f = 0, .c = 0});
+  }
+  const auto changes = diff_classifications(result(before), result(after));
+  ASSERT_EQ(changes.size(), 3u);
+  EXPECT_EQ(changes[0].asn, 7u);
+  EXPECT_EQ(changes[1].asn, 90u);
+  EXPECT_EQ(changes[2].asn, 300u);
+}
+
+}  // namespace
+}  // namespace bgpcu::stream

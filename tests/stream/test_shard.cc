@@ -1,0 +1,108 @@
+// TupleShard unit tests: dedup/refresh semantics, epoch eviction, live
+// peer-column counter maintenance.
+#include <gtest/gtest.h>
+
+#include "stream/shard.h"
+
+namespace bgpcu::stream {
+namespace {
+
+core::PathCommTuple tuple(std::vector<bgp::Asn> path, std::vector<bgp::CommunityValue> comms = {}) {
+  core::PathCommTuple t;
+  t.path = std::move(path);
+  t.comms = std::move(comms);
+  bgp::normalize(t.comms);
+  return t;
+}
+
+TEST(TupleShard, AcceptThenDuplicateThenRefresh) {
+  TupleShard shard;
+  EXPECT_EQ(shard.ingest(tuple({1, 2, 3}), 0), IngestOutcome::kAccepted);
+  EXPECT_EQ(shard.ingest(tuple({1, 2, 3}), 0), IngestOutcome::kDuplicate);
+  EXPECT_EQ(shard.ingest(tuple({1, 2, 3}), 1), IngestOutcome::kRefreshed);
+  EXPECT_EQ(shard.size(), 1u);
+}
+
+TEST(TupleShard, RejectsEmptyAndOverlongPaths) {
+  TupleShard shard;
+  EXPECT_EQ(shard.ingest(tuple({}), 0), IngestOutcome::kRejected);
+  std::vector<bgp::Asn> longpath;
+  for (bgp::Asn a = 1; a <= core::kMaxPathLength + 1; ++a) longpath.push_back(a);
+  EXPECT_EQ(shard.ingest(tuple(std::move(longpath)), 0), IngestOutcome::kRejected);
+  EXPECT_EQ(shard.size(), 0u);
+}
+
+TEST(TupleShard, LivePeerCountersTrackIngest) {
+  TupleShard shard;
+  // Peer 10 tags (community with upper == 10), peer 20 stays silent.
+  EXPECT_EQ(shard.ingest(tuple({10, 2}, {bgp::CommunityValue::regular(10, 1)}), 0),
+            IngestOutcome::kAccepted);
+  EXPECT_EQ(shard.ingest(tuple({10, 3}, {bgp::CommunityValue::regular(10, 2)}), 0),
+            IngestOutcome::kAccepted);
+  EXPECT_EQ(shard.ingest(tuple({20, 2}), 0), IngestOutcome::kAccepted);
+
+  const auto k10 = shard.live_counters(10);
+  EXPECT_EQ(k10.t, 2u);
+  EXPECT_EQ(k10.s, 0u);
+  const auto k20 = shard.live_counters(20);
+  EXPECT_EQ(k20.t, 0u);
+  EXPECT_EQ(k20.s, 1u);
+  EXPECT_EQ(shard.live_counters(999).t + shard.live_counters(999).s, 0u);
+}
+
+TEST(TupleShard, RefreshDoesNotDoubleCount) {
+  TupleShard shard;
+  (void)shard.ingest(tuple({10, 2}, {bgp::CommunityValue::regular(10, 1)}), 0);
+  (void)shard.ingest(tuple({10, 2}, {bgp::CommunityValue::regular(10, 1)}), 3);
+  EXPECT_EQ(shard.live_counters(10).t, 1u);
+}
+
+TEST(TupleShard, EvictionRemovesTuplesAndCounters) {
+  TupleShard shard;
+  (void)shard.ingest(tuple({10, 2}, {bgp::CommunityValue::regular(10, 1)}), 0);
+  (void)shard.ingest(tuple({10, 3}), 2);
+  EXPECT_EQ(shard.evict_older_than(1), 1u);  // drops the epoch-0 tuple
+  EXPECT_EQ(shard.size(), 1u);
+  const auto k = shard.live_counters(10);
+  EXPECT_EQ(k.t, 0u);
+  EXPECT_EQ(k.s, 1u);
+  EXPECT_EQ(shard.evict_older_than(3), 1u);
+  EXPECT_EQ(shard.size(), 0u);
+  EXPECT_EQ(shard.live_counters(10), core::UsageCounters{});
+}
+
+TEST(TupleShard, RefreshProtectsFromEviction) {
+  TupleShard shard;
+  (void)shard.ingest(tuple({10, 2}), 0);
+  (void)shard.ingest(tuple({10, 2}), 5);  // refresh at epoch 5
+  EXPECT_EQ(shard.evict_older_than(3), 0u);
+  EXPECT_EQ(shard.size(), 1u);
+}
+
+TEST(TupleShard, VersionBumpsOnMutationOnly) {
+  TupleShard shard;
+  const auto v0 = shard.version();
+  (void)shard.ingest(tuple({1, 2}), 0);
+  const auto v1 = shard.version();
+  EXPECT_GT(v1, v0);
+  (void)shard.ingest(tuple({1, 2}), 0);  // duplicate: no change
+  EXPECT_EQ(shard.version(), v1);
+  EXPECT_EQ(shard.evict_older_than(0), 0u);  // nothing evicted: no change
+  EXPECT_EQ(shard.version(), v1);
+  (void)shard.evict_older_than(1);
+  EXPECT_GT(shard.version(), v1);
+}
+
+TEST(TupleShard, CollectViewsCarriesPrecomputedMasks) {
+  TupleShard shard;
+  (void)shard.ingest(tuple({10, 20}, {bgp::CommunityValue::regular(20, 7)}), 0);
+  std::vector<core::TupleView> views;
+  shard.collect_views(views);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_FALSE(views[0].upper_at(0));
+  EXPECT_TRUE(views[0].upper_at(1));
+  EXPECT_EQ(views[0].path->size(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpcu::stream

@@ -1,0 +1,134 @@
+// The stream subsystem's correctness contract, checked property-style over
+// randomized scenarios: at any epoch, StreamEngine::snapshot() must be
+// bit-for-bit identical (same CounterMap) to a fresh ColumnEngine::run over
+// the deduplicated union of the tuples currently inside the window. The
+// window oracle is reimplemented independently here (a last-seen-epoch map)
+// so engine and test cannot share an aging bug.
+//
+// Scenario space: random datasets (recurring ASNs, random communities) split
+// into random per-epoch batches with re-observations, ingested into engines
+// with varying shard counts and window sizes. 25 seeds x 5 configurations =
+// 125 randomized scenarios.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/engine.h"
+#include "stream/engine.h"
+#include "topology/rng.h"
+
+namespace bgpcu::stream {
+namespace {
+
+// Random (path, comm) dataset in the style of tests/core/test_engine_property:
+// ASNs 1..40 so ASes recur in different positions, random path lengths,
+// random community subsets keyed on path members plus off-path admins.
+core::Dataset random_dataset(topology::Rng& rng, std::size_t tuples) {
+  core::Dataset d;
+  for (std::size_t i = 0; i < tuples; ++i) {
+    core::PathCommTuple t;
+    const std::size_t len = 1 + rng.below(6);
+    while (t.path.size() < len) {
+      const bgp::Asn asn = 1 + static_cast<bgp::Asn>(rng.below(40));
+      if (std::find(t.path.begin(), t.path.end(), asn) == t.path.end()) t.path.push_back(asn);
+    }
+    for (const auto asn : t.path) {
+      if (rng.chance(0.3)) {
+        t.comms.push_back(bgp::CommunityValue::regular(static_cast<std::uint16_t>(asn),
+                                                       static_cast<std::uint16_t>(rng.below(4))));
+      }
+    }
+    if (rng.chance(0.1)) {
+      t.comms.push_back(
+          bgp::CommunityValue::regular(static_cast<std::uint16_t>(100 + rng.below(20)), 1));
+    }
+    d.push_back(std::move(t));
+  }
+  return d;
+}
+
+struct ScenarioShape {
+  std::size_t shards;
+  std::uint64_t window;  ///< 0 = unbounded.
+  std::size_t epochs;
+  double reobserve_prob;  ///< P(a tuple from an earlier batch repeats).
+};
+
+class StreamEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, ScenarioShape>> {};
+
+TEST_P(StreamEquivalence, SnapshotEqualsBatchRunAtEveryEpoch) {
+  const auto [seed, shape] = GetParam();
+  topology::Rng rng(seed * 7919 + shape.shards);
+
+  StreamEngine engine({.shards = shape.shards, .window_epochs = shape.window});
+
+  // Independent window oracle: normalized tuple -> last-seen epoch.
+  std::unordered_map<core::PathCommTuple, Epoch> oracle;
+  core::Dataset pool;  // earlier tuples available for re-observation
+
+  for (std::size_t e = 0; e < shape.epochs; ++e) {
+    if (e > 0) engine.advance_epoch();
+    const Epoch epoch = engine.epoch();
+
+    core::Dataset batch = random_dataset(rng, 40 + rng.below(60));
+    for (const auto& old_tuple : pool) {
+      if (rng.chance(shape.reobserve_prob)) batch.push_back(old_tuple);
+    }
+    pool.insert(pool.end(), batch.begin(), batch.end());
+    if (pool.size() > 600) pool.erase(pool.begin(), pool.begin() + 300);
+
+    // Feed the oracle a normalized copy (the engine normalizes on ingest).
+    for (auto copy : batch) {
+      bgp::normalize(copy.comms);
+      if (copy.path.empty() || copy.path.size() > core::kMaxPathLength) continue;
+      oracle[std::move(copy)] = epoch;
+    }
+    (void)engine.ingest(std::move(batch));
+
+    // Age the oracle exactly per the documented window semantics.
+    if (shape.window != 0) {
+      for (auto it = oracle.begin(); it != oracle.end();) {
+        if (epoch >= shape.window && it->second < epoch - shape.window + 1) {
+          it = oracle.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    core::Dataset live;
+    live.reserve(oracle.size());
+    for (const auto& [tuple, last] : oracle) live.push_back(tuple);
+    core::deduplicate(live);
+
+    ASSERT_EQ(engine.live_tuples(), live.size()) << "epoch " << epoch;
+    const auto snap = engine.snapshot();
+    const auto batch_run = core::ColumnEngine().run(live);
+    ASSERT_EQ(snap.counter_map(), batch_run.counter_map())
+        << "seed " << seed << " shards " << shape.shards << " window " << shape.window
+        << " epoch " << epoch;
+    EXPECT_EQ(snap.columns_swept(), batch_run.columns_swept());
+  }
+}
+
+constexpr ScenarioShape kShapes[] = {
+    {.shards = 1, .window = 0, .epochs = 5, .reobserve_prob = 0.0},
+    {.shards = 4, .window = 0, .epochs = 5, .reobserve_prob = 0.05},
+    {.shards = 7, .window = 2, .epochs = 6, .reobserve_prob = 0.10},
+    {.shards = 4, .window = 3, .epochs = 7, .reobserve_prob = 0.15},
+    {.shards = 16, .window = 1, .epochs = 5, .reobserve_prob = 0.05},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, StreamEquivalence,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 26), ::testing::ValuesIn(kShapes)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_sh" +
+             std::to_string(std::get<1>(info.param).shards) + "_w" +
+             std::to_string(std::get<1>(info.param).window);
+    });
+
+}  // namespace
+}  // namespace bgpcu::stream

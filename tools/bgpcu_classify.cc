@@ -19,7 +19,6 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <vector>
 
 #include "collector/extract.h"
@@ -27,7 +26,6 @@
 #include "core/engine.h"
 #include "core/vocabulary.h"
 #include "mrt/reader.h"
-#include "mrt/writer.h"
 #include "registry/registry.h"
 
 namespace {
@@ -39,47 +37,6 @@ int usage(const char* argv0) {
             << " [--threshold P] [--allocations F] [--output F] [--vocabulary] [--summary]"
                " DUMP.mrt...\n";
   return 2;
-}
-
-registry::AllocationRegistry load_allocations(const std::string& path) {
-  registry::AllocationRegistry reg;
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open allocations file: " + path);
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream row(line);
-    std::string kind;
-    row >> kind;
-    if (kind == "asn") {
-      std::uint64_t lo = 0, hi = 0;
-      if (!(row >> lo >> hi)) {
-        throw std::runtime_error("bad asn line " + std::to_string(lineno) + ": " + line);
-      }
-      reg.allocate_asn_range(static_cast<bgp::Asn>(lo), static_cast<bgp::Asn>(hi));
-    } else if (kind == "prefix") {
-      std::string text;
-      if (!(row >> text)) {
-        throw std::runtime_error("bad prefix line " + std::to_string(lineno) + ": " + line);
-      }
-      reg.allocate_prefix(bgp::Prefix::parse(text));
-    } else {
-      throw std::runtime_error("unknown record '" + kind + "' on line " +
-                               std::to_string(lineno));
-    }
-  }
-  return reg;
-}
-
-registry::AllocationRegistry allow_all_registry() {
-  registry::AllocationRegistry reg;
-  reg.allocate_asn_range(1, 4294967293u);  // special-purpose ranges still excluded
-  reg.allocate_prefix(bgp::Prefix::ipv4(0, 0));
-  std::array<std::uint8_t, 16> zero{};
-  reg.allocate_prefix(bgp::Prefix::ipv6(zero, 0));
-  return reg;
 }
 
 }  // namespace
@@ -127,15 +84,15 @@ int main(int argc, char** argv) {
   if (dumps.empty()) return usage(argv[0]);
 
   try {
-    const auto reg = allocations_path.empty() ? allow_all_registry()
-                                              : load_allocations(allocations_path);
+    const auto reg = allocations_path.empty() ? registry::allow_all()
+                                              : registry::load_allocations(allocations_path);
     collector::DatasetBuilder builder(reg);
     for (const auto& path : dumps) {
-      const mrt::MrtFileReader reader(path);
-      mrt::MrtWriter buffer;
-      for (const auto& rec : reader.records()) buffer.write(rec);
-      builder.add_dump(buffer.buffer());
-      std::cerr << path << ": " << reader.records().size() << " MRT records\n";
+      // Feed the raw image straight to the extractor; the old parse +
+      // re-serialize round trip through MrtWriter doubled the work per dump.
+      const auto bytes = mrt::load_file(path);
+      builder.add_dump(bytes);
+      std::cerr << path << ": " << bytes.size() << " bytes\n";
     }
     const auto bundle = builder.finish();
     std::cerr << "entries: " << bundle.extraction.entries_total

@@ -1,0 +1,208 @@
+// bgpcu_stream — streaming front end to the inference pipeline.
+//
+// Tails a directory that MRT dumps (BGP4MP update files and/or TABLE_DUMP_V2
+// RIBs) are dropped into, feeds each poll's new files through extraction +
+// sanitation as one batch, and maintains live per-AS community-usage
+// classifications in a sharded stream engine. Every poll that ingests data
+// advances one epoch; snapshots are emitted periodically as inference
+// databases plus a class-change delta feed on stdout:
+//
+//   AS 3356 changed tf->tc at epoch 12
+//
+// Usage:
+//   bgpcu_stream [options] WATCH_DIR
+//
+// Options:
+//   --threshold P      classification threshold in [0.5, 1.0], default 0.99
+//   --allocations F    allocation table (see bgpcu_classify); default: all
+//                      ASNs/prefixes treated as allocated
+//   --shards N         ASN-hash shard count, default 8
+//   --window W         sliding window in epochs; tuples unseen for W epochs
+//                      age out; 0 (default) keeps everything forever
+//   --extension .EXT   only consume files with this extension
+//   --settle SEC       skip files modified within the last SEC seconds
+//                      (for feeds written in place rather than renamed in);
+//                      default 0 (off)
+//   --interval SEC     poll interval in seconds, default 5
+//   --max-epochs N     exit after N ingesting epochs (0 = run forever)
+//   --once             drain the directory once and exit (implies a final
+//                      snapshot even if the last poll was empty)
+//   --snapshot-dir D   write snapshot-<epoch>.db databases into D
+//   --snapshot-every K emit a snapshot every K epochs, default 1
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/database.h"
+#include "registry/registry.h"
+#include "stream/delta.h"
+#include "stream/engine.h"
+#include "stream/feed.h"
+
+namespace {
+
+using namespace bgpcu;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--threshold P] [--allocations F] [--shards N] [--window W]"
+               " [--extension .EXT] [--settle SEC] [--interval SEC] [--max-epochs N] [--once]"
+               " [--snapshot-dir D] [--snapshot-every K] WATCH_DIR\n";
+  return 2;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const auto value = std::strtoull(text, &end, 10);
+  // strtoull silently wraps "-1" to huge; reject any sign explicitly.
+  if (errno != 0 || end == text || *end != '\0' || text[0] == '-' || text[0] == '+') {
+    std::cerr << flag << " needs a non-negative integer, got '" << text << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
+std::string snapshot_path(const std::string& dir, stream::Epoch epoch) {
+  char name[32];
+  std::snprintf(name, sizeof name, "snapshot-%06llu.db",
+                static_cast<unsigned long long>(epoch));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.99;
+  std::string allocations_path;
+  std::string watch_dir;
+  std::string snapshot_dir;
+  std::string extension;
+  stream::StreamConfig config;
+  std::uint32_t settle_sec = 0;
+  unsigned interval_sec = 5;
+  std::uint64_t max_epochs = 0;
+  std::uint64_t snapshot_every = 1;
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threshold") {
+      threshold = std::atof(next());
+      if (threshold < 0.5 || threshold > 1.0) {
+        std::cerr << "--threshold must be in [0.5, 1.0]\n";
+        return 2;
+      }
+    } else if (arg == "--allocations") {
+      allocations_path = next();
+    } else if (arg == "--shards") {
+      config.shards = static_cast<std::size_t>(parse_u64(arg, next()));
+      if (config.shards == 0) {
+        std::cerr << "--shards must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--window") {
+      config.window_epochs = parse_u64(arg, next());
+    } else if (arg == "--extension") {
+      extension = next();
+    } else if (arg == "--settle") {
+      settle_sec = static_cast<std::uint32_t>(parse_u64(arg, next()));
+    } else if (arg == "--interval") {
+      interval_sec = static_cast<unsigned>(parse_u64(arg, next()));
+    } else if (arg == "--max-epochs") {
+      max_epochs = parse_u64(arg, next());
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--snapshot-dir") {
+      snapshot_dir = next();
+    } else if (arg == "--snapshot-every") {
+      snapshot_every = parse_u64(arg, next());
+      if (snapshot_every == 0) snapshot_every = 1;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    } else if (watch_dir.empty()) {
+      watch_dir = arg;
+    } else {
+      std::cerr << "only one WATCH_DIR expected\n";
+      return usage(argv[0]);
+    }
+  }
+  if (watch_dir.empty()) return usage(argv[0]);
+
+  try {
+    const auto reg = allocations_path.empty() ? registry::allow_all()
+                                              : registry::load_allocations(allocations_path);
+    config.engine.thresholds = core::Thresholds::uniform(threshold);
+    stream::StreamEngine engine(config);
+    stream::DirectoryFeed feed(watch_dir, reg, extension, settle_sec);
+    if (!snapshot_dir.empty()) std::filesystem::create_directories(snapshot_dir);
+
+    core::InferenceResult previous({}, config.engine.thresholds, 0);
+    std::optional<stream::Epoch> last_emitted;
+    const auto emit_snapshot = [&](stream::Epoch epoch) {
+      const auto result = engine.snapshot();
+      for (const auto& change : stream::diff_classifications(previous, result)) {
+        std::cout << change.to_string(epoch) << "\n";
+      }
+      std::cout.flush();
+      if (!snapshot_dir.empty()) {
+        core::write_database_file(snapshot_path(snapshot_dir, epoch), result);
+      }
+      previous = result;
+      last_emitted = epoch;
+    };
+
+    std::uint64_t ingest_polls = 0;
+    while (true) {
+      auto poll = feed.poll();
+      for (const auto& path : poll.failed) {
+        std::cerr << "warning: could not read " << path
+                  << (once ? "\n" : " (will retry)\n");
+      }
+      if (poll.empty()) {
+        if (once) break;
+        std::this_thread::sleep_for(std::chrono::seconds(interval_sec));
+        continue;
+      }
+      // Every ingesting poll is one epoch; advance *before* ingesting so the
+      // new tuples belong to the new epoch (advancing afterwards would evict
+      // a --window 1 poll's own input before it could ever be snapshotted).
+      if (ingest_polls > 0) engine.advance_epoch();
+      ++ingest_polls;
+      const auto stats = engine.ingest(std::move(poll.batch));
+      const auto epoch = engine.epoch();
+      std::cerr << "epoch " << epoch << ": " << poll.files.size() << " file(s), "
+                << poll.extraction.entries_total << " entries, " << stats.accepted
+                << " new tuples (" << stats.refreshed << " refreshed, " << stats.duplicates
+                << " dup, " << stats.rejected << " rejected), " << engine.live_tuples()
+                << " live, " << engine.evicted_total() << " evicted total\n";
+      if (ingest_polls % snapshot_every == 0) emit_snapshot(epoch);
+      if (max_epochs != 0 && ingest_polls >= max_epochs) break;
+      if (!once) std::this_thread::sleep_for(std::chrono::seconds(interval_sec));
+    }
+
+    // Final state for drain runs: make sure the last epoch is reflected even
+    // when it fell between --snapshot-every ticks.
+    if (ingest_polls > 0 && last_emitted != engine.epoch()) emit_snapshot(engine.epoch());
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,136 @@
+// Wire-codec throughput: encode/decode rates for snapshot and delta-batch
+// frames at service-realistic sizes, plus the size of the binary artifact
+// against the v1 text database it replaces. The codec sits on the publish
+// path of the streaming service (one snapshot + one delta frame per epoch),
+// so sustained MB/s and records/s here bound how fast epochs can be served.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "api/service.h"
+#include "api/wire.h"
+#include "common.h"
+#include "core/database.h"
+#include "stream/delta.h"
+#include "topology/rng.h"
+
+namespace {
+
+using namespace bgpcu;
+using Clock = std::chrono::steady_clock;
+
+/// Counter table shaped like a real inference run: dense low ASNs plus a
+/// 32-bit tail, counter magnitudes spread across the varint length classes.
+core::InferenceResult synthetic_result(std::size_t ases, std::uint64_t seed) {
+  topology::Rng rng(seed);
+  core::CounterMap counters;
+  counters.reserve(ases);
+  while (counters.size() < ases) {
+    const bgp::Asn asn = rng.chance(0.15)
+                             ? 0x40000000u + static_cast<bgp::Asn>(rng.below(1u << 20))
+                             : 1 + static_cast<bgp::Asn>(rng.below(400000));
+    core::UsageCounters k;
+    k.t = rng.below(1u << 12);
+    k.s = rng.chance(0.25) ? rng.below(1ull << 34) : rng.below(64);
+    k.f = rng.below(1u << 10);
+    k.c = rng.chance(0.5) ? 0 : rng.below(1u << 16);
+    counters.emplace(asn, k);
+  }
+  return core::InferenceResult(std::move(counters), core::Thresholds{}, 7);
+}
+
+api::EpochDelta synthetic_delta(std::size_t changes, std::uint64_t seed) {
+  topology::Rng rng(seed);
+  api::EpochDelta delta;
+  delta.epoch = 12345;
+  std::uint64_t asn = 0;
+  while (delta.changes.size() < changes) {
+    asn += 1 + rng.below(64);
+    stream::ClassChange change;
+    change.asn = static_cast<bgp::Asn>(asn);
+    change.before = {static_cast<core::TaggingClass>(rng.below(4)),
+                     static_cast<core::ForwardingClass>(rng.below(4))};
+    change.after = {static_cast<core::TaggingClass>(rng.below(4)),
+                    static_cast<core::ForwardingClass>(rng.below(4))};
+    delta.changes.push_back(change);
+  }
+  return delta;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Wire codec encode/decode throughput",
+                      "engineering (api subsystem)");
+  const auto scale = bench::scale_factor();
+  const auto ases = static_cast<std::size_t>(200000 * scale);
+  const auto changes = static_cast<std::size_t>(50000 * scale);
+  constexpr int kReps = 5;
+
+  const auto snapshot = synthetic_result(std::max<std::size_t>(ases, 1000), 42);
+  std::stringstream text;
+  core::write_database(text, snapshot);
+  const auto text_bytes = text.str().size();
+
+  // Snapshot encode (best of kReps).
+  std::vector<std::uint8_t> frame;
+  double encode_s = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = Clock::now();
+    frame = api::encode_snapshot(snapshot);
+    encode_s = std::min(encode_s, seconds_since(start));
+  }
+  double decode_s = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = Clock::now();
+    const auto decoded = api::decode_snapshot(frame);
+    decode_s = std::min(decode_s, seconds_since(start));
+    if (decoded.counter_map().size() != snapshot.counter_map().size()) return 1;
+  }
+
+  const double n = static_cast<double>(snapshot.counter_map().size());
+  std::cout << "snapshot: " << snapshot.counter_map().size() << " ASes\n";
+  std::cout << "  wire size " << frame.size() << " B (" << fmt(8.0 * frame.size() / n)
+            << " bits/AS), text size " << text_bytes << " B — "
+            << fmt(100.0 * frame.size() / static_cast<double>(text_bytes))
+            << "% of text\n";
+  std::cout << "  encode " << fmt(n / encode_s / 1e6) << " M records/s ("
+            << fmt(frame.size() / encode_s / 1e6) << " MB/s)\n";
+  std::cout << "  decode " << fmt(n / decode_s / 1e6) << " M records/s ("
+            << fmt(frame.size() / decode_s / 1e6) << " MB/s)\n";
+
+  // Delta batch.
+  const auto delta = synthetic_delta(std::max<std::size_t>(changes, 1000), 7);
+  std::vector<std::uint8_t> delta_frame;
+  double delta_encode_s = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = Clock::now();
+    delta_frame = api::encode_delta_batch(delta);
+    delta_encode_s = std::min(delta_encode_s, seconds_since(start));
+  }
+  double delta_decode_s = 1e30;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = Clock::now();
+    const auto decoded = api::decode_delta_batch(delta_frame);
+    delta_decode_s = std::min(delta_decode_s, seconds_since(start));
+    if (decoded.changes.size() != delta.changes.size()) return 1;
+  }
+  const double m = static_cast<double>(delta.changes.size());
+  std::cout << "delta batch: " << delta.changes.size() << " changes, "
+            << delta_frame.size() << " B ("
+            << fmt(8.0 * delta_frame.size() / m) << " bits/change)\n";
+  std::cout << "  encode " << fmt(m / delta_encode_s / 1e6) << " M changes/s, decode "
+            << fmt(m / delta_decode_s / 1e6) << " M changes/s\n";
+  return 0;
+}

@@ -1,0 +1,192 @@
+#include "api/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bgpcu::api {
+
+namespace {
+
+/// A class-code side of a transition spec: "*" or a valid two-char code.
+bool valid_code_spec(const std::string& spec) {
+  if (spec == "*") return true;
+  if (spec.size() != 2) return false;
+  const auto tag_ok = spec[0] == 't' || spec[0] == 's' || spec[0] == 'u' || spec[0] == 'n';
+  const auto fwd_ok = spec[1] == 'f' || spec[1] == 'c' || spec[1] == 'u' || spec[1] == 'n';
+  return tag_ok && fwd_ok;
+}
+
+}  // namespace
+
+SubscriptionFilter SubscriptionFilter::transition(const std::string& spec) {
+  const auto arrow = spec.find("->");
+  if (arrow == std::string::npos) {
+    throw std::invalid_argument("transition spec needs FROM->TO, got '" + spec + "'");
+  }
+  SubscriptionFilter filter;
+  filter.from = spec.substr(0, arrow);
+  filter.to = spec.substr(arrow + 2);
+  if (!valid_code_spec(filter.from) || !valid_code_spec(filter.to)) {
+    throw std::invalid_argument("transition sides must be class codes or '*', got '" + spec +
+                                "'");
+  }
+  return filter;
+}
+
+bool SubscriptionFilter::matches(const stream::ClassChange& change) const {
+  if (!watch.empty() &&
+      std::find(watch.begin(), watch.end(), change.asn) == watch.end()) {
+    return false;
+  }
+  if (from != "*" && change.before.code() != from) return false;
+  if (to != "*" && change.after.code() != to) return false;
+  return true;
+}
+
+std::vector<stream::ClassChange> SubscriptionFilter::apply(const EpochDelta& delta) const {
+  std::vector<stream::ClassChange> out;
+  for (const auto& change : delta.changes) {
+    if (matches(change)) out.push_back(change);
+  }
+  return out;
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void EventLog::push(EpochDelta delta) {
+  if (entries_.size() == capacity_) entries_.pop_front();
+  entries_.push_back(std::move(delta));
+}
+
+std::vector<EpochDelta> EventLog::since(stream::Epoch from) const {
+  std::vector<EpochDelta> out;
+  for (const auto& entry : entries_) {
+    if (entry.epoch >= from) out.push_back(entry);
+  }
+  return out;
+}
+
+std::optional<stream::Epoch> EventLog::oldest_epoch() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.front().epoch;
+}
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      engine_(config_.stream),
+      published_({}, config_.stream.engine.thresholds, 0),
+      log_(config_.event_log_capacity) {}
+
+stream::IngestStats Service::ingest(core::Dataset batch) {
+  return engine_.ingest(std::move(batch));
+}
+
+stream::Epoch Service::advance_epoch() { return engine_.advance_epoch(); }
+
+stream::Epoch Service::epoch() const { return engine_.epoch(); }
+
+QueryResponse Service::query(const QueryRequest& request) const {
+  QueryResponse response;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case QueryKind::kClassOf: {
+      const auto snapshot = engine_.snapshot();
+      response.asn_class = AsnClass{request.asn, snapshot.usage(request.asn),
+                                    snapshot.counters(request.asn)};
+      break;
+    }
+    case QueryKind::kSnapshot:
+      response.snapshot = engine_.snapshot();
+      break;
+    case QueryKind::kLiveCounters: {
+      const auto counters = engine_.live_counters(request.asn);
+      const auto usage =
+          core::classify(counters, config_.stream.engine.thresholds);
+      response.asn_class = AsnClass{request.asn, usage, counters};
+      break;
+    }
+    case QueryKind::kStats: {
+      ServiceStats stats;
+      stats.epoch = engine_.epoch();
+      stats.live_tuples = engine_.live_tuples();
+      stats.evicted_total = engine_.evicted_total();
+      stats.shards = engine_.config().shards;
+      stats.window_epochs = engine_.config().window_epochs;
+      stats.subscriptions = subscription_count();
+      response.stats = stats;
+      break;
+    }
+  }
+  return response;
+}
+
+EpochDelta Service::publish() {
+  // Pairs to notify once the facade mutex is released — callbacks may
+  // re-enter subscribe/unsubscribe.
+  std::vector<std::pair<SubscriptionCallback, EpochDelta>> dispatch;
+  EpochDelta delta;
+  {
+    const std::lock_guard lock(facade_mutex_);
+    auto current = engine_.snapshot();
+    delta.epoch = engine_.epoch();
+    delta.changes = stream::diff_classifications(published_, current);
+    published_ = std::move(current);
+    if (!delta.changes.empty()) {
+      log_.push(delta);
+      for (const auto& sub : subscriptions_) {
+        auto filtered = sub.filter.apply(delta);
+        if (filtered.empty()) continue;
+        dispatch.emplace_back(sub.callback, EpochDelta{delta.epoch, std::move(filtered)});
+      }
+    }
+  }
+  for (auto& [callback, filtered] : dispatch) callback(filtered);
+  return delta;
+}
+
+SubscriptionId Service::subscribe(SubscriptionFilter filter, SubscriptionCallback callback,
+                                  std::optional<stream::Epoch> replay_from) {
+  const std::lock_guard lock(facade_mutex_);
+  const SubscriptionId id = next_id_++;
+  // Replay is delivered while still holding the facade mutex, *before* the
+  // subscription becomes visible to publishers: a concurrent publish either
+  // ran earlier (its batch is in the log and replays here) or blocks on the
+  // mutex and delivers after — historical epochs can never arrive after a
+  // newer live one. The price: a replay delivery must not call back into
+  // the Service (live deliveries from publish() remain re-entrant-safe).
+  if (replay_from) {
+    for (const auto& entry : log_.since(*replay_from)) {
+      auto filtered = filter.apply(entry);
+      if (!filtered.empty()) callback(EpochDelta{entry.epoch, std::move(filtered)});
+    }
+  }
+  subscriptions_.push_back({id, std::move(filter), std::move(callback)});
+  return id;
+}
+
+bool Service::unsubscribe(SubscriptionId id) {
+  const std::lock_guard lock(facade_mutex_);
+  const auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
+                               [id](const Subscription& s) { return s.id == id; });
+  if (it == subscriptions_.end()) return false;
+  subscriptions_.erase(it);
+  return true;
+}
+
+std::size_t Service::subscription_count() const {
+  const std::lock_guard lock(facade_mutex_);
+  return subscriptions_.size();
+}
+
+std::vector<EpochDelta> Service::replay(stream::Epoch from) const {
+  const std::lock_guard lock(facade_mutex_);
+  return log_.since(from);
+}
+
+std::optional<stream::Epoch> Service::replay_horizon() const {
+  const std::lock_guard lock(facade_mutex_);
+  return log_.oldest_epoch();
+}
+
+}  // namespace bgpcu::api

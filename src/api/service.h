@@ -1,0 +1,217 @@
+// The service facade: the library's public surface for programmatic
+// consumers (anomaly detectors, TE tooling, network front ends). A Service
+// owns a stream::StreamEngine and exposes everything a caller needs —
+// ingest, epoch control, a typed query API, and a filtered subscription feed
+// of class transitions — so callers never touch engine internals. The
+// subscription feed delivers exactly the `stream::diff_classifications`
+// sequence over successively published snapshots (the correctness contract,
+// property-tested in tests/api/test_service_property.cc), batched per epoch
+// and retained in a ring buffer so late subscribers can replay recent
+// history.
+#ifndef BGPCU_API_SERVICE_H
+#define BGPCU_API_SERVICE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "stream/delta.h"
+#include "stream/engine.h"
+
+namespace bgpcu::api {
+
+/// Service tuning: the wrapped engine's knobs plus facade-level retention.
+struct ServiceConfig {
+  stream::StreamConfig stream;  ///< Shards, window, thresholds.
+  /// Published epoch batches the event log retains for replay. Clamped to
+  /// >= 1; older batches fall off the ring.
+  std::size_t event_log_capacity = 64;
+};
+
+/// What a QueryRequest asks for. Values are wire-stable (see api/wire.h).
+enum class QueryKind : std::uint8_t {
+  kClassOf = 1,       ///< Swept class + counters for one AS.
+  kSnapshot = 2,      ///< Full InferenceResult over the live tuple set.
+  kLiveCounters = 3,  ///< Real-time peer-column evidence for one AS (no sweep).
+  kStats = 4,         ///< Engine/service health counters.
+};
+
+/// A single typed request against the service.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kStats;
+  bgp::Asn asn = 0;  ///< Meaningful for kClassOf / kLiveCounters only.
+
+  friend bool operator==(const QueryRequest&, const QueryRequest&) = default;
+};
+
+/// Per-AS answer: classification plus the evidence behind it.
+struct AsnClass {
+  bgp::Asn asn = 0;
+  core::UsageClass usage;
+  core::UsageCounters counters;
+
+  friend bool operator==(const AsnClass&, const AsnClass&) = default;
+};
+
+/// Service health counters (QueryKind::kStats).
+struct ServiceStats {
+  stream::Epoch epoch = 0;
+  std::uint64_t live_tuples = 0;
+  std::uint64_t evicted_total = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t window_epochs = 0;
+  std::uint64_t subscriptions = 0;
+
+  friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
+};
+
+/// Union-style response; exactly the member matching `kind` is engaged.
+struct QueryResponse {
+  QueryKind kind = QueryKind::kStats;
+  std::optional<AsnClass> asn_class;                ///< kClassOf, kLiveCounters.
+  std::optional<core::InferenceResult> snapshot;    ///< kSnapshot.
+  std::optional<ServiceStats> stats;                ///< kStats.
+};
+
+/// One published epoch's class transitions, in ascending-ASN order — the
+/// unit of the subscription feed, the event log, and the binary delta file.
+struct EpochDelta {
+  stream::Epoch epoch = 0;
+  std::vector<stream::ClassChange> changes;
+
+  friend bool operator==(const EpochDelta&, const EpochDelta&) = default;
+};
+
+/// Which transitions a subscriber wants. Default-constructed matches
+/// everything. `from`/`to` are two-character class codes ("tf", "nn", ...)
+/// or "*" for any; `transition("tf->tc")`-style specs parse both at once.
+struct SubscriptionFilter {
+  std::vector<bgp::Asn> watch;  ///< Only these ASNs; empty = every AS.
+  std::string from = "*";       ///< Class code before the change, or "*".
+  std::string to = "*";         ///< Class code after the change, or "*".
+
+  /// Parses "FROM->TO" (each side a class code or "*"), e.g. "*->tc".
+  /// Throws std::invalid_argument on anything else.
+  [[nodiscard]] static SubscriptionFilter transition(const std::string& spec);
+
+  [[nodiscard]] bool matches(const stream::ClassChange& change) const;
+
+  /// The subset of `delta` this filter passes, preserving order.
+  [[nodiscard]] std::vector<stream::ClassChange> apply(const EpochDelta& delta) const;
+};
+
+/// Receives one filtered, non-empty EpochDelta per published epoch.
+using SubscriptionCallback = std::function<void(const EpochDelta&)>;
+
+/// Handle for unsubscribe; never reused within one Service.
+using SubscriptionId = std::uint64_t;
+
+/// Fixed-capacity ring of recently published epoch deltas (oldest evicted
+/// first). Not thread-safe on its own; the Service serializes access.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity);
+
+  void push(EpochDelta delta);
+
+  /// All retained batches with epoch >= `from`, oldest first.
+  [[nodiscard]] std::vector<EpochDelta> since(stream::Epoch from) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Epoch of the oldest retained batch; nullopt when empty. Replay from an
+  /// earlier epoch is lossy — callers can detect the gap with this.
+  [[nodiscard]] std::optional<stream::Epoch> oldest_epoch() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<EpochDelta> entries_;
+};
+
+/// The facade. Typical service loop:
+///
+///   api::Service service({.stream = {...}});
+///   auto id = service.subscribe(api::SubscriptionFilter::transition("*->tc"),
+///                               [](const api::EpochDelta& d) { ... });
+///   for (;;) {
+///     service.ingest(next_batch());
+///     service.advance_epoch();
+///     service.publish();            // diffs, logs, notifies subscribers
+///   }
+///
+/// Thread model: `ingest`/`query(kClassOf is a sweep; kLiveCounters/kStats
+/// are lock-light)` follow the engine's concurrency rules; `publish`,
+/// `subscribe`, `unsubscribe`, and `replay` serialize on a facade mutex.
+/// publish() invokes callbacks *outside* that mutex, so a callback may
+/// safely subscribe/unsubscribe re-entrantly; replayed deliveries during
+/// subscribe() run under the mutex (see subscribe()).
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+
+  /// Ingests one batch at the current epoch (see StreamEngine::ingest).
+  stream::IngestStats ingest(core::Dataset batch);
+
+  /// Advances the engine epoch, aging out-of-window tuples. Returns it.
+  stream::Epoch advance_epoch();
+
+  [[nodiscard]] stream::Epoch epoch() const;
+
+  /// Answers one typed request. kSnapshot/kClassOf sweep (cached when the
+  /// engine is unchanged); kLiveCounters/kStats never sweep.
+  [[nodiscard]] QueryResponse query(const QueryRequest& request) const;
+
+  /// Snapshots, diffs against the previously published snapshot, appends the
+  /// batch to the event log, and dispatches it through every subscription
+  /// filter. Returns the full (unfiltered) batch. Publishing twice without
+  /// an intervening change yields an empty batch and logs nothing.
+  EpochDelta publish();
+
+  /// Registers `callback` for future publishes. When `replay_from` is set,
+  /// retained batches with epoch >= *replay_from are delivered (filtered)
+  /// before this call returns — and before any concurrent publish can
+  /// deliver a newer epoch, so the subscriber always observes epochs in
+  /// order. Replayed deliveries run under the facade mutex: the callback
+  /// must not call back into the Service while handling one (callbacks
+  /// invoked from publish() may).
+  SubscriptionId subscribe(SubscriptionFilter filter, SubscriptionCallback callback,
+                           std::optional<stream::Epoch> replay_from = std::nullopt);
+
+  /// Returns false when `id` was never issued or already removed.
+  bool unsubscribe(SubscriptionId id);
+
+  [[nodiscard]] std::size_t subscription_count() const;
+
+  /// Unfiltered retained history with epoch >= `from` (see EventLog::since).
+  [[nodiscard]] std::vector<EpochDelta> replay(stream::Epoch from) const;
+
+  /// Epoch of the oldest batch still replayable; nullopt before any publish.
+  [[nodiscard]] std::optional<stream::Epoch> replay_horizon() const;
+
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Subscription {
+    SubscriptionId id = 0;
+    SubscriptionFilter filter;
+    SubscriptionCallback callback;
+  };
+
+  ServiceConfig config_;
+  stream::StreamEngine engine_;
+  mutable std::mutex facade_mutex_;  ///< Guards everything below.
+  core::InferenceResult published_;  ///< Baseline for the next publish's diff.
+  EventLog log_;
+  std::vector<Subscription> subscriptions_;
+  SubscriptionId next_id_ = 1;
+};
+
+}  // namespace bgpcu::api
+
+#endif  // BGPCU_API_SERVICE_H

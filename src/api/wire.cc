@@ -1,0 +1,518 @@
+#include "api/wire.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "core/database.h"
+
+namespace bgpcu::api {
+
+namespace {
+
+// ------------------------------------------------------------ primitives --
+
+/// Unsigned LEB128: 7 value bits per byte, high bit = continuation. At most
+/// 10 bytes encode a u64.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/// IEEE-754 bit pattern, big-endian — stable across hosts.
+void put_f64(std::vector<std::uint8_t>& out, double value) {
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(bits >> shift));
+  }
+}
+
+/// Bounds-checked reader; every underrun or malformed primitive throws
+/// WireFormatError (the decoders' single failure currency).
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data.size() - pos; }
+
+  void require(std::size_t n, const char* what) const {
+    if (remaining() < n) {
+      throw WireFormatError(std::string("truncated wire input reading ") + what);
+    }
+  }
+
+  std::uint8_t u8(const char* what) {
+    require(1, what);
+    return data[pos++];
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t n, const char* what) {
+    require(n, what);
+    const auto view = data.subspan(pos, n);
+    pos += n;
+    return view;
+  }
+
+  std::uint64_t varint(const char* what) {
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const auto byte = u8(what);
+      if (shift == 63 && (byte & 0xFE)) {
+        throw WireFormatError(std::string("varint overflow in ") + what);
+      }
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+    }
+    throw WireFormatError(std::string("varint too long in ") + what);
+  }
+
+  double f64(const char* what) {
+    const auto raw = bytes(8, what);
+    std::uint64_t bits = 0;
+    for (const auto byte : raw) bits = (bits << 8) | byte;
+    return std::bit_cast<double>(bits);
+  }
+};
+
+// ---------------------------------------------------------------- framing --
+
+void put_frame_header(std::vector<std::uint8_t>& out, FrameType type) {
+  out.insert(out.end(), kWireMagic.begin(), kWireMagic.end());
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+}
+
+/// Finishes a frame started with put_frame_header: everything appended after
+/// the header becomes the payload, prefixed with its varint length.
+std::vector<std::uint8_t> seal_frame(FrameType type, std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 16);
+  put_frame_header(frame, type);
+  put_varint(frame, payload.size());
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+Frame parse_frame(Reader& r) {
+  const auto magic = r.bytes(kWireMagic.size(), "frame magic");
+  if (!std::equal(magic.begin(), magic.end(), kWireMagic.begin())) {
+    throw WireFormatError("not a bgpcu wire frame (bad magic)");
+  }
+  const auto version = r.u8("frame version");
+  if (version == 0 || version > kWireVersion) {
+    throw WireFormatError("unsupported wire version " + std::to_string(version) +
+                          " (this build reads <= " + std::to_string(kWireVersion) + ")");
+  }
+  const auto type_byte = r.u8("frame type");
+  if (type_byte < 1 || type_byte > 4) {
+    throw WireFormatError("unknown frame type " + std::to_string(type_byte));
+  }
+  const auto start = r.pos;
+  const auto length = r.varint("frame payload length");
+  if (length > r.remaining()) {
+    throw WireFormatError("truncated frame: payload claims " + std::to_string(length) +
+                          " bytes, " + std::to_string(r.remaining()) + " available");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type_byte);
+  frame.payload = r.bytes(length, "frame payload");
+  frame.size = kWireMagic.size() + 2 + (r.pos - start);
+  return frame;
+}
+
+/// Decodes the single frame that must span `data` exactly, checking its type.
+Frame expect_single_frame(std::span<const std::uint8_t> data, FrameType type,
+                          const char* what) {
+  Reader r{data};
+  const auto frame = parse_frame(r);
+  if (frame.type != type) {
+    throw WireFormatError(std::string("expected a ") + what + " frame, got type " +
+                          std::to_string(static_cast<int>(frame.type)));
+  }
+  if (r.remaining() != 0) {
+    throw WireFormatError(std::string("trailing garbage after ") + what + " frame");
+  }
+  return frame;
+}
+
+void expect_exhausted(const Reader& r, const char* what) {
+  if (r.remaining() != 0) {
+    throw WireFormatError(std::string("trailing garbage inside ") + what + " payload");
+  }
+}
+
+// ------------------------------------------------------- shared payloads --
+
+void put_counters(std::vector<std::uint8_t>& out, const core::UsageCounters& k) {
+  put_varint(out, k.t);
+  put_varint(out, k.s);
+  put_varint(out, k.f);
+  put_varint(out, k.c);
+}
+
+core::UsageCounters get_counters(Reader& r) {
+  core::UsageCounters k;
+  k.t = r.varint("counter t");
+  k.s = r.varint("counter s");
+  k.f = r.varint("counter f");
+  k.c = r.varint("counter c");
+  return k;
+}
+
+/// Class byte: tagging in the high nibble, forwarding in the low, enum
+/// values 0..3 each.
+std::uint8_t class_byte(const core::UsageClass& usage) {
+  return static_cast<std::uint8_t>((static_cast<unsigned>(usage.tagging) << 4) |
+                                   static_cast<unsigned>(usage.forwarding));
+}
+
+core::UsageClass get_class(Reader& r) {
+  const auto byte = r.u8("class byte");
+  const auto tagging = byte >> 4;
+  const auto forwarding = byte & 0x0F;
+  if (tagging > 3 || forwarding > 3) {
+    throw WireFormatError("invalid class byte " + std::to_string(byte));
+  }
+  return {static_cast<core::TaggingClass>(tagging),
+          static_cast<core::ForwardingClass>(forwarding)};
+}
+
+/// Reads one delta-encoded ASN in an ascending sequence. `prev` is nullopt
+/// for the first entry (absolute); later entries must strictly increase.
+bgp::Asn get_asn_delta(Reader& r, std::optional<std::uint64_t>& prev) {
+  const auto delta = r.varint("asn delta");
+  std::uint64_t asn = delta;
+  if (prev) {
+    if (delta == 0) throw WireFormatError("duplicate ASN in wire record sequence");
+    asn = *prev + delta;
+  }
+  if (asn > 0xFFFFFFFFull) {
+    throw WireFormatError("ASN " + std::to_string(asn) + " out of 32-bit range");
+  }
+  prev = asn;
+  return static_cast<bgp::Asn>(asn);
+}
+
+void put_snapshot_payload(std::vector<std::uint8_t>& out,
+                          const core::InferenceResult& result) {
+  const auto& th = result.thresholds();
+  put_f64(out, th.tagger);
+  put_f64(out, th.silent);
+  put_f64(out, th.forward);
+  put_f64(out, th.cleaner);
+  put_varint(out, result.columns_swept());
+
+  std::vector<std::pair<bgp::Asn, core::UsageCounters>> rows(
+      result.counter_map().begin(), result.counter_map().end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  put_varint(out, rows.size());
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const auto& [asn, counters] : rows) {
+    put_varint(out, first ? asn : asn - prev);
+    put_counters(out, counters);
+    prev = asn;
+    first = false;
+  }
+}
+
+core::InferenceResult get_snapshot_payload(Reader& r) {
+  core::Thresholds th;
+  th.tagger = r.f64("threshold tagger");
+  th.silent = r.f64("threshold silent");
+  th.forward = r.f64("threshold forward");
+  th.cleaner = r.f64("threshold cleaner");
+  const auto columns = r.varint("columns swept");
+  const auto count = r.varint("record count");
+
+  core::CounterMap counters;
+  counters.reserve(count < (1u << 20) ? count : (1u << 20));
+  std::optional<std::uint64_t> prev;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto asn = get_asn_delta(r, prev);
+    counters.emplace(asn, get_counters(r));
+  }
+  return core::InferenceResult(std::move(counters), th, static_cast<std::size_t>(columns));
+}
+
+// ----------------------------------------------------------- frame codecs --
+
+}  // namespace
+
+std::optional<Frame> FrameReader::next() {
+  if (pos_ >= data_.size()) return std::nullopt;
+  Reader r{data_, pos_};
+  const auto frame = parse_frame(r);
+  pos_ = r.pos;
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_snapshot(const core::InferenceResult& result) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(result.counter_map().size() * 8 + 64);
+  put_snapshot_payload(payload, result);
+  return seal_frame(FrameType::kSnapshot, std::move(payload));
+}
+
+core::InferenceResult decode_snapshot(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kSnapshot, "snapshot");
+  Reader r{parsed.payload};
+  auto result = get_snapshot_payload(r);
+  expect_exhausted(r, "snapshot");
+  return result;
+}
+
+std::vector<std::uint8_t> encode_delta_batch(const EpochDelta& delta) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(delta.changes.size() * 4 + 16);
+  put_varint(payload, delta.epoch);
+  put_varint(payload, delta.changes.size());
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const auto& change : delta.changes) {
+    // The delta encoding needs strictly ascending ASNs (diff_classifications
+    // emits them that way); fail at encode time, not at every later decode.
+    if (!first && change.asn <= prev) {
+      throw WireFormatError("delta changes must be sorted by strictly ascending ASN");
+    }
+    put_varint(payload, first ? change.asn : change.asn - prev);
+    payload.push_back(class_byte(change.before));
+    payload.push_back(class_byte(change.after));
+    prev = change.asn;
+    first = false;
+  }
+  return seal_frame(FrameType::kDeltaBatch, std::move(payload));
+}
+
+EpochDelta decode_delta_batch(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kDeltaBatch, "delta batch");
+  Reader r{parsed.payload};
+  EpochDelta delta;
+  delta.epoch = r.varint("epoch");
+  const auto count = r.varint("change count");
+  delta.changes.reserve(count < (1u << 20) ? count : (1u << 20));
+  std::optional<std::uint64_t> prev;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    stream::ClassChange change;
+    change.asn = get_asn_delta(r, prev);
+    change.before = get_class(r);
+    change.after = get_class(r);
+    delta.changes.push_back(change);
+  }
+  expect_exhausted(r, "delta batch");
+  return delta;
+}
+
+std::vector<std::uint8_t> encode_query_request(const QueryRequest& request) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(request.kind));
+  if (request.kind == QueryKind::kClassOf || request.kind == QueryKind::kLiveCounters) {
+    put_varint(payload, request.asn);
+  }
+  return seal_frame(FrameType::kQueryRequest, std::move(payload));
+}
+
+namespace {
+
+QueryKind get_query_kind(Reader& r) {
+  const auto byte = r.u8("query kind");
+  if (byte < 1 || byte > 4) {
+    throw WireFormatError("unknown query kind " + std::to_string(byte));
+  }
+  return static_cast<QueryKind>(byte);
+}
+
+}  // namespace
+
+QueryRequest decode_query_request(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kQueryRequest, "query request");
+  Reader r{parsed.payload};
+  QueryRequest request;
+  request.kind = get_query_kind(r);
+  if (request.kind == QueryKind::kClassOf || request.kind == QueryKind::kLiveCounters) {
+    const auto asn = r.varint("query asn");
+    if (asn > 0xFFFFFFFFull) {
+      throw WireFormatError("query ASN out of 32-bit range");
+    }
+    request.asn = static_cast<bgp::Asn>(asn);
+  }
+  expect_exhausted(r, "query request");
+  return request;
+}
+
+std::vector<std::uint8_t> encode_query_response(const QueryResponse& response) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(response.kind));
+  switch (response.kind) {
+    case QueryKind::kClassOf:
+    case QueryKind::kLiveCounters: {
+      if (!response.asn_class) {
+        throw WireFormatError("per-ASN query response missing asn_class");
+      }
+      put_varint(payload, response.asn_class->asn);
+      payload.push_back(class_byte(response.asn_class->usage));
+      put_counters(payload, response.asn_class->counters);
+      break;
+    }
+    case QueryKind::kSnapshot: {
+      if (!response.snapshot) {
+        throw WireFormatError("snapshot query response missing snapshot");
+      }
+      put_snapshot_payload(payload, *response.snapshot);
+      break;
+    }
+    case QueryKind::kStats: {
+      if (!response.stats) throw WireFormatError("stats query response missing stats");
+      put_varint(payload, response.stats->epoch);
+      put_varint(payload, response.stats->live_tuples);
+      put_varint(payload, response.stats->evicted_total);
+      put_varint(payload, response.stats->shards);
+      put_varint(payload, response.stats->window_epochs);
+      put_varint(payload, response.stats->subscriptions);
+      break;
+    }
+  }
+  return seal_frame(FrameType::kQueryResponse, std::move(payload));
+}
+
+QueryResponse decode_query_response(std::span<const std::uint8_t> frame) {
+  const auto parsed =
+      expect_single_frame(frame, FrameType::kQueryResponse, "query response");
+  Reader r{parsed.payload};
+  QueryResponse response;
+  response.kind = get_query_kind(r);
+  switch (response.kind) {
+    case QueryKind::kClassOf:
+    case QueryKind::kLiveCounters: {
+      AsnClass info;
+      const auto asn = r.varint("response asn");
+      if (asn > 0xFFFFFFFFull) {
+        throw WireFormatError("response ASN out of 32-bit range");
+      }
+      info.asn = static_cast<bgp::Asn>(asn);
+      info.usage = get_class(r);
+      info.counters = get_counters(r);
+      response.asn_class = info;
+      break;
+    }
+    case QueryKind::kSnapshot:
+      response.snapshot = get_snapshot_payload(r);
+      break;
+    case QueryKind::kStats: {
+      ServiceStats stats;
+      stats.epoch = r.varint("stats epoch");
+      stats.live_tuples = r.varint("stats live_tuples");
+      stats.evicted_total = r.varint("stats evicted_total");
+      stats.shards = r.varint("stats shards");
+      stats.window_epochs = r.varint("stats window_epochs");
+      stats.subscriptions = r.varint("stats subscriptions");
+      response.stats = stats;
+      break;
+    }
+  }
+  expect_exhausted(r, "query response");
+  return response;
+}
+
+bool looks_like_wire(std::span<const std::uint8_t> data) noexcept {
+  return data.size() >= kWireMagic.size() &&
+         std::equal(kWireMagic.begin(), kWireMagic.end(), data.begin());
+}
+
+std::optional<Format> parse_format(std::string_view name) noexcept {
+  if (name == "text") return Format::kText;
+  if (name == "wire") return Format::kWire;
+  return std::nullopt;
+}
+
+// ------------------------------------------------------------ file codecs --
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("cannot read file: " + path);
+  return bytes;
+}
+
+namespace {
+
+class TextCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "text"; }
+  [[nodiscard]] std::string extension() const override { return ".db"; }
+
+  void write_snapshot_file(const std::string& path,
+                           const core::InferenceResult& result) const override {
+    core::write_database_file(path, result);
+  }
+
+  [[nodiscard]] core::InferenceResult read_snapshot_file(
+      const std::string& path) const override {
+    return core::read_database_file(path);
+  }
+};
+
+class WireCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string name() const override { return "wire"; }
+  [[nodiscard]] std::string extension() const override { return ".wire"; }
+
+  void write_snapshot_file(const std::string& path,
+                           const core::InferenceResult& result) const override {
+    const auto frame = encode_snapshot(result);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open wire file for writing: " + path);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+    if (!out) throw std::runtime_error("short write to wire file: " + path);
+  }
+
+  [[nodiscard]] core::InferenceResult read_snapshot_file(
+      const std::string& path) const override {
+    return decode_snapshot(read_file_bytes(path));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Codec> make_codec(Format format) {
+  if (format == Format::kWire) return std::make_unique<WireCodec>();
+  return std::make_unique<TextCodec>();
+}
+
+std::optional<Format> sniff_format(const std::string& path) {
+  // Only the leading bytes are needed — never load a multi-GB artifact just
+  // to identify it.
+  constexpr std::string_view kTextMagic = "# bgpcu-inference-db v1";
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::array<std::uint8_t, kTextMagic.size()> head{};
+  in.read(reinterpret_cast<char*>(head.data()), static_cast<std::streamsize>(head.size()));
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (looks_like_wire(std::span(head.data(), got))) return Format::kWire;
+  if (got >= kTextMagic.size() &&
+      std::equal(kTextMagic.begin(), kTextMagic.end(), head.begin())) {
+    return Format::kText;
+  }
+  return std::nullopt;
+}
+
+core::InferenceResult read_snapshot_any(const std::string& path) {
+  const auto format = sniff_format(path);
+  if (!format) {
+    throw std::runtime_error("unrecognized snapshot format (neither wire nor text db): " +
+                             path);
+  }
+  return make_codec(*format)->read_snapshot_file(path);
+}
+
+}  // namespace bgpcu::api

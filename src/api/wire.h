@@ -1,0 +1,137 @@
+// Versioned binary wire format for the service artifacts: inference
+// snapshots, epoch delta batches, and query request/response framing. The
+// format is compact (varint-packed, delta-encoded ASNs), endian-stable
+// (every multi-byte field has a defined byte order independent of the host),
+// and versioned (a future-version frame is rejected loudly, never
+// misparsed). Full layout spec: docs/WIRE_FORMAT.md.
+//
+// Every encoder returns a self-contained *frame* — magic, version, type,
+// payload length, payload — so frames can be written to files, concatenated
+// into logs, or sent over a socket unchanged. Every decoder is
+// bounds-checked end to end: malformed input of any shape (truncation, bad
+// magic, future version, trailing garbage, corrupt varints) throws
+// WireFormatError and never crashes.
+//
+// The v1 text database (core/database.h) remains fully supported as a
+// compatibility format behind the same Codec interface; `read_snapshot_any`
+// sniffs the leading bytes and dispatches.
+#ifndef BGPCU_API_WIRE_H
+#define BGPCU_API_WIRE_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/service.h"
+#include "core/engine.h"
+
+namespace bgpcu::api {
+
+/// Thrown on any structurally invalid wire input.
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Frame magic: 0x89 "BCU" — the non-ASCII lead byte keeps text tools from
+/// misidentifying wire files, PNG-style.
+inline constexpr std::array<std::uint8_t, 4> kWireMagic = {0x89, 'B', 'C', 'U'};
+
+/// Current (and only) format version. Decoders reject anything newer.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Record types carried in a frame header. Values are wire-stable.
+enum class FrameType : std::uint8_t {
+  kSnapshot = 1,       ///< Full InferenceResult.
+  kDeltaBatch = 2,     ///< One EpochDelta (epoch + class changes).
+  kQueryRequest = 3,   ///< api::QueryRequest.
+  kQueryResponse = 4,  ///< api::QueryResponse.
+};
+
+/// One decoded frame boundary inside a buffer. `payload` borrows the input.
+struct Frame {
+  FrameType type = FrameType::kSnapshot;
+  std::span<const std::uint8_t> payload;
+  std::size_t size = 0;  ///< Whole frame including header, for advancing.
+};
+
+/// Splits a buffer of concatenated frames (e.g. a delta log file). `next()`
+/// returns nullopt at clean end-of-buffer and throws WireFormatError on a
+/// malformed or truncated frame.
+class FrameReader {
+ public:
+  explicit FrameReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Frame codecs. Each encode_* returns one full frame; each decode_*
+// --- accepts exactly one full frame and throws WireFormatError otherwise.
+
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const core::InferenceResult& result);
+[[nodiscard]] core::InferenceResult decode_snapshot(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_delta_batch(const EpochDelta& delta);
+[[nodiscard]] EpochDelta decode_delta_batch(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_query_request(const QueryRequest& request);
+[[nodiscard]] QueryRequest decode_query_request(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_query_response(const QueryResponse& response);
+[[nodiscard]] QueryResponse decode_query_response(std::span<const std::uint8_t> frame);
+
+/// True when `data` begins with the wire magic (any version).
+[[nodiscard]] bool looks_like_wire(std::span<const std::uint8_t> data) noexcept;
+
+/// Loads a file's raw bytes (shared by the wire codec and the inspection
+/// tools). Throws std::runtime_error on I/O failure.
+[[nodiscard]] std::vector<std::uint8_t> read_file_bytes(const std::string& path);
+
+// --- File-level codec interface: the stable abstraction tools sit on, with
+// --- the binary format and the v1 text database as interchangeable
+// --- implementations.
+
+enum class Format : std::uint8_t { kText, kWire };
+
+/// Parses "text"/"wire"; nullopt on anything else.
+[[nodiscard]] std::optional<Format> parse_format(std::string_view name) noexcept;
+
+/// Serialization strategy for snapshot artifacts.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Extension for snapshot files, including the dot (".db" / ".wire").
+  [[nodiscard]] virtual std::string extension() const = 0;
+
+  virtual void write_snapshot_file(const std::string& path,
+                                   const core::InferenceResult& result) const = 0;
+  [[nodiscard]] virtual core::InferenceResult read_snapshot_file(
+      const std::string& path) const = 0;
+};
+
+/// Codec for `format`; never null.
+[[nodiscard]] std::unique_ptr<Codec> make_codec(Format format);
+
+/// Reads a snapshot in either format, sniffing the leading bytes.
+[[nodiscard]] core::InferenceResult read_snapshot_any(const std::string& path);
+
+/// Sniffs a file's format from its leading bytes; nullopt when it is neither
+/// a wire frame nor a v1 text database.
+[[nodiscard]] std::optional<Format> sniff_format(const std::string& path);
+
+}  // namespace bgpcu::api
+
+#endif  // BGPCU_API_WIRE_H

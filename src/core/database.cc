@@ -37,15 +37,29 @@ void write_database_file(const std::string& path, const InferenceResult& result)
   if (!out) throw std::runtime_error("short write to database file: " + path);
 }
 
+namespace {
+
+/// getline that tolerates CRLF input (files that passed through Windows
+/// tooling or HTTP transfers) by stripping one trailing '\r'.
+bool getline_text(std::istream& is, std::string& line) {
+  if (!std::getline(is, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+}  // namespace
+
 InferenceResult read_database(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
-    throw std::runtime_error("not a bgpcu inference database (bad magic)");
+  std::uint64_t line_no = 1;
+  if (!getline_text(is, line) || line != kMagic) {
+    throw std::runtime_error("not a bgpcu inference database (bad magic, line 1)");
   }
 
   Thresholds thresholds;
   CounterMap counters;
-  while (std::getline(is, line)) {
+  while (getline_text(is, line)) {
+    ++line_no;
     if (line.empty()) continue;
     if (line[0] == '#') {
       std::istringstream header(line);
@@ -57,7 +71,13 @@ InferenceResult read_database(std::istream& is) {
           const auto eq = kv.find('=');
           if (eq == std::string::npos) continue;
           const std::string key = kv.substr(0, eq);
-          const double value = std::stod(kv.substr(eq + 1));
+          double value = 0;
+          try {
+            value = std::stod(kv.substr(eq + 1));
+          } catch (const std::exception&) {
+            throw std::runtime_error("malformed threshold value at line " +
+                                     std::to_string(line_no) + ": " + kv);
+          }
           if (key == "tagger") thresholds.tagger = value;
           if (key == "silent") thresholds.silent = value;
           if (key == "forward") thresholds.forward = value;
@@ -71,7 +91,8 @@ InferenceResult read_database(std::istream& is) {
     std::string cls;
     UsageCounters k;
     if (!(row >> asn >> cls >> k.t >> k.s >> k.f >> k.c) || asn > 0xFFFFFFFFull) {
-      throw std::runtime_error("malformed database row: " + line);
+      throw std::runtime_error("malformed database row at line " + std::to_string(line_no) +
+                               ": " + line);
     }
     counters.emplace(static_cast<bgp::Asn>(asn), k);
   }

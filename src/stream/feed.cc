@@ -1,15 +1,59 @@
 #include "stream/feed.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <span>
 #include <stdexcept>
-
-#include "mrt/reader.h"
 
 namespace bgpcu::stream {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Length of the prefix of `data` covered by complete MRT records (12-byte
+/// common header + body). A trailing partial record is excluded, so a tail
+/// read can stop at a clean frame boundary and resume when the writer
+/// finishes the record.
+std::size_t complete_record_prefix(std::span<const std::uint8_t> data) {
+  constexpr std::size_t kHeaderSize = 12;
+  std::size_t pos = 0;
+  while (data.size() - pos >= kHeaderSize) {
+    const std::uint32_t length = (static_cast<std::uint32_t>(data[pos + 8]) << 24) |
+                                 (static_cast<std::uint32_t>(data[pos + 9]) << 16) |
+                                 (static_cast<std::uint32_t>(data[pos + 10]) << 8) |
+                                 static_cast<std::uint32_t>(data[pos + 11]);
+    if (data.size() - pos - kHeaderSize < length) break;
+    pos += kHeaderSize + length;
+  }
+  return pos;
+}
+
+/// The file's inode, or 0 when it cannot be stat'ed.
+std::uint64_t inode_of(const std::string& path) {
+  struct ::stat st{};
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<std::uint64_t>(st.st_ino) : 0;
+}
+
+/// Reads `path` from byte `offset` to EOF. Throws std::runtime_error when
+/// the file cannot be opened or read.
+std::vector<std::uint8_t> read_from_offset(const std::string& path, std::uint64_t offset) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open feed file: " + path);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size <= offset) return {};
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size - offset));
+  in.seekg(static_cast<std::streamoff>(offset));
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
+  if (!in) throw std::runtime_error("cannot read feed file: " + path);
+  return bytes;
+}
+
+}  // namespace
 
 DirectoryFeed::DirectoryFeed(std::string directory, const registry::AllocationRegistry& registry,
                              std::string extension, std::uint32_t settle_seconds)
@@ -42,8 +86,25 @@ FeedPoll DirectoryFeed::poll() {
           fs::file_time_type::clock::now() - mtime);
       if (age.count() < static_cast<std::int64_t>(settle_seconds_)) continue;
     }
+    const auto size = it->file_size(ec);
+    if (ec) continue;
     auto text = path.string();
-    if (!seen_.contains(text)) fresh.push_back(std::move(text));
+    const auto state = files_.find(text);
+    if (state != files_.end()) {
+      // Rotation reusing the name must start the file over, whatever the
+      // replacement's size — tail-reading it from the stale offset would
+      // misparse unrelated content. Inode identity catches every case;
+      // the size checks back it up for filesystems where an in-place
+      // rewrite keeps the inode (a tailed file otherwise only grows).
+      const auto inode = inode_of(text);
+      if ((state->second.inode != 0 && inode != 0 && inode != state->second.inode) ||
+          size < state->second.size_seen) {
+        state->second = FileState{};
+      } else if (size == state->second.size_seen) {
+        continue;
+      }
+    }
+    fresh.push_back(std::move(text));
   }
   std::sort(fresh.begin(), fresh.end());
 
@@ -52,17 +113,29 @@ FeedPoll DirectoryFeed::poll() {
 
   collector::DatasetBuilder builder(*registry_);
   for (const auto& path : fresh) {
-    // A file that vanished or is unreadable stays unmarked (retried next
-    // poll) and must not abort the batch — earlier files' tuples already
-    // live in this builder.
+    // A file that vanished or is unreadable keeps its recorded offset
+    // (retried next poll) and must not abort the batch — earlier files'
+    // tuples already live in this builder.
+    const auto known = files_.find(path);
+    FileState state = known != files_.end() ? known->second : FileState{};
+    std::size_t consumed = 0;
     try {
-      builder.add_dump(mrt::load_file(path));
+      state.inode = inode_of(path);
+      const auto bytes = read_from_offset(path, state.offset);
+      consumed = complete_record_prefix(bytes);
+      builder.add_dump(std::span(bytes.data(), consumed));
+      state.offset += consumed;
+      state.size_seen = state.offset + (bytes.size() - consumed);
     } catch (const std::exception&) {
       result.failed.push_back(path);
       continue;
     }
-    seen_.insert(path);
-    result.files.push_back(path);
+    files_[path] = state;
+    // A poll that found only a partial trailing record consumed nothing:
+    // don't report the file, or a data-less poll would count as an
+    // ingesting epoch upstream (burning --window retention on no input).
+    // The updated size_seen still prevents re-reading the tail every poll.
+    if (consumed > 0) result.files.push_back(path);
   }
   auto bundle = builder.finish();
   result.batch = std::move(bundle.dataset);

@@ -10,7 +10,7 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "collector/extract.h"
@@ -22,7 +22,10 @@ namespace bgpcu::stream {
 /// Result of one directory scan.
 struct FeedPoll {
   core::Dataset batch;                  ///< Sanitized, deduplicated tuples.
-  std::vector<std::string> files;       ///< Newly processed paths, in order.
+  /// Paths whose newly read bytes contained at least one complete record,
+  /// in order. A file with only a partial trailing record stays unlisted
+  /// (and unconsumed) until the writer completes it.
+  std::vector<std::string> files;
   std::vector<std::string> failed;      ///< Unreadable paths; retried next poll.
   collector::ExtractionStats extraction;
   collector::SanitationStats sanitation;
@@ -42,23 +45,37 @@ class DirectoryFeed {
   DirectoryFeed(std::string directory, const registry::AllocationRegistry& registry,
                 std::string extension = {}, std::uint32_t settle_seconds = 0);
 
-  /// Scans for unseen files and extracts them. Returns an empty poll when
-  /// nothing new appeared. Throws std::runtime_error only when the directory
-  /// itself cannot be scanned; an individual file that cannot be read (race
-  /// with a writer, permissions) is reported in FeedPoll::failed, left
-  /// unmarked, and retried on the next poll. Decode errors inside a file are
-  /// counted, not thrown.
+  /// Scans for unseen files *and files that grew since the last poll* and
+  /// extracts only their new bytes: the feed remembers a per-file read
+  /// offset, so re-polling a growing MRT file parses just the appended
+  /// records (incremental tailing). A record straddling the current end of
+  /// file is left unconsumed and re-read once the writer completes it.
+  /// Returns an empty poll when nothing new appeared. Throws
+  /// std::runtime_error only when the directory itself cannot be scanned; an
+  /// individual file that cannot be read (race with a writer, permissions)
+  /// is reported in FeedPoll::failed, its offset untouched, and retried on
+  /// the next poll. Decode errors inside a file are counted, not thrown.
   [[nodiscard]] FeedPoll poll();
 
-  /// Paths already processed (for status reporting).
-  [[nodiscard]] std::size_t files_seen() const noexcept { return seen_.size(); }
+  /// Number of distinct paths the feed has read bytes from.
+  [[nodiscard]] std::size_t files_seen() const noexcept { return files_.size(); }
 
  private:
+  /// Tail-reading bookkeeping for one path.
+  struct FileState {
+    std::uint64_t offset = 0;     ///< Bytes consumed (complete MRT records).
+    std::uint64_t size_seen = 0;  ///< File size at the last read; a poll
+                                  ///< re-reads only when the file outgrew it.
+    std::uint64_t inode = 0;      ///< Identity at the last read: rotation
+                                  ///< reusing the name (any new size) resets
+                                  ///< the offset. 0 = not yet recorded.
+  };
+
   std::string directory_;
   const registry::AllocationRegistry* registry_;
   std::string extension_;
   std::uint32_t settle_seconds_ = 0;
-  std::unordered_set<std::string> seen_;
+  std::unordered_map<std::string, FileState> files_;
 };
 
 }  // namespace bgpcu::stream

@@ -55,6 +55,43 @@ TEST(Database, RowsCarryClassCodes) {
   EXPECT_NE(text.find("1299 sc 0 500 0 120"), std::string::npos);
 }
 
+TEST(Database, ReadsCrlfLineEndings) {
+  std::stringstream unix_buffer;
+  write_database(unix_buffer, sample_result());
+  std::string crlf;
+  for (const char c : unix_buffer.str()) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream buffer(crlf);
+  const auto loaded = read_database(buffer);
+  ASSERT_EQ(loaded.counter_map().size(), 3u);
+  EXPECT_EQ(loaded.counters(3356), (UsageCounters{1042, 3, 977, 0}));
+  EXPECT_DOUBLE_EQ(loaded.thresholds().tagger, 0.95);
+}
+
+TEST(Database, MalformedRowErrorCarriesLineNumber) {
+  std::stringstream buffer(
+      "# bgpcu-inference-db v1\n# thresholds tagger=0.99\n# asn class t s f c\n"
+      "3356 tf 1042 3 977 0\n1299 sc zero 0 0 0\n");
+  try {
+    (void)read_database(buffer);
+    FAIL() << "malformed row accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Database, MalformedThresholdErrorCarriesLineNumber) {
+  std::stringstream buffer("# bgpcu-inference-db v1\n# thresholds tagger=bogus\n");
+  try {
+    (void)read_database(buffer);
+    FAIL() << "malformed threshold accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
 TEST(Database, RejectsBadMagic) {
   std::stringstream buffer("not a database\n1 tf 1 0 0 0\n");
   EXPECT_THROW((void)read_database(buffer), std::runtime_error);

@@ -30,9 +30,9 @@ class FeedTest : public ::testing::Test {
 
   void TearDown() override { fs::remove_all(dir_); }
 
-  /// Writes one BGP4MP update dump announcing `prefix` over `path`.
-  void write_dump(const std::string& name, std::vector<bgp::Asn> path,
-                  const std::string& prefix) {
+  /// One encoded BGP4MP update record announcing `prefix` over `path`.
+  std::vector<std::uint8_t> encode_dump(std::vector<bgp::Asn> path,
+                                        const std::string& prefix) {
     const bgp::Asn peer = path.front();
     bgp::UpdateMessage update;
     update.attributes.as_path = bgp::AsPath::from_sequence(std::move(path));
@@ -43,7 +43,22 @@ class FeedTest : public ::testing::Test {
     writer.write_message(1621382400, mrt::Bgp4mpMessage::ipv4_session(
                                          peer, 65000, 0xC0A80001, 0xC0A80002,
                                          update.encode(true)));
-    writer.flush_to_file((dir_ / name).string());
+    return writer.buffer();
+  }
+
+  /// Writes one BGP4MP update dump announcing `prefix` over `path`.
+  void write_dump(const std::string& name, std::vector<bgp::Asn> path,
+                  const std::string& prefix) {
+    const auto bytes = encode_dump(std::move(path), prefix);
+    std::ofstream out(dir_ / name, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  void append_bytes(const std::string& name, const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(dir_ / name, std::ios::binary | std::ios::app);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
   }
 
   fs::path dir_;
@@ -112,15 +127,108 @@ TEST_F(FeedTest, MissingDirectoryThrows) {
   EXPECT_THROW((void)feed.poll(), std::runtime_error);
 }
 
-TEST_F(FeedTest, CorruptFileCountsDecodeErrorsWithoutThrowing) {
+TEST_F(FeedTest, GrowingFileYieldsOnlyAppendedRecords) {
   write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
-  // A second, valid-header-but-garbage-body record set: truncated tail only,
-  // the reader tolerates it.
+  DirectoryFeed feed(dir_.string(), reg_);
+  ASSERT_EQ(feed.poll().batch.size(), 1u);
+  EXPECT_TRUE(feed.poll().empty());
+
+  // The collector appends a second update to the *same* file; only the new
+  // bytes must be parsed (the first tuple would otherwise repeat).
+  const auto appended = encode_dump({30, 40}, "192.0.2.0/24");
+  append_bytes("updates.0001.mrt", appended);
+  const auto poll = feed.poll();
+  ASSERT_EQ(poll.files.size(), 1u);
+  ASSERT_EQ(poll.batch.size(), 1u);
+  EXPECT_EQ(poll.batch[0].path, (std::vector<bgp::Asn>{30, 40}));
+  EXPECT_EQ(feed.files_seen(), 1u);
+  EXPECT_TRUE(feed.poll().empty());
+}
+
+TEST_F(FeedTest, PartialAppendedRecordWaitsForCompletion) {
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  DirectoryFeed feed(dir_.string(), reg_);
+  ASSERT_EQ(feed.poll().batch.size(), 1u);
+
+  // Half a record lands: the tail must stay unconsumed, not be swallowed as
+  // garbage, and parse once the writer finishes it.
+  const auto record = encode_dump({30, 40}, "192.0.2.0/24");
+  ASSERT_GT(record.size(), 5u);
+  append_bytes("updates.0001.mrt",
+               std::vector<std::uint8_t>(record.begin(), record.begin() + 5));
+  // Nothing consumable yet: the poll must look empty (a data-less poll must
+  // not count as an ingesting epoch upstream).
+  EXPECT_TRUE(feed.poll().empty());
+
+  append_bytes("updates.0001.mrt",
+               std::vector<std::uint8_t>(record.begin() + 5, record.end()));
+  const auto completed = feed.poll();
+  ASSERT_EQ(completed.batch.size(), 1u);
+  EXPECT_EQ(completed.batch[0].path, (std::vector<bgp::Asn>{30, 40}));
+}
+
+TEST_F(FeedTest, ShrunkFileIsReadFromScratch) {
+  write_dump("updates.0001.mrt", {10, 20, 30}, "198.51.100.0/24");
+  DirectoryFeed feed(dir_.string(), reg_);
+  ASSERT_EQ(feed.poll().batch.size(), 1u);
+
+  // Rotation reused the name with a smaller file: start over.
+  write_dump("updates.0001.mrt", {50, 60}, "192.0.2.0/24");
+  ASSERT_LT(fs::file_size(dir_ / "updates.0001.mrt"), 1000u);
+  const auto poll = feed.poll();
+  ASSERT_EQ(poll.batch.size(), 1u);
+  EXPECT_EQ(poll.batch[0].path, (std::vector<bgp::Asn>{50, 60}));
+}
+
+TEST_F(FeedTest, RotationAboveConsumedOffsetIsStillDetected) {
+  // Rotation reusing the name with a size between the consumed offset and
+  // the last observed size (offset < new size < size_seen) must reset, not
+  // be skipped or tail-read from a stale offset into unrelated content.
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  DirectoryFeed feed(dir_.string(), reg_);
+  ASSERT_EQ(feed.poll().batch.size(), 1u);
+  append_bytes("updates.0001.mrt", {0xDE, 0xAD, 0xBE, 0xEF, 0x00});  // partial tail
+  EXPECT_TRUE(feed.poll().batch.empty());
+
+  write_dump("updates.0001.mrt", {50, 60}, "192.0.2.0/24");  // same record size
+  const auto poll = feed.poll();
+  ASSERT_EQ(poll.batch.size(), 1u);
+  EXPECT_EQ(poll.batch[0].path, (std::vector<bgp::Asn>{50, 60}));
+}
+
+TEST_F(FeedTest, RenameRotationToLargerFileIsReadFromScratch) {
+  // Rotation via rename to a *larger* replacement: size checks alone cannot
+  // see it (size only grew); inode identity must trigger the reset instead
+  // of tail-reading the new file from the stale offset.
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  DirectoryFeed feed(dir_.string(), reg_);
+  ASSERT_EQ(feed.poll().batch.size(), 1u);
+
+  auto bigger = encode_dump({50, 60, 70}, "192.0.2.0/24");
+  const auto more = encode_dump({80, 90}, "203.0.113.0/24");
+  bigger.insert(bigger.end(), more.begin(), more.end());
+  std::ofstream(dir_ / "incoming.tmp", std::ios::binary)
+      .write(reinterpret_cast<const char*>(bigger.data()),
+             static_cast<std::streamsize>(bigger.size()));
+  fs::rename(dir_ / "incoming.tmp", dir_ / "updates.0001.mrt");
+
+  const auto poll = feed.poll();
+  ASSERT_EQ(poll.batch.size(), 2u);
+  EXPECT_EQ(poll.batch[0].path, (std::vector<bgp::Asn>{50, 60, 70}));
+  EXPECT_EQ(poll.batch[1].path, (std::vector<bgp::Asn>{80, 90}));
+}
+
+TEST_F(FeedTest, ShortGarbageFileIsHeldAsPendingWithoutThrowing) {
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  // Three junk bytes are indistinguishable from a record still being
+  // written: the file is held back (never listed, nothing ingested) and
+  // must not poison the batch or be re-read every poll.
   std::ofstream(dir_ / "updates.0002.mrt", std::ios::binary) << "\x00\x01\x02";
   DirectoryFeed feed(dir_.string(), reg_);
   const auto poll = feed.poll();
-  EXPECT_EQ(poll.files.size(), 2u);
+  EXPECT_EQ(poll.files.size(), 1u);
   EXPECT_EQ(poll.batch.size(), 1u);
+  EXPECT_TRUE(feed.poll().empty());
 }
 
 }  // namespace

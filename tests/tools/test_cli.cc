@@ -1,0 +1,220 @@
+// CLI contract tests for the real tool binaries (paths injected by CMake as
+// BGPCU_STREAM_BIN / BGPCU_QUERY_BIN): argument validation must fail fast
+// with a one-line error and exit code 2, and the happy path must produce
+// readable artifacts end to end through the Service facade and both codecs.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bgp/message.h"
+#include "mrt/bgp4mp.h"
+#include "mrt/writer.h"
+
+namespace bgpcu {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved.
+};
+
+RunResult run(const std::string& command) {
+  // ctest runs each test case as its own process concurrently: the capture
+  // path must be unique per process, not just per call.
+  static int counter = 0;
+  const auto capture =
+      fs::temp_directory_path() / ("bgpcu_cli_out_" + std::to_string(::getpid()) + "_" +
+                                   std::to_string(++counter));
+  const auto full = command + " > '" + capture.string() + "' 2>&1";
+  const int status = std::system(full.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(capture);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  result.output = buffer.str();
+  fs::remove(capture);
+  return result;
+}
+
+std::string stream_bin() { return BGPCU_STREAM_BIN; }
+std::string query_bin() { return BGPCU_QUERY_BIN; }
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("bgpcu_cli_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Writes one BGP4MP update dump announcing `prefix` over `path`.
+  void write_dump(const std::string& name, std::vector<bgp::Asn> path,
+                  const std::string& prefix) {
+    const bgp::Asn peer = path.front();
+    bgp::UpdateMessage update;
+    update.attributes.as_path = bgp::AsPath::from_sequence(std::move(path));
+    update.attributes.communities.push_back(
+        bgp::CommunityValue::regular(static_cast<std::uint16_t>(peer), 1));
+    update.nlri = {bgp::Prefix::parse(prefix)};
+    mrt::MrtWriter writer;
+    writer.write_message(1621382400, mrt::Bgp4mpMessage::ipv4_session(
+                                         peer, 65000, 0xC0A80001, 0xC0A80002,
+                                         update.encode(true)));
+    writer.flush_to_file((dir_ / name).string());
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliTest, RejectsZeroShards) {
+  const auto r = run(stream_bin() + " --shards 0 '" + dir_.string() + "'");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--shards must be >= 1"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, RejectsNonNumericWindow) {
+  const auto r = run(stream_bin() + " --window abc '" + dir_.string() + "'");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("needs a non-negative integer"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, RejectsNegativeWindow) {
+  const auto r = run(stream_bin() + " --window -1 '" + dir_.string() + "'");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(CliTest, RejectsUnknownFlag) {
+  const auto r = run(stream_bin() + " --frobnicate '" + dir_.string() + "'");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option: --frobnicate"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, RejectsMalformedThreshold) {
+  for (const char* bad : {"high", "nan", "inf", "0.2", "1.5"}) {
+    const auto r = run(stream_bin() + " --threshold " + bad + " '" + dir_.string() + "'");
+    EXPECT_EQ(r.exit_code, 2) << bad;
+    EXPECT_NE(r.output.find("--threshold"), std::string::npos) << r.output;
+  }
+}
+
+TEST_F(CliTest, RejectsUnknownFormat) {
+  const auto r = run(stream_bin() + " --format json '" + dir_.string() + "'");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--format"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, RejectsBadTransitionSpec) {
+  const auto r = run(stream_bin() + " --transition sideways '" + dir_.string() + "'");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--transition"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, RejectsMissingWatchDir) {
+  const auto r = run(stream_bin() + " --once");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, RejectsMissingFlagValue) {
+  const auto r = run(stream_bin() + " --shards");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("needs a value"), std::string::npos) << r.output;
+}
+
+TEST_F(CliTest, DrainEmitsDeltaFeedAndWireArtifactsReadableByQuery) {
+  write_dump("updates.0001.mrt", {3356, 1299, 2914}, "203.0.113.0/24");
+  const auto snapshots = dir_ / "snaps";
+
+  const auto r = run(stream_bin() + " --once --format wire --snapshot-dir '" +
+                     snapshots.string() + "' --extension .mrt '" + dir_.string() + "'");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("AS 3356 changed nn->tn at epoch 0"), std::string::npos)
+      << r.output;
+
+  const auto snapshot_file = snapshots / "snapshot-000000.wire";
+  const auto delta_file = snapshots / "delta-000000.wire";
+  ASSERT_TRUE(fs::exists(snapshot_file));
+  ASSERT_TRUE(fs::exists(delta_file));
+
+  const auto dump = run(query_bin() + " dump '" + snapshot_file.string() + "'");
+  EXPECT_EQ(dump.exit_code, 0);
+  EXPECT_NE(dump.output.find("# bgpcu-inference-db v1"), std::string::npos) << dump.output;
+  EXPECT_NE(dump.output.find("3356 tn 1 0 0 0"), std::string::npos) << dump.output;
+
+  const auto asn = run(query_bin() + " asn 3356 '" + snapshot_file.string() + "'");
+  EXPECT_EQ(asn.exit_code, 0);
+  EXPECT_NE(asn.output.find("AS 3356 class tn t 1 s 0 f 0 c 0"), std::string::npos)
+      << asn.output;
+
+  const auto deltas = run(query_bin() + " deltas '" + delta_file.string() + "'");
+  EXPECT_EQ(deltas.exit_code, 0);
+  EXPECT_NE(deltas.output.find("AS 3356 changed nn->tn at epoch 0"), std::string::npos)
+      << deltas.output;
+
+  const auto info = run(query_bin() + " info '" + snapshot_file.string() + "' '" +
+                        delta_file.string() + "'");
+  EXPECT_EQ(info.exit_code, 0);
+  EXPECT_NE(info.output.find("wire v1"), std::string::npos) << info.output;
+  EXPECT_NE(info.output.find("frame snapshot"), std::string::npos) << info.output;
+  EXPECT_NE(info.output.find("frame delta-batch"), std::string::npos) << info.output;
+}
+
+TEST_F(CliTest, TextAndWireSnapshotsAgreeAfterConvert) {
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  const auto text_dir = dir_ / "text";
+  const auto wire_dir = dir_ / "wire";
+  ASSERT_EQ(run(stream_bin() + " --once --snapshot-dir '" + text_dir.string() +
+                "' --extension .mrt '" + dir_.string() + "'")
+                .exit_code,
+            0);
+  ASSERT_EQ(run(stream_bin() + " --once --format wire --snapshot-dir '" +
+                wire_dir.string() + "' --extension .mrt '" + dir_.string() + "'")
+                .exit_code,
+            0);
+
+  const auto converted = dir_ / "converted.db";
+  ASSERT_EQ(run(query_bin() + " convert text '" + (wire_dir / "snapshot-000000.wire").string() +
+                "' '" + converted.string() + "'")
+                .exit_code,
+            0);
+
+  std::ifstream a(text_dir / "snapshot-000000.db");
+  std::ifstream b(converted);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_FALSE(sa.str().empty());
+}
+
+TEST_F(CliTest, QueryRejectsBadInputs) {
+  EXPECT_EQ(run(query_bin()).exit_code, 2);
+  EXPECT_EQ(run(query_bin() + " frob x").exit_code, 2);
+  const auto bad_asn = run(query_bin() + " asn notanumber somefile");
+  EXPECT_EQ(bad_asn.exit_code, 2);
+  EXPECT_NE(bad_asn.output.find("ASN must be"), std::string::npos) << bad_asn.output;
+
+  std::ofstream(dir_ / "junk.bin", std::ios::binary) << "garbage";
+  const auto junk = run(query_bin() + " dump '" + (dir_ / "junk.bin").string() + "'");
+  EXPECT_EQ(junk.exit_code, 1);
+  EXPECT_NE(junk.output.find("unrecognized snapshot format"), std::string::npos)
+      << junk.output;
+}
+
+}  // namespace
+}  // namespace bgpcu

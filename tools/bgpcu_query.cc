@@ -1,0 +1,170 @@
+// bgpcu_query — inspect and query the service's snapshot/delta artifacts.
+//
+// Works on both artifact formats: the versioned binary wire format
+// (api/wire.h, docs/WIRE_FORMAT.md) and the v1 text inference database;
+// snapshot-consuming subcommands sniff the format from the leading bytes.
+//
+// Usage:
+//   bgpcu_query info FILE...             identify each file: format, frame
+//                                        types, record counts, sizes
+//   bgpcu_query dump FILE                decode a snapshot (wire or text)
+//                                        and print it as a v1 text database
+//   bgpcu_query asn ASN FILE             one AS's class + counters from a
+//                                        snapshot
+//   bgpcu_query deltas FILE...           decode delta-batch frames and print
+//                                        the class-change feed as text
+//   bgpcu_query convert FORMAT IN OUT    transcode a snapshot between
+//                                        'text' and 'wire'
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/wire.h"
+#include "core/database.h"
+
+namespace {
+
+using namespace bgpcu;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " info FILE... | dump FILE | asn ASN FILE | deltas FILE... |"
+               " convert text|wire IN OUT\n";
+  return 2;
+}
+
+const char* frame_type_name(api::FrameType type) {
+  switch (type) {
+    case api::FrameType::kSnapshot: return "snapshot";
+    case api::FrameType::kDeltaBatch: return "delta-batch";
+    case api::FrameType::kQueryRequest: return "query-request";
+    case api::FrameType::kQueryResponse: return "query-response";
+  }
+  return "unknown";
+}
+
+/// Re-frames one frame's bytes so the single-frame decoders can be reused on
+/// members of a concatenated log.
+std::vector<std::uint8_t> single_frame_bytes(std::span<const std::uint8_t> data,
+                                             std::size_t start, std::size_t size) {
+  return {data.begin() + static_cast<std::ptrdiff_t>(start),
+          data.begin() + static_cast<std::ptrdiff_t>(start + size)};
+}
+
+int cmd_info(const std::vector<std::string>& files) {
+  for (const auto& path : files) {
+    // Sniff the head before deciding what (and whether) to load fully —
+    // identifying a multi-GB text database must not read it all.
+    const auto format = api::sniff_format(path);
+    if (format == api::Format::kWire) {
+      const auto bytes = api::read_file_bytes(path);
+      std::cout << path << ": wire v"
+                << (bytes.size() > 4 ? int{bytes[4]} : 0)  // the file's version field
+                << ", " << bytes.size() << " bytes\n";
+      api::FrameReader frames(bytes);
+      std::size_t start = 0;
+      while (const auto frame = frames.next()) {
+        std::cout << "  frame " << frame_type_name(frame->type) << ", " << frame->size
+                  << " bytes";
+        const auto whole = single_frame_bytes(bytes, start, frame->size);
+        if (frame->type == api::FrameType::kSnapshot) {
+          const auto snapshot = api::decode_snapshot(whole);
+          std::cout << ", " << snapshot.counter_map().size() << " ASes, "
+                    << snapshot.columns_swept() << " columns swept";
+        } else if (frame->type == api::FrameType::kDeltaBatch) {
+          const auto delta = api::decode_delta_batch(whole);
+          std::cout << ", epoch " << delta.epoch << ", " << delta.changes.size()
+                    << " change(s)";
+        }
+        std::cout << "\n";
+        start += frame->size;
+      }
+    } else if (format == api::Format::kText) {
+      const auto snapshot = core::read_database_file(path);
+      std::cout << path << ": text v1, " << std::filesystem::file_size(path)
+                << " bytes, " << snapshot.counter_map().size() << " ASes\n";
+    } else {
+      std::cout << path << ": unrecognized format\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_dump(const std::string& path) {
+  const auto snapshot = api::read_snapshot_any(path);
+  core::write_database(std::cout, snapshot);
+  return 0;
+}
+
+int cmd_asn(const std::string& asn_text, const std::string& path) {
+  char* end = nullptr;
+  errno = 0;
+  const auto value = std::strtoull(asn_text.c_str(), &end, 10);
+  if (errno != 0 || end == asn_text.c_str() || *end != '\0' || value > 0xFFFFFFFFull) {
+    std::cerr << "ASN must be a 32-bit unsigned integer, got '" << asn_text << "'\n";
+    return 2;
+  }
+  const auto asn = static_cast<bgp::Asn>(value);
+  const auto snapshot = api::read_snapshot_any(path);
+  const auto k = snapshot.counters(asn);
+  std::cout << "AS " << asn << " class " << snapshot.usage(asn).code() << " t " << k.t
+            << " s " << k.s << " f " << k.f << " c " << k.c << "\n";
+  return 0;
+}
+
+int cmd_deltas(const std::vector<std::string>& files) {
+  for (const auto& path : files) {
+    const auto bytes = api::read_file_bytes(path);
+    api::FrameReader frames(bytes);
+    std::size_t start = 0;
+    while (const auto frame = frames.next()) {
+      if (frame->type == api::FrameType::kDeltaBatch) {
+        const auto delta =
+            api::decode_delta_batch(single_frame_bytes(bytes, start, frame->size));
+        for (const auto& change : delta.changes) {
+          std::cout << change.to_string(delta.epoch) << "\n";
+        }
+      }
+      start += frame->size;
+    }
+  }
+  return 0;
+}
+
+int cmd_convert(const std::string& format_name, const std::string& in,
+                const std::string& out) {
+  const auto format = api::parse_format(format_name);
+  if (!format) {
+    std::cerr << "convert format must be 'text' or 'wire', got '" << format_name << "'\n";
+    return 2;
+  }
+  const auto snapshot = api::read_snapshot_any(in);
+  api::make_codec(*format)->write_snapshot_file(out, snapshot);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  try {
+    if (command == "info" && !args.empty()) return cmd_info(args);
+    if (command == "dump" && args.size() == 1) return cmd_dump(args[0]);
+    if (command == "asn" && args.size() == 2) return cmd_asn(args[0], args[1]);
+    if (command == "deltas" && !args.empty()) return cmd_deltas(args);
+    if (command == "convert" && args.size() == 3) {
+      return cmd_convert(args[0], args[1], args[2]);
+    }
+    return usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

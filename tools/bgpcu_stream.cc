@@ -1,11 +1,12 @@
-// bgpcu_stream — streaming front end to the inference pipeline.
+// bgpcu_stream — streaming front end to the inference pipeline, built
+// entirely on the bgpcu::api::Service facade.
 //
 // Tails a directory that MRT dumps (BGP4MP update files and/or TABLE_DUMP_V2
-// RIBs) are dropped into, feeds each poll's new files through extraction +
+// RIBs) are dropped into, feeds each poll's new bytes through extraction +
 // sanitation as one batch, and maintains live per-AS community-usage
-// classifications in a sharded stream engine. Every poll that ingests data
-// advances one epoch; snapshots are emitted periodically as inference
-// databases plus a class-change delta feed on stdout:
+// classifications. Every poll that ingests data advances one epoch;
+// snapshots are published periodically as inference databases (text or
+// binary wire format) plus a class-change delta feed on stdout:
 //
 //   AS 3356 changed tf->tc at epoch 12
 //
@@ -16,7 +17,7 @@
 //   --threshold P      classification threshold in [0.5, 1.0], default 0.99
 //   --allocations F    allocation table (see bgpcu_classify); default: all
 //                      ASNs/prefixes treated as allocated
-//   --shards N         ASN-hash shard count, default 8
+//   --shards N         ASN-hash shard count, default 8 (must be >= 1)
 //   --window W         sliding window in epochs; tuples unseen for W epochs
 //                      age out; 0 (default) keeps everything forever
 //   --extension .EXT   only consume files with this extension
@@ -27,22 +28,28 @@
 //   --max-epochs N     exit after N ingesting epochs (0 = run forever)
 //   --once             drain the directory once and exit (implies a final
 //                      snapshot even if the last poll was empty)
-//   --snapshot-dir D   write snapshot-<epoch>.db databases into D
-//   --snapshot-every K emit a snapshot every K epochs, default 1
+//   --snapshot-dir D   write snapshot-<epoch> artifacts into D
+//   --snapshot-every K publish a snapshot every K epochs, default 1
+//   --format F         snapshot/delta artifact format: text (default) or
+//                      wire; wire also writes delta-<epoch>.wire files
+//   --watch ASNS       comma-separated ASN watchlist for the stdout delta
+//                      feed (default: all ASes)
+//   --transition SPEC  only report FROM->TO class transitions on stdout,
+//                      each side a class code or '*' (e.g. '*->tc')
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <thread>
 
-#include "core/database.h"
+#include "api/service.h"
+#include "api/wire.h"
 #include "registry/registry.h"
-#include "stream/delta.h"
-#include "stream/engine.h"
 #include "stream/feed.h"
 
 namespace {
@@ -53,7 +60,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--threshold P] [--allocations F] [--shards N] [--window W]"
                " [--extension .EXT] [--settle SEC] [--interval SEC] [--max-epochs N] [--once]"
-               " [--snapshot-dir D] [--snapshot-every K] WATCH_DIR\n";
+               " [--snapshot-dir D] [--snapshot-every K] [--format text|wire]"
+               " [--watch ASN[,ASN...]] [--transition FROM->TO] WATCH_DIR\n";
   return 2;
 }
 
@@ -69,11 +77,50 @@ std::uint64_t parse_u64(const std::string& flag, const char* text) {
   return value;
 }
 
-std::string snapshot_path(const std::string& dir, stream::Epoch epoch) {
+double parse_threshold(const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text, &end);
+  // The negated in-range form also rejects NaN, which compares false both ways.
+  if (errno != 0 || end == text || *end != '\0' || !(value >= 0.5 && value <= 1.0)) {
+    std::cerr << "--threshold must be a number in [0.5, 1.0], got '" << text << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
+std::vector<bgp::Asn> parse_watchlist(const std::string& text) {
+  std::vector<bgp::Asn> asns;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const auto token = text.substr(start, comma - start);
+    const auto value = parse_u64("--watch", token.c_str());
+    if (value > 0xFFFFFFFFull) {
+      std::cerr << "--watch ASN out of 32-bit range: " << token << "\n";
+      std::exit(2);
+    }
+    asns.push_back(static_cast<bgp::Asn>(value));
+    start = comma + 1;
+  }
+  return asns;
+}
+
+std::string artifact_path(const std::string& dir, const char* stem, stream::Epoch epoch,
+                          const std::string& extension) {
   char name[32];
-  std::snprintf(name, sizeof name, "snapshot-%06llu.db",
+  std::snprintf(name, sizeof name, "%s-%06llu", stem,
                 static_cast<unsigned long long>(epoch));
-  return (std::filesystem::path(dir) / name).string();
+  return (std::filesystem::path(dir) / (name + extension)).string();
+}
+
+void write_delta_file(const std::string& path, const api::EpochDelta& delta) {
+  const auto frame = api::encode_delta_batch(delta);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  if (!out) throw std::runtime_error("short write to delta file: " + path);
 }
 
 }  // namespace
@@ -84,7 +131,9 @@ int main(int argc, char** argv) {
   std::string watch_dir;
   std::string snapshot_dir;
   std::string extension;
-  stream::StreamConfig config;
+  api::ServiceConfig config;
+  api::SubscriptionFilter filter;
+  api::Format format = api::Format::kText;
   std::uint32_t settle_sec = 0;
   unsigned interval_sec = 5;
   std::uint64_t max_epochs = 0;
@@ -101,21 +150,17 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--threshold") {
-      threshold = std::atof(next());
-      if (threshold < 0.5 || threshold > 1.0) {
-        std::cerr << "--threshold must be in [0.5, 1.0]\n";
-        return 2;
-      }
+      threshold = parse_threshold(next());
     } else if (arg == "--allocations") {
       allocations_path = next();
     } else if (arg == "--shards") {
-      config.shards = static_cast<std::size_t>(parse_u64(arg, next()));
-      if (config.shards == 0) {
+      config.stream.shards = static_cast<std::size_t>(parse_u64(arg, next()));
+      if (config.stream.shards == 0) {
         std::cerr << "--shards must be >= 1\n";
         return 2;
       }
     } else if (arg == "--window") {
-      config.window_epochs = parse_u64(arg, next());
+      config.stream.window_epochs = parse_u64(arg, next());
     } else if (arg == "--extension") {
       extension = next();
     } else if (arg == "--settle") {
@@ -131,6 +176,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--snapshot-every") {
       snapshot_every = parse_u64(arg, next());
       if (snapshot_every == 0) snapshot_every = 1;
+    } else if (arg == "--format") {
+      const auto parsed = api::parse_format(next());
+      if (!parsed) {
+        std::cerr << "--format must be 'text' or 'wire', got '" << argv[i] << "'\n";
+        return 2;
+      }
+      format = *parsed;
+    } else if (arg == "--watch") {
+      filter.watch = parse_watchlist(next());
+    } else if (arg == "--transition") {
+      try {
+        const auto spec = api::SubscriptionFilter::transition(next());
+        filter.from = spec.from;
+        filter.to = spec.to;
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "--transition: " << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -148,24 +211,33 @@ int main(int argc, char** argv) {
   try {
     const auto reg = allocations_path.empty() ? registry::allow_all()
                                               : registry::load_allocations(allocations_path);
-    config.engine.thresholds = core::Thresholds::uniform(threshold);
-    stream::StreamEngine engine(config);
+    config.stream.engine.thresholds = core::Thresholds::uniform(threshold);
+    api::Service service(config);
+    const auto codec = api::make_codec(format);
     stream::DirectoryFeed feed(watch_dir, reg, extension, settle_sec);
     if (!snapshot_dir.empty()) std::filesystem::create_directories(snapshot_dir);
 
-    core::InferenceResult previous({}, config.engine.thresholds, 0);
-    std::optional<stream::Epoch> last_emitted;
-    const auto emit_snapshot = [&](stream::Epoch epoch) {
-      const auto result = engine.snapshot();
-      for (const auto& change : stream::diff_classifications(previous, result)) {
-        std::cout << change.to_string(epoch) << "\n";
+    // The stdout delta feed is a plain subscription on the facade.
+    (void)service.subscribe(filter, [](const api::EpochDelta& delta) {
+      for (const auto& change : delta.changes) {
+        std::cout << change.to_string(delta.epoch) << "\n";
       }
       std::cout.flush();
+    });
+
+    std::optional<stream::Epoch> last_published;
+    const auto publish_snapshot = [&](stream::Epoch epoch) {
+      const auto delta = service.publish();
       if (!snapshot_dir.empty()) {
-        core::write_database_file(snapshot_path(snapshot_dir, epoch), result);
+        const auto response = service.query({.kind = api::QueryKind::kSnapshot});
+        codec->write_snapshot_file(
+            artifact_path(snapshot_dir, "snapshot", epoch, codec->extension()),
+            *response.snapshot);
+        if (format == api::Format::kWire && !delta.changes.empty()) {
+          write_delta_file(artifact_path(snapshot_dir, "delta", epoch, ".wire"), delta);
+        }
       }
-      previous = result;
-      last_emitted = epoch;
+      last_published = epoch;
     };
 
     std::uint64_t ingest_polls = 0;
@@ -183,23 +255,26 @@ int main(int argc, char** argv) {
       // Every ingesting poll is one epoch; advance *before* ingesting so the
       // new tuples belong to the new epoch (advancing afterwards would evict
       // a --window 1 poll's own input before it could ever be snapshotted).
-      if (ingest_polls > 0) engine.advance_epoch();
+      if (ingest_polls > 0) (void)service.advance_epoch();
       ++ingest_polls;
-      const auto stats = engine.ingest(std::move(poll.batch));
-      const auto epoch = engine.epoch();
+      const auto stats = service.ingest(std::move(poll.batch));
+      const auto epoch = service.epoch();
+      const auto health = service.query({.kind = api::QueryKind::kStats});
       std::cerr << "epoch " << epoch << ": " << poll.files.size() << " file(s), "
                 << poll.extraction.entries_total << " entries, " << stats.accepted
                 << " new tuples (" << stats.refreshed << " refreshed, " << stats.duplicates
-                << " dup, " << stats.rejected << " rejected), " << engine.live_tuples()
-                << " live, " << engine.evicted_total() << " evicted total\n";
-      if (ingest_polls % snapshot_every == 0) emit_snapshot(epoch);
+                << " dup, " << stats.rejected << " rejected), " << health.stats->live_tuples
+                << " live, " << health.stats->evicted_total << " evicted total\n";
+      if (ingest_polls % snapshot_every == 0) publish_snapshot(epoch);
       if (max_epochs != 0 && ingest_polls >= max_epochs) break;
       if (!once) std::this_thread::sleep_for(std::chrono::seconds(interval_sec));
     }
 
     // Final state for drain runs: make sure the last epoch is reflected even
     // when it fell between --snapshot-every ticks.
-    if (ingest_polls > 0 && last_emitted != engine.epoch()) emit_snapshot(engine.epoch());
+    if (ingest_polls > 0 && last_published != service.epoch()) {
+      publish_snapshot(service.epoch());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -143,7 +143,9 @@ int main() {
   (void)engine.snapshot();
   const auto cached = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
   std::cout << "\nsnapshot: " << engine.live_tuples() << " live tuples, "
-            << snap.counter_map().size() << " classified ASes, cold "
-            << cold << " ms, cached " << cached << " ms\n";
+            << snap->counter_map().size() << " classified ASes, cold " << cold
+            << " ms, cached " << cached << " ms\n"
+            << "(cached snapshots are shared handles; serial-vs-parallel sweep "
+               "kernels are measured in bench_sweep)\n";
   return 0;
 }

@@ -75,7 +75,8 @@ std::optional<stream::Epoch> EventLog::oldest_epoch() const {
 Service::Service(ServiceConfig config)
     : config_(std::move(config)),
       engine_(config_.stream),
-      published_({}, config_.stream.engine.thresholds, 0),
+      published_(std::make_shared<const core::InferenceResult>(
+          core::CounterMap{}, config_.stream.engine.thresholds, 0)),
       log_(config_.event_log_capacity) {}
 
 stream::IngestStats Service::ingest(core::Dataset batch) {
@@ -92,8 +93,8 @@ QueryResponse Service::query(const QueryRequest& request) const {
   switch (request.kind) {
     case QueryKind::kClassOf: {
       const auto snapshot = engine_.snapshot();
-      response.asn_class = AsnClass{request.asn, snapshot.usage(request.asn),
-                                    snapshot.counters(request.asn)};
+      response.asn_class = AsnClass{request.asn, snapshot->usage(request.asn),
+                                    snapshot->counters(request.asn)};
       break;
     }
     case QueryKind::kSnapshot:
@@ -130,7 +131,7 @@ EpochDelta Service::publish() {
     const std::lock_guard lock(facade_mutex_);
     auto current = engine_.snapshot();
     delta.epoch = engine_.epoch();
-    delta.changes = stream::diff_classifications(published_, current);
+    delta.changes = stream::diff_classifications(*published_, *current);
     published_ = std::move(current);
     if (!delta.changes.empty()) {
       log_.push(delta);

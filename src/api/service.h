@@ -73,9 +73,11 @@ struct ServiceStats {
 /// Union-style response; exactly the member matching `kind` is engaged.
 struct QueryResponse {
   QueryKind kind = QueryKind::kStats;
-  std::optional<AsnClass> asn_class;                ///< kClassOf, kLiveCounters.
-  std::optional<core::InferenceResult> snapshot;    ///< kSnapshot.
-  std::optional<ServiceStats> stats;                ///< kStats.
+  std::optional<AsnClass> asn_class;  ///< kClassOf, kLiveCounters.
+  /// kSnapshot: a shared immutable handle onto the engine's cached result —
+  /// bulk queries share one object instead of deep-copying the counter map.
+  stream::SnapshotPtr snapshot;
+  std::optional<ServiceStats> stats;  ///< kStats.
 };
 
 /// One published epoch's class transitions, in ascending-ASN order — the
@@ -206,7 +208,7 @@ class Service {
   ServiceConfig config_;
   stream::StreamEngine engine_;
   mutable std::mutex facade_mutex_;  ///< Guards everything below.
-  core::InferenceResult published_;  ///< Baseline for the next publish's diff.
+  stream::SnapshotPtr published_;    ///< Baseline for the next publish's diff.
   EventLog log_;
   std::vector<Subscription> subscriptions_;
   SubscriptionId next_id_ = 1;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "core/database.h"
 
@@ -401,7 +402,8 @@ QueryResponse decode_query_response(std::span<const std::uint8_t> frame) {
       break;
     }
     case QueryKind::kSnapshot:
-      response.snapshot = get_snapshot_payload(r);
+      response.snapshot =
+          std::make_shared<const core::InferenceResult>(get_snapshot_payload(r));
       break;
     case QueryKind::kStats: {
       ServiceStats stats;

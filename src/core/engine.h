@@ -61,6 +61,15 @@ struct EngineConfig {
   /// Stop early once a full column increments no counter (safe: Cond1 is
   /// monotone per tuple, so a silent column implies all later ones are too).
   bool early_stop = true;
+  /// Counting lanes per phase: each lane counts a contiguous slice of the
+  /// tuple set into its own partial counters, merged after the phase barrier
+  /// — output is bit-identical for every value (counter sums are
+  /// order-independent). 1 = single lane executed inline on the caller (no
+  /// pool involvement); 0 = auto (the shared TaskPool's parallelism, which
+  /// is 1 on single-core hosts). Values above the machine's parallelism are
+  /// honored (lanes queue on the pool), so tests can exercise the parallel
+  /// path anywhere.
+  std::size_t threads = 0;
 };
 
 /// Inference output: per-AS counters plus classification helpers.
@@ -94,13 +103,59 @@ class InferenceResult {
   std::size_t columns_swept_ = 0;
 };
 
+/// The sweep kernel's input representation: every path element resolved to a
+/// dense uint32 id exactly once (one hash lookup per element total, instead
+/// of one per column per phase), tuples grouped by path length into flat
+/// row-major id arrays with the upper masks alongside. The grouping makes
+/// the per-column eligibility test (`path.size() >= x`) vanish — a column
+/// simply skips whole groups — and the inner loops become branch-light flat
+/// walks. Construction is a single pass over the views, which also folds in
+/// max-path-length tracking. An IndexedDataset owns all of its storage, so a
+/// sweep can outlive the views it was built from; the stream engine builds
+/// one under its lock and sweeps outside it.
+class IndexedDataset {
+ public:
+  /// All tuples of one path length, paths concatenated row-major.
+  struct Group {
+    std::uint32_t len = 0;
+    std::vector<std::uint32_t> ids;    ///< count() * len dense ids.
+    std::vector<std::uint32_t> masks;  ///< One upper mask per tuple.
+
+    [[nodiscard]] std::size_t count() const noexcept { return masks.size(); }
+  };
+
+  IndexedDataset() = default;
+  explicit IndexedDataset(std::span<const TupleView> views);
+
+  /// Non-empty groups in ascending path-length order.
+  [[nodiscard]] const std::vector<Group>& groups() const noexcept { return groups_; }
+  /// Dense id -> ASN (ids are assigned in first-appearance order).
+  [[nodiscard]] const std::vector<bgp::Asn>& asns() const noexcept { return asns_; }
+  [[nodiscard]] std::size_t asn_count() const noexcept { return asns_.size(); }
+  [[nodiscard]] std::size_t max_len() const noexcept { return max_len_; }
+  [[nodiscard]] std::size_t tuple_count() const noexcept { return tuple_count_; }
+
+ private:
+  std::vector<Group> groups_;
+  std::vector<bgp::Asn> asns_;
+  std::size_t max_len_ = 0;
+  std::size_t tuple_count_ = 0;
+};
+
 /// The counting primitive: runs the full two-pass-per-column sweep over
 /// prepared views and returns the per-AS counters. Deterministic for a given
 /// view *set* — totals do not depend on view order (per-phase predicate
-/// snapshots decouple counting from iteration order). Both `ColumnEngine`
-/// and `stream::StreamEngine` are thin wrappers over this, which is what
-/// makes their results bit-for-bit comparable.
+/// snapshots decouple counting from iteration order) nor on the lane count
+/// (per-lane partial counters merge by addition). Both `ColumnEngine` and
+/// `stream::StreamEngine` are thin wrappers over this, which is what makes
+/// their results bit-for-bit comparable.
 [[nodiscard]] InferenceResult sweep_columns(std::span<const TupleView> views,
+                                            const EngineConfig& config);
+
+/// Same kernel over a pre-built index — callers that already hold an
+/// IndexedDataset (the stream engine's outside-the-lock sweep, repeated
+/// sweeps over one dataset) skip the indexing pass.
+[[nodiscard]] InferenceResult sweep_columns(const IndexedDataset& data,
                                             const EngineConfig& config);
 
 /// Column-based counting engine. Stateless between runs; `run` is

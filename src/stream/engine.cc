@@ -70,22 +70,84 @@ Epoch StreamEngine::advance_epoch() {
 
 Epoch StreamEngine::epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
-core::InferenceResult StreamEngine::snapshot() const {
-  const std::unique_lock lock(engine_mutex_);
-  std::uint64_t version = 0;
-  std::size_t live = 0;
-  for (const auto& shard : shards_) {
-    version += shard->version();
-    live += shard->size();
+SnapshotPtr StreamEngine::snapshot() const {
+  // Fast path, shared lock only: an unchanged engine serves the cached
+  // handle without excluding ingest, live queries, or other cache hits.
+  // cached_/cached_version_ are written only under the exclusive lock, so
+  // reading them under a shared lock is race-free.
+  {
+    const std::shared_lock lock(engine_mutex_);
+    std::uint64_t version = 0;
+    for (const auto& shard : shards_) version += shard->version();
+    if (cached_ && cached_version_ == version) return cached_;
   }
-  if (cached_ && cached_version_ == version) return *cached_;
 
-  std::vector<core::TupleView> views;
-  views.reserve(live);
-  for (const auto& shard : shards_) shard->collect_views(views);
-  cached_ = core::sweep_columns(views, config_.engine);
-  cached_version_ = version;
-  return *cached_;
+  // Collection phase, under the exclusive lock: stamp a consistent cut of
+  // the live tuple set and copy it into an owned index. This is one pass
+  // over the tuples — orders of magnitude cheaper than the sweep it feeds.
+  core::IndexedDataset data;
+  std::uint64_t version = 0;
+  {
+    std::unique_lock lock(engine_mutex_);
+    std::size_t live = 0;
+    for (;;) {
+      version = 0;
+      live = 0;
+      for (const auto& shard : shards_) {
+        version += shard->version();
+        live += shard->size();
+      }
+      if (cached_ && cached_version_ == version) return cached_;
+      // Single-flight: while any sweep is in flight, wait for its install
+      // instead of starting a duplicate — most waiters then hit the cache
+      // on re-check. The re-read stamp keeps the eventual cut valid for
+      // this call: it names state observed after the call began. Sweeps
+      // were fully serialized by the old exclusive-lock protocol too; the
+      // difference is that ingest/live queries no longer wait with them.
+      if (!sweep_inflight_) break;
+      snapshot_cv_.wait(lock);
+    }
+    sweep_inflight_ = true;
+    // From here on every exit path must clear the flag and notify, or
+    // every future snapshot() would wait forever on the cv.
+    try {
+      std::vector<core::TupleView> views;
+      views.reserve(live);
+      for (const auto& shard : shards_) shard->collect_views(views);
+      data = core::IndexedDataset(views);
+    } catch (...) {
+      sweep_inflight_ = false;  // lock still held here
+      snapshot_cv_.notify_all();
+      throw;
+    }
+  }
+
+  // Sweep phase, no lock held: ingest, live queries, and other snapshots
+  // all proceed concurrently.
+  SnapshotPtr result;
+  try {
+    if (after_collect_hook_) after_collect_hook_();
+    result = std::make_shared<const core::InferenceResult>(
+        core::sweep_columns(data, config_.engine));
+  } catch (...) {
+    const std::unique_lock lock(engine_mutex_);
+    sweep_inflight_ = false;
+    snapshot_cv_.notify_all();
+    throw;
+  }
+
+  // Install phase: shard versions are monotone, so a larger stamp means a
+  // newer cut — never replace the cache with an older concurrent sweep.
+  {
+    const std::unique_lock lock(engine_mutex_);
+    sweep_inflight_ = false;
+    if (!cached_ || cached_version_ <= version) {
+      cached_ = result;
+      cached_version_ = version;
+    }
+  }
+  snapshot_cv_.notify_all();
+  return result;
 }
 
 core::UsageCounters StreamEngine::live_counters(bgp::Asn asn) const {

@@ -17,13 +17,26 @@
 // an unchanged engine returns the cached result without sweeping at all.
 // The peer-column (index 1) evidence, where Cond1 is vacuous, is maintained
 // fully incrementally and queryable in real time via `live_counters`.
+//
+// Snapshot-outside-lock protocol: a sweep at production scale takes orders
+// of magnitude longer than collecting its input, so snapshot() holds the
+// exclusive engine lock only while building an *owned* core::IndexedDataset
+// from the shards (a consistent cut of the live tuple set, stamped with the
+// shard-version sum), releases the lock, and sweeps the owned index with no
+// lock held — ingest and live queries proceed concurrently with the sweep.
+// On completion the result is installed into the cache only if its stamp is
+// not older than the cached one (concurrent snapshots race benignly; the
+// newest consistent result wins). Results are handed out as
+// shared_ptr<const InferenceResult>, so cache hits share one immutable
+// object instead of deep-copying the counter map per call.
 #ifndef BGPCU_STREAM_ENGINE_H
 #define BGPCU_STREAM_ENGINE_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <optional>
 #include <shared_mutex>
 #include <vector>
 
@@ -43,12 +56,16 @@ struct StreamConfig {
   std::uint64_t window_epochs = 0;
 };
 
+/// An immutable, shareable inference snapshot (see snapshot()).
+using SnapshotPtr = std::shared_ptr<const core::InferenceResult>;
+
 /// Incremental, sharded community-usage classification engine.
 ///
 /// Thread model: `ingest` and `live_counters` may run concurrently from any
 /// number of threads (shared engine lock + per-shard mutexes);
-/// `advance_epoch` and `snapshot` serialize against everything (exclusive
-/// engine lock) — they are the rare, heavyweight operations.
+/// `advance_epoch` takes the exclusive engine lock; `snapshot` takes it only
+/// briefly to collect an owned input cut, then sweeps with no lock held —
+/// ingest and live queries are never blocked for the duration of a sweep.
 class StreamEngine {
  public:
   explicit StreamEngine(StreamConfig config = {});
@@ -64,9 +81,11 @@ class StreamEngine {
 
   [[nodiscard]] Epoch epoch() const;
 
-  /// Exact inference over the current live tuple set. Returns the cached
-  /// result when nothing changed since the previous snapshot.
-  [[nodiscard]] core::InferenceResult snapshot() const;
+  /// Exact inference over the live tuple set as of this call's consistent
+  /// cut. Returns the cached result (same shared object, no copy) when
+  /// nothing changed since the previous snapshot; otherwise collects the cut
+  /// under the lock and sweeps outside it (see header note).
+  [[nodiscard]] SnapshotPtr snapshot() const;
 
   /// Real-time peer-column evidence for `asn` (no sweep; see header note).
   [[nodiscard]] core::UsageCounters live_counters(bgp::Asn asn) const;
@@ -79,19 +98,34 @@ class StreamEngine {
 
   [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
 
+  /// Test instrumentation: invoked by snapshot() after the collection lock
+  /// is released and before the sweep starts. Lets concurrency tests prove
+  /// deterministically that ingest/live queries run while a sweep is in
+  /// flight. Set before going concurrent; not synchronized itself.
+  void set_after_collect_hook(std::function<void()> hook) {
+    after_collect_hook_ = std::move(hook);
+  }
+
  private:
   [[nodiscard]] std::size_t shard_of(bgp::Asn peer) const noexcept;
 
   StreamConfig config_;
   std::vector<std::unique_ptr<TupleShard>> shards_;
-  /// Shared: ingest/live queries. Exclusive: epoch advance + snapshot (views
-  /// borrow shard internals, so mutation must pause during a sweep).
+  /// Shared: ingest/live queries. Exclusive: epoch advance + snapshot's
+  /// collection phase (the sweep itself runs with no lock held).
   mutable std::shared_mutex engine_mutex_;
   std::atomic<Epoch> epoch_{0};
   std::atomic<std::uint64_t> evicted_total_{0};
-  /// Snapshot cache, keyed by the sum of shard versions.
-  mutable std::optional<core::InferenceResult> cached_;
+  /// Snapshot cache, stamped with the shard-version sum at its collection
+  /// cut. Guarded by engine_mutex_ (exclusive), as are the single-flight
+  /// fields: sweeps run one at a time — concurrent cold snapshots wait on
+  /// the cv and usually resolve from the cache when the in-flight sweep
+  /// installs, instead of each burning a duplicate sweep.
+  mutable SnapshotPtr cached_;
   mutable std::uint64_t cached_version_ = 0;
+  mutable std::condition_variable_any snapshot_cv_;
+  mutable bool sweep_inflight_ = false;
+  std::function<void()> after_collect_hook_;
 };
 
 }  // namespace bgpcu::stream

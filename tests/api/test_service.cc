@@ -43,7 +43,7 @@ TEST(ServiceQuery, ClassOfMatchesSnapshot) {
   (void)service.ingest({tuple(10, 20, true), tuple(11, 20, false)});
 
   const auto snapshot = service.query({.kind = QueryKind::kSnapshot});
-  ASSERT_TRUE(snapshot.snapshot.has_value());
+  ASSERT_TRUE(snapshot.snapshot != nullptr);
   const auto one = service.query({.kind = QueryKind::kClassOf, .asn = 10});
   ASSERT_TRUE(one.asn_class.has_value());
   EXPECT_EQ(one.asn_class->asn, 10u);

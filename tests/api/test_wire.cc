@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -154,9 +156,9 @@ TEST(WireRoundTrip, QueryResponses) {
   topology::Rng rng(99);
   QueryResponse snap;
   snap.kind = QueryKind::kSnapshot;
-  snap.snapshot = random_result(rng);
+  snap.snapshot = std::make_shared<const core::InferenceResult>(random_result(rng));
   decoded = decode_query_response(encode_query_response(snap));
-  ASSERT_TRUE(decoded.snapshot.has_value());
+  ASSERT_TRUE(decoded.snapshot != nullptr);
   EXPECT_EQ(decoded.snapshot->counter_map(), snap.snapshot->counter_map());
 }
 

@@ -6,6 +6,8 @@
 // between consecutive snapshots.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/engine.h"
 #include "sim/churn.h"
 #include "sim/scenario.h"
@@ -44,7 +46,8 @@ TEST(StreamChurnIntegration, DailySnapshotsMatchBatchPipelineOverWindow) {
   const auto batches = sim::day_batches(base, churn, kDays);
 
   stream::StreamEngine engine({.shards = 4, .window_epochs = kWindow});
-  core::InferenceResult previous({}, core::Thresholds{}, 0);
+  auto previous = std::make_shared<const core::InferenceResult>(
+      core::CounterMap{}, core::Thresholds{}, 0);
 
   for (std::uint32_t day = 0; day < kDays; ++day) {
     if (day > 0) engine.advance_epoch();
@@ -60,18 +63,18 @@ TEST(StreamChurnIntegration, DailySnapshotsMatchBatchPipelineOverWindow) {
 
     const auto snap = engine.snapshot();
     const auto reference = core::ColumnEngine().run(window_union);
-    ASSERT_EQ(snap.counter_map(), reference.counter_map()) << "day " << day;
+    ASSERT_EQ(snap->counter_map(), reference.counter_map()) << "day " << day;
 
     // Delta consistency: every reported change really differs, and every
     // AS whose class differs is reported.
-    const auto changes = stream::diff_classifications(previous, snap);
+    const auto changes = stream::diff_classifications(*previous, *snap);
     for (const auto& change : changes) {
       EXPECT_NE(change.before, change.after);
-      EXPECT_EQ(change.after, snap.usage(change.asn));
-      EXPECT_EQ(change.before, previous.usage(change.asn));
+      EXPECT_EQ(change.after, snap->usage(change.asn));
+      EXPECT_EQ(change.before, previous->usage(change.asn));
     }
-    for (const auto& [asn, k] : snap.counter_map()) {
-      if (previous.usage(asn) != snap.usage(asn)) {
+    for (const auto& [asn, k] : snap->counter_map()) {
+      if (previous->usage(asn) != snap->usage(asn)) {
         EXPECT_TRUE(std::any_of(changes.begin(), changes.end(),
                                 [asn = asn](const stream::ClassChange& c) { return c.asn == asn; }))
             << "missing delta for AS " << asn;
@@ -103,7 +106,7 @@ TEST(StreamChurnIntegration, CumulativeModeMatchesMergedDatasets) {
   }
   const auto snap = engine.snapshot();
   const auto reference = core::ColumnEngine().run(cumulative);
-  EXPECT_EQ(snap.counter_map(), reference.counter_map());
+  EXPECT_EQ(snap->counter_map(), reference.counter_map());
 }
 
 }  // namespace

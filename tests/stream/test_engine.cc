@@ -2,6 +2,10 @@
 // hand-written inputs, snapshot caching, live counters, concurrent ingest.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "core/engine.h"
@@ -61,7 +65,7 @@ TEST(StreamEngine, SnapshotMatchesColumnEngineOnHandWrittenInput) {
   (void)engine.ingest(d);
   auto expected = d;
   core::deduplicate(expected);
-  expect_equal(engine.snapshot(), core::ColumnEngine().run(expected));
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(expected));
 }
 
 TEST(StreamEngine, SnapshotIdenticalAcrossBatchSplits) {
@@ -85,7 +89,7 @@ TEST(StreamEngine, SnapshotIdenticalAcrossBatchSplits) {
 
   const auto a = whole.snapshot();
   const auto b = split.snapshot();
-  EXPECT_EQ(a.counter_map(), b.counter_map());
+  EXPECT_EQ(a->counter_map(), b->counter_map());
 }
 
 TEST(StreamEngine, SnapshotCachedUntilMutation) {
@@ -93,11 +97,14 @@ TEST(StreamEngine, SnapshotCachedUntilMutation) {
   (void)engine.ingest({tuple({1, 2}), tuple({3, 4})});
   const auto first = engine.snapshot();
   const auto second = engine.snapshot();  // served from cache
-  EXPECT_EQ(first.counter_map(), second.counter_map());
+  // A cache hit hands out the same immutable object — no deep copy.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(first->counter_map(), second->counter_map());
 
   (void)engine.ingest({tuple({5, 6})});
   const auto third = engine.snapshot();
-  EXPECT_NE(third.counter_map(), first.counter_map());
+  EXPECT_NE(third.get(), first.get());
+  EXPECT_NE(third->counter_map(), first->counter_map());
 }
 
 TEST(StreamEngine, LiveCountersMatchSnapshotAtPeerColumn) {
@@ -115,8 +122,8 @@ TEST(StreamEngine, LiveCountersMatchSnapshotAtPeerColumn) {
   EXPECT_EQ(engine.live_counters(10).s, 1u);
   EXPECT_EQ(engine.live_counters(20).s, 1u);
   const auto snap = engine.snapshot();
-  EXPECT_EQ(snap.counters(10).t, engine.live_counters(10).t);
-  EXPECT_EQ(snap.counters(10).s, engine.live_counters(10).s);
+  EXPECT_EQ(snap->counters(10).t, engine.live_counters(10).t);
+  EXPECT_EQ(snap->counters(10).s, engine.live_counters(10).s);
 }
 
 TEST(StreamEngine, ConcurrentIngestMatchesSequential) {
@@ -144,7 +151,111 @@ TEST(StreamEngine, ConcurrentIngestMatchesSequential) {
     }
   }
   core::deduplicate(all);
-  expect_equal(engine.snapshot(), core::ColumnEngine().run(all));
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(all));
+}
+
+TEST(StreamEngine, IngestAndLiveQueriesProceedWhileSweepInFlight) {
+  // Deterministic non-blocking proof: the after-collect hook runs between
+  // the collection lock's release and the sweep, and it *blocks the
+  // snapshot thread* until the main thread has pushed an ingest and read
+  // live counters. If either operation still needed the engine lock held by
+  // the sweep (the old protocol), this test would time out instead of
+  // passing — no sleeps, no timing guesses.
+  StreamEngine engine({.shards = 4});
+  core::Dataset initial;
+  for (int i = 0; i < 64; ++i) {
+    initial.push_back(tuple({static_cast<bgp::Asn>(1 + i % 9),
+                             static_cast<bgp::Asn>(20 + i % 5),
+                             static_cast<bgp::Asn>(100 + i)},
+                            {bgp::CommunityValue::regular(
+                                static_cast<std::uint16_t>(1 + i % 9), 1)}));
+  }
+  (void)engine.ingest(initial);
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool collected = false;
+  bool mutated_during_sweep = false;
+  engine.set_after_collect_hook([&] {
+    std::unique_lock lock(m);
+    collected = true;
+    cv.notify_all();
+    // Hold the sweep until the concurrent mutations have gone through.
+    cv.wait(lock, [&] { return mutated_during_sweep; });
+  });
+
+  SnapshotPtr snap;
+  std::thread sweeper([&] { snap = engine.snapshot(); });
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return collected; });
+  }
+  // Sweep is in flight (parked in the hook, lock released): both of these
+  // must complete without waiting for it.
+  (void)engine.ingest({tuple({7, 8, 9})});
+  EXPECT_EQ(engine.live_counters(7).s, 1u);  // the mid-sweep ingest is already queryable
+  {
+    const std::lock_guard lock(m);
+    mutated_during_sweep = true;
+  }
+  cv.notify_all();
+  sweeper.join();
+
+  // The snapshot reflects its collection-time cut (without {7,8,9})...
+  auto expected = initial;
+  core::deduplicate(expected);
+  expect_equal(*snap, core::ColumnEngine().run(expected));
+  // ...and the next snapshot sees the tuple ingested mid-sweep.
+  engine.set_after_collect_hook({});
+  auto with_concurrent = initial;
+  with_concurrent.push_back(tuple({7, 8, 9}));
+  core::deduplicate(with_concurrent);
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(with_concurrent));
+}
+
+TEST(StreamEngine, ConcurrentColdSnapshotsShareOneSweep) {
+  // Single-flight: a snapshot that races an in-flight sweep of the same cut
+  // waits for its install and resolves from the cache — both callers end up
+  // holding the same immutable object, and only one sweep runs.
+  StreamEngine engine({.shards = 4});
+  (void)engine.ingest({tuple({1, 2, 3}, {bgp::CommunityValue::regular(1, 1)}),
+                       tuple({4, 5, 6})});
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool collected = false;
+  bool release = false;
+  std::atomic<int> sweeps{0};
+  engine.set_after_collect_hook([&] {
+    sweeps.fetch_add(1);
+    std::unique_lock lock(m);
+    collected = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+
+  SnapshotPtr a, b;
+  std::thread first([&] { a = engine.snapshot(); });
+  {
+    std::unique_lock lock(m);
+    cv.wait(lock, [&] { return collected; });
+  }
+  // First sweep is parked in flight; a second snapshot of the same cut must
+  // wait for it instead of sweeping again (the hook counter catches a
+  // duplicate).
+  std::thread second([&] { b = engine.snapshot(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    const std::lock_guard lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  first.join();
+  second.join();
+
+  EXPECT_EQ(sweeps.load(), 1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
 }
 
 TEST(StreamEngine, SingleShardDegenerateStillCorrect) {
@@ -153,7 +264,7 @@ TEST(StreamEngine, SingleShardDegenerateStillCorrect) {
   (void)engine.ingest(d);
   auto expected = d;
   core::deduplicate(expected);
-  expect_equal(engine.snapshot(), core::ColumnEngine().run(expected));
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(expected));
 }
 
 TEST(StreamEngine, ThresholdsPropagateToSnapshot) {
@@ -161,7 +272,7 @@ TEST(StreamEngine, ThresholdsPropagateToSnapshot) {
   config.engine.thresholds = core::Thresholds::uniform(0.75);
   StreamEngine engine(config);
   (void)engine.ingest({tuple({1, 2})});
-  EXPECT_DOUBLE_EQ(engine.snapshot().thresholds().tagger, 0.75);
+  EXPECT_DOUBLE_EQ(engine.snapshot()->thresholds().tagger, 0.75);
 }
 
 }  // namespace

@@ -7,8 +7,9 @@
 //
 // Scenario space: random datasets (recurring ASNs, random communities) split
 // into random per-epoch batches with re-observations, ingested into engines
-// with varying shard counts and window sizes. 25 seeds x 5 configurations =
-// 125 randomized scenarios.
+// with varying shard counts, window sizes, and sweep lane counts. 25 seeds
+// x 7 configurations = 175 randomized scenarios (the threads > 1 shapes pin
+// the parallel kernel to the serial oracle through the snapshot path).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -53,6 +54,10 @@ struct ScenarioShape {
   std::uint64_t window;  ///< 0 = unbounded.
   std::size_t epochs;
   double reobserve_prob;  ///< P(a tuple from an earlier batch repeats).
+  /// Sweep lanes for the engine under test (the oracle always sweeps
+  /// serially, so threads > 1 shapes also pin parallel ≡ serial end-to-end
+  /// through the snapshot path). 0 = auto.
+  std::size_t threads = 0;
 };
 
 class StreamEquivalence
@@ -62,7 +67,11 @@ TEST_P(StreamEquivalence, SnapshotEqualsBatchRunAtEveryEpoch) {
   const auto [seed, shape] = GetParam();
   topology::Rng rng(seed * 7919 + shape.shards);
 
-  StreamEngine engine({.shards = shape.shards, .window_epochs = shape.window});
+  StreamConfig config;
+  config.engine.threads = shape.threads;
+  config.shards = shape.shards;
+  config.window_epochs = shape.window;
+  StreamEngine engine(config);
 
   // Independent window oracle: normalized tuple -> last-seen epoch.
   std::unordered_map<core::PathCommTuple, Epoch> oracle;
@@ -106,10 +115,10 @@ TEST_P(StreamEquivalence, SnapshotEqualsBatchRunAtEveryEpoch) {
     ASSERT_EQ(engine.live_tuples(), live.size()) << "epoch " << epoch;
     const auto snap = engine.snapshot();
     const auto batch_run = core::ColumnEngine().run(live);
-    ASSERT_EQ(snap.counter_map(), batch_run.counter_map())
+    ASSERT_EQ(snap->counter_map(), batch_run.counter_map())
         << "seed " << seed << " shards " << shape.shards << " window " << shape.window
         << " epoch " << epoch;
-    EXPECT_EQ(snap.columns_swept(), batch_run.columns_swept());
+    EXPECT_EQ(snap->columns_swept(), batch_run.columns_swept());
   }
 }
 
@@ -119,6 +128,8 @@ constexpr ScenarioShape kShapes[] = {
     {.shards = 7, .window = 2, .epochs = 6, .reobserve_prob = 0.10},
     {.shards = 4, .window = 3, .epochs = 7, .reobserve_prob = 0.15},
     {.shards = 16, .window = 1, .epochs = 5, .reobserve_prob = 0.05},
+    {.shards = 4, .window = 0, .epochs = 5, .reobserve_prob = 0.05, .threads = 4},
+    {.shards = 7, .window = 2, .epochs = 6, .reobserve_prob = 0.10, .threads = 8},
 };
 
 INSTANTIATE_TEST_SUITE_P(
@@ -127,7 +138,8 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) {
       return "seed" + std::to_string(std::get<0>(info.param)) + "_sh" +
              std::to_string(std::get<1>(info.param).shards) + "_w" +
-             std::to_string(std::get<1>(info.param).window);
+             std::to_string(std::get<1>(info.param).window) + "_t" +
+             std::to_string(std::get<1>(info.param).threads);
     });
 
 }  // namespace

@@ -79,7 +79,7 @@ TEST(StreamWindow, WindowedSnapshotEqualsBatchOverLiveSubset) {
 
   const auto snap = engine.snapshot();
   const auto batch_run = core::ColumnEngine().run(expected);
-  EXPECT_EQ(snap.counter_map(), batch_run.counter_map());
+  EXPECT_EQ(snap->counter_map(), batch_run.counter_map());
 }
 
 TEST(StreamWindow, WindowOfOneKeepsOnlyCurrentEpochIngest) {

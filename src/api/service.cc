@@ -10,14 +10,17 @@ namespace {
 
 /// A class-code side of a transition spec: "*" or a valid two-char code.
 bool valid_code_spec(const std::string& spec) {
-  if (spec == "*") return true;
-  if (spec.size() != 2) return false;
-  const auto tag_ok = spec[0] == 't' || spec[0] == 's' || spec[0] == 'u' || spec[0] == 'n';
-  const auto fwd_ok = spec[1] == 'f' || spec[1] == 'c' || spec[1] == 'u' || spec[1] == 'n';
-  return tag_ok && fwd_ok;
+  return spec == "*" || SubscriptionFilter::valid_code(spec);
 }
 
 }  // namespace
+
+bool SubscriptionFilter::valid_code(std::string_view code) noexcept {
+  if (code.size() != 2) return false;
+  const auto tag_ok = code[0] == 't' || code[0] == 's' || code[0] == 'u' || code[0] == 'n';
+  const auto fwd_ok = code[1] == 'f' || code[1] == 'c' || code[1] == 'u' || code[1] == 'n';
+  return tag_ok && fwd_ok;
+}
 
 SubscriptionFilter SubscriptionFilter::transition(const std::string& spec) {
   const auto arrow = spec.find("->");
@@ -122,6 +125,23 @@ QueryResponse Service::query(const QueryRequest& request) const {
   return response;
 }
 
+std::vector<stream::ClassChange> Service::apply_subscription(const Subscription& subscription,
+                                                             const EpochDelta& delta) {
+  const auto& filter = subscription.filter;
+  std::vector<stream::ClassChange> out;
+  for (const auto& change : delta.changes) {
+    if (!subscription.sorted_watch.empty() &&
+        !std::binary_search(subscription.sorted_watch.begin(),
+                            subscription.sorted_watch.end(), change.asn)) {
+      continue;
+    }
+    if (filter.from != "*" && change.before.code() != filter.from) continue;
+    if (filter.to != "*" && change.after.code() != filter.to) continue;
+    out.push_back(change);
+  }
+  return out;
+}
+
 EpochDelta Service::publish() {
   // Pairs to notify once the facade mutex is released — callbacks may
   // re-enter subscribe/unsubscribe.
@@ -136,7 +156,7 @@ EpochDelta Service::publish() {
     if (!delta.changes.empty()) {
       log_.push(delta);
       for (const auto& sub : subscriptions_) {
-        auto filtered = sub.filter.apply(delta);
+        auto filtered = apply_subscription(sub, delta);
         if (filtered.empty()) continue;
         dispatch.emplace_back(sub.callback, EpochDelta{delta.epoch, std::move(filtered)});
       }
@@ -150,6 +170,12 @@ SubscriptionId Service::subscribe(SubscriptionFilter filter, SubscriptionCallbac
                                   std::optional<stream::Epoch> replay_from) {
   const std::lock_guard lock(facade_mutex_);
   const SubscriptionId id = next_id_++;
+  Subscription subscription{id, std::move(filter), {}, std::move(callback)};
+  subscription.sorted_watch = subscription.filter.watch;
+  std::sort(subscription.sorted_watch.begin(), subscription.sorted_watch.end());
+  subscription.sorted_watch.erase(
+      std::unique(subscription.sorted_watch.begin(), subscription.sorted_watch.end()),
+      subscription.sorted_watch.end());
   // Replay is delivered while still holding the facade mutex, *before* the
   // subscription becomes visible to publishers: a concurrent publish either
   // ran earlier (its batch is in the log and replays here) or blocks on the
@@ -158,11 +184,11 @@ SubscriptionId Service::subscribe(SubscriptionFilter filter, SubscriptionCallbac
   // the Service (live deliveries from publish() remain re-entrant-safe).
   if (replay_from) {
     for (const auto& entry : log_.since(*replay_from)) {
-      auto filtered = filter.apply(entry);
-      if (!filtered.empty()) callback(EpochDelta{entry.epoch, std::move(filtered)});
+      auto filtered = apply_subscription(subscription, entry);
+      if (!filtered.empty()) subscription.callback(EpochDelta{entry.epoch, std::move(filtered)});
     }
   }
-  subscriptions_.push_back({id, std::move(filter), std::move(callback)});
+  subscriptions_.push_back(std::move(subscription));
   return id;
 }
 

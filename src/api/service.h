@@ -17,6 +17,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/engine.h"
@@ -101,10 +102,16 @@ struct SubscriptionFilter {
   /// Throws std::invalid_argument on anything else.
   [[nodiscard]] static SubscriptionFilter transition(const std::string& spec);
 
+  /// True for a well-formed two-character class code ("tf", "nn", ...).
+  /// "*" is NOT a code — spec sides allow it, codes themselves don't.
+  [[nodiscard]] static bool valid_code(std::string_view code) noexcept;
+
   [[nodiscard]] bool matches(const stream::ClassChange& change) const;
 
   /// The subset of `delta` this filter passes, preserving order.
   [[nodiscard]] std::vector<stream::ClassChange> apply(const EpochDelta& delta) const;
+
+  friend bool operator==(const SubscriptionFilter&, const SubscriptionFilter&) = default;
 };
 
 /// Receives one filtered, non-empty EpochDelta per published epoch.
@@ -198,12 +205,29 @@ class Service {
 
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
 
+  /// Test instrumentation, forwarded to the wrapped engine (see
+  /// StreamEngine::set_after_collect_hook): runs after a snapshot's
+  /// collection lock is released, before its sweep. Lets concurrency tests
+  /// hold sweeps open deterministically. Set before going concurrent.
+  void set_after_collect_hook(std::function<void()> hook) {
+    engine_.set_after_collect_hook(std::move(hook));
+  }
+
  private:
   struct Subscription {
     SubscriptionId id = 0;
     SubscriptionFilter filter;
+    /// filter.watch sorted + deduped once at subscribe: publish() evaluates
+    /// every subscriber's filter under the facade mutex, so membership must
+    /// be a binary search, not a linear scan of a (possibly remote-supplied)
+    /// watchlist.
+    std::vector<bgp::Asn> sorted_watch;
     SubscriptionCallback callback;
   };
+
+  /// filter.apply with the precomputed watch index.
+  [[nodiscard]] static std::vector<stream::ClassChange> apply_subscription(
+      const Subscription& subscription, const EpochDelta& delta);
 
   ServiceConfig config_;
   stream::StreamEngine engine_;

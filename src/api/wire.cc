@@ -109,7 +109,7 @@ Frame parse_frame(Reader& r) {
                           " (this build reads <= " + std::to_string(kWireVersion) + ")");
   }
   const auto type_byte = r.u8("frame type");
-  if (type_byte < 1 || type_byte > 4) {
+  if (type_byte < 1 || type_byte > kMaxFrameType) {
     throw WireFormatError("unknown frame type " + std::to_string(type_byte));
   }
   const auto start = r.pos;
@@ -241,6 +241,89 @@ core::InferenceResult get_snapshot_payload(Reader& r) {
   return core::InferenceResult(std::move(counters), th, static_cast<std::size_t>(columns));
 }
 
+void put_delta_payload(std::vector<std::uint8_t>& out, const EpochDelta& delta) {
+  put_varint(out, delta.epoch);
+  put_varint(out, delta.changes.size());
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const auto& change : delta.changes) {
+    // The delta encoding needs strictly ascending ASNs (diff_classifications
+    // emits them that way); fail at encode time, not at every later decode.
+    if (!first && change.asn <= prev) {
+      throw WireFormatError("delta changes must be sorted by strictly ascending ASN");
+    }
+    put_varint(out, first ? change.asn : change.asn - prev);
+    out.push_back(class_byte(change.before));
+    out.push_back(class_byte(change.after));
+    prev = change.asn;
+    first = false;
+  }
+}
+
+EpochDelta get_delta_payload(Reader& r) {
+  EpochDelta delta;
+  delta.epoch = r.varint("epoch");
+  const auto count = r.varint("change count");
+  delta.changes.reserve(count < (1u << 20) ? count : (1u << 20));
+  std::optional<std::uint64_t> prev;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    stream::ClassChange change;
+    change.asn = get_asn_delta(r, prev);
+    change.before = get_class(r);
+    change.after = get_class(r);
+    delta.changes.push_back(change);
+  }
+  return delta;
+}
+
+/// Length-prefixed UTF-8-agnostic byte string (auth tokens, error messages).
+/// Capped well below any frame limit so a corrupt length cannot balloon.
+constexpr std::uint64_t kMaxStringBytes = 4096;
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& text) {
+  if (text.size() > kMaxStringBytes) {
+    throw WireFormatError("wire string longer than " + std::to_string(kMaxStringBytes) +
+                          " bytes");
+  }
+  put_varint(out, text.size());
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+std::string get_string(Reader& r, const char* what) {
+  const auto length = r.varint(what);
+  if (length > kMaxStringBytes) {
+    throw WireFormatError(std::string("wire string too long in ") + what);
+  }
+  const auto raw = r.bytes(static_cast<std::size_t>(length), what);
+  return {raw.begin(), raw.end()};
+}
+
+/// A transition-spec side: 0x00 for "*", else 0x01 + the two code chars.
+void put_code_spec(std::vector<std::uint8_t>& out, const std::string& code) {
+  if (code == "*") {
+    out.push_back(0);
+    return;
+  }
+  if (!SubscriptionFilter::valid_code(code)) {
+    throw WireFormatError("invalid class code spec '" + code + "'");
+  }
+  out.push_back(1);
+  out.push_back(static_cast<std::uint8_t>(code[0]));
+  out.push_back(static_cast<std::uint8_t>(code[1]));
+}
+
+std::string get_code_spec(Reader& r, const char* what) {
+  const auto tag = r.u8(what);
+  if (tag == 0) return "*";
+  if (tag != 1) throw WireFormatError(std::string("invalid code-spec tag in ") + what);
+  const auto raw = r.bytes(2, what);
+  std::string code{static_cast<char>(raw[0]), static_cast<char>(raw[1])};
+  if (!SubscriptionFilter::valid_code(code)) {
+    throw WireFormatError(std::string("invalid class code in ") + what);
+  }
+  return code;
+}
+
 // ----------------------------------------------------------- frame codecs --
 
 }  // namespace
@@ -251,6 +334,59 @@ std::optional<Frame> FrameReader::next() {
   const auto frame = parse_frame(r);
   pos_ = r.pos;
   return frame;
+}
+
+std::optional<Frame> try_parse_frame(std::span<const std::uint8_t> data,
+                                     std::size_t max_payload) {
+  // Validate the header byte-by-byte as far as the buffer reaches: a prefix
+  // that can never become a valid frame must throw *now* (the transport
+  // would otherwise wait forever for more bytes that cannot help).
+  const auto have = data.size();
+  for (std::size_t i = 0; i < kWireMagic.size(); ++i) {
+    if (i >= have) return std::nullopt;
+    if (data[i] != kWireMagic[i]) {
+      throw WireFormatError("not a bgpcu wire frame (bad magic)");
+    }
+  }
+  if (have < 5) return std::nullopt;
+  const auto version = data[4];
+  if (version == 0 || version > kWireVersion) {
+    throw WireFormatError("unsupported wire version " + std::to_string(version) +
+                          " (this build reads <= " + std::to_string(kWireVersion) + ")");
+  }
+  if (have < 6) return std::nullopt;
+  const auto type_byte = data[5];
+  if (type_byte < 1 || type_byte > kMaxFrameType) {
+    throw WireFormatError("unknown frame type " + std::to_string(type_byte));
+  }
+  // Payload length varint, parsed incrementally.
+  std::uint64_t length = 0;
+  std::size_t pos = 6;
+  for (unsigned shift = 0;; shift += 7) {
+    if (shift >= 64) throw WireFormatError("varint too long in frame payload length");
+    if (pos >= have) return std::nullopt;
+    const auto byte = data[pos++];
+    if (shift == 63 && (byte & 0xFE)) {
+      throw WireFormatError("varint overflow in frame payload length");
+    }
+    length |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+  }
+  if (length > max_payload) {
+    throw WireFormatError("frame payload length " + std::to_string(length) +
+                          " exceeds the " + std::to_string(max_payload) + "-byte cap");
+  }
+  if (have - pos < length) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type_byte);
+  frame.payload = data.subspan(pos, static_cast<std::size_t>(length));
+  frame.size = pos + static_cast<std::size_t>(length);
+  return frame;
+}
+
+FrameType peek_frame_type(std::span<const std::uint8_t> data) {
+  Reader r{data};
+  return parse_frame(r).type;
 }
 
 std::vector<std::uint8_t> encode_snapshot(const core::InferenceResult& result) {
@@ -271,40 +407,14 @@ core::InferenceResult decode_snapshot(std::span<const std::uint8_t> frame) {
 std::vector<std::uint8_t> encode_delta_batch(const EpochDelta& delta) {
   std::vector<std::uint8_t> payload;
   payload.reserve(delta.changes.size() * 4 + 16);
-  put_varint(payload, delta.epoch);
-  put_varint(payload, delta.changes.size());
-  std::uint64_t prev = 0;
-  bool first = true;
-  for (const auto& change : delta.changes) {
-    // The delta encoding needs strictly ascending ASNs (diff_classifications
-    // emits them that way); fail at encode time, not at every later decode.
-    if (!first && change.asn <= prev) {
-      throw WireFormatError("delta changes must be sorted by strictly ascending ASN");
-    }
-    put_varint(payload, first ? change.asn : change.asn - prev);
-    payload.push_back(class_byte(change.before));
-    payload.push_back(class_byte(change.after));
-    prev = change.asn;
-    first = false;
-  }
+  put_delta_payload(payload, delta);
   return seal_frame(FrameType::kDeltaBatch, std::move(payload));
 }
 
 EpochDelta decode_delta_batch(std::span<const std::uint8_t> frame) {
   const auto parsed = expect_single_frame(frame, FrameType::kDeltaBatch, "delta batch");
   Reader r{parsed.payload};
-  EpochDelta delta;
-  delta.epoch = r.varint("epoch");
-  const auto count = r.varint("change count");
-  delta.changes.reserve(count < (1u << 20) ? count : (1u << 20));
-  std::optional<std::uint64_t> prev;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    stream::ClassChange change;
-    change.asn = get_asn_delta(r, prev);
-    change.before = get_class(r);
-    change.after = get_class(r);
-    delta.changes.push_back(change);
-  }
+  auto delta = get_delta_payload(r);
   expect_exhausted(r, "delta batch");
   return delta;
 }
@@ -346,8 +456,12 @@ QueryRequest decode_query_request(std::span<const std::uint8_t> frame) {
   return request;
 }
 
-std::vector<std::uint8_t> encode_query_response(const QueryResponse& response) {
-  std::vector<std::uint8_t> payload;
+namespace {
+
+/// Body shared by kQueryResponse (artifact) and kResponse (tagged network)
+/// frames — same payload, different envelope.
+void put_query_response_payload(std::vector<std::uint8_t>& payload,
+                                const QueryResponse& response) {
   payload.push_back(static_cast<std::uint8_t>(response.kind));
   switch (response.kind) {
     case QueryKind::kClassOf:
@@ -378,13 +492,9 @@ std::vector<std::uint8_t> encode_query_response(const QueryResponse& response) {
       break;
     }
   }
-  return seal_frame(FrameType::kQueryResponse, std::move(payload));
 }
 
-QueryResponse decode_query_response(std::span<const std::uint8_t> frame) {
-  const auto parsed =
-      expect_single_frame(frame, FrameType::kQueryResponse, "query response");
-  Reader r{parsed.payload};
+QueryResponse get_query_response_payload(Reader& r) {
   QueryResponse response;
   response.kind = get_query_kind(r);
   switch (response.kind) {
@@ -417,7 +527,230 @@ QueryResponse decode_query_response(std::span<const std::uint8_t> frame) {
       break;
     }
   }
+  return response;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_query_response(const QueryResponse& response) {
+  std::vector<std::uint8_t> payload;
+  put_query_response_payload(payload, response);
+  return seal_frame(FrameType::kQueryResponse, std::move(payload));
+}
+
+QueryResponse decode_query_response(std::span<const std::uint8_t> frame) {
+  const auto parsed =
+      expect_single_frame(frame, FrameType::kQueryResponse, "query response");
+  Reader r{parsed.payload};
+  auto response = get_query_response_payload(r);
   expect_exhausted(r, "query response");
+  return response;
+}
+
+// ------------------------------------------------- network protocol frames --
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& hello) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(hello.protocol);
+  put_string(payload, hello.token);
+  return seal_frame(FrameType::kHello, std::move(payload));
+}
+
+HelloFrame decode_hello(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kHello, "hello");
+  Reader r{parsed.payload};
+  HelloFrame hello;
+  hello.protocol = r.u8("hello protocol");
+  hello.token = get_string(r, "hello token");
+  expect_exhausted(r, "hello");
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_welcome(const WelcomeFrame& welcome) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(welcome.protocol);
+  put_varint(payload, welcome.epoch);
+  return seal_frame(FrameType::kWelcome, std::move(payload));
+}
+
+WelcomeFrame decode_welcome(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kWelcome, "welcome");
+  Reader r{parsed.payload};
+  WelcomeFrame welcome;
+  welcome.protocol = r.u8("welcome protocol");
+  welcome.epoch = r.varint("welcome epoch");
+  expect_exhausted(r, "welcome");
+  return welcome;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorFrame& error) {
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, error.request_id);
+  payload.push_back(static_cast<std::uint8_t>(error.code));
+  put_string(payload, error.message);
+  return seal_frame(FrameType::kError, std::move(payload));
+}
+
+ErrorFrame decode_error(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kError, "error");
+  Reader r{parsed.payload};
+  ErrorFrame error;
+  error.request_id = r.varint("error request id");
+  const auto code = r.u8("error code");
+  if (code < 1 || code > 5) {
+    throw WireFormatError("unknown error code " + std::to_string(code));
+  }
+  error.code = static_cast<ErrorCode>(code);
+  error.message = get_string(r, "error message");
+  expect_exhausted(r, "error");
+  return error;
+}
+
+std::vector<std::uint8_t> encode_subscribe(const SubscribeFrame& subscribe) {
+  if (subscribe.filter.watch.size() > kMaxSubscriptionWatch) {
+    throw WireFormatError("subscription watchlist exceeds " +
+                          std::to_string(kMaxSubscriptionWatch) + " ASNs");
+  }
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, subscribe.request_id);
+  put_varint(payload, subscribe.filter.watch.size());
+  for (const auto asn : subscribe.filter.watch) put_varint(payload, asn);
+  put_code_spec(payload, subscribe.filter.from);
+  put_code_spec(payload, subscribe.filter.to);
+  payload.push_back(subscribe.replay_from.has_value() ? 1 : 0);
+  if (subscribe.replay_from) put_varint(payload, *subscribe.replay_from);
+  return seal_frame(FrameType::kSubscribe, std::move(payload));
+}
+
+SubscribeFrame decode_subscribe(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kSubscribe, "subscribe");
+  Reader r{parsed.payload};
+  SubscribeFrame subscribe;
+  subscribe.request_id = r.varint("subscribe request id");
+  const auto watch_count = r.varint("watchlist length");
+  if (watch_count > kMaxSubscriptionWatch) {
+    throw WireFormatError("subscription watchlist claims " + std::to_string(watch_count) +
+                          " ASNs, cap is " + std::to_string(kMaxSubscriptionWatch));
+  }
+  subscribe.filter.watch.reserve(watch_count);
+  for (std::uint64_t i = 0; i < watch_count; ++i) {
+    const auto asn = r.varint("watchlist asn");
+    if (asn > 0xFFFFFFFFull) {
+      throw WireFormatError("watchlist ASN out of 32-bit range");
+    }
+    subscribe.filter.watch.push_back(static_cast<bgp::Asn>(asn));
+  }
+  subscribe.filter.from = get_code_spec(r, "subscribe from-code");
+  subscribe.filter.to = get_code_spec(r, "subscribe to-code");
+  const auto has_replay = r.u8("subscribe replay flag");
+  if (has_replay > 1) throw WireFormatError("invalid subscribe replay flag");
+  if (has_replay) subscribe.replay_from = r.varint("subscribe replay epoch");
+  expect_exhausted(r, "subscribe");
+  return subscribe;
+}
+
+std::vector<std::uint8_t> encode_subscribed(const SubscribedFrame& ack, FrameType type) {
+  if (type != FrameType::kSubscribed && type != FrameType::kUnsubscribed) {
+    throw WireFormatError("subscription ack frames must be kSubscribed or kUnsubscribed");
+  }
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, ack.request_id);
+  put_varint(payload, ack.subscription_id);
+  return seal_frame(type, std::move(payload));
+}
+
+SubscribedFrame decode_subscribed(std::span<const std::uint8_t> frame, FrameType type) {
+  const auto what =
+      type == FrameType::kUnsubscribed ? "unsubscribed ack" : "subscribed ack";
+  const auto parsed = expect_single_frame(frame, type, what);
+  Reader r{parsed.payload};
+  SubscribedFrame ack;
+  ack.request_id = r.varint("ack request id");
+  ack.subscription_id = r.varint("ack subscription id");
+  expect_exhausted(r, what);
+  return ack;
+}
+
+std::vector<std::uint8_t> encode_unsubscribe(const UnsubscribeFrame& unsubscribe) {
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, unsubscribe.request_id);
+  put_varint(payload, unsubscribe.subscription_id);
+  return seal_frame(FrameType::kUnsubscribe, std::move(payload));
+}
+
+UnsubscribeFrame decode_unsubscribe(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kUnsubscribe, "unsubscribe");
+  Reader r{parsed.payload};
+  UnsubscribeFrame unsubscribe;
+  unsubscribe.request_id = r.varint("unsubscribe request id");
+  unsubscribe.subscription_id = r.varint("unsubscribe subscription id");
+  expect_exhausted(r, "unsubscribe");
+  return unsubscribe;
+}
+
+std::vector<std::uint8_t> encode_event(const EventFrame& event) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(event.delta.changes.size() * 4 + 24);
+  put_varint(payload, event.subscription_id);
+  put_delta_payload(payload, event.delta);
+  return seal_frame(FrameType::kEvent, std::move(payload));
+}
+
+EventFrame decode_event(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kEvent, "event");
+  Reader r{parsed.payload};
+  EventFrame event;
+  event.subscription_id = r.varint("event subscription id");
+  event.delta = get_delta_payload(r);
+  expect_exhausted(r, "event");
+  return event;
+}
+
+std::vector<std::uint8_t> encode_request(const RequestFrame& request) {
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, request.request_id);
+  payload.push_back(static_cast<std::uint8_t>(request.request.kind));
+  if (request.request.kind == QueryKind::kClassOf ||
+      request.request.kind == QueryKind::kLiveCounters) {
+    put_varint(payload, request.request.asn);
+  }
+  return seal_frame(FrameType::kRequest, std::move(payload));
+}
+
+RequestFrame decode_request(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kRequest, "request");
+  Reader r{parsed.payload};
+  RequestFrame request;
+  request.request_id = r.varint("request id");
+  request.request.kind = get_query_kind(r);
+  if (request.request.kind == QueryKind::kClassOf ||
+      request.request.kind == QueryKind::kLiveCounters) {
+    const auto asn = r.varint("request asn");
+    if (asn > 0xFFFFFFFFull) {
+      throw WireFormatError("request ASN out of 32-bit range");
+    }
+    request.request.asn = static_cast<bgp::Asn>(asn);
+  }
+  expect_exhausted(r, "request");
+  return request;
+}
+
+std::vector<std::uint8_t> encode_response(const ResponseFrame& response) {
+  // The response body is the kQueryResponse payload layout, prefixed with
+  // the request id it answers.
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, response.request_id);
+  put_query_response_payload(payload, response.response);
+  return seal_frame(FrameType::kResponse, std::move(payload));
+}
+
+ResponseFrame decode_response(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kResponse, "response");
+  Reader r{parsed.payload};
+  ResponseFrame response;
+  response.request_id = r.varint("response request id");
+  response.response = get_query_response_payload(r);
+  expect_exhausted(r, "response");
   return response;
 }
 

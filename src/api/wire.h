@@ -46,13 +46,39 @@ inline constexpr std::array<std::uint8_t, 4> kWireMagic = {0x89, 'B', 'C', 'U'};
 /// Current (and only) format version. Decoders reject anything newer.
 inline constexpr std::uint8_t kWireVersion = 1;
 
-/// Record types carried in a frame header. Values are wire-stable.
+/// Record types carried in a frame header. Values are wire-stable. Types
+/// 1-4 are the v1 artifact frames (files, logs); 5-14 are the network
+/// protocol frames spoken between bgpcu_serve and net::Client (see
+/// docs/PROTOCOL.md).
 enum class FrameType : std::uint8_t {
   kSnapshot = 1,       ///< Full InferenceResult.
   kDeltaBatch = 2,     ///< One EpochDelta (epoch + class changes).
   kQueryRequest = 3,   ///< api::QueryRequest.
   kQueryResponse = 4,  ///< api::QueryResponse.
+  kHello = 5,          ///< Client handshake: protocol version + auth token.
+  kWelcome = 6,        ///< Server handshake accept: version + current epoch.
+  kError = 7,          ///< Request-level or connection-level failure.
+  kSubscribe = 8,      ///< Open a filtered class-change subscription.
+  kSubscribed = 9,     ///< Subscription acknowledgment with its id.
+  kEvent = 10,         ///< One pushed EpochDelta on a subscription.
+  kRequest = 11,       ///< Pipelinable query: request id + QueryRequest.
+  kResponse = 12,      ///< Answer to kRequest, matched by request id.
+  kUnsubscribe = 13,   ///< Close one subscription by id.
+  kUnsubscribed = 14,  ///< Unsubscribe acknowledgment.
 };
+
+/// Largest valid FrameType value; parse rejects anything above it.
+inline constexpr std::uint8_t kMaxFrameType = 14;
+
+/// Default cap on a single frame's payload. Generous enough for a full-table
+/// snapshot; incremental parsers reject a length field claiming more, so a
+/// corrupt (or hostile) length varint can never drive allocation.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{64} << 20;
+
+/// Cap on a subscription filter's ASN watchlist. Every publish evaluates
+/// every subscriber's filter, so a remote peer must not be able to install
+/// an arbitrarily large one.
+inline constexpr std::size_t kMaxSubscriptionWatch = 65536;
 
 /// One decoded frame boundary inside a buffer. `payload` borrows the input.
 struct Frame {
@@ -76,6 +102,19 @@ class FrameReader {
   std::size_t pos_ = 0;
 };
 
+/// Incremental frame-boundary probe for byte-stream transports. Returns the
+/// complete frame when `data` begins with one (payload borrows `data`);
+/// nullopt when `data` is a valid but incomplete prefix (read more bytes);
+/// throws WireFormatError as soon as the prefix can never become a valid
+/// frame (bad magic, unsupported version, unknown type, overlong length
+/// varint, or a payload length exceeding `max_payload`).
+[[nodiscard]] std::optional<Frame> try_parse_frame(std::span<const std::uint8_t> data,
+                                                   std::size_t max_payload = kMaxFramePayload);
+
+/// Type of the complete frame at the start of `data`; throws on malformed
+/// input. Dispatch helper for consumers of FrameBuffer-extracted frames.
+[[nodiscard]] FrameType peek_frame_type(std::span<const std::uint8_t> data);
+
 // --- Frame codecs. Each encode_* returns one full frame; each decode_*
 // --- accepts exactly one full frame and throws WireFormatError otherwise.
 
@@ -90,6 +129,124 @@ class FrameReader {
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query_response(const QueryResponse& response);
 [[nodiscard]] QueryResponse decode_query_response(std::span<const std::uint8_t> frame);
+
+// --- Network protocol frames (types 5-14). These are the unit of exchange
+// --- between bgpcu_serve and net::Client; layout in docs/PROTOCOL.md.
+
+/// Why the server failed a request (kError frames). Values are wire-stable.
+enum class ErrorCode : std::uint8_t {
+  kAuthFailed = 1,           ///< Missing or wrong auth token.
+  kBadRequest = 2,           ///< Malformed or unexpected frame.
+  kUnknownSubscription = 3,  ///< Unsubscribe for an id the connection never opened.
+  kServerBusy = 4,           ///< Connection limit reached; try later.
+  kInternal = 5,             ///< Server-side failure answering a valid request.
+};
+
+/// First frame on every connection, client -> server.
+struct HelloFrame {
+  std::uint8_t protocol = kWireVersion;
+  std::string token;  ///< Empty when the server runs without auth.
+
+  friend bool operator==(const HelloFrame&, const HelloFrame&) = default;
+};
+
+/// Handshake accept, server -> client.
+struct WelcomeFrame {
+  std::uint8_t protocol = kWireVersion;
+  stream::Epoch epoch = 0;  ///< Service epoch at accept time.
+
+  friend bool operator==(const WelcomeFrame&, const WelcomeFrame&) = default;
+};
+
+/// Failure report. `request_id` 0 means connection-level (the server closes
+/// the connection after sending it); nonzero ties it to a kRequest /
+/// kSubscribe / kUnsubscribe id.
+struct ErrorFrame {
+  std::uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  friend bool operator==(const ErrorFrame&, const ErrorFrame&) = default;
+};
+
+/// Open a subscription: the service-side SubscriptionFilter plus an optional
+/// replay-from epoch (see Service::subscribe).
+struct SubscribeFrame {
+  std::uint64_t request_id = 0;
+  SubscriptionFilter filter;
+  std::optional<stream::Epoch> replay_from;
+
+  friend bool operator==(const SubscribeFrame&, const SubscribeFrame&) = default;
+};
+
+/// Acknowledges kSubscribe (`subscription_id` names the new subscription)
+/// and kUnsubscribe (as kUnsubscribed, echoing the closed id).
+struct SubscribedFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t subscription_id = 0;
+
+  friend bool operator==(const SubscribedFrame&, const SubscribedFrame&) = default;
+};
+
+/// Close one subscription.
+struct UnsubscribeFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t subscription_id = 0;
+
+  friend bool operator==(const UnsubscribeFrame&, const UnsubscribeFrame&) = default;
+};
+
+/// One pushed (filtered, non-empty) epoch batch on a subscription.
+struct EventFrame {
+  std::uint64_t subscription_id = 0;
+  EpochDelta delta;
+
+  friend bool operator==(const EventFrame&, const EventFrame&) = default;
+};
+
+/// A pipelinable query: the server answers each with a kResponse (or kError)
+/// carrying the same request id, in arrival order.
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  QueryRequest request;
+
+  friend bool operator==(const RequestFrame&, const RequestFrame&) = default;
+};
+
+/// Answer to a RequestFrame.
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  QueryResponse response;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const HelloFrame& hello);
+[[nodiscard]] HelloFrame decode_hello(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_welcome(const WelcomeFrame& welcome);
+[[nodiscard]] WelcomeFrame decode_welcome(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorFrame& error);
+[[nodiscard]] ErrorFrame decode_error(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_subscribe(const SubscribeFrame& subscribe);
+[[nodiscard]] SubscribeFrame decode_subscribe(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_subscribed(const SubscribedFrame& ack,
+                                                          FrameType type = FrameType::kSubscribed);
+[[nodiscard]] SubscribedFrame decode_subscribed(std::span<const std::uint8_t> frame,
+                                                FrameType type = FrameType::kSubscribed);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_unsubscribe(const UnsubscribeFrame& unsubscribe);
+[[nodiscard]] UnsubscribeFrame decode_unsubscribe(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_event(const EventFrame& event);
+[[nodiscard]] EventFrame decode_event(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const RequestFrame& request);
+[[nodiscard]] RequestFrame decode_request(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_response(const ResponseFrame& response);
+[[nodiscard]] ResponseFrame decode_response(std::span<const std::uint8_t> frame);
 
 /// True when `data` begins with the wire magic (any version).
 [[nodiscard]] bool looks_like_wire(std::span<const std::uint8_t> data) noexcept;

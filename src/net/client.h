@@ -1,0 +1,86 @@
+// net::Client — the synchronous consumer side of the frame protocol, used
+// by `bgpcu_query --connect` and the protocol tests. One Client wraps one
+// Connection: the constructor performs the hello/welcome handshake, query()
+// is blocking request/response (pushed events arriving in between are
+// buffered, never lost), and subscribe()/next_event() expose the class-
+// change feed. Single-threaded by design: call it from one thread.
+#ifndef BGPCU_NET_CLIENT_H
+#define BGPCU_NET_CLIENT_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/service.h"
+#include "api/wire.h"
+#include "net/framer.h"
+#include "net/transport.h"
+
+namespace bgpcu::net {
+
+/// The server answered with a kError frame; carries its code and message.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(api::ErrorFrame error);
+
+  [[nodiscard]] const api::ErrorFrame& error() const noexcept { return error_; }
+
+ private:
+  api::ErrorFrame error_;
+};
+
+class Client {
+ public:
+  struct Options {
+    std::string token;  ///< Sent in the hello frame; must match the server's.
+    /// Cap on server -> client frames; snapshots can be large.
+    std::size_t max_frame_payload = api::kMaxFramePayload;
+  };
+
+  /// Performs the handshake; throws ProtocolError when the server rejects
+  /// it (auth, busy) and TransportError when the connection drops mid-way.
+  Client(std::unique_ptr<Connection> conn, Options options);
+  explicit Client(std::unique_ptr<Connection> conn) : Client(std::move(conn), Options{}) {}
+
+  /// The server's handshake accept (protocol version + epoch at connect).
+  [[nodiscard]] const api::WelcomeFrame& welcome() const noexcept { return welcome_; }
+
+  /// Blocking request/response. Events pushed while waiting are buffered
+  /// for next_event(). Throws ProtocolError on a kError answer.
+  [[nodiscard]] api::QueryResponse query(const api::QueryRequest& request);
+
+  /// Opens a subscription; returns its id (carried by every kEvent for it).
+  std::uint64_t subscribe(const api::SubscriptionFilter& filter,
+                          std::optional<stream::Epoch> replay_from = std::nullopt);
+
+  /// Closes a subscription (acknowledged before returning).
+  void unsubscribe(std::uint64_t subscription_id);
+
+  /// The next pushed event — buffered or freshly read, blocking until one
+  /// arrives. nullopt once the server closed the stream.
+  [[nodiscard]] std::optional<api::EventFrame> next_event();
+
+  /// Half-closes toward the server: no more requests will be sent, but
+  /// already-solicited responses/events can still be drained.
+  void finish_requests();
+
+  void close();
+
+ private:
+  /// Next complete frame from the wire; empty on end-of-stream.
+  [[nodiscard]] std::vector<std::uint8_t> read_frame();
+  void send(const std::vector<std::uint8_t>& frame);
+
+  std::unique_ptr<Connection> conn_;
+  FrameBuffer frames_;
+  std::vector<std::uint8_t> chunk_;  ///< Read buffer, reused across frames.
+  api::WelcomeFrame welcome_;
+  std::uint64_t next_request_id_ = 1;
+  std::deque<api::EventFrame> pending_events_;
+};
+
+}  // namespace bgpcu::net
+
+#endif  // BGPCU_NET_CLIENT_H

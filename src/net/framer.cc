@@ -1,0 +1,27 @@
+#include "net/framer.h"
+
+namespace bgpcu::net {
+
+std::vector<std::uint8_t> FrameBuffer::extract() {
+  const auto view = std::span<const std::uint8_t>(buffer_).subspan(head_);
+  const auto frame = api::try_parse_frame(view, max_payload_);
+  if (!frame) {
+    // Compact eagerly once the consumed prefix dominates, so a long-lived
+    // connection's buffer doesn't grow with total traffic.
+    if (head_ > 0 && head_ >= buffer_.size() / 2) {
+      buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    return {};
+  }
+  std::vector<std::uint8_t> whole(view.begin(),
+                                  view.begin() + static_cast<std::ptrdiff_t>(frame->size));
+  head_ += frame->size;
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  }
+  return whole;
+}
+
+}  // namespace bgpcu::net

@@ -1,0 +1,45 @@
+// Incremental frame reassembly for byte-stream transports. A TCP (or
+// loopback) read hands back arbitrary byte runs — half a header, three
+// frames and a tail, one byte at a time — and FrameBuffer turns that into
+// whole wire frames: append what arrived, extract complete frames until it
+// returns nullopt. Malformed input (bad magic, unknown type, length-field
+// inflation past the cap) throws api::WireFormatError at the earliest byte
+// that proves the stream can never resynchronize.
+#ifndef BGPCU_NET_FRAMER_H
+#define BGPCU_NET_FRAMER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "api/wire.h"
+
+namespace bgpcu::net {
+
+class FrameBuffer {
+ public:
+  explicit FrameBuffer(std::size_t max_payload = api::kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void append(std::span<const std::uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// The next complete frame as owned whole-frame bytes (header included, so
+  /// the api::decode_* functions accept them directly), or an empty vector
+  /// when more input is needed. Throws api::WireFormatError on a poisoned
+  /// stream.
+  [[nodiscard]] std::vector<std::uint8_t> extract();
+
+  /// Bytes buffered but not yet extracted.
+  [[nodiscard]] std::size_t pending() const noexcept { return buffer_.size() - head_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t head_ = 0;  ///< Consumed prefix, compacted lazily.
+};
+
+}  // namespace bgpcu::net
+
+#endif  // BGPCU_NET_FRAMER_H

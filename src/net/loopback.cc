@@ -1,0 +1,132 @@
+#include "net/loopback.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace bgpcu::net {
+
+LoopbackPipe::LoopbackPipe(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::size_t LoopbackPipe::read_some(std::span<std::uint8_t> out,
+                                    std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  const auto ready = [&] { return !buffer_.empty() || write_closed_ || read_closed_; };
+  if (timeout > std::chrono::milliseconds::zero()) {
+    if (!readable_.wait_for(lock, timeout, ready)) return 0;  // deadline: EOF
+  } else {
+    readable_.wait(lock, ready);
+  }
+  if (read_closed_) return 0;
+  if (buffer_.empty()) return 0;  // write_closed_ and drained: EOF
+  const auto n = std::min(out.size(), buffer_.size());
+  std::copy_n(buffer_.begin(), n, out.begin());
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  writable_.notify_all();
+  return n;
+}
+
+bool LoopbackPipe::write_all(std::span<const std::uint8_t> data) {
+  std::unique_lock lock(mutex_);
+  std::size_t written = 0;
+  while (written < data.size()) {
+    writable_.wait(lock, [&] {
+      return buffer_.size() < capacity_ || read_closed_ || write_closed_;
+    });
+    if (read_closed_ || write_closed_) return false;
+    const auto room = capacity_ - buffer_.size();
+    const auto n = std::min(room, data.size() - written);
+    buffer_.insert(buffer_.end(), data.begin() + static_cast<std::ptrdiff_t>(written),
+                   data.begin() + static_cast<std::ptrdiff_t>(written + n));
+    written += n;
+    readable_.notify_all();
+  }
+  return true;
+}
+
+void LoopbackPipe::close_write() {
+  const std::lock_guard lock(mutex_);
+  write_closed_ = true;
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+void LoopbackPipe::close_read() {
+  const std::lock_guard lock(mutex_);
+  read_closed_ = true;
+  readable_.notify_all();
+  writable_.notify_all();
+}
+
+namespace {
+
+class LoopbackConnection final : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<LoopbackPipe> in, std::shared_ptr<LoopbackPipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~LoopbackConnection() override { close(); }
+
+  std::size_t read_some(std::span<std::uint8_t> out) override {
+    return in_->read_some(out, std::chrono::milliseconds(timeout_ms_.load()));
+  }
+
+  bool write_all(std::span<const std::uint8_t> data) override { return out_->write_all(data); }
+
+  void set_read_timeout(std::chrono::milliseconds timeout) override {
+    timeout_ms_.store(timeout.count());
+  }
+
+  void shutdown_write() override { out_->close_write(); }
+
+  void close() override {
+    out_->close_write();
+    in_->close_read();
+  }
+
+  [[nodiscard]] std::string peer_name() const override { return "loopback"; }
+
+ private:
+  std::shared_ptr<LoopbackPipe> in_;
+  std::shared_ptr<LoopbackPipe> out_;
+  std::atomic<long long> timeout_ms_{0};
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>> make_loopback_pair(
+    std::size_t capacity) {
+  auto a_to_b = std::make_shared<LoopbackPipe>(capacity);
+  auto b_to_a = std::make_shared<LoopbackPipe>(capacity);
+  return {std::make_unique<LoopbackConnection>(b_to_a, a_to_b),
+          std::make_unique<LoopbackConnection>(a_to_b, b_to_a)};
+}
+
+std::unique_ptr<Connection> LoopbackListener::connect() {
+  auto [client, server] = make_loopback_pair(capacity_);
+  {
+    const std::lock_guard lock(mutex_);
+    if (closed_) throw TransportError("loopback listener is closed");
+    pending_.push_back(std::move(server));
+  }
+  pending_cv_.notify_one();
+  return std::move(client);
+}
+
+std::unique_ptr<Connection> LoopbackListener::accept() {
+  std::unique_lock lock(mutex_);
+  pending_cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+  if (pending_.empty()) return nullptr;
+  auto conn = std::move(pending_.front());
+  pending_.pop_front();
+  return conn;
+}
+
+void LoopbackListener::close() {
+  {
+    const std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  pending_cv_.notify_all();
+}
+
+}  // namespace bgpcu::net

@@ -1,0 +1,80 @@
+// In-process loopback transport: a pair of Connections joined by two
+// bounded byte pipes, plus a Listener whose connect() hands the server end
+// to an accept()er. This is what makes the protocol suite deterministic —
+// tests drive framing splits byte-by-byte, fill a tiny pipe to simulate a
+// slow subscriber, and half-close each direction independently, all without
+// touching a real port.
+#ifndef BGPCU_NET_LOOPBACK_H
+#define BGPCU_NET_LOOPBACK_H
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "net/transport.h"
+
+namespace bgpcu::net {
+
+/// One direction of a loopback connection: a bounded byte queue with
+/// blocking reads and writes. Both sides share it via shared_ptr.
+class LoopbackPipe {
+ public:
+  explicit LoopbackPipe(std::size_t capacity);
+
+  /// Blocks for data; 0 on EOF (writer closed and buffer drained, reader
+  /// closed locally, or a nonzero `timeout` expired with nothing to read).
+  std::size_t read_some(std::span<std::uint8_t> out,
+                        std::chrono::milliseconds timeout = std::chrono::milliseconds::zero());
+
+  /// Blocks while the pipe is full — real backpressure. False once the
+  /// reader side is gone.
+  bool write_all(std::span<const std::uint8_t> data);
+
+  void close_write();  ///< Writer done: reader drains the rest, then EOF.
+  void close_read();   ///< Reader gone: writers fail fast from now on.
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<std::uint8_t> buffer_;
+  bool write_closed_ = false;
+  bool read_closed_ = false;
+};
+
+/// Returns the two ends of a fresh loopback connection. `capacity` bounds
+/// each direction's in-flight bytes; small values make write_all block
+/// early, which is exactly what backpressure tests need.
+std::pair<std::unique_ptr<Connection>, std::unique_ptr<Connection>> make_loopback_pair(
+    std::size_t capacity = std::size_t{1} << 16);
+
+/// Listener over loopback pairs: connect() queues the server end for
+/// accept() and returns the client end. Thread-safe; close() wakes accept.
+class LoopbackListener : public Listener {
+ public:
+  explicit LoopbackListener(std::size_t capacity = std::size_t{1} << 16)
+      : capacity_(capacity) {}
+
+  /// Client side of a new connection (never null); the matching server side
+  /// is queued for accept(). Throws TransportError after close().
+  std::unique_ptr<Connection> connect();
+
+  std::unique_ptr<Connection> accept() override;
+  void close() override;
+  [[nodiscard]] std::string name() const override { return "loopback"; }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable pending_cv_;
+  std::deque<std::unique_ptr<Connection>> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace bgpcu::net
+
+#endif  // BGPCU_NET_LOOPBACK_H

@@ -1,0 +1,402 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "api/wire.h"
+#include "net/framer.h"
+
+namespace bgpcu::net {
+
+namespace {
+
+/// How many over-limit connections may hold a graceful-rejection handler
+/// (two threads each, bounded by hello_timeout_ms) at once; everything past
+/// this is closed abruptly so a connection flood cannot scale thread count.
+constexpr std::size_t kGracefulRejectSlots = 8;
+
+}  // namespace
+
+// ------------------------------------------------------------ ConnHandler --
+
+/// One live connection: reader thread (frames in, dispatch), writer thread
+/// (bounded queue out). Held by shared_ptr from the server's connection
+/// list and, weakly, from subscription callbacks living inside the Service.
+class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHandler> {
+ public:
+  /// `reject` marks an over-limit connection: its reader consumes the
+  /// client's first frame, answers kServerBusy, and tears down. Rejecting
+  /// through the normal handler (rather than write-and-close in the accept
+  /// loop) matters on real TCP: closing with the client's unread hello
+  /// still buffered raises RST, which can discard the queued error frame.
+  ConnHandler(Server& server, std::unique_ptr<Connection> conn, bool reject = false)
+      : server_(server), conn_(std::move(conn)), reject_(reject) {}
+
+  void start() {
+    auto self = shared_from_this();
+    reader_ = std::thread([self] { self->reader_loop(); });
+    writer_ = std::thread([self] { self->writer_loop(); });
+  }
+
+  /// Queues one outbound frame. Never blocks: an overflowing queue means a
+  /// slow consumer, which is aborted rather than waited for. Safe from any
+  /// thread, including Service publish callbacks.
+  void enqueue(std::vector<std::uint8_t> frame) {
+    bool overflow = false;
+    {
+      const std::lock_guard lock(queue_mutex_);
+      if (queue_closed_) return;
+      if (queue_.size() >= server_.config_.write_queue_limit) {
+        overflow = true;
+        queue_closed_ = true;
+        queue_.clear();
+      } else {
+        queue_.push_back(std::move(frame));
+      }
+    }
+    queue_cv_.notify_one();
+    if (overflow) {
+      server_.stats_.slow_disconnects.fetch_add(1);
+      abort_connection();
+    }
+  }
+
+  /// Hard teardown from outside (server stop or queue overflow): drop
+  /// pending output and unblock both threads. Does not join.
+  void abort_connection() {
+    {
+      const std::lock_guard lock(queue_mutex_);
+      queue_closed_ = true;
+      queue_.clear();
+    }
+    queue_cv_.notify_all();
+    conn_->close();
+  }
+
+  void join() {
+    if (reader_.joinable()) reader_.join();
+    if (writer_.joinable()) writer_.join();
+  }
+
+  [[nodiscard]] bool done() const noexcept {
+    return reader_done_.load() && writer_done_.load();
+  }
+
+ private:
+  /// Signals the writer that no further frames are coming; it drains what is
+  /// queued, then half-closes toward the client.
+  void close_queue() {
+    {
+      const std::lock_guard lock(queue_mutex_);
+      queue_closed_ = true;
+    }
+    queue_cv_.notify_all();
+  }
+
+  void send_error(std::uint64_t request_id, api::ErrorCode code, const std::string& message) {
+    // protocol_errors counts invalid client *input*; auth failures, busy
+    // rejections, and internal failures have their own accounting.
+    if (code == api::ErrorCode::kBadRequest || code == api::ErrorCode::kUnknownSubscription) {
+      server_.stats_.protocol_errors.fetch_add(1);
+    }
+    enqueue(api::encode_error({request_id, code, message}));
+  }
+
+  void reader_loop() {
+    FrameBuffer frames(server_.config_.max_request_payload);
+    std::vector<std::uint8_t> chunk(16384);
+    // The first frame runs against a deadline (cleared once the handshake
+    // lands): a connect that never speaks cannot hold this slot forever.
+    if (server_.config_.hello_timeout_ms > 0) {
+      conn_->set_read_timeout(std::chrono::milliseconds(server_.config_.hello_timeout_ms));
+    }
+    bool fatal = false;
+    while (!fatal) {
+      std::size_t n = 0;
+      try {
+        n = conn_->read_some(chunk);
+      } catch (const TransportError&) {
+        break;
+      }
+      if (n == 0) break;  // EOF / peer half-closed: flush and finish
+      frames.append(std::span(chunk.data(), n));
+      try {
+        for (auto frame = frames.extract(); !frame.empty(); frame = frames.extract()) {
+          server_.stats_.frames_received.fetch_add(1);
+          if (!handle_frame(frame)) {
+            fatal = true;
+            break;
+          }
+        }
+      } catch (const api::WireFormatError& e) {
+        send_error(0, api::ErrorCode::kBadRequest, e.what());
+        fatal = true;
+      }
+    }
+    // Teardown: the service must stop delivering into this connection
+    // before the writer drains out.
+    for (const auto& [local_id, service_id] : subscriptions_) {
+      (void)server_.service_.unsubscribe(service_id);
+    }
+    subscriptions_.clear();
+    close_queue();
+    reader_done_.store(true);
+  }
+
+  /// Dispatches one complete inbound frame. Returns false on a fatal
+  /// protocol violation (an error frame has been queued; stop reading).
+  bool handle_frame(const std::vector<std::uint8_t>& frame) {
+    if (reject_) {
+      // The client's opening frame has now been consumed, so the error can
+      // reach it without a reset racing the close.
+      send_error(0, api::ErrorCode::kServerBusy, "connection limit reached");
+      return false;
+    }
+    const auto type = api::peek_frame_type(frame);
+    if (!hello_done_) {
+      if (type != api::FrameType::kHello) {
+        send_error(0, api::ErrorCode::kBadRequest, "first frame must be hello");
+        return false;
+      }
+      const auto hello = api::decode_hello(frame);
+      if (hello.protocol == 0 || hello.protocol > api::kWireVersion) {
+        send_error(0, api::ErrorCode::kBadRequest,
+                   "unsupported protocol version " + std::to_string(hello.protocol));
+        return false;
+      }
+      if (!server_.config_.auth_token.empty() && hello.token != server_.config_.auth_token) {
+        server_.stats_.auth_failures.fetch_add(1);
+        send_error(0, api::ErrorCode::kAuthFailed, "bad auth token");
+        return false;
+      }
+      hello_done_ = true;
+      conn_->set_read_timeout(std::chrono::milliseconds::zero());
+      enqueue(api::encode_welcome({api::kWireVersion, server_.service_.epoch()}));
+      return true;
+    }
+    switch (type) {
+      case api::FrameType::kRequest: {
+        const auto request = api::decode_request(frame);
+        try {
+          enqueue(api::encode_response(
+              {request.request_id, server_.service_.query(request.request)}));
+        } catch (const std::exception& e) {
+          send_error(request.request_id, api::ErrorCode::kInternal, e.what());
+        }
+        return true;
+      }
+      case api::FrameType::kSubscribe: {
+        const auto subscribe = api::decode_subscribe(frame);
+        if (subscriptions_.size() >= server_.config_.max_subscriptions_per_connection) {
+          send_error(subscribe.request_id, api::ErrorCode::kBadRequest,
+                     "subscription limit (" +
+                         std::to_string(server_.config_.max_subscriptions_per_connection) +
+                         ") reached on this connection");
+          return true;  // non-fatal: existing subscriptions keep streaming
+        }
+        const auto local_id = next_subscription_id_++;
+        // Register with the service *before* acking: once the client sees
+        // the ack, a publish on any thread is guaranteed to reach it.
+        // Replayed events are therefore enqueued ahead of the ack — clients
+        // buffer events at any time, so that ordering is fine.
+        std::weak_ptr<ConnHandler> weak = weak_from_this();
+        const auto service_id = server_.service_.subscribe(
+            subscribe.filter,
+            [weak, local_id](const api::EpochDelta& delta) {
+              if (const auto self = weak.lock()) {
+                self->enqueue(api::encode_event({local_id, delta}));
+              }
+            },
+            subscribe.replay_from);
+        subscriptions_.emplace(local_id, service_id);
+        enqueue(api::encode_subscribed({subscribe.request_id, local_id}));
+        return true;
+      }
+      case api::FrameType::kUnsubscribe: {
+        const auto unsubscribe = api::decode_unsubscribe(frame);
+        const auto it = subscriptions_.find(unsubscribe.subscription_id);
+        if (it == subscriptions_.end()) {
+          send_error(unsubscribe.request_id, api::ErrorCode::kUnknownSubscription,
+                     "unknown subscription " + std::to_string(unsubscribe.subscription_id));
+          return true;  // non-fatal: the client may have raced a disconnect
+        }
+        (void)server_.service_.unsubscribe(it->second);
+        subscriptions_.erase(it);
+        enqueue(api::encode_subscribed({unsubscribe.request_id, unsubscribe.subscription_id},
+                                       api::FrameType::kUnsubscribed));
+        return true;
+      }
+      default:
+        send_error(0, api::ErrorCode::kBadRequest,
+                   "unexpected frame type " +
+                       std::to_string(static_cast<int>(type)) + " from client");
+        return false;
+    }
+  }
+
+  void writer_loop() {
+    for (;;) {
+      std::vector<std::uint8_t> frame;
+      {
+        std::unique_lock lock(queue_mutex_);
+        queue_cv_.wait(lock, [&] { return !queue_.empty() || queue_closed_; });
+        if (queue_.empty()) break;  // closed and drained
+        frame = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      if (!conn_->write_all(frame)) {
+        // Peer is gone: drop the rest and wake the reader out of its read.
+        abort_connection();
+        break;
+      }
+      server_.stats_.frames_sent.fetch_add(1);
+    }
+    // Everything queued before close_queue() has been flushed (or the peer
+    // vanished): end our write side so the client sees EOF after the tail.
+    conn_->shutdown_write();
+    writer_done_.store(true);
+  }
+
+  Server& server_;
+  std::unique_ptr<Connection> conn_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  bool queue_closed_ = false;
+
+  std::thread reader_;
+  std::thread writer_;
+  std::atomic<bool> reader_done_{false};
+  std::atomic<bool> writer_done_{false};
+
+  // Reader-thread state (no locking needed: only the reader touches these).
+  const bool reject_;
+  bool hello_done_ = false;
+  std::uint64_t next_subscription_id_ = 1;
+  std::unordered_map<std::uint64_t, api::SubscriptionId> subscriptions_;
+};
+
+// ----------------------------------------------------------------- Server --
+
+Server::Server(api::Service& service, std::shared_ptr<Listener> listener,
+               ServerConfig config)
+    : service_(service), listener_(std::move(listener)), config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    try {
+      conn = listener_->accept();
+    } catch (const TransportError&) {
+      // Hard accept failures (fd exhaustion under load, transient kernel
+      // errors) must not take the daemon down; back off and keep serving
+      // the connections that exist.
+      if (stopping_.load()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    if (!conn) break;
+    reap_finished();
+    if (stopping_.load()) break;
+    std::size_t live = 0;
+    {
+      const std::lock_guard lock(conns_mutex_);
+      live = conns_.size();
+    }
+    const bool reject = live >= config_.max_connections;
+    if (reject) {
+      stats_.connections_rejected.fetch_add(1);
+      // Graceful rejection (read the hello, answer kServerBusy) costs a
+      // handler and two threads for up to hello_timeout_ms. Under a
+      // connection flood that would unbound thread creation, so past a
+      // small overflow margin the rejection turns abrupt: best-effort
+      // error write, immediate close, no threads.
+      if (live >= config_.max_connections + kGracefulRejectSlots) {
+        (void)conn->write_all(api::encode_error(
+            {0, api::ErrorCode::kServerBusy, "connection limit reached"}));
+        conn->shutdown_write();
+        conn->close();
+        continue;
+      }
+    } else {
+      stats_.connections_accepted.fetch_add(1);
+    }
+    // Rejected connections (within the margin) run through a normal handler
+    // too — its reader answers the first frame with kServerBusy and tears
+    // down — so the error is flushed and joined like any other connection.
+    auto handler = std::make_shared<ConnHandler>(*this, std::move(conn), reject);
+    {
+      const std::lock_guard lock(conns_mutex_);
+      conns_.push_back(handler);
+    }
+    handler->start();
+  }
+}
+
+void Server::reap_finished() {
+  std::vector<std::shared_ptr<ConnHandler>> finished;
+  {
+    const std::lock_guard lock(conns_mutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done()) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& handler : finished) handler->join();
+}
+
+void Server::stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<ConnHandler>> conns;
+  {
+    const std::lock_guard lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  for (const auto& handler : conns) handler->abort_connection();
+  for (const auto& handler : conns) handler->join();
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.connections_accepted = stats_.connections_accepted.load();
+  out.connections_rejected = stats_.connections_rejected.load();
+  out.auth_failures = stats_.auth_failures.load();
+  out.frames_received = stats_.frames_received.load();
+  out.frames_sent = stats_.frames_sent.load();
+  out.protocol_errors = stats_.protocol_errors.load();
+  out.slow_disconnects = stats_.slow_disconnects.load();
+  return out;
+}
+
+std::size_t Server::connection_count() {
+  // Doubles as a reap point: the accept loop only reaps when a new
+  // connection arrives, so without this a quiet listener would keep
+  // finished handlers (and their exited-but-unjoined threads) around
+  // indefinitely. The daemon polls this every epoch.
+  reap_finished();
+  const std::lock_guard lock(conns_mutex_);
+  std::size_t live = 0;
+  for (const auto& handler : conns_) {
+    if (!handler->done()) ++live;
+  }
+  return live;
+}
+
+}  // namespace bgpcu::net

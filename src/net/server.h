@@ -1,0 +1,121 @@
+// The serving core behind bgpcu_serve: accepts Transport connections and
+// speaks the frame protocol (docs/PROTOCOL.md) over each, translating
+// kRequest frames into api::Service queries and kSubscribe frames into
+// service subscriptions whose events stream back as kEvent frames.
+//
+// Concurrency model — the point of this class: every connection gets a
+// reader thread (decode + dispatch) and a writer thread draining a bounded
+// per-connection frame queue. Subscription callbacks from
+// api::Service::publish() only *enqueue* (O(1), non-blocking), so one slow
+// or stalled subscriber can never hold up publish(), ingest, or any other
+// connection; a subscriber whose queue overflows is disconnected instead
+// (counted in ServerStats::slow_disconnects). This closes the ROADMAP item
+// about synchronous subscription dispatch.
+#ifndef BGPCU_NET_SERVER_H
+#define BGPCU_NET_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "net/transport.h"
+
+namespace bgpcu::net {
+
+struct ServerConfig {
+  /// Required token when non-empty: a kHello with a different token is
+  /// rejected with ErrorCode::kAuthFailed and the connection is closed.
+  std::string auth_token;
+  /// Accepted connections beyond this are turned away with kServerBusy.
+  std::size_t max_connections = 64;
+  /// Per-frame payload cap on *client -> server* frames. Requests are tiny;
+  /// a modest cap bounds what an abusive peer can make the server buffer.
+  std::size_t max_request_payload = std::size_t{1} << 20;
+  /// Per-connection write queue cap, in frames. Overflow means the consumer
+  /// is too slow to keep up with its subscription feed: it is disconnected.
+  std::size_t write_queue_limit = 256;
+  /// Deadline for the client's first frame, in milliseconds (0 disables).
+  /// Bounds how long an idle connect — including one awaiting its busy
+  /// rejection — can pin a conns_ slot and its two threads.
+  std::uint32_t hello_timeout_ms = 5000;
+  /// Open subscriptions one connection may hold. Each subscription costs
+  /// the Service a stored filter evaluated on every publish, so this is
+  /// bounded for the same reason as the wire-level watchlist cap.
+  std::size_t max_subscriptions_per_connection = 64;
+};
+
+/// Monotonic counters, readable at any time (values are snapshots).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  ///< Turned away by max_connections.
+  std::uint64_t auth_failures = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  /// kError frames sent for malformed or invalid client input (bad-request
+  /// and unknown-subscription); auth failures and busy rejections are
+  /// counted in their own fields only.
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t slow_disconnects = 0;   ///< Write-queue overflows.
+};
+
+class Server {
+ public:
+  /// The service must outlive the server. The listener is shared so tests
+  /// (and in-process clients) can keep a handle to connect() against.
+  Server(api::Service& service, std::shared_ptr<Listener> listener,
+         ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the accept loop. Call once.
+  void start();
+
+  /// Closes the listener and every live connection, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Live (not yet torn down) connections. Also reaps finished handlers —
+  /// poll it periodically on a long-lived server (bgpcu_serve does, every
+  /// epoch) so joined threads don't wait for the next accept.
+  [[nodiscard]] std::size_t connection_count();
+
+ private:
+  class ConnHandler;
+
+  void accept_loop();
+  void reap_finished();
+
+  api::Service& service_;
+  std::shared_ptr<Listener> listener_;
+  ServerConfig config_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<ConnHandler>> conns_;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_rejected{0};
+    std::atomic<std::uint64_t> auth_failures{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> slow_disconnects{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace bgpcu::net
+
+#endif  // BGPCU_NET_SERVER_H

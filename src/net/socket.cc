@@ -1,0 +1,206 @@
+#include "net/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bgpcu::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+class TcpConnection final : public Connection {
+ public:
+  TcpConnection(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
+
+  ~TcpConnection() override {
+    // The fd is released only here, once no reader/writer thread can still
+    // be about to use it (owners destroy the Connection after joining its
+    // threads). close() during the connection's life only shuts down —
+    // closing there would let the kernel reuse the fd number while a
+    // preempted thread still holds it, splicing another client's stream
+    // into this one.
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0) ::close(fd);
+  }
+
+  std::size_t read_some(std::span<std::uint8_t> out) override {
+    for (;;) {
+      const auto n = ::recv(fd_, out.data(), out.size(), 0);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      // An expired SO_RCVTIMEO deadline reads as end-of-stream, per the
+      // Connection contract.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+      // A reset or a locally closed fd both mean "stream over" to the
+      // protocol layer; hard errors on a live fd are worth surfacing.
+      if (errno == ECONNRESET || errno == EBADF || errno == EPIPE) return 0;
+      throw_errno("recv from " + peer_);
+    }
+  }
+
+  void set_read_timeout(std::chrono::milliseconds timeout) override {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+
+  bool write_all(std::span<const std::uint8_t> data) override {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const auto n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // peer gone (EPIPE/ECONNRESET) or fd closed under us
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void shutdown_write() override { ::shutdown(fd_, SHUT_WR); }
+
+  void close() override {
+    // Shutdown only: wakes threads blocked in recv/send and fails all
+    // future I/O, while the fd number stays reserved until the destructor
+    // (see ~TcpConnection). Idempotent.
+    ::shutdown(fd_.load(), SHUT_RDWR);
+  }
+
+  [[nodiscard]] std::string peer_name() const override { return peer_; }
+
+ private:
+  std::atomic<int> fd_;
+  std::string peer_;
+};
+
+std::string describe_peer(const sockaddr_storage& addr, socklen_t len) {
+  char host[NI_MAXHOST] = "?";
+  char serv[NI_MAXSERV] = "?";
+  ::getnameinfo(reinterpret_cast<const sockaddr*>(&addr), len, host, sizeof host, serv,
+                sizeof serv, NI_NUMERICHOST | NI_NUMERICSERV);
+  return std::string(host) + ":" + serv;
+}
+
+}  // namespace
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) : host_(host) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo* result = nullptr;
+  const auto service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result); rc != 0) {
+    throw TransportError("cannot resolve listen address " + host + ": " +
+                         ::gai_strerror(rc));
+  }
+  std::string last_error = "no usable address";
+  for (auto* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 || ::listen(fd, 64) != 0) {
+      last_error = std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+    sockaddr_storage bound{};
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        port_ = ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        port_ = ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port);
+      }
+    }
+    fd_ = fd;
+    break;
+  }
+  ::freeaddrinfo(result);
+  if (fd_ < 0) {
+    throw TransportError("cannot listen on " + host + ":" + service + ": " + last_error);
+  }
+}
+
+TcpListener::~TcpListener() {
+  close();
+  // Release the fd only once nothing can race a reuse (the owner joins the
+  // accept thread before destroying the listener).
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Connection> TcpListener::accept() {
+  for (;;) {
+    sockaddr_storage addr{};
+    socklen_t len = sizeof addr;
+    const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return std::make_unique<TcpConnection>(fd, describe_peer(addr, len));
+    }
+    if (closed_.load()) return nullptr;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EBADF || errno == EINVAL) return nullptr;  // closed under us
+    throw_errno("accept on " + name());
+  }
+}
+
+void TcpListener::close() {
+  if (closed_.exchange(true)) return;
+  // shutdown() wakes a blocked accept() on Linux; the fd itself is released
+  // in the destructor, after the accept thread is joined (same fd-reuse
+  // discipline as TcpConnection).
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::string TcpListener::name() const { return host_ + ":" + std::to_string(port_); }
+
+std::unique_ptr<Connection> tcp_connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* result = nullptr;
+  const auto service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result); rc != 0) {
+    throw TransportError("cannot resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  std::string last_error = "no usable address";
+  int fd = -1;
+  for (auto* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    throw TransportError("cannot connect to " + host + ":" + service + ": " + last_error);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::make_unique<TcpConnection>(fd, host + ":" + service);
+}
+
+}  // namespace bgpcu::net

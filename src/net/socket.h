@@ -1,0 +1,46 @@
+// Real-socket Transport implementation (POSIX TCP). TcpListener binds a
+// host:port (port 0 picks an ephemeral port, readable back via port() — the
+// smoke tests and --port-file depend on that), tcp_connect dials out. All
+// I/O is blocking; SIGPIPE is suppressed per-send so a vanished peer is a
+// false return from write_all, never a process kill.
+#ifndef BGPCU_NET_SOCKET_H
+#define BGPCU_NET_SOCKET_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+
+namespace bgpcu::net {
+
+class TcpListener : public Listener {
+ public:
+  /// Binds and listens. `host` is a numeric address ("127.0.0.1", "0.0.0.0");
+  /// `port` 0 asks the kernel for an ephemeral port. Throws TransportError.
+  TcpListener(const std::string& host, std::uint16_t port);
+  ~TcpListener() override;
+
+  std::unique_ptr<Connection> accept() override;
+  void close() override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The actually bound port (resolves port 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::atomic<bool> closed_{false};
+  std::string host_;
+  std::uint16_t port_ = 0;
+};
+
+/// Dials host:port (numeric or resolvable name). Throws TransportError on
+/// resolution or connect failure.
+[[nodiscard]] std::unique_ptr<Connection> tcp_connect(const std::string& host,
+                                                      std::uint16_t port);
+
+}  // namespace bgpcu::net
+
+#endif  // BGPCU_NET_SOCKET_H

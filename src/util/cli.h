@@ -1,0 +1,81 @@
+// Shared flag-parsing helpers for the tool binaries. Every tool validates
+// numeric flags the same way (strtoull/strtod + errno, explicit sign
+// rejection because strtoull silently wraps "-1", one-line diagnostic on
+// stderr, exit code 2); keeping the logic here stops the tools from
+// drifting apart one fix at a time.
+#ifndef BGPCU_UTIL_CLI_H
+#define BGPCU_UTIL_CLI_H
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bgp/asn.h"
+
+namespace bgpcu::util {
+
+/// Parses a non-negative integer flag value; prints `flag needs a
+/// non-negative integer` and exits 2 on anything else.
+inline std::uint64_t parse_u64_or_exit(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const auto value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || text.empty() || text[0] == '-' ||
+      text[0] == '+') {
+    std::cerr << flag << " needs a non-negative integer, got '" << text << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
+/// Parses a 32-bit ASN; exits 2 with `ASN must be ...` otherwise.
+inline bgp::Asn parse_asn_or_exit(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const auto value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || value > 0xFFFFFFFFull) {
+    std::cerr << "ASN must be a 32-bit unsigned integer, got '" << text << "'\n";
+    std::exit(2);
+  }
+  return static_cast<bgp::Asn>(value);
+}
+
+/// Parses a classification threshold in [0.5, 1.0]; exits 2 otherwise.
+inline double parse_threshold_or_exit(const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  // The negated in-range form also rejects NaN, which compares false both ways.
+  if (errno != 0 || end == text.c_str() || *end != '\0' || !(value >= 0.5 && value <= 1.0)) {
+    std::cerr << "--threshold must be a number in [0.5, 1.0], got '" << text << "'\n";
+    std::exit(2);
+  }
+  return value;
+}
+
+/// Parses a comma-separated ASN list ("3356,1299"); exits 2 (with the flag
+/// named) on an empty token, a non-number, or an out-of-range ASN.
+inline std::vector<bgp::Asn> parse_asn_list_or_exit(const std::string& flag,
+                                                    const std::string& text) {
+  std::vector<bgp::Asn> asns;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const auto token = text.substr(start, comma - start);
+    const auto value = parse_u64_or_exit(flag, token);
+    if (value > 0xFFFFFFFFull) {
+      std::cerr << flag << " ASN out of 32-bit range: " << token << "\n";
+      std::exit(2);
+    }
+    asns.push_back(static_cast<bgp::Asn>(value));
+    start = comma + 1;
+  }
+  return asns;
+}
+
+}  // namespace bgpcu::util
+
+#endif  // BGPCU_UTIL_CLI_H

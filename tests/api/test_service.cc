@@ -212,6 +212,89 @@ TEST(EventLog, ServiceHonorsConfiguredCapacity) {
   EXPECT_EQ(service.replay_horizon(), std::optional<stream::Epoch>(1));
 }
 
+// --- Ring-buffer wraparound edges: the log has evicted batches, and
+// --- subscribers arrive exactly at, before, or past the retention boundary.
+
+/// Publishes epochs 0..n-1, each flipping AS 10's class so every epoch
+/// produces a logged batch (window 1: tags alternate -> tn/sn alternate).
+void publish_epochs(Service& service, stream::Epoch n) {
+  for (stream::Epoch e = 0; e < n; ++e) {
+    if (e > 0) (void)service.advance_epoch();
+    (void)service.ingest({tuple(10, 20, e % 2 == 0)});
+    (void)service.publish();
+  }
+}
+
+TEST(EventLogWraparound, SubscriberJoiningExactlyAtEvictionBoundaryGetsFullTail) {
+  Service service({.stream = {.window_epochs = 1}, .event_log_capacity = 3});
+  publish_epochs(service, 5);  // epochs 0,1 evicted; 2,3,4 retained
+
+  ASSERT_EQ(service.replay_horizon(), std::optional<stream::Epoch>(2));
+  std::vector<EpochDelta> replayed;
+  (void)service.subscribe({}, [&](const EpochDelta& d) { replayed.push_back(d); },
+                          /*replay_from=*/*service.replay_horizon());
+  ASSERT_EQ(replayed.size(), 3u);
+  EXPECT_EQ(replayed.front().epoch, 2u);
+  EXPECT_EQ(replayed.back().epoch, 4u);
+}
+
+TEST(EventLogWraparound, ReplayFromBeforeHorizonIsLossyAndDetectable) {
+  Service service({.stream = {.window_epochs = 1}, .event_log_capacity = 2});
+  publish_epochs(service, 5);  // only epochs 3,4 retained
+
+  std::vector<EpochDelta> replayed;
+  (void)service.subscribe({}, [&](const EpochDelta& d) { replayed.push_back(d); },
+                          /*replay_from=*/0);
+  // The evicted epochs are silently gone from the delivery...
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].epoch, 3u);
+  // ...but the caller can detect the gap: the horizon is past its request.
+  EXPECT_GT(*service.replay_horizon(), 0u);
+}
+
+TEST(EventLogWraparound, ReplayFromFutureEpochDeliversNothingButSubscribes) {
+  Service service({.stream = {.window_epochs = 1}, .event_log_capacity = 4});
+  publish_epochs(service, 3);
+
+  std::vector<EpochDelta> received;
+  (void)service.subscribe({}, [&](const EpochDelta& d) { received.push_back(d); },
+                          /*replay_from=*/100);  // beyond every retained epoch
+  EXPECT_TRUE(received.empty());
+
+  // The subscription is live: the next published epoch arrives normally.
+  (void)service.advance_epoch();
+  (void)service.ingest({tuple(10, 20, false)});
+  (void)service.publish();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].epoch, 3u);
+}
+
+TEST(EventLogWraparound, CapacityOneRingHoldsExactlyTheNewestBatch) {
+  EventLog log(1);
+  for (stream::Epoch e = 0; e < 10; ++e) {
+    log.push({e, {stream::ClassChange{static_cast<bgp::Asn>(e + 1), {}, {}}}});
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.oldest_epoch(), std::optional<stream::Epoch>(e));
+    // since() straddling the boundary: exactly-at keeps it, one-past drops it.
+    EXPECT_EQ(log.since(e).size(), 1u);
+    EXPECT_TRUE(log.since(e + 1).empty());
+  }
+}
+
+TEST(EventLogWraparound, UnloggedEmptyPublishesDoNotOccupyRingSlots) {
+  Service service({.stream = {.window_epochs = 1}, .event_log_capacity = 2});
+  publish_epochs(service, 2);
+  // Re-publishing without changes must not push empty batches that would
+  // evict real history from a full ring.
+  (void)service.publish();
+  (void)service.publish();
+  const auto retained = service.replay(0);
+  ASSERT_EQ(retained.size(), 2u);
+  EXPECT_EQ(retained[0].epoch, 0u);
+  EXPECT_EQ(retained[1].epoch, 1u);
+  EXPECT_FALSE(retained[0].changes.empty());
+}
+
 TEST(SubscriptionFilterSpec, TransitionParsingAndMatching) {
   const auto filter = SubscriptionFilter::transition("*->tc");
   EXPECT_EQ(filter.from, "*");

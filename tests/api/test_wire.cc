@@ -14,8 +14,10 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <random>
 #include <sstream>
+#include <string_view>
 
 #include "core/database.h"
 #include "topology/rng.h"
@@ -340,6 +342,301 @@ TEST(WireCorruption, OversizedVarintAndBadClassByteThrow) {
     }
   }
   EXPECT_TRUE(threw);
+}
+
+// -------------------------------------------------- protocol frame codecs --
+
+TEST(WireProtocolFrames, HelloWelcomeErrorRoundTrip) {
+  const HelloFrame hello{kWireVersion, "s3cr3t-token"};
+  EXPECT_EQ(decode_hello(encode_hello(hello)), hello);
+  const HelloFrame anonymous{kWireVersion, ""};
+  EXPECT_EQ(decode_hello(encode_hello(anonymous)), anonymous);
+
+  const WelcomeFrame welcome{kWireVersion, 918273};
+  EXPECT_EQ(decode_welcome(encode_welcome(welcome)), welcome);
+
+  const ErrorFrame error{42, ErrorCode::kAuthFailed, "bad token"};
+  EXPECT_EQ(decode_error(encode_error(error)), error);
+}
+
+TEST(WireProtocolFrames, SubscribeRoundTripCoversFilterShapes) {
+  SubscribeFrame plain{7, {}, std::nullopt};
+  EXPECT_EQ(decode_subscribe(encode_subscribe(plain)), plain);
+
+  SubscribeFrame full;
+  full.request_id = 8;
+  full.filter.watch = {3356, 1299, 13335};  // order is semantic; preserved
+  full.filter.from = "tf";
+  full.filter.to = "*";
+  full.replay_from = 12;
+  EXPECT_EQ(decode_subscribe(encode_subscribe(full)), full);
+}
+
+TEST(WireProtocolFrames, SubscribeRejectsBadCodeSpecs) {
+  SubscribeFrame bad;
+  bad.filter.from = "xx";
+  EXPECT_THROW((void)encode_subscribe(bad), WireFormatError);
+
+  auto frame = encode_subscribe({1, {}, std::nullopt});
+  // The from-code tag byte follows request id (1) + watch count (1) in the
+  // payload; find it by decoding at every mutated position instead of
+  // hard-coding the offset.
+  bool rejected_some_mutation = false;
+  for (std::size_t pos = 6; pos < frame.size(); ++pos) {
+    auto mutated = frame;
+    mutated[pos] = 0x2A;
+    try {
+      (void)decode_subscribe(mutated);
+    } catch (const WireFormatError&) {
+      rejected_some_mutation = true;
+    }
+  }
+  EXPECT_TRUE(rejected_some_mutation);
+}
+
+TEST(WireProtocolFrames, WatchlistCapIsEnforcedBothWays) {
+  SubscribeFrame huge;
+  huge.filter.watch.assign(kMaxSubscriptionWatch + 1, 1);
+  EXPECT_THROW((void)encode_subscribe(huge), WireFormatError);
+
+  // A well-formed frame *claiming* a ~268M-entry watchlist must be rejected
+  // by the count check itself, before any allocation proportional to the
+  // claim (and before the missing entries would read as truncation).
+  const std::vector<std::uint8_t> payload = {
+      0x01,                    // request id varint
+      0xFF, 0xFF, 0xFF, 0x7F,  // watch count varint: 268435455
+  };
+  std::vector<std::uint8_t> crafted(kWireMagic.begin(), kWireMagic.end());
+  crafted.push_back(kWireVersion);
+  crafted.push_back(static_cast<std::uint8_t>(FrameType::kSubscribe));
+  crafted.push_back(static_cast<std::uint8_t>(payload.size()));
+  crafted.insert(crafted.end(), payload.begin(), payload.end());
+  try {
+    (void)decode_subscribe(crafted);
+    FAIL() << "inflated watchlist claim accepted";
+  } catch (const WireFormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("watchlist"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WireProtocolFrames, SubscriptionLifecycleFramesRoundTrip) {
+  const SubscribedFrame ack{5, 77};
+  EXPECT_EQ(decode_subscribed(encode_subscribed(ack)), ack);
+  EXPECT_EQ(decode_subscribed(encode_subscribed(ack, FrameType::kUnsubscribed),
+                              FrameType::kUnsubscribed),
+            ack);
+  // Ack frames of the wrong flavor don't cross-decode.
+  EXPECT_THROW((void)decode_subscribed(encode_subscribed(ack, FrameType::kUnsubscribed)),
+               WireFormatError);
+
+  const UnsubscribeFrame unsubscribe{6, 77};
+  EXPECT_EQ(decode_unsubscribe(encode_unsubscribe(unsubscribe)), unsubscribe);
+}
+
+TEST(WireProtocolFrames, EventRequestResponseRoundTrip) {
+  topology::Rng rng(11);
+  const EventFrame event{31, random_delta(rng)};
+  EXPECT_EQ(decode_event(encode_event(event)), event);
+
+  const RequestFrame request{9, {QueryKind::kClassOf, 3356}};
+  const auto decoded_request = decode_request(encode_request(request));
+  EXPECT_EQ(decoded_request.request_id, 9u);
+  EXPECT_EQ(decoded_request.request, request.request);
+
+  ResponseFrame response;
+  response.request_id = 9;
+  response.response.kind = QueryKind::kClassOf;
+  response.response.asn_class = AsnClass{3356, class_of(1, 2), {10, 2, 8, 0}};
+  const auto decoded_response = decode_response(encode_response(response));
+  EXPECT_EQ(decoded_response.request_id, 9u);
+  EXPECT_EQ(decoded_response.response.asn_class, response.response.asn_class);
+
+  ResponseFrame snap;
+  snap.request_id = 10;
+  snap.response.kind = QueryKind::kSnapshot;
+  snap.response.snapshot = std::make_shared<const core::InferenceResult>(random_result(rng));
+  const auto decoded_snap = decode_response(encode_response(snap));
+  ASSERT_TRUE(decoded_snap.response.snapshot != nullptr);
+  EXPECT_EQ(decoded_snap.response.snapshot->counter_map(),
+            snap.response.snapshot->counter_map());
+}
+
+// ------------------------------------------------------------- fuzz sweep --
+
+/// Structured fuzz over every frame codec: seed-driven random mutations of
+/// valid frames (byte flips, truncations at every boundary, length-field
+/// inflation, splices) must either decode cleanly or throw WireFormatError —
+/// never crash, never over-read (ASan holds that half of the contract).
+namespace fuzz {
+
+using DecodeFn = void (*)(std::span<const std::uint8_t>);
+
+struct Corpus {
+  const char* name;
+  std::vector<std::uint8_t> frame;
+  DecodeFn decode;
+};
+
+std::vector<Corpus> build_corpus(topology::Rng& rng) {
+  std::vector<Corpus> corpus;
+  corpus.push_back({"snapshot", encode_snapshot(random_result(rng)),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_snapshot(b); }});
+  corpus.push_back({"delta", encode_delta_batch(random_delta(rng)),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_delta_batch(b); }});
+  corpus.push_back({"query-request", encode_query_request({QueryKind::kClassOf, 65550}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_query_request(b); }});
+  QueryResponse stats_response;
+  stats_response.kind = QueryKind::kStats;
+  stats_response.stats = ServiceStats{3, 1000, 5, 8, 2, 1};
+  corpus.push_back({"query-response", encode_query_response(stats_response),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_query_response(b); }});
+  corpus.push_back({"hello", encode_hello({kWireVersion, "fuzz-token"}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_hello(b); }});
+  corpus.push_back({"welcome", encode_welcome({kWireVersion, 99}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_welcome(b); }});
+  corpus.push_back({"error", encode_error({1, ErrorCode::kBadRequest, "nope"}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_error(b); }});
+  SubscribeFrame subscribe{2, {}, 5};
+  subscribe.filter.watch = {15169, 8075};
+  subscribe.filter.from = "tn";
+  corpus.push_back({"subscribe", encode_subscribe(subscribe),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_subscribe(b); }});
+  corpus.push_back({"subscribed", encode_subscribed({2, 4}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_subscribed(b); }});
+  corpus.push_back({"unsubscribe", encode_unsubscribe({3, 4}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_unsubscribe(b); }});
+  topology::Rng delta_rng(rng.below(1u << 30) + 1);
+  corpus.push_back({"event", encode_event({6, random_delta(delta_rng)}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_event(b); }});
+  corpus.push_back({"request", encode_request({7, {QueryKind::kLiveCounters, 64512}}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_request(b); }});
+  ResponseFrame tagged;
+  tagged.request_id = 8;
+  tagged.response.kind = QueryKind::kStats;
+  tagged.response.stats = ServiceStats{};
+  corpus.push_back({"response", encode_response(tagged),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_response(b); }});
+  return corpus;
+}
+
+/// Applies one seed-selected mutation; returns the mutated frame.
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& frame, topology::Rng& rng) {
+  auto mutated = frame;
+  switch (rng.below(5)) {
+    case 0: {  // random byte flips, 1..8 of them
+      const auto flips = 1 + rng.below(8);
+      for (std::uint64_t i = 0; i < flips && !mutated.empty(); ++i) {
+        mutated[rng.below(mutated.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+      break;
+    }
+    case 1:  // truncate at a random boundary
+      mutated.resize(rng.below(mutated.size() + 1));
+      break;
+    case 2: {  // inflate the payload-length varint region
+      if (mutated.size() > 6) {
+        mutated[6] |= 0x80;  // claims more length bytes / larger payload
+        mutated.insert(mutated.begin() + 7, static_cast<std::uint8_t>(1 + rng.below(127)));
+      }
+      break;
+    }
+    case 3: {  // splice a random chunk out of the middle
+      if (mutated.size() > 8) {
+        const auto start = 1 + rng.below(mutated.size() - 2);
+        const auto len = 1 + rng.below(mutated.size() - start);
+        mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(start),
+                      mutated.begin() + static_cast<std::ptrdiff_t>(start + len));
+      }
+      break;
+    }
+    default: {  // duplicate a chunk in place (grows counts/values)
+      const auto start = rng.below(mutated.size());
+      const auto len = 1 + rng.below(std::min<std::size_t>(16, mutated.size() - start));
+      std::vector<std::uint8_t> chunk(mutated.begin() + static_cast<std::ptrdiff_t>(start),
+                                      mutated.begin() +
+                                          static_cast<std::ptrdiff_t>(start + len));
+      mutated.insert(mutated.begin() + static_cast<std::ptrdiff_t>(start), chunk.begin(),
+                     chunk.end());
+      break;
+    }
+  }
+  return mutated;
+}
+
+}  // namespace fuzz
+
+TEST(WireFuzz, MutatedFramesAlwaysDecodeCleanlyOrThrow) {
+  topology::Rng corpus_rng(1234);
+  const auto corpus = fuzz::build_corpus(corpus_rng);
+  for (const auto& entry : corpus) {
+    // Sanity: the unmutated frame decodes.
+    entry.decode(entry.frame);
+    topology::Rng rng(std::hash<std::string_view>{}(entry.name));
+    for (int round = 0; round < 400; ++round) {
+      const auto mutated = fuzz::mutate(entry.frame, rng);
+      try {
+        entry.decode(mutated);
+      } catch (const WireFormatError&) {
+        // The only failure currency decoders are allowed.
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, TruncationAtEveryBoundaryThrowsForEveryFrameType) {
+  topology::Rng corpus_rng(77);
+  const auto corpus = fuzz::build_corpus(corpus_rng);
+  for (const auto& entry : corpus) {
+    for (std::size_t len = 0; len < entry.frame.size(); ++len) {
+      const std::vector<std::uint8_t> cut(
+          entry.frame.begin(), entry.frame.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_THROW(entry.decode(cut), WireFormatError)
+          << entry.name << " prefix " << len;
+    }
+  }
+}
+
+TEST(WireFuzz, LengthFieldInflationNeverOverreads) {
+  topology::Rng corpus_rng(99);
+  const auto corpus = fuzz::build_corpus(corpus_rng);
+  for (const auto& entry : corpus) {
+    // Rewrite the payload-length varint to claim 1..+4096 extra bytes: the
+    // decoder must diagnose truncation, not walk past the buffer (ASan
+    // enforces the "never" half).
+    for (const std::uint64_t extra : {1u, 2u, 127u, 128u, 4096u}) {
+      auto inflated = std::vector<std::uint8_t>(entry.frame.begin(), entry.frame.begin() + 6);
+      // Re-encode header + inflated length + original payload bytes.
+      const auto parsed = try_parse_frame(entry.frame);
+      ASSERT_TRUE(parsed.has_value());
+      auto length = parsed->payload.size() + extra;
+      while (length >= 0x80) {
+        inflated.push_back(static_cast<std::uint8_t>(length) | 0x80);
+        length >>= 7;
+      }
+      inflated.push_back(static_cast<std::uint8_t>(length));
+      inflated.insert(inflated.end(), parsed->payload.begin(), parsed->payload.end());
+      EXPECT_THROW(entry.decode(inflated), WireFormatError) << entry.name << " +" << extra;
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedConcatenatedStreamsNeverCrashFrameReader) {
+  topology::Rng corpus_rng(31337);
+  const auto corpus = fuzz::build_corpus(corpus_rng);
+  std::vector<std::uint8_t> log;
+  for (const auto& entry : corpus) {
+    log.insert(log.end(), entry.frame.begin(), entry.frame.end());
+  }
+  topology::Rng rng(5150);
+  for (int round = 0; round < 200; ++round) {
+    const auto mutated = fuzz::mutate(log, rng);
+    try {
+      FrameReader frames(mutated);
+      while (frames.next().has_value()) {
+      }
+    } catch (const WireFormatError&) {
+    }
+  }
 }
 
 // ------------------------------------------------------------ file codecs --

@@ -1,0 +1,114 @@
+// FrameBuffer / try_parse_frame: incremental reassembly must produce exactly
+// the frames that were written no matter how the byte stream is sliced, and
+// must reject a poisoned stream at the earliest byte that proves it.
+#include "net/framer.h"
+
+#include <gtest/gtest.h>
+
+#include "api/wire.h"
+
+namespace bgpcu::net {
+namespace {
+
+std::vector<std::uint8_t> stats_request_frame(std::uint64_t id) {
+  return api::encode_request({id, {.kind = api::QueryKind::kStats}});
+}
+
+TEST(TryParseFrame, IncompletePrefixesWantMoreBytes) {
+  const auto frame = api::encode_hello({api::kWireVersion, "tok"});
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto prefix = std::span(frame).first(len);
+    EXPECT_EQ(api::try_parse_frame(prefix), std::nullopt) << "prefix " << len;
+  }
+  const auto whole = api::try_parse_frame(frame);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->type, api::FrameType::kHello);
+  EXPECT_EQ(whole->size, frame.size());
+}
+
+TEST(TryParseFrame, BadMagicThrowsImmediately) {
+  const std::vector<std::uint8_t> one_bad_byte = {'X'};
+  EXPECT_THROW((void)api::try_parse_frame(one_bad_byte), api::WireFormatError);
+  std::vector<std::uint8_t> bad = {0x89, 'B', 'C', 'V'};
+  EXPECT_THROW((void)api::try_parse_frame(bad), api::WireFormatError);
+}
+
+TEST(TryParseFrame, FutureVersionAndUnknownTypeThrow) {
+  auto frame = stats_request_frame(1);
+  frame[4] = api::kWireVersion + 1;
+  EXPECT_THROW((void)api::try_parse_frame(std::span(frame).first(5)), api::WireFormatError);
+  frame[4] = api::kWireVersion;
+  frame[5] = api::kMaxFrameType + 1;
+  EXPECT_THROW((void)api::try_parse_frame(std::span(frame).first(6)), api::WireFormatError);
+}
+
+TEST(TryParseFrame, InflatedLengthFieldIsRejectedNotBuffered) {
+  // Header claiming a 1 GiB payload: must throw at the length varint, not
+  // return nullopt and make the transport buffer forever.
+  std::vector<std::uint8_t> frame(api::kWireMagic.begin(), api::kWireMagic.end());
+  frame.push_back(api::kWireVersion);
+  frame.push_back(static_cast<std::uint8_t>(api::FrameType::kHello));
+  for (const std::uint8_t byte : {0x80, 0x80, 0x80, 0x80, 0x04}) frame.push_back(byte);
+  EXPECT_THROW((void)api::try_parse_frame(frame, /*max_payload=*/1 << 20),
+               api::WireFormatError);
+}
+
+TEST(TryParseFrame, TrailingBytesBelongToTheNextFrame) {
+  auto bytes = stats_request_frame(7);
+  const auto first_size = bytes.size();
+  const auto second = stats_request_frame(8);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+  const auto frame = api::try_parse_frame(bytes);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->size, first_size);
+}
+
+TEST(FrameBuffer, ReassemblesByteByByte) {
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const auto frame = stats_request_frame(id);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  FrameBuffer buffer;
+  std::vector<std::vector<std::uint8_t>> frames;
+  for (const auto byte : stream) {
+    buffer.append(std::span(&byte, 1));
+    for (auto frame = buffer.extract(); !frame.empty(); frame = buffer.extract()) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    EXPECT_EQ(api::decode_request(frames[id - 1]).request_id, id);
+  }
+  EXPECT_EQ(buffer.pending(), 0u);
+}
+
+TEST(FrameBuffer, ArbitrarySplitPointsYieldIdenticalFrames) {
+  const auto a = api::encode_hello({api::kWireVersion, "secret"});
+  const auto b = stats_request_frame(42);
+  std::vector<std::uint8_t> stream(a);
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  for (std::size_t split = 1; split < stream.size(); ++split) {
+    FrameBuffer buffer;
+    buffer.append(std::span(stream).first(split));
+    std::vector<std::vector<std::uint8_t>> frames;
+    for (auto f = buffer.extract(); !f.empty(); f = buffer.extract()) frames.push_back(f);
+    buffer.append(std::span(stream).subspan(split));
+    for (auto f = buffer.extract(); !f.empty(); f = buffer.extract()) frames.push_back(f);
+    ASSERT_EQ(frames.size(), 2u) << "split " << split;
+    EXPECT_EQ(frames[0], a) << "split " << split;
+    EXPECT_EQ(frames[1], b) << "split " << split;
+  }
+}
+
+TEST(FrameBuffer, PoisonedStreamThrowsOnExtract) {
+  FrameBuffer buffer;
+  const std::vector<std::uint8_t> garbage = {'g', 'a', 'r', 'b', 'a', 'g', 'e'};
+  buffer.append(garbage);
+  EXPECT_THROW((void)buffer.extract(), api::WireFormatError);
+}
+
+}  // namespace
+}  // namespace bgpcu::net

@@ -1,0 +1,111 @@
+// Loopback transport semantics: duplex byte flow, EOF on half-close after
+// draining, real blocking backpressure at the capacity bound, and the
+// listener's connect/accept pairing. These are the properties the protocol
+// suite leans on, so they get pinned here first.
+#include "net/loopback.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace bgpcu::net {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& text) {
+  return {text.begin(), text.end()};
+}
+
+std::string read_all(Connection& conn) {
+  std::string out;
+  std::vector<std::uint8_t> chunk(64);
+  while (const auto n = conn.read_some(chunk)) {
+    out.append(reinterpret_cast<const char*>(chunk.data()), n);
+  }
+  return out;
+}
+
+TEST(Loopback, DuplexRoundTrip) {
+  auto [a, b] = make_loopback_pair();
+  ASSERT_TRUE(a->write_all(bytes_of("ping")));
+  ASSERT_TRUE(b->write_all(bytes_of("pong")));
+  std::vector<std::uint8_t> buf(16);
+  EXPECT_EQ(b->read_some(buf), 4u);
+  EXPECT_EQ(std::string(buf.begin(), buf.begin() + 4), "ping");
+  EXPECT_EQ(a->read_some(buf), 4u);
+  EXPECT_EQ(std::string(buf.begin(), buf.begin() + 4), "pong");
+}
+
+TEST(Loopback, HalfCloseDeliversBufferedBytesThenEof) {
+  auto [a, b] = make_loopback_pair();
+  ASSERT_TRUE(a->write_all(bytes_of("tail")));
+  a->shutdown_write();
+  EXPECT_EQ(read_all(*b), "tail");  // data first, EOF after
+  // The other direction still works after a's half-close.
+  ASSERT_TRUE(b->write_all(bytes_of("back")));
+  std::vector<std::uint8_t> buf(16);
+  EXPECT_EQ(a->read_some(buf), 4u);
+}
+
+TEST(Loopback, WriteBlocksAtCapacityUntilReaderDrains) {
+  auto [a, b] = make_loopback_pair(/*capacity=*/8);
+  const std::vector<std::uint8_t> payload(32, 0xAB);
+  std::atomic<bool> write_done{false};
+  std::thread writer([&] {
+    EXPECT_TRUE(a->write_all(payload));
+    write_done.store(true);
+  });
+  // The writer cannot finish while only 8 bytes fit.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(write_done.load());
+  // Draining the reader side releases it.
+  std::vector<std::uint8_t> got;
+  std::vector<std::uint8_t> chunk(8);
+  while (got.size() < payload.size()) {
+    const auto n = b->read_some(chunk);
+    ASSERT_GT(n, 0u);
+    got.insert(got.end(), chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  writer.join();
+  EXPECT_TRUE(write_done.load());
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Loopback, CloseFailsPeerWritesAndUnblocksReads) {
+  auto [a, b] = make_loopback_pair(/*capacity=*/8);
+  std::atomic<bool> read_returned{false};
+  std::thread reader([&] {
+    std::vector<std::uint8_t> chunk(8);
+    EXPECT_EQ(a->read_some(chunk), 0u);  // EOF once b closes
+    read_returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  b->close();
+  reader.join();
+  EXPECT_TRUE(read_returned.load());
+  EXPECT_FALSE(b->write_all(bytes_of("after close")));
+}
+
+TEST(LoopbackListener, PairsConnectWithAccept) {
+  LoopbackListener listener;
+  auto client = listener.connect();
+  auto server = listener.accept();
+  ASSERT_TRUE(server != nullptr);
+  ASSERT_TRUE(client->write_all(bytes_of("hi")));
+  std::vector<std::uint8_t> buf(8);
+  EXPECT_EQ(server->read_some(buf), 2u);
+}
+
+TEST(LoopbackListener, CloseWakesBlockedAcceptAndRejectsConnect) {
+  LoopbackListener listener;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    listener.close();
+  });
+  EXPECT_EQ(listener.accept(), nullptr);
+  closer.join();
+  EXPECT_THROW((void)listener.connect(), TransportError);
+}
+
+}  // namespace
+}  // namespace bgpcu::net

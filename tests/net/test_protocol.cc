@@ -1,0 +1,437 @@
+// Protocol conformance suite, run entirely over the in-process loopback
+// transport — no ports, fully deterministic. Covers the acceptance list:
+// handshake + auth rejection, query request/response for every kind,
+// pipelining, framing splits across reads, malformed frames, subscription
+// lifecycle (replay, unsubscribe, disconnect mid-subscription),
+// slow-subscriber backpressure, half-close, and the connection limit.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "api/service.h"
+#include "api/wire.h"
+#include "net/client.h"
+#include "net/framer.h"
+#include "net/loopback.h"
+#include "net/server.h"
+
+namespace bgpcu::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::PathCommTuple tuple(bgp::Asn peer, bgp::Asn origin, bool tags) {
+  core::PathCommTuple t;
+  t.path = {peer, origin};
+  if (tags) {
+    t.comms.push_back(bgp::CommunityValue::regular(static_cast<std::uint16_t>(peer), 1));
+  }
+  return t;
+}
+
+/// Polls `condition` for up to ~2 s; the concurrent assertions in this suite
+/// are all "eventually true" statements about server-side cleanup.
+bool eventually(const std::function<bool()>& condition) {
+  for (int i = 0; i < 400; ++i) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return condition();
+}
+
+/// A Service + Server wired over one LoopbackListener.
+struct Harness {
+  explicit Harness(ServerConfig config = {}, std::size_t pipe_capacity = std::size_t{1} << 16)
+      : service({.stream = {.window_epochs = 1}}),
+        listener(std::make_shared<LoopbackListener>(pipe_capacity)),
+        server(service, listener, std::move(config)) {
+    server.start();
+  }
+
+  ~Harness() { server.stop(); }
+
+  [[nodiscard]] Client client(Client::Options options = {}) {
+    return Client(listener->connect(), std::move(options));
+  }
+
+  /// Flips AS 10 tagger -> silent across two window-1 epochs, publishing both.
+  void flip_epochs() {
+    (void)service.ingest({tuple(10, 20, true)});
+    (void)service.publish();
+    (void)service.advance_epoch();
+    (void)service.ingest({tuple(10, 20, false)});
+    (void)service.publish();
+  }
+
+  api::Service service;
+  std::shared_ptr<LoopbackListener> listener;
+  Server server;
+};
+
+/// Reads whole frames off a raw connection (for the low-level tests that
+/// bypass Client on purpose). Empty on EOF.
+std::vector<std::uint8_t> next_frame(Connection& conn, FrameBuffer& frames) {
+  std::vector<std::uint8_t> chunk(4096);
+  for (;;) {
+    auto frame = frames.extract();
+    if (!frame.empty()) return frame;
+    const auto n = conn.read_some(chunk);
+    if (n == 0) return {};
+    frames.append(std::span(chunk.data(), n));
+  }
+}
+
+// -------------------------------------------------------------- handshake --
+
+TEST(NetProtocol, HandshakeReportsProtocolAndEpoch) {
+  Harness harness;
+  (void)harness.service.advance_epoch();
+  (void)harness.service.advance_epoch();
+  auto client = harness.client();
+  EXPECT_EQ(client.welcome().protocol, api::kWireVersion);
+  EXPECT_EQ(client.welcome().epoch, 2u);
+}
+
+TEST(NetProtocol, WrongAuthTokenIsRejected) {
+  Harness harness({.auth_token = "sesame"});
+  try {
+    auto client = harness.client({.token = "wrong"});
+    FAIL() << "handshake with a bad token must throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.error().code, api::ErrorCode::kAuthFailed);
+    EXPECT_EQ(e.error().request_id, 0u);
+  }
+  EXPECT_EQ(harness.server.stats().auth_failures, 1u);
+
+  // The right token still gets through afterwards.
+  auto ok = harness.client({.token = "sesame"});
+  EXPECT_EQ(ok.welcome().protocol, api::kWireVersion);
+}
+
+TEST(NetProtocol, MissingTokenIsRejectedWhenServerRequiresOne) {
+  Harness harness({.auth_token = "sesame"});
+  EXPECT_THROW((void)harness.client(), ProtocolError);
+}
+
+TEST(NetProtocol, FirstFrameMustBeHello) {
+  Harness harness;
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(api::encode_request({1, {.kind = api::QueryKind::kStats}})));
+  FrameBuffer frames;
+  const auto frame = next_frame(*conn, frames);
+  ASSERT_FALSE(frame.empty());
+  const auto error = api::decode_error(frame);
+  EXPECT_EQ(error.code, api::ErrorCode::kBadRequest);
+  EXPECT_TRUE(next_frame(*conn, frames).empty());  // then the server hangs up
+}
+
+// ---------------------------------------------------------------- queries --
+
+TEST(NetProtocol, EveryQueryKindMatchesDirectServiceAnswers) {
+  Harness harness;
+  (void)harness.service.ingest({tuple(10, 20, true), tuple(11, 20, false)});
+  auto client = harness.client();
+
+  const auto class_of = client.query({.kind = api::QueryKind::kClassOf, .asn = 10});
+  const auto direct = harness.service.query({.kind = api::QueryKind::kClassOf, .asn = 10});
+  EXPECT_EQ(class_of.asn_class, direct.asn_class);
+
+  const auto live = client.query({.kind = api::QueryKind::kLiveCounters, .asn = 11});
+  EXPECT_EQ(live.asn_class,
+            harness.service.query({.kind = api::QueryKind::kLiveCounters, .asn = 11}).asn_class);
+
+  const auto snapshot = client.query({.kind = api::QueryKind::kSnapshot});
+  ASSERT_TRUE(snapshot.snapshot != nullptr);
+  EXPECT_EQ(snapshot.snapshot->counter_map(),
+            harness.service.query({.kind = api::QueryKind::kSnapshot}).snapshot->counter_map());
+
+  const auto stats = client.query({.kind = api::QueryKind::kStats});
+  ASSERT_TRUE(stats.stats.has_value());
+  EXPECT_EQ(stats.stats->live_tuples, 2u);
+}
+
+TEST(NetProtocol, PipelinedRequestsAreAnsweredInOrder) {
+  Harness harness;
+  (void)harness.service.ingest({tuple(10, 20, true)});
+  auto conn = harness.listener->connect();
+
+  // Hello plus five requests written as one burst, no reads in between.
+  std::vector<std::uint8_t> burst = api::encode_hello({api::kWireVersion, ""});
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const auto frame =
+        id % 2 ? api::encode_request({id, {.kind = api::QueryKind::kStats}})
+               : api::encode_request({id, {.kind = api::QueryKind::kClassOf, .asn = 10}});
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(conn->write_all(burst));
+
+  FrameBuffer frames;
+  const auto welcome = next_frame(*conn, frames);
+  ASSERT_FALSE(welcome.empty());
+  EXPECT_EQ(api::peek_frame_type(welcome), api::FrameType::kWelcome);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const auto frame = next_frame(*conn, frames);
+    ASSERT_FALSE(frame.empty()) << "response " << id;
+    const auto response = api::decode_response(frame);
+    EXPECT_EQ(response.request_id, id) << "pipelined responses must keep request order";
+  }
+}
+
+TEST(NetProtocol, FramesSplitAcrossReadsAreReassembled) {
+  Harness harness;
+  (void)harness.service.ingest({tuple(10, 20, true)});
+  auto conn = harness.listener->connect();
+
+  std::vector<std::uint8_t> burst = api::encode_hello({api::kWireVersion, ""});
+  const auto request = api::encode_request({9, {.kind = api::QueryKind::kClassOf, .asn = 10}});
+  burst.insert(burst.end(), request.begin(), request.end());
+  // One byte at a time: the server-side FrameBuffer must reassemble.
+  for (const auto byte : burst) {
+    ASSERT_TRUE(conn->write_all(std::span(&byte, 1)));
+  }
+
+  FrameBuffer frames;
+  EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
+  const auto response = api::decode_response(next_frame(*conn, frames));
+  EXPECT_EQ(response.request_id, 9u);
+  ASSERT_TRUE(response.response.asn_class.has_value());
+  EXPECT_EQ(response.response.asn_class->asn, 10u);
+}
+
+TEST(NetProtocol, MalformedBytesGetErrorFrameThenClose) {
+  Harness harness;
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kWireVersion, ""})));
+  FrameBuffer frames;
+  EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
+
+  const std::vector<std::uint8_t> garbage = {'n', 'o', 't', ' ', 'w', 'i', 'r', 'e'};
+  ASSERT_TRUE(conn->write_all(garbage));
+  const auto frame = next_frame(*conn, frames);
+  ASSERT_FALSE(frame.empty());
+  const auto error = api::decode_error(frame);
+  EXPECT_EQ(error.code, api::ErrorCode::kBadRequest);
+  EXPECT_EQ(error.request_id, 0u);
+  EXPECT_TRUE(next_frame(*conn, frames).empty());
+  EXPECT_GE(harness.server.stats().protocol_errors, 1u);
+}
+
+TEST(NetProtocol, ArtifactFrameTypesAreRejectedAsClientInput) {
+  Harness harness;
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kWireVersion, ""})));
+  FrameBuffer frames;
+  EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
+
+  // A structurally valid frame of a type clients must not send.
+  ASSERT_TRUE(conn->write_all(api::encode_delta_batch({0, {}})));
+  const auto error = api::decode_error(next_frame(*conn, frames));
+  EXPECT_EQ(error.code, api::ErrorCode::kBadRequest);
+  EXPECT_TRUE(next_frame(*conn, frames).empty());
+}
+
+TEST(NetProtocol, HalfCloseFlushesAllPendingResponses) {
+  Harness harness;
+  (void)harness.service.ingest({tuple(10, 20, true)});
+  auto conn = harness.listener->connect();
+
+  std::vector<std::uint8_t> burst = api::encode_hello({api::kWireVersion, ""});
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const auto frame = api::encode_request({id, {.kind = api::QueryKind::kStats}});
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(conn->write_all(burst));
+  conn->shutdown_write();  // requests done; answers must still arrive
+
+  FrameBuffer frames;
+  EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const auto frame = next_frame(*conn, frames);
+    ASSERT_FALSE(frame.empty()) << "response " << id << " lost at half-close";
+    EXPECT_EQ(api::decode_response(frame).request_id, id);
+  }
+  EXPECT_TRUE(next_frame(*conn, frames).empty());  // clean EOF after the tail
+}
+
+// ---------------------------------------------------------- subscriptions --
+
+TEST(NetProtocol, SubscriptionStreamsFilteredEvents) {
+  Harness harness;
+  auto client = harness.client();
+  const auto sub_id = client.subscribe(api::SubscriptionFilter::transition("tn->sn"));
+  EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 1; }));
+
+  harness.flip_epochs();
+  const auto event = client.next_event();
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->subscription_id, sub_id);
+  EXPECT_EQ(event->delta.epoch, 1u);
+  ASSERT_EQ(event->delta.changes.size(), 1u);
+  EXPECT_EQ(event->delta.changes[0].asn, 10u);
+  EXPECT_EQ(event->delta.changes[0].before.code(), "tn");
+  EXPECT_EQ(event->delta.changes[0].after.code(), "sn");
+}
+
+TEST(NetProtocol, ReplayFromDeliversRetainedHistoryBeforeLiveEvents) {
+  Harness harness;
+  harness.flip_epochs();  // epochs 0 and 1 now sit in the event log
+
+  auto client = harness.client();
+  (void)client.subscribe({}, /*replay_from=*/0);
+  const auto first = client.next_event();
+  const auto second = client.next_event();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->delta.epoch, 0u);
+  EXPECT_EQ(second->delta.epoch, 1u);
+
+  // Live events keep flowing after the replayed tail.
+  (void)harness.service.advance_epoch();
+  (void)harness.service.ingest({tuple(10, 20, true)});
+  (void)harness.service.publish();
+  const auto live = client.next_event();
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(live->delta.epoch, 2u);
+}
+
+TEST(NetProtocol, UnsubscribeStopsTheStream) {
+  Harness harness;
+  auto client = harness.client();
+  const auto sub_id = client.subscribe({});
+  EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 1; }));
+
+  client.unsubscribe(sub_id);
+  EXPECT_EQ(harness.service.subscription_count(), 0u);
+
+  try {
+    client.unsubscribe(999);
+    FAIL() << "unknown subscription id must be an error";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.error().code, api::ErrorCode::kUnknownSubscription);
+  }
+}
+
+TEST(NetProtocol, PerConnectionSubscriptionLimitIsEnforced) {
+  Harness harness({.max_subscriptions_per_connection = 2});
+  auto client = harness.client();
+  const auto first = client.subscribe({});
+  (void)client.subscribe(api::SubscriptionFilter::transition("*->tc"));
+  try {
+    (void)client.subscribe({});
+    FAIL() << "third subscription must be rejected";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.error().code, api::ErrorCode::kBadRequest);
+  }
+  // Non-fatal: the connection keeps working, and unsubscribing frees a slot.
+  EXPECT_EQ(harness.service.subscription_count(), 2u);
+  client.unsubscribe(first);
+  (void)client.subscribe({});
+  EXPECT_EQ(harness.service.subscription_count(), 2u);
+}
+
+TEST(NetProtocol, DisconnectMidSubscriptionCleansUpServerSide) {
+  Harness harness;
+  {
+    auto client = harness.client();
+    (void)client.subscribe({});
+    EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 1; }));
+    client.close();
+  }
+  EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 0; }));
+  EXPECT_TRUE(eventually([&] { return harness.server.connection_count() == 0; }));
+  // Publishing after the disconnect reaches nobody and blocks nothing.
+  harness.flip_epochs();
+}
+
+TEST(NetProtocol, SlowSubscriberIsDisconnectedWithoutStallingPublish) {
+  // Tiny pipes + a 4-frame queue: a subscriber that never reads overflows
+  // almost immediately. The publisher must never block on it, and a
+  // well-behaved subscriber on another connection must see every event.
+  Harness harness({.write_queue_limit = 4}, /*pipe_capacity=*/64);
+
+  auto slow = harness.listener->connect();  // raw: we control (don't do) reads
+  ASSERT_TRUE(slow->write_all(api::encode_hello({api::kWireVersion, ""})));
+  const auto subscribe_frame = api::encode_subscribe({1, {}, std::nullopt});
+  ASSERT_TRUE(slow->write_all(subscribe_frame));
+
+  auto good = harness.client();
+  (void)good.subscribe({});
+  EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 2; }));
+
+  // Each published epoch changes AS (100+e)'s class; the slow side's queue
+  // fills while the good side drains. publish() must return promptly every
+  // time — it enqueues, it never writes.
+  for (stream::Epoch e = 0; e < 12; ++e) {
+    if (e > 0) (void)harness.service.advance_epoch();
+    (void)harness.service.ingest({tuple(100 + static_cast<bgp::Asn>(e), 20, true)});
+    (void)harness.service.publish();
+    const auto event = good.next_event();
+    ASSERT_TRUE(event.has_value()) << "well-behaved subscriber starved at epoch " << e;
+    EXPECT_EQ(event->delta.epoch, e);
+  }
+
+  EXPECT_TRUE(eventually([&] { return harness.server.stats().slow_disconnects == 1; }));
+  EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 1; }));
+}
+
+// ---------------------------------------------------------------- limits --
+
+TEST(NetProtocol, SilentConnectionIsDroppedAtTheHelloDeadline) {
+  // A connect that never speaks must not pin its threads and conns_ slot
+  // forever — the handshake runs against a deadline.
+  Harness harness({.hello_timeout_ms = 100});
+  auto conn = harness.listener->connect();
+  EXPECT_TRUE(eventually([&] { return harness.server.connection_count() == 0; }));
+  // The server hung up on us; our next read sees end-of-stream.
+  FrameBuffer frames;
+  EXPECT_TRUE(next_frame(*conn, frames).empty());
+
+  // A client that does speak is unaffected by the deadline, before and
+  // after it would have elapsed.
+  auto client = harness.client();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(client.query({.kind = api::QueryKind::kStats}).stats->epoch, 0u);
+}
+
+TEST(NetProtocol, ConnectionLimitTurnsExtraClientsAway) {
+  Harness harness({.max_connections = 1});
+  auto first = harness.client();
+  EXPECT_EQ(first.welcome().protocol, api::kWireVersion);
+  try {
+    auto second = harness.client();
+    FAIL() << "second connection must be rejected";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.error().code, api::ErrorCode::kServerBusy);
+  }
+  EXPECT_EQ(harness.server.stats().connections_rejected, 1u);
+
+  // Closing the first connection frees the slot.
+  first.close();
+  EXPECT_TRUE(eventually([&] {
+    try {
+      auto retry = harness.client();
+      return true;
+    } catch (const ProtocolError&) {
+      return false;
+    }
+  }));
+}
+
+TEST(NetProtocol, ServerStopEndsOpenConnections) {
+  auto harness = std::make_unique<Harness>();
+  auto client = harness->client();
+  harness->server.stop();
+  EXPECT_TRUE(eventually([&] {
+    try {
+      (void)client.query({.kind = api::QueryKind::kStats});
+      return false;
+    } catch (const std::exception&) {
+      return true;  // TransportError (EOF) or a late error frame
+    }
+  }));
+}
+
+}  // namespace
+}  // namespace bgpcu::net

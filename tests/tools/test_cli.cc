@@ -7,11 +7,13 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "bgp/message.h"
 #include "mrt/bgp4mp.h"
@@ -27,27 +29,58 @@ struct RunResult {
   std::string output;  ///< stdout + stderr, interleaved.
 };
 
-RunResult run(const std::string& command) {
-  // ctest runs each test case as its own process concurrently: the capture
-  // path must be unique per process, not just per call.
+/// Like RunResult but with the two streams kept apart, for the tests that
+/// pin *where* diagnostics go.
+struct SplitRunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Unique capture-file stem: ctest runs each test case as its own process
+/// concurrently, so paths must be unique per process, not just per call.
+fs::path capture_stem() {
   static int counter = 0;
-  const auto capture =
-      fs::temp_directory_path() / ("bgpcu_cli_out_" + std::to_string(::getpid()) + "_" +
-                                   std::to_string(++counter));
+  return fs::temp_directory_path() / ("bgpcu_cli_out_" + std::to_string(::getpid()) + "_" +
+                                      std::to_string(++counter));
+}
+
+RunResult run(const std::string& command) {
+  const auto capture = capture_stem();
   const auto full = command + " > '" + capture.string() + "' 2>&1";
   const int status = std::system(full.c_str());
   RunResult result;
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-  std::ifstream in(capture);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  result.output = buffer.str();
+  result.output = slurp(capture);
   fs::remove(capture);
+  return result;
+}
+
+SplitRunResult run_split(const std::string& command) {
+  const auto out_path = capture_stem();
+  const auto err_path = capture_stem();
+  const auto full =
+      command + " > '" + out_path.string() + "' 2> '" + err_path.string() + "'";
+  const int status = std::system(full.c_str());
+  SplitRunResult result;
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  result.out = slurp(out_path);
+  result.err = slurp(err_path);
+  fs::remove(out_path);
+  fs::remove(err_path);
   return result;
 }
 
 std::string stream_bin() { return BGPCU_STREAM_BIN; }
 std::string query_bin() { return BGPCU_QUERY_BIN; }
+std::string serve_bin() { return BGPCU_SERVE_BIN; }
 
 class CliTest : public ::testing::Test {
  protected:
@@ -214,6 +247,126 @@ TEST_F(CliTest, QueryRejectsBadInputs) {
   EXPECT_EQ(junk.exit_code, 1);
   EXPECT_NE(junk.output.find("unrecognized snapshot format"), std::string::npos)
       << junk.output;
+}
+
+TEST_F(CliTest, QueryDiagnosticsGoToStderrNotStdout) {
+  // Build one valid snapshot and one junk file; `info` over both must put
+  // artifact data on stdout, the diagnostic on stderr, and exit nonzero.
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  const auto snaps = dir_ / "snaps";
+  ASSERT_EQ(run(stream_bin() + " --once --snapshot-dir '" + snaps.string() +
+                "' --extension .mrt '" + dir_.string() + "'")
+                .exit_code,
+            0);
+  const auto good = (snaps / "snapshot-000000.db").string();
+  const auto junk = (dir_ / "junk.bin").string();
+  std::ofstream(junk, std::ios::binary) << "garbage";
+
+  const auto info = run_split(query_bin() + " info '" + good + "' '" + junk + "'");
+  EXPECT_EQ(info.exit_code, 1);
+  EXPECT_NE(info.out.find("text v1"), std::string::npos) << info.out;
+  EXPECT_EQ(info.out.find("unrecognized format"), std::string::npos)
+      << "diagnostic leaked to stdout: " << info.out;
+  EXPECT_NE(info.err.find("unrecognized format"), std::string::npos) << info.err;
+
+  // A missing file: diagnosed on stderr, other files still identified.
+  const auto missing =
+      run_split(query_bin() + " info '" + (dir_ / "nope.wire").string() + "' '" + good + "'");
+  EXPECT_EQ(missing.exit_code, 1);
+  EXPECT_NE(missing.out.find("text v1"), std::string::npos) << missing.out;
+  EXPECT_NE(missing.err.find("nope.wire"), std::string::npos) << missing.err;
+
+  // Usage and runtime errors keep stdout silent too.
+  const auto bad_asn = run_split(query_bin() + " asn notanumber somefile");
+  EXPECT_EQ(bad_asn.exit_code, 2);
+  EXPECT_TRUE(bad_asn.out.empty()) << bad_asn.out;
+  EXPECT_NE(bad_asn.err.find("ASN must be"), std::string::npos) << bad_asn.err;
+
+  const auto dump_junk = run_split(query_bin() + " dump '" + junk + "'");
+  EXPECT_EQ(dump_junk.exit_code, 1);
+  EXPECT_TRUE(dump_junk.out.empty()) << dump_junk.out;
+  EXPECT_NE(dump_junk.err.find("unrecognized snapshot format"), std::string::npos)
+      << dump_junk.err;
+}
+
+TEST_F(CliTest, QueryConnectRejectsBadEndpointSpecs) {
+  for (const char* bad : {"nohost", ":4711", "host:", "host:0", "host:70000", "host:abc"}) {
+    const auto r = run_split(query_bin() + " stats --connect '" + std::string(bad) + "'");
+    EXPECT_EQ(r.exit_code, 2) << bad;
+    EXPECT_TRUE(r.out.empty()) << bad << ": " << r.out;
+    EXPECT_FALSE(r.err.empty()) << bad;
+  }
+  // Network subcommands without --connect are usage errors, not crashes.
+  EXPECT_EQ(run(query_bin() + " stats").exit_code, 2);
+  EXPECT_EQ(run(query_bin() + " watch").exit_code, 2);
+}
+
+TEST_F(CliTest, ServeDaemonAnswersQueryConnectEndToEnd) {
+  // The real-socket end-to-end: bgpcu_serve on an ephemeral port ingests a
+  // dump; bgpcu_query --connect reads stats, per-ASN class, and the full
+  // snapshot over TCP.
+  write_dump("updates.0001.mrt", {3356, 1299, 2914}, "203.0.113.0/24");
+  const auto port_file = dir_ / "port";
+  const auto log_file = dir_ / "serve.log";
+  const auto pid_file = dir_ / "pid";
+  const auto launch = "'" + serve_bin() + "' --port 0 --port-file '" + port_file.string() +
+                      "' --token sesame --interval 1 --extension .mrt '" + dir_.string() +
+                      "' > '" + log_file.string() + "' 2>&1 & echo $! > '" +
+                      pid_file.string() + "'";
+  ASSERT_EQ(std::system(launch.c_str()), 0);
+
+  // Wait for the daemon to announce its port and finish the first ingest.
+  std::string port;
+  for (int i = 0; i < 100 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::stringstream text(slurp(port_file));
+    text >> port;
+  }
+  ASSERT_FALSE(port.empty()) << "daemon never wrote its port; log: " << slurp(log_file);
+  const auto connect = " --connect 127.0.0.1:" + port + " --token sesame";
+
+  // The first poll may still be in flight: retry until the tuples landed.
+  SplitRunResult stats;
+  for (int i = 0; i < 100; ++i) {
+    stats = run_split(query_bin() + " stats" + connect);
+    if (stats.exit_code == 0 && stats.out.find("live_tuples") != std::string::npos &&
+        stats.out.find("live_tuples 0") == std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_EQ(stats.exit_code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("epoch 0"), std::string::npos) << stats.out;
+  EXPECT_EQ(stats.out.find("live_tuples 0\n"), std::string::npos) << stats.out;
+
+  const auto asn = run_split(query_bin() + " asn 3356" + connect);
+  EXPECT_EQ(asn.exit_code, 0) << asn.err;
+  EXPECT_NE(asn.out.find("AS 3356 class tn t 1 s 0 f 0 c 0"), std::string::npos) << asn.out;
+
+  const auto dump = run_split(query_bin() + " dump" + connect);
+  EXPECT_EQ(dump.exit_code, 0) << dump.err;
+  EXPECT_NE(dump.out.find("# bgpcu-inference-db v1"), std::string::npos) << dump.out;
+  EXPECT_NE(dump.out.find("3356 tn 1 0 0 0"), std::string::npos) << dump.out;
+
+  // Wrong token is refused at the handshake.
+  const auto denied = run_split(query_bin() + " stats --connect 127.0.0.1:" + port +
+                                " --token wrong");
+  EXPECT_EQ(denied.exit_code, 1);
+  EXPECT_NE(denied.err.find("error"), std::string::npos) << denied.err;
+
+  // SIGTERM shuts the daemon down cleanly. (Liveness polling via kill -0 is
+  // unreliable here — the daemon is a zombie child of system()'s exited
+  // shell — so the clean-shutdown log line is the termination signal.)
+  std::string pid;
+  std::stringstream(slurp(pid_file)) >> pid;
+  ASSERT_FALSE(pid.empty());
+  EXPECT_EQ(std::system(("kill -TERM " + pid).c_str()), 0);
+  bool clean = false;
+  for (int i = 0; i < 100 && !clean; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    clean = slurp(log_file).find("shut down cleanly") != std::string::npos;
+  }
+  EXPECT_TRUE(clean) << "daemon did not shut down on SIGTERM; log: " << slurp(log_file);
 }
 
 }  // namespace

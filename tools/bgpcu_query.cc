@@ -1,8 +1,11 @@
-// bgpcu_query — inspect and query the service's snapshot/delta artifacts.
+// bgpcu_query — inspect and query the service's snapshot/delta artifacts,
+// from files or live from a bgpcu_serve daemon.
 //
-// Works on both artifact formats: the versioned binary wire format
+// File mode works on both artifact formats: the versioned binary wire format
 // (api/wire.h, docs/WIRE_FORMAT.md) and the v1 text inference database;
 // snapshot-consuming subcommands sniff the format from the leading bytes.
+// Network mode (--connect) speaks the frame protocol (docs/PROTOCOL.md)
+// through net::Client.
 //
 // Usage:
 //   bgpcu_query info FILE...             identify each file: format, frame
@@ -15,16 +18,34 @@
 //                                        the class-change feed as text
 //   bgpcu_query convert FORMAT IN OUT    transcode a snapshot between
 //                                        'text' and 'wire'
+//
+// Network mode (HOST:PORT from --connect; --token T when the server
+// requires auth):
+//   bgpcu_query dump --connect HOST:PORT        live snapshot as a text db
+//   bgpcu_query asn ASN --connect HOST:PORT     one AS's swept class
+//   bgpcu_query live ASN --connect HOST:PORT    real-time peer-column
+//                                               evidence (no sweep)
+//   bgpcu_query stats --connect HOST:PORT       service health counters
+//   bgpcu_query watch --connect HOST:PORT       stream the class-change feed
+//     [--transition FROM->TO] [--asns A,B,...]  (filtered server-side)
+//     [--replay-from E] [--max-batches N]
+//
+// Diagnostics go to stderr; stdout carries only the requested artifact
+// data. Exit codes: 0 success, 1 runtime failure, 2 usage error.
 #include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/wire.h"
 #include "core/database.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -33,7 +54,11 @@ using namespace bgpcu;
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " info FILE... | dump FILE | asn ASN FILE | deltas FILE... |"
-               " convert text|wire IN OUT\n";
+               " convert text|wire IN OUT\n"
+               "       " << argv0
+            << " [--connect HOST:PORT] [--token T] dump | asn ASN | live ASN |"
+               " stats | watch [--transition FROM->TO] [--asns A,B,...]"
+               " [--replay-from E] [--max-batches N]\n";
   return 2;
 }
 
@@ -43,6 +68,16 @@ const char* frame_type_name(api::FrameType type) {
     case api::FrameType::kDeltaBatch: return "delta-batch";
     case api::FrameType::kQueryRequest: return "query-request";
     case api::FrameType::kQueryResponse: return "query-response";
+    case api::FrameType::kHello: return "hello";
+    case api::FrameType::kWelcome: return "welcome";
+    case api::FrameType::kError: return "error";
+    case api::FrameType::kSubscribe: return "subscribe";
+    case api::FrameType::kSubscribed: return "subscribed";
+    case api::FrameType::kEvent: return "event";
+    case api::FrameType::kRequest: return "request";
+    case api::FrameType::kResponse: return "response";
+    case api::FrameType::kUnsubscribe: return "unsubscribe";
+    case api::FrameType::kUnsubscribed: return "unsubscribed";
   }
   return "unknown";
 }
@@ -55,43 +90,57 @@ std::vector<std::uint8_t> single_frame_bytes(std::span<const std::uint8_t> data,
           data.begin() + static_cast<std::ptrdiff_t>(start + size)};
 }
 
+using util::parse_asn_or_exit;
+using util::parse_u64_or_exit;
+
+// ------------------------------------------------------------- file mode --
+
 int cmd_info(const std::vector<std::string>& files) {
+  bool failed = false;
   for (const auto& path : files) {
-    // Sniff the head before deciding what (and whether) to load fully —
-    // identifying a multi-GB text database must not read it all.
-    const auto format = api::sniff_format(path);
-    if (format == api::Format::kWire) {
-      const auto bytes = api::read_file_bytes(path);
-      std::cout << path << ": wire v"
-                << (bytes.size() > 4 ? int{bytes[4]} : 0)  // the file's version field
-                << ", " << bytes.size() << " bytes\n";
-      api::FrameReader frames(bytes);
-      std::size_t start = 0;
-      while (const auto frame = frames.next()) {
-        std::cout << "  frame " << frame_type_name(frame->type) << ", " << frame->size
-                  << " bytes";
-        const auto whole = single_frame_bytes(bytes, start, frame->size);
-        if (frame->type == api::FrameType::kSnapshot) {
-          const auto snapshot = api::decode_snapshot(whole);
-          std::cout << ", " << snapshot.counter_map().size() << " ASes, "
-                    << snapshot.columns_swept() << " columns swept";
-        } else if (frame->type == api::FrameType::kDeltaBatch) {
-          const auto delta = api::decode_delta_batch(whole);
-          std::cout << ", epoch " << delta.epoch << ", " << delta.changes.size()
-                    << " change(s)";
+    try {
+      // Sniff the head before deciding what (and whether) to load fully —
+      // identifying a multi-GB text database must not read it all.
+      const auto format = api::sniff_format(path);
+      if (format == api::Format::kWire) {
+        const auto bytes = api::read_file_bytes(path);
+        std::cout << path << ": wire v"
+                  << (bytes.size() > 4 ? int{bytes[4]} : 0)  // the file's version field
+                  << ", " << bytes.size() << " bytes\n";
+        api::FrameReader frames(bytes);
+        std::size_t start = 0;
+        while (const auto frame = frames.next()) {
+          std::cout << "  frame " << frame_type_name(frame->type) << ", " << frame->size
+                    << " bytes";
+          const auto whole = single_frame_bytes(bytes, start, frame->size);
+          if (frame->type == api::FrameType::kSnapshot) {
+            const auto snapshot = api::decode_snapshot(whole);
+            std::cout << ", " << snapshot.counter_map().size() << " ASes, "
+                      << snapshot.columns_swept() << " columns swept";
+          } else if (frame->type == api::FrameType::kDeltaBatch) {
+            const auto delta = api::decode_delta_batch(whole);
+            std::cout << ", epoch " << delta.epoch << ", " << delta.changes.size()
+                      << " change(s)";
+          }
+          std::cout << "\n";
+          start += frame->size;
         }
-        std::cout << "\n";
-        start += frame->size;
+      } else if (format == api::Format::kText) {
+        const auto snapshot = core::read_database_file(path);
+        std::cout << path << ": text v1, " << std::filesystem::file_size(path)
+                  << " bytes, " << snapshot.counter_map().size() << " ASes\n";
+      } else {
+        std::cerr << path << ": unrecognized format\n";
+        failed = true;
       }
-    } else if (format == api::Format::kText) {
-      const auto snapshot = core::read_database_file(path);
-      std::cout << path << ": text v1, " << std::filesystem::file_size(path)
-                << " bytes, " << snapshot.counter_map().size() << " ASes\n";
-    } else {
-      std::cout << path << ": unrecognized format\n";
+    } catch (const std::exception& e) {
+      // Diagnose and keep going: `info` over a mixed directory should
+      // identify everything it can and still fail loudly overall.
+      std::cerr << path << ": " << e.what() << "\n";
+      failed = true;
     }
   }
-  return 0;
+  return failed ? 1 : 0;
 }
 
 int cmd_dump(const std::string& path) {
@@ -100,19 +149,16 @@ int cmd_dump(const std::string& path) {
   return 0;
 }
 
+void print_asn_line(bgp::Asn asn, const core::UsageClass& usage,
+                    const core::UsageCounters& k) {
+  std::cout << "AS " << asn << " class " << usage.code() << " t " << k.t << " s " << k.s
+            << " f " << k.f << " c " << k.c << "\n";
+}
+
 int cmd_asn(const std::string& asn_text, const std::string& path) {
-  char* end = nullptr;
-  errno = 0;
-  const auto value = std::strtoull(asn_text.c_str(), &end, 10);
-  if (errno != 0 || end == asn_text.c_str() || *end != '\0' || value > 0xFFFFFFFFull) {
-    std::cerr << "ASN must be a 32-bit unsigned integer, got '" << asn_text << "'\n";
-    return 2;
-  }
-  const auto asn = static_cast<bgp::Asn>(value);
+  const auto asn = parse_asn_or_exit(asn_text);
   const auto snapshot = api::read_snapshot_any(path);
-  const auto k = snapshot.counters(asn);
-  std::cout << "AS " << asn << " class " << snapshot.usage(asn).code() << " t " << k.t
-            << " s " << k.s << " f " << k.f << " c " << k.c << "\n";
+  print_asn_line(asn, snapshot.usage(asn), snapshot.counters(asn));
   return 0;
 }
 
@@ -147,14 +193,151 @@ int cmd_convert(const std::string& format_name, const std::string& in,
   return 0;
 }
 
+// ---------------------------------------------------------- network mode --
+
+/// Everything --connect mode needs, pulled out of the argument list.
+struct ConnectOptions {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string token;
+  std::string transition;
+  std::string asns;
+  std::optional<stream::Epoch> replay_from;
+  std::uint64_t max_batches = 0;  ///< 0 = stream until the server closes.
+};
+
+net::Client connect_client(const ConnectOptions& options) {
+  return net::Client(net::tcp_connect(options.host, options.port),
+                     {.token = options.token});
+}
+
+int cmd_net_dump(const ConnectOptions& options) {
+  auto client = connect_client(options);
+  const auto response = client.query({.kind = api::QueryKind::kSnapshot});
+  if (!response.snapshot) throw std::runtime_error("server returned no snapshot");
+  core::write_database(std::cout, *response.snapshot);
+  return 0;
+}
+
+int cmd_net_asn(const ConnectOptions& options, const std::string& asn_text,
+                api::QueryKind kind) {
+  const auto asn = parse_asn_or_exit(asn_text);
+  auto client = connect_client(options);
+  const auto response = client.query({.kind = kind, .asn = asn});
+  if (!response.asn_class) throw std::runtime_error("server returned no per-ASN answer");
+  print_asn_line(response.asn_class->asn, response.asn_class->usage,
+                 response.asn_class->counters);
+  return 0;
+}
+
+int cmd_net_stats(const ConnectOptions& options) {
+  auto client = connect_client(options);
+  const auto response = client.query({.kind = api::QueryKind::kStats});
+  if (!response.stats) throw std::runtime_error("server returned no stats");
+  const auto& s = *response.stats;
+  std::cout << "epoch " << s.epoch << "\nlive_tuples " << s.live_tuples
+            << "\nevicted_total " << s.evicted_total << "\nshards " << s.shards
+            << "\nwindow_epochs " << s.window_epochs << "\nsubscriptions "
+            << s.subscriptions << "\n";
+  return 0;
+}
+
+int cmd_net_watch(const ConnectOptions& options) {
+  api::SubscriptionFilter filter;
+  if (!options.transition.empty()) {
+    try {
+      const auto spec = api::SubscriptionFilter::transition(options.transition);
+      filter.from = spec.from;
+      filter.to = spec.to;
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "--transition: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (!options.asns.empty()) {
+    filter.watch = util::parse_asn_list_or_exit("--asns", options.asns);
+  }
+
+  auto client = connect_client(options);
+  (void)client.subscribe(filter, options.replay_from);
+  std::uint64_t batches = 0;
+  while (auto event = client.next_event()) {
+    for (const auto& change : event->delta.changes) {
+      std::cout << change.to_string(event->delta.epoch) << "\n";
+    }
+    std::cout.flush();
+    if (options.max_batches != 0 && ++batches >= options.max_batches) break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage(argv[0]);
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  // Split options (anywhere on the line) from positional arguments.
+  ConnectOptions options;
+  bool connected = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      const auto hostport = next();
+      const auto colon = hostport.rfind(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 == hostport.size()) {
+        std::cerr << "--connect needs HOST:PORT, got '" << hostport << "'\n";
+        return 2;
+      }
+      options.host = hostport.substr(0, colon);
+      const auto port = parse_u64_or_exit("--connect port", hostport.substr(colon + 1));
+      if (port == 0 || port > 0xFFFF) {
+        std::cerr << "--connect port must be in [1, 65535]\n";
+        return 2;
+      }
+      options.port = static_cast<std::uint16_t>(port);
+      connected = true;
+    } else if (arg == "--token") {
+      options.token = next();
+    } else if (arg == "--transition") {
+      options.transition = next();
+    } else if (arg == "--asns") {
+      options.asns = next();
+    } else if (arg == "--replay-from") {
+      options.replay_from = parse_u64_or_exit(arg, next());
+    } else if (arg == "--max-batches") {
+      options.max_batches = parse_u64_or_exit(arg, next());
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) return usage(argv[0]);
+  const std::string command = args[0];
+  args.erase(args.begin());
 
   try {
+    if (connected) {
+      if (command == "dump" && args.empty()) return cmd_net_dump(options);
+      if (command == "asn" && args.size() == 1) {
+        return cmd_net_asn(options, args[0], api::QueryKind::kClassOf);
+      }
+      if (command == "live" && args.size() == 1) {
+        return cmd_net_asn(options, args[0], api::QueryKind::kLiveCounters);
+      }
+      if (command == "stats" && args.empty()) return cmd_net_stats(options);
+      if (command == "watch" && args.empty()) return cmd_net_watch(options);
+      return usage(argv[0]);
+    }
     if (command == "info" && !args.empty()) return cmd_info(args);
     if (command == "dump" && args.size() == 1) return cmd_dump(args[0]);
     if (command == "asn" && args.size() == 2) return cmd_asn(args[0], args[1]);

@@ -1,0 +1,204 @@
+// bgpcu_serve — network serving daemon over the api::Service facade.
+//
+// Binds a TCP listener and speaks the frame protocol (docs/PROTOCOL.md):
+// request/response queries (per-ASN class, bulk snapshot, live evidence,
+// stats) and streaming class-change subscriptions, the operational mode
+// anomaly-detection consumers of community data need. Optionally tails a
+// directory of MRT dumps exactly like bgpcu_stream, so one process ingests
+// the feed and serves the inferences.
+//
+// Usage:
+//   bgpcu_serve [options] [WATCH_DIR]
+//
+// Serving options:
+//   --host H           listen address, default 127.0.0.1
+//   --port P           listen port; 0 picks an ephemeral port (default 4711)
+//   --port-file F      write the actually bound port to F (for --port 0)
+//   --token T          require this auth token in every client hello
+//   --max-conns N      connection limit, default 64
+//
+// Ingest options (all as in bgpcu_stream; WATCH_DIR optional — without it
+// the daemon serves an initially empty engine):
+//   --threshold P --allocations F --shards N --window W --extension .EXT
+//   --settle SEC --interval SEC
+//
+// SIGINT/SIGTERM shut the daemon down cleanly (exit code 0).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "api/service.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "registry/registry.h"
+#include "stream/feed.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace bgpcu;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--host H] [--port P] [--port-file F] [--token T] [--max-conns N]"
+               " [--threshold P] [--allocations F] [--shards N] [--window W]"
+               " [--extension .EXT] [--settle SEC] [--interval SEC] [WATCH_DIR]\n";
+  return 2;
+}
+
+using util::parse_threshold_or_exit;
+using util::parse_u64_or_exit;
+
+/// Sleeps up to `seconds`, returning early (false) once shutdown is asked.
+bool interruptible_sleep(unsigned seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (g_stop.load()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return !g_stop.load();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 4711;
+  std::string port_file;
+  std::string watch_dir;
+  std::string allocations_path;
+  std::string extension;
+  double threshold = 0.99;
+  std::uint32_t settle_sec = 0;
+  unsigned interval_sec = 5;
+  api::ServiceConfig config;
+  net::ServerConfig server_config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      const auto value = parse_u64_or_exit(arg, next());
+      if (value > 0xFFFF) {
+        std::cerr << "--port must be <= 65535\n";
+        return 2;
+      }
+      port = static_cast<std::uint16_t>(value);
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else if (arg == "--token") {
+      server_config.auth_token = next();
+    } else if (arg == "--max-conns") {
+      server_config.max_connections = static_cast<std::size_t>(parse_u64_or_exit(arg, next()));
+      if (server_config.max_connections == 0) {
+        std::cerr << "--max-conns must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--threshold") {
+      threshold = parse_threshold_or_exit(next());
+    } else if (arg == "--allocations") {
+      allocations_path = next();
+    } else if (arg == "--shards") {
+      config.stream.shards = static_cast<std::size_t>(parse_u64_or_exit(arg, next()));
+      if (config.stream.shards == 0) {
+        std::cerr << "--shards must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--window") {
+      config.stream.window_epochs = parse_u64_or_exit(arg, next());
+    } else if (arg == "--extension") {
+      extension = next();
+    } else if (arg == "--settle") {
+      settle_sec = static_cast<std::uint32_t>(parse_u64_or_exit(arg, next()));
+    } else if (arg == "--interval") {
+      interval_sec = static_cast<unsigned>(parse_u64_or_exit(arg, next()));
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    } else if (watch_dir.empty()) {
+      watch_dir = arg;
+    } else {
+      std::cerr << "only one WATCH_DIR expected\n";
+      return usage(argv[0]);
+    }
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  try {
+    const auto reg = allocations_path.empty() ? registry::allow_all()
+                                              : registry::load_allocations(allocations_path);
+    config.stream.engine.thresholds = core::Thresholds::uniform(threshold);
+    api::Service service(config);
+
+    auto listener = std::make_shared<net::TcpListener>(host, port);
+    std::cerr << "listening on " << listener->name() << "\n";
+    if (!port_file.empty()) {
+      std::ofstream out(port_file, std::ios::trunc);
+      out << listener->port() << "\n";
+      if (!out) throw std::runtime_error("cannot write port file: " + port_file);
+    }
+    net::Server server(service, listener, server_config);
+    server.start();
+
+    std::optional<stream::DirectoryFeed> feed;
+    if (!watch_dir.empty()) feed.emplace(watch_dir, reg, extension, settle_sec);
+
+    std::uint64_t ingest_polls = 0;
+    while (!g_stop.load()) {
+      if (!feed) {
+        (void)interruptible_sleep(interval_sec);
+        continue;
+      }
+      auto poll = feed->poll();
+      for (const auto& path : poll.failed) {
+        std::cerr << "warning: could not read " << path << " (will retry)\n";
+      }
+      if (poll.empty()) {
+        if (!interruptible_sleep(interval_sec)) break;
+        continue;
+      }
+      // One epoch per ingesting poll, advanced before ingest as in
+      // bgpcu_stream (keeps a --window 1 poll's own input alive).
+      if (ingest_polls > 0) (void)service.advance_epoch();
+      ++ingest_polls;
+      const auto stats = service.ingest(std::move(poll.batch));
+      const auto delta = service.publish();
+      std::cerr << "epoch " << service.epoch() << ": " << poll.files.size()
+                << " file(s), " << stats.accepted << " new tuples, " << delta.changes.size()
+                << " class change(s), " << server.connection_count() << " client(s)\n";
+      if (!interruptible_sleep(interval_sec)) break;
+    }
+
+    server.stop();
+    std::cerr << "shut down cleanly\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

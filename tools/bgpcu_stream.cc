@@ -51,6 +51,7 @@
 #include "api/wire.h"
 #include "registry/registry.h"
 #include "stream/feed.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -65,47 +66,8 @@ int usage(const char* argv0) {
   return 2;
 }
 
-std::uint64_t parse_u64(const std::string& flag, const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const auto value = std::strtoull(text, &end, 10);
-  // strtoull silently wraps "-1" to huge; reject any sign explicitly.
-  if (errno != 0 || end == text || *end != '\0' || text[0] == '-' || text[0] == '+') {
-    std::cerr << flag << " needs a non-negative integer, got '" << text << "'\n";
-    std::exit(2);
-  }
-  return value;
-}
-
-double parse_threshold(const char* text) {
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(text, &end);
-  // The negated in-range form also rejects NaN, which compares false both ways.
-  if (errno != 0 || end == text || *end != '\0' || !(value >= 0.5 && value <= 1.0)) {
-    std::cerr << "--threshold must be a number in [0.5, 1.0], got '" << text << "'\n";
-    std::exit(2);
-  }
-  return value;
-}
-
-std::vector<bgp::Asn> parse_watchlist(const std::string& text) {
-  std::vector<bgp::Asn> asns;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    auto comma = text.find(',', start);
-    if (comma == std::string::npos) comma = text.size();
-    const auto token = text.substr(start, comma - start);
-    const auto value = parse_u64("--watch", token.c_str());
-    if (value > 0xFFFFFFFFull) {
-      std::cerr << "--watch ASN out of 32-bit range: " << token << "\n";
-      std::exit(2);
-    }
-    asns.push_back(static_cast<bgp::Asn>(value));
-    start = comma + 1;
-  }
-  return asns;
-}
+using util::parse_threshold_or_exit;
+using util::parse_u64_or_exit;
 
 std::string artifact_path(const std::string& dir, const char* stem, stream::Epoch epoch,
                           const std::string& extension) {
@@ -150,31 +112,31 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--threshold") {
-      threshold = parse_threshold(next());
+      threshold = parse_threshold_or_exit(next());
     } else if (arg == "--allocations") {
       allocations_path = next();
     } else if (arg == "--shards") {
-      config.stream.shards = static_cast<std::size_t>(parse_u64(arg, next()));
+      config.stream.shards = static_cast<std::size_t>(parse_u64_or_exit(arg, next()));
       if (config.stream.shards == 0) {
         std::cerr << "--shards must be >= 1\n";
         return 2;
       }
     } else if (arg == "--window") {
-      config.stream.window_epochs = parse_u64(arg, next());
+      config.stream.window_epochs = parse_u64_or_exit(arg, next());
     } else if (arg == "--extension") {
       extension = next();
     } else if (arg == "--settle") {
-      settle_sec = static_cast<std::uint32_t>(parse_u64(arg, next()));
+      settle_sec = static_cast<std::uint32_t>(parse_u64_or_exit(arg, next()));
     } else if (arg == "--interval") {
-      interval_sec = static_cast<unsigned>(parse_u64(arg, next()));
+      interval_sec = static_cast<unsigned>(parse_u64_or_exit(arg, next()));
     } else if (arg == "--max-epochs") {
-      max_epochs = parse_u64(arg, next());
+      max_epochs = parse_u64_or_exit(arg, next());
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--snapshot-dir") {
       snapshot_dir = next();
     } else if (arg == "--snapshot-every") {
-      snapshot_every = parse_u64(arg, next());
+      snapshot_every = parse_u64_or_exit(arg, next());
       if (snapshot_every == 0) snapshot_every = 1;
     } else if (arg == "--format") {
       const auto parsed = api::parse_format(next());
@@ -184,7 +146,7 @@ int main(int argc, char** argv) {
       }
       format = *parsed;
     } else if (arg == "--watch") {
-      filter.watch = parse_watchlist(next());
+      filter.watch = util::parse_asn_list_or_exit(arg, next());
     } else if (arg == "--transition") {
       try {
         const auto spec = api::SubscriptionFilter::transition(next());

@@ -23,25 +23,38 @@
 // On a single-core host the lane rows measure merge overhead, not speedup —
 // the hardware_concurrency field in the JSON gives the context.
 //
-// Usage: bench_sweep [--smoke] [--out FILE]
-//   --smoke   small world + fewer reps (CI smoke mode; still runs every
-//             kernel including the parallel lanes)
-//   --out     where to write the machine-readable JSON results
-//             (default BENCH_sweep.json in the working directory)
+// --incremental adds the locked-phase shootout for the stream engine's
+// snapshot protocol: `indexed_build` is what a rebuild-per-snapshot engine
+// pays under its exclusive lock, `incremental_apply` is what the
+// IncrementalIndex-maintaining engine pays for the same cut at a steady
+// per-snapshot churn (1% of the tuple set removed + re-added). The swept
+// output of the maintained index is verified bit-identical to the reference
+// after every applied batch — any divergence exits non-zero, which is what
+// lets CI run this as an optimized-build correctness gate.
+//
+// Usage: bench_sweep [--smoke] [--incremental] [--out FILE]
+//   --smoke        small world + fewer reps (CI smoke mode; still runs
+//                  every kernel including the parallel lanes)
+//   --incremental  also run the incremental-vs-rebuild locked-phase mode
+//   --out          where to write the machine-readable JSON results
+//                  (default BENCH_sweep.json in the working directory)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common.h"
 #include "core/engine.h"
+#include "core/incremental.h"
 
 namespace {
 
@@ -171,14 +184,17 @@ double best_of(int reps, Fn&& fn) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool incremental = false;
   std::string out_path = "BENCH_sweep.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--incremental") == 0) {
+      incremental = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::cerr << "usage: bench_sweep [--smoke] [--out FILE]\n";
+      std::cerr << "usage: bench_sweep [--smoke] [--incremental] [--out FILE]\n";
       return 2;
     }
   }
@@ -263,6 +279,73 @@ int main(int argc, char** argv) {
               legacy_total / indexed_total);
   std::printf("speedup indexed_lanes_4 vs indexed_serial: %.2fx\n", indexed_ms / lanes4_ms);
 
+  // ---- incremental-vs-rebuild locked-phase mode (--incremental) ----
+  //
+  // Simulates the stream engine's snapshot cadence at a steady churn: every
+  // "snapshot" removes the 1% longest-resident tuples and re-adds them under
+  // fresh keys (constant live set, so the reference result stays the
+  // comparison oracle). What is timed is exactly the work each protocol does
+  // under the engine's exclusive lock: a full IndexedDataset build
+  // (rebuild-per-snapshot) vs an IncrementalIndex::apply of the churn batch.
+  double incremental_apply_ms = 0;
+  std::size_t churn = 0;
+  if (incremental) {
+    core::IncrementalIndex index;
+    std::deque<std::pair<std::uint64_t, std::size_t>> order;  // key -> view index
+    {
+      std::vector<core::IndexDelta> bootstrap;
+      bootstrap.reserve(views.size());
+      for (std::size_t i = 0; i < views.size(); ++i) {
+        bootstrap.push_back(
+            {core::IndexDelta::Kind::kAdd, i, views[i].upper_mask, *views[i].path});
+        order.emplace_back(i, i);
+      }
+      index.apply(std::move(bootstrap));
+    }
+    std::uint64_t next_key = views.size();
+    churn = std::max<std::size_t>(1, views.size() / 100);
+    const int churn_iters = smoke ? 4 : 10;
+
+    for (int iter = 0; iter < churn_iters; ++iter) {
+      std::vector<core::IndexDelta> batch;
+      batch.reserve(2 * churn);
+      for (std::size_t c = 0; c < churn; ++c) {
+        const auto [key, view_index] = order.front();
+        order.pop_front();
+        batch.push_back({core::IndexDelta::Kind::kRemove, key, 0, {}});
+        batch.push_back({core::IndexDelta::Kind::kAdd, next_key,
+                         views[view_index].upper_mask, *views[view_index].path});
+        order.emplace_back(next_key, view_index);
+        ++next_key;
+      }
+      const auto start = Clock::now();
+      index.apply(std::move(batch));
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+      if (iter == 0 || ms < incremental_apply_ms) incremental_apply_ms = ms;
+
+      // Correctness gate every batch: the maintained index must sweep
+      // bit-identically to the reference over the (unchanged) live set.
+      const auto swept = core::sweep_columns(index.dataset(), serial_config);
+      if (swept.counter_map() != reference.counter_map() ||
+          swept.columns_swept() != reference.columns_swept()) {
+        std::cerr << "FATAL: incremental index diverged from rebuilt reference at churn "
+                     "iteration "
+                  << iter << "\n";
+        return 1;
+      }
+    }
+    std::printf("\nincremental locked phase (%zu deltas/snapshot, %d snapshots, "
+                "compactions %llu, rebuilds %llu)\n",
+                2 * churn, churn_iters,
+                static_cast<unsigned long long>(index.stats().group_compactions),
+                static_cast<unsigned long long>(index.stats().full_rebuilds));
+    std::printf("%-22s %10.2f\n", "incremental_apply", incremental_apply_ms);
+    std::printf("speedup locked phase: incremental_apply vs indexed_build: %.1fx\n",
+                indexed_build_ms / incremental_apply_ms);
+    std::cout << "verified: incremental sweeps bit-identical through churn\n";
+  }
+
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"sweep\",\n"
@@ -281,8 +364,16 @@ int main(int argc, char** argv) {
        << "  },\n"
        << "  \"speedup_indexed_vs_legacy_kernel\": " << legacy_ms / indexed_ms << ",\n"
        << "  \"speedup_indexed_vs_legacy_total\": " << legacy_total / indexed_total << ",\n"
-       << "  \"speedup_lanes4_vs_indexed_serial\": " << indexed_ms / lanes4_ms << "\n"
-       << "}\n";
+       << "  \"speedup_lanes4_vs_indexed_serial\": " << indexed_ms / lanes4_ms;
+  if (incremental) {
+    json << ",\n  \"incremental\": {\n"
+         << "    \"churn_deltas_per_snapshot\": " << 2 * churn << ",\n"
+         << "    \"apply_best_ms\": " << incremental_apply_ms << ",\n"
+         << "    \"rebuild_locked_ms\": " << indexed_build_ms << ",\n"
+         << "    \"speedup_locked_phase\": " << indexed_build_ms / incremental_apply_ms
+         << "\n  }";
+  }
+  json << "\n}\n";
   std::cout << "\nwrote " << out_path << "\n";
   return 0;
 }

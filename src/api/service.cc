@@ -118,6 +118,14 @@ QueryResponse Service::query(const QueryRequest& request) const {
       stats.shards = engine_.config().shards;
       stats.window_epochs = engine_.config().window_epochs;
       stats.subscriptions = subscription_count();
+      const auto snap = engine_.snapshot_stats();
+      stats.snapshot_sweeps = snap.sweeps;
+      stats.snapshot_cache_hits = snap.cache_hits;
+      stats.index_deltas_applied = snap.deltas_applied;
+      stats.index_compactions = snap.group_compactions;
+      stats.index_rebuilds = snap.index_rebuilds;
+      stats.locked_ns_last = snap.locked_ns_last;
+      stats.locked_ns_total = snap.locked_ns_total;
       response.stats = stats;
       break;
     }

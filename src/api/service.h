@@ -67,6 +67,16 @@ struct ServiceStats {
   std::uint64_t shards = 0;
   std::uint64_t window_epochs = 0;
   std::uint64_t subscriptions = 0;
+  // Snapshot-path health (see stream::SnapshotStats): how often the engine
+  // swept vs served the cache, how much incremental-index maintenance the
+  // sweeps cost, and the exclusive-lock (locked-phase) time they held.
+  std::uint64_t snapshot_sweeps = 0;
+  std::uint64_t snapshot_cache_hits = 0;
+  std::uint64_t index_deltas_applied = 0;
+  std::uint64_t index_compactions = 0;
+  std::uint64_t index_rebuilds = 0;
+  std::uint64_t locked_ns_last = 0;
+  std::uint64_t locked_ns_total = 0;
 
   friend bool operator==(const ServiceStats&, const ServiceStats&) = default;
 };

@@ -489,6 +489,13 @@ void put_query_response_payload(std::vector<std::uint8_t>& payload,
       put_varint(payload, response.stats->shards);
       put_varint(payload, response.stats->window_epochs);
       put_varint(payload, response.stats->subscriptions);
+      put_varint(payload, response.stats->snapshot_sweeps);
+      put_varint(payload, response.stats->snapshot_cache_hits);
+      put_varint(payload, response.stats->index_deltas_applied);
+      put_varint(payload, response.stats->index_compactions);
+      put_varint(payload, response.stats->index_rebuilds);
+      put_varint(payload, response.stats->locked_ns_last);
+      put_varint(payload, response.stats->locked_ns_total);
       break;
     }
   }
@@ -523,6 +530,13 @@ QueryResponse get_query_response_payload(Reader& r) {
       stats.shards = r.varint("stats shards");
       stats.window_epochs = r.varint("stats window_epochs");
       stats.subscriptions = r.varint("stats subscriptions");
+      stats.snapshot_sweeps = r.varint("stats snapshot_sweeps");
+      stats.snapshot_cache_hits = r.varint("stats snapshot_cache_hits");
+      stats.index_deltas_applied = r.varint("stats index_deltas_applied");
+      stats.index_compactions = r.varint("stats index_compactions");
+      stats.index_rebuilds = r.varint("stats index_rebuilds");
+      stats.locked_ns_last = r.varint("stats locked_ns_last");
+      stats.locked_ns_total = r.varint("stats locked_ns_total");
       response.stats = stats;
       break;
     }

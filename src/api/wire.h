@@ -46,6 +46,16 @@ inline constexpr std::array<std::uint8_t, 4> kWireMagic = {0x89, 'B', 'C', 'U'};
 /// Current (and only) format version. Decoders reject anything newer.
 inline constexpr std::uint8_t kWireVersion = 1;
 
+/// Current network *conversation* version, carried in hello/welcome and
+/// matched exactly at the handshake. Distinct from kWireVersion: the
+/// artifact frames (snapshot/delta files) are frozen per wire version
+/// because files outlive processes, while live-connection frames may grow
+/// fields between protocol versions — bumping this is what turns a
+/// mixed-version client/server pair into a clean "unsupported protocol
+/// version" handshake error instead of a mid-payload decode failure.
+/// v2: the stats query response grew the snapshot-path fields.
+inline constexpr std::uint8_t kProtocolVersion = 2;
+
 /// Record types carried in a frame header. Values are wire-stable. Types
 /// 1-4 are the v1 artifact frames (files, logs); 5-14 are the network
 /// protocol frames spoken between bgpcu_serve and net::Client (see
@@ -144,7 +154,7 @@ enum class ErrorCode : std::uint8_t {
 
 /// First frame on every connection, client -> server.
 struct HelloFrame {
-  std::uint8_t protocol = kWireVersion;
+  std::uint8_t protocol = kProtocolVersion;
   std::string token;  ///< Empty when the server runs without auth.
 
   friend bool operator==(const HelloFrame&, const HelloFrame&) = default;
@@ -152,7 +162,7 @@ struct HelloFrame {
 
 /// Handshake accept, server -> client.
 struct WelcomeFrame {
-  std::uint8_t protocol = kWireVersion;
+  std::uint8_t protocol = kProtocolVersion;
   stream::Epoch epoch = 0;  ///< Service epoch at accept time.
 
   friend bool operator==(const WelcomeFrame&, const WelcomeFrame&) = default;

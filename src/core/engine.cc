@@ -38,8 +38,10 @@ bool cond1(const std::uint32_t* ids, std::size_t x, const std::uint8_t* forward_
 void count_tagging(const IndexedDataset::Group& group, std::size_t begin, std::size_t end,
                    std::size_t x, const std::uint8_t* forward_flag, PhaseCounters& out) {
   const std::size_t len = group.len;
+  const std::uint8_t* alive = group.alive.empty() ? nullptr : group.alive.data();
   const std::uint32_t* ids = group.ids.data() + begin * len;
   for (std::size_t t = begin; t < end; ++t, ids += len) {
+    if (alive != nullptr && !alive[t]) continue;  // tombstoned row
     if (!cond1(ids, x, forward_flag)) continue;
     const std::uint32_t target = ids[x - 1];
     if ((group.masks[t] >> (x - 1)) & 1u) {
@@ -58,8 +60,10 @@ void count_forwarding(const IndexedDataset::Group& group, std::size_t begin, std
                       std::size_t x, const std::uint8_t* forward_flag,
                       const std::uint8_t* tagger_flag, PhaseCounters& out) {
   const std::size_t len = group.len;
+  const std::uint8_t* alive = group.alive.empty() ? nullptr : group.alive.data();
   const std::uint32_t* ids = group.ids.data() + begin * len;
   for (std::size_t t = begin; t < end; ++t, ids += len) {
+    if (alive != nullptr && !alive[t]) continue;  // tombstoned row
     if (!cond1(ids, x, forward_flag)) continue;
     std::size_t t_pos = 0;  // 1-based; 0 = not found
     for (std::size_t j = x; j < len; ++j) {

@@ -120,6 +120,10 @@ class IndexedDataset {
     std::uint32_t len = 0;
     std::vector<std::uint32_t> ids;    ///< count() * len dense ids.
     std::vector<std::uint32_t> masks;  ///< One upper mask per tuple.
+    /// Tombstone bitmap: empty means every row is live (the from-scratch
+    /// build never tombstones); otherwise one flag per row and the sweep
+    /// skips rows flagged 0. Only IncrementalIndex ever populates this.
+    std::vector<std::uint8_t> alive;
 
     [[nodiscard]] std::size_t count() const noexcept { return masks.size(); }
   };
@@ -127,15 +131,21 @@ class IndexedDataset {
   IndexedDataset() = default;
   explicit IndexedDataset(std::span<const TupleView> views);
 
-  /// Non-empty groups in ascending path-length order.
+  /// Groups in ascending path-length order. A from-scratch build stores only
+  /// non-empty groups; an incrementally maintained dataset keeps one slot
+  /// per possible length (empty groups contribute nothing to a sweep).
   [[nodiscard]] const std::vector<Group>& groups() const noexcept { return groups_; }
   /// Dense id -> ASN (ids are assigned in first-appearance order).
   [[nodiscard]] const std::vector<bgp::Asn>& asns() const noexcept { return asns_; }
   [[nodiscard]] std::size_t asn_count() const noexcept { return asns_.size(); }
+  /// Longest path among *live* tuples (tombstoned rows excluded).
   [[nodiscard]] std::size_t max_len() const noexcept { return max_len_; }
+  /// Number of live tuples (tombstoned rows excluded).
   [[nodiscard]] std::size_t tuple_count() const noexcept { return tuple_count_; }
 
  private:
+  friend class IncrementalIndex;  ///< Patches groups in place across snapshots.
+
   std::vector<Group> groups_;
   std::vector<bgp::Asn> asns_;
   std::size_t max_len_ = 0;

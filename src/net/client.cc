@@ -12,7 +12,7 @@ ProtocolError::ProtocolError(api::ErrorFrame error)
 Client::Client(std::unique_ptr<Connection> conn, Options options)
     : conn_(std::move(conn)), frames_(options.max_frame_payload) {
   try {
-    send(api::encode_hello({api::kWireVersion, options.token}));
+    send(api::encode_hello({api::kProtocolVersion, options.token}));
   } catch (const TransportError&) {
     // The server may have rejected us (e.g. kServerBusy) and hung up before
     // our hello landed; its error frame is still readable below.

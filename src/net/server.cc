@@ -162,7 +162,10 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
         return false;
       }
       const auto hello = api::decode_hello(frame);
-      if (hello.protocol == 0 || hello.protocol > api::kWireVersion) {
+      // Exact match: an older client would misdecode responses whose
+      // payloads grew since its version (e.g. the v2 stats fields), so the
+      // handshake is where the mismatch must fail, loudly and by name.
+      if (hello.protocol != api::kProtocolVersion) {
         send_error(0, api::ErrorCode::kBadRequest,
                    "unsupported protocol version " + std::to_string(hello.protocol));
         return false;
@@ -174,7 +177,7 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
       }
       hello_done_ = true;
       conn_->set_read_timeout(std::chrono::milliseconds::zero());
-      enqueue(api::encode_welcome({api::kWireVersion, server_.service_.epoch()}));
+      enqueue(api::encode_welcome({api::kProtocolVersion, server_.service_.epoch()}));
       return true;
     }
     switch (type) {

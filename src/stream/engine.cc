@@ -1,11 +1,20 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <stdexcept>
 #include <utility>
 
 namespace bgpcu::stream {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - since).count());
+}
 
 /// SplitMix64 finalizer: ASNs are dense small integers, so identity hashing
 /// would pile consecutive peers into neighboring shards; mix first.
@@ -18,11 +27,15 @@ std::uint64_t mix_asn(bgp::Asn asn) noexcept {
 
 }  // namespace
 
-StreamEngine::StreamEngine(StreamConfig config) : config_(config) {
+StreamEngine::StreamEngine(StreamConfig config) : config_(config), index_(config.index) {
   config_.shards = std::max<std::size_t>(1, config_.shards);
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
-    shards_.push_back(std::make_unique<TupleShard>());
+    // Interleaved key ranges keep shard-assigned tuple keys unique
+    // engine-wide without any cross-shard coordination.
+    shards_.push_back(std::make_unique<TupleShard>(i, config_.shards,
+                                                   config_.incremental_index,
+                                                   config_.journal_cap));
   }
 }
 
@@ -70,6 +83,42 @@ Epoch StreamEngine::advance_epoch() {
 
 Epoch StreamEngine::epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
+void StreamEngine::apply_pending_deltas_locked(std::size_t live) const {
+  std::vector<core::IndexDelta> deltas;
+  bool journals_intact = index_valid_;
+  for (const auto& shard : shards_) {
+    // Drain every shard even after a failure: each drain also clears the
+    // shard's journal/overflow state, re-anchoring it at this cut.
+    if (!shard->drain_deltas(deltas)) journals_intact = false;
+  }
+  if (!journals_intact) {
+    // A journal overflowed (or a previous apply died): the deltas no longer
+    // reconstruct the live set. Rebuild once from the shards' authoritative
+    // state — same cost as a pre-incremental snapshot, then incremental
+    // maintenance resumes from this cut.
+    index_.reset();
+    deltas.clear();
+    for (const auto& shard : shards_) shard->export_live(deltas);
+    ++snap_stats_.index_rebuilds;
+  }
+  const auto before = index_.stats();
+  index_valid_ = false;  // until apply() lands in full
+  index_.apply(std::move(deltas));
+  index_valid_ = true;
+  const auto& after = index_.stats();
+  snap_stats_.deltas_applied += (after.adds_applied - before.adds_applied) +
+                                (after.removes_applied - before.removes_applied);
+  snap_stats_.group_compactions += after.group_compactions - before.group_compactions;
+  snap_stats_.index_rebuilds += after.full_rebuilds - before.full_rebuilds;
+  if (index_.live_tuples() != live) {
+    // Patched index and shard stores disagreeing means a corrupt journal —
+    // a bug, never a recoverable state. Fail loudly; the poisoned index is
+    // rebuilt from shard state on the next snapshot (index_valid_ false).
+    index_valid_ = false;
+    throw std::logic_error("stream: incremental index diverged from shard state");
+  }
+}
+
 SnapshotPtr StreamEngine::snapshot() const {
   // Fast path, shared lock only: an unchanged engine serves the cached
   // handle without excluding ingest, live queries, or other cache hits.
@@ -79,13 +128,19 @@ SnapshotPtr StreamEngine::snapshot() const {
     const std::shared_lock lock(engine_mutex_);
     std::uint64_t version = 0;
     for (const auto& shard : shards_) version += shard->version();
-    if (cached_ && cached_version_ == version) return cached_;
+    if (cached_ && cached_version_ == version) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return cached_;
+    }
   }
 
   // Collection phase, under the exclusive lock: stamp a consistent cut of
-  // the live tuple set and copy it into an owned index. This is one pass
-  // over the tuples — orders of magnitude cheaper than the sweep it feeds.
-  core::IndexedDataset data;
+  // the live tuple set and bring the sweep input up to date with it. In
+  // incremental mode that patches the persistent index with the journaled
+  // deltas since the last cut (work proportional to the churn); otherwise
+  // it copies the live tuples into an owned index (one full pass).
+  core::IndexedDataset rebuilt;
+  const core::IndexedDataset* sweep_input = nullptr;
   std::uint64_t version = 0;
   {
     std::unique_lock lock(engine_mutex_);
@@ -97,29 +152,44 @@ SnapshotPtr StreamEngine::snapshot() const {
         version += shard->version();
         live += shard->size();
       }
-      if (cached_ && cached_version_ == version) return cached_;
+      if (cached_ && cached_version_ == version) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return cached_;
+      }
       // Single-flight: while any sweep is in flight, wait for its install
       // instead of starting a duplicate — most waiters then hit the cache
       // on re-check. The re-read stamp keeps the eventual cut valid for
       // this call: it names state observed after the call began. Sweeps
       // were fully serialized by the old exclusive-lock protocol too; the
       // difference is that ingest/live queries no longer wait with them.
+      // Single-flight is also what lets an unlocked sweep read the shared
+      // incremental index: nothing mutates it until this sweep installs.
       if (!sweep_inflight_) break;
       snapshot_cv_.wait(lock);
     }
     sweep_inflight_ = true;
     // From here on every exit path must clear the flag and notify, or
     // every future snapshot() would wait forever on the cv.
+    const auto locked_at = Clock::now();
     try {
-      std::vector<core::TupleView> views;
-      views.reserve(live);
-      for (const auto& shard : shards_) shard->collect_views(views);
-      data = core::IndexedDataset(views);
+      if (config_.incremental_index) {
+        apply_pending_deltas_locked(live);
+        sweep_input = &index_.dataset();
+      } else {
+        std::vector<core::TupleView> views;
+        views.reserve(live);
+        for (const auto& shard : shards_) shard->collect_views(views);
+        rebuilt = core::IndexedDataset(views);
+        sweep_input = &rebuilt;
+      }
     } catch (...) {
       sweep_inflight_ = false;  // lock still held here
       snapshot_cv_.notify_all();
       throw;
     }
+    snap_stats_.locked_ns_last = elapsed_ns(locked_at);
+    snap_stats_.locked_ns_total += snap_stats_.locked_ns_last;
+    ++snap_stats_.sweeps;
   }
 
   // Sweep phase, no lock held: ingest, live queries, and other snapshots
@@ -128,7 +198,7 @@ SnapshotPtr StreamEngine::snapshot() const {
   try {
     if (after_collect_hook_) after_collect_hook_();
     result = std::make_shared<const core::InferenceResult>(
-        core::sweep_columns(data, config_.engine));
+        core::sweep_columns(*sweep_input, config_.engine));
   } catch (...) {
     const std::unique_lock lock(engine_mutex_);
     sweep_inflight_ = false;
@@ -164,6 +234,13 @@ std::size_t StreamEngine::live_tuples() const {
 
 std::uint64_t StreamEngine::evicted_total() const {
   return evicted_total_.load(std::memory_order_relaxed);
+}
+
+SnapshotStats StreamEngine::snapshot_stats() const {
+  const std::shared_lock lock(engine_mutex_);
+  SnapshotStats stats = snap_stats_;
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 }  // namespace bgpcu::stream

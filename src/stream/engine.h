@@ -20,15 +20,28 @@
 //
 // Snapshot-outside-lock protocol: a sweep at production scale takes orders
 // of magnitude longer than collecting its input, so snapshot() holds the
-// exclusive engine lock only while building an *owned* core::IndexedDataset
-// from the shards (a consistent cut of the live tuple set, stamped with the
-// shard-version sum), releases the lock, and sweeps the owned index with no
-// lock held — ingest and live queries proceed concurrently with the sweep.
-// On completion the result is installed into the cache only if its stamp is
-// not older than the cached one (concurrent snapshots race benignly; the
-// newest consistent result wins). Results are handed out as
-// shared_ptr<const InferenceResult>, so cache hits share one immutable
-// object instead of deep-copying the counter map per call.
+// exclusive engine lock only while bringing a core::IndexedDataset up to
+// date with the live tuple set (a consistent cut, stamped with the
+// shard-version sum), releases the lock, and sweeps with no lock held —
+// ingest and live queries proceed concurrently with the sweep. On completion
+// the result is installed into the cache only if its stamp is not older than
+// the cached one (concurrent snapshots race benignly; the newest consistent
+// result wins). Results are handed out as shared_ptr<const InferenceResult>,
+// so cache hits share one immutable object instead of deep-copying the
+// counter map per call.
+//
+// Incremental indexing (default): the engine owns a core::IncrementalIndex
+// that persists between snapshots; shards journal every accept/evict as an
+// IndexDelta, and the exclusive section shrinks to "drain the journals,
+// patch the index, stamp the cut" — proportional to the churn since the last
+// snapshot, not to the live tuple set. Eviction-heavy windows tombstone rows
+// that are compacted lazily, and a journal overflow (snapshot-starved
+// engine) or an apply failure falls back to one full rebuild from the
+// shards' authoritative state. Sweeps are single-flight, which is also what
+// keeps the shared index immutable while an unlocked sweep reads it. With
+// `incremental_index` off the engine rebuilds an owned IndexedDataset per
+// cold snapshot (the pre-incremental protocol, kept as a fallback and as the
+// bench baseline).
 #ifndef BGPCU_STREAM_ENGINE_H
 #define BGPCU_STREAM_ENGINE_H
 
@@ -54,10 +67,37 @@ struct StreamConfig {
   /// Sliding window in epochs: a snapshot at epoch E covers tuples last seen
   /// at epochs (E - window_epochs, E]. 0 = unbounded (nothing ages out).
   std::uint64_t window_epochs = 0;
+  /// Maintain the sweep index incrementally across snapshots (see header
+  /// note). Off = rebuild an owned IndexedDataset per cold snapshot.
+  bool incremental_index = true;
+  /// Tombstone-compaction / full-rebuild thresholds for the incremental
+  /// index; the defaults suit production scale, tests shrink them.
+  core::IncrementalIndexConfig index;
+  /// Per-shard delta-journal overflow threshold (see TupleShard::kJournalCap).
+  std::size_t journal_cap = TupleShard::kJournalCap;
 };
 
 /// An immutable, shareable inference snapshot (see snapshot()).
 using SnapshotPtr = std::shared_ptr<const core::InferenceResult>;
+
+/// Snapshot-path health counters (see StreamEngine::snapshot_stats). All
+/// monotone over the engine's lifetime except locked_ns_last.
+struct SnapshotStats {
+  std::uint64_t sweeps = 0;      ///< Cold snapshots (collected + swept).
+  std::uint64_t cache_hits = 0;  ///< Snapshots served from the cached result.
+  /// Add/remove deltas patched into the incremental index.
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t group_compactions = 0;  ///< Lazy tombstone compactions.
+  /// Full index (re)builds: threshold-triggered id reassignments plus
+  /// journal-overflow / apply-failure rebuilds from shard state.
+  std::uint64_t index_rebuilds = 0;
+  /// Exclusive-lock (collect/apply) time of the most recent cold snapshot,
+  /// and the lifetime total — the engine's dominant critical section.
+  std::uint64_t locked_ns_last = 0;
+  std::uint64_t locked_ns_total = 0;
+
+  friend bool operator==(const SnapshotStats&, const SnapshotStats&) = default;
+};
 
 /// Incremental, sharded community-usage classification engine.
 ///
@@ -96,6 +136,10 @@ class StreamEngine {
   /// Tuples evicted by window aging over the engine's lifetime.
   [[nodiscard]] std::uint64_t evicted_total() const;
 
+  /// Snapshot-path health: locked-phase time, cache hits, incremental-index
+  /// maintenance counts. Lock-light (shared lock, no sweep).
+  [[nodiscard]] SnapshotStats snapshot_stats() const;
+
   [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
 
   /// Test instrumentation: invoked by snapshot() after the collection lock
@@ -108,6 +152,14 @@ class StreamEngine {
 
  private:
   [[nodiscard]] std::size_t shard_of(bgp::Asn peer) const noexcept;
+
+  /// Brings index_ up to date with the shards: drains every journal and
+  /// patches the index, or rebuilds it from shard state after an overflow /
+  /// prior apply failure. `live` is the shard-size sum at the cut; a
+  /// mismatch against the patched index throws std::logic_error (a journal
+  /// and its shard disagreeing is a bug, never a recoverable state).
+  /// Caller holds engine_mutex_ exclusively.
+  void apply_pending_deltas_locked(std::size_t live) const;
 
   StreamConfig config_;
   std::vector<std::unique_ptr<TupleShard>> shards_;
@@ -125,6 +177,17 @@ class StreamEngine {
   mutable std::uint64_t cached_version_ = 0;
   mutable std::condition_variable_any snapshot_cv_;
   mutable bool sweep_inflight_ = false;
+  /// The persistent sweep index (incremental mode). Mutated only inside the
+  /// exclusive collect phase while sweep_inflight_ is held, which is what
+  /// makes the unlocked sweep's read of it race-free.
+  mutable core::IncrementalIndex index_;
+  /// Cleared when an apply failed mid-flight (index state unknown); the next
+  /// snapshot rebuilds from the shards' authoritative state.
+  mutable bool index_valid_ = true;
+  /// Guarded by engine_mutex_ (exclusive writes) except cache_hits, which
+  /// fast-path readers bump under the shared lock.
+  mutable SnapshotStats snap_stats_;
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
   std::function<void()> after_collect_hook_;
 };
 

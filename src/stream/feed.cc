@@ -40,7 +40,11 @@ std::uint64_t inode_of(const std::string& path) {
 }
 
 /// Reads `path` from byte `offset` to EOF. Throws std::runtime_error when
-/// the file cannot be opened or read.
+/// the file cannot be opened or a hard read error occurs. A *short* read is
+/// tolerated, not fatal: the size is sampled before the bytes are pulled, so
+/// a writer truncating or rotating the file in between legitimately hands us
+/// fewer bytes than the sample promised — the returned data is whatever was
+/// actually read, and the next poll re-examines the file.
 std::vector<std::uint8_t> read_from_offset(const std::string& path, std::uint64_t offset) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("cannot open feed file: " + path);
@@ -49,11 +53,23 @@ std::vector<std::uint8_t> read_from_offset(const std::string& path, std::uint64_
   std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size - offset));
   in.seekg(static_cast<std::streamoff>(offset));
   in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(bytes.size()));
-  if (!in) throw std::runtime_error("cannot read feed file: " + path);
+  if (in.bad()) throw std::runtime_error("cannot read feed file: " + path);
+  bytes.resize(static_cast<std::size_t>(in.gcount()));
   return bytes;
 }
 
 }  // namespace
+
+bool DirectoryFeed::head_changed(const std::string& path, const FileState& state) {
+  if (state.head.empty()) return false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string head(state.head.size(), '\0');
+  in.read(head.data(), static_cast<std::streamsize>(head.size()));
+  if (in.bad()) return false;
+  head.resize(static_cast<std::size_t>(in.gcount()));
+  return head != state.head;
+}
 
 DirectoryFeed::DirectoryFeed(std::string directory, const registry::AllocationRegistry& registry,
                              std::string extension, std::uint32_t settle_seconds)
@@ -70,17 +86,21 @@ FeedPoll DirectoryFeed::poll() {
   // error_code overloads throughout the scan: a writer renaming or deleting
   // a file between the iterator yielding it and us stat-ing it is a normal
   // race for a tailed directory, not a reason to kill the service.
-  std::vector<std::string> fresh;
+  std::vector<std::pair<std::string, std::int64_t>> fresh;  // path, mtime ticks
   for (fs::directory_iterator end; it != end; it.increment(ec)) {
     if (ec) break;
     if (!it->is_regular_file(ec) || ec) continue;
     const auto& path = it->path();
     if (!extension_.empty() && path.extension() != extension_) continue;
+    const auto mtime = it->last_write_time(ec);
+    // An unreadable mtime is recorded as 0 (never matches a real one), so
+    // the next poll re-examines the file instead of trusting a stale stamp.
+    const std::int64_t mtime_ticks =
+        ec ? 0 : mtime.time_since_epoch().count();
     // Quiescence guard against collectors that write in place (no atomic
     // rename): leave a file alone until it stopped changing for the settle
     // window, so a half-written dump's tail is not permanently missed.
     if (settle_seconds_ != 0) {
-      const auto mtime = it->last_write_time(ec);
       if (ec) continue;
       const auto age = std::chrono::duration_cast<std::chrono::seconds>(
           fs::file_time_type::clock::now() - mtime);
@@ -91,20 +111,32 @@ FeedPoll DirectoryFeed::poll() {
     auto text = path.string();
     const auto state = files_.find(text);
     if (state != files_.end()) {
-      // Rotation reusing the name must start the file over, whatever the
-      // replacement's size — tail-reading it from the stale offset would
-      // misparse unrelated content. Inode identity catches every case;
-      // the size checks back it up for filesystems where an in-place
-      // rewrite keeps the inode (a tailed file otherwise only grows).
+      // Rotation or rewrite reusing the name must start the file over,
+      // whatever the replacement's size — tail-reading it from the stale
+      // offset would misparse unrelated content. Three independent
+      // detectors, because no single one covers every rewrite shape:
+      // inode identity catches rename-rotation, the size check catches
+      // shrinking in-place rewrites, and the first-bytes fingerprint
+      // catches in-place rewrites that keep the inode *and* land on the
+      // same or a larger size (O_TRUNC + rewrite on most filesystems).
+      // The fingerprint read is gated on the mtime/size stamps, so a file
+      // untouched since the last poll costs no open() to skip.
+      const bool touched = mtime_ticks == 0 || mtime_ticks != state->second.mtime_seen ||
+                           size != state->second.size_seen;
       const auto inode = inode_of(text);
       if ((state->second.inode != 0 && inode != 0 && inode != state->second.inode) ||
-          size < state->second.size_seen) {
+          size < state->second.size_seen ||
+          (touched && head_changed(text, state->second))) {
         state->second = FileState{};
       } else if (size == state->second.size_seen) {
+        // Touched but same size and same head (or untouched entirely):
+        // nothing new to read. Remember the stamp so the fingerprint is
+        // not re-verified every poll after a content-free touch.
+        state->second.mtime_seen = mtime_ticks;
         continue;
       }
     }
-    fresh.push_back(std::move(text));
+    fresh.emplace_back(std::move(text), mtime_ticks);
   }
   std::sort(fresh.begin(), fresh.end());
 
@@ -112,7 +144,7 @@ FeedPoll DirectoryFeed::poll() {
   if (fresh.empty()) return result;
 
   collector::DatasetBuilder builder(*registry_);
-  for (const auto& path : fresh) {
+  for (const auto& [path, mtime_ticks] : fresh) {
     // A file that vanished or is unreadable keeps its recorded offset
     // (retried next poll) and must not abort the batch — earlier files'
     // tuples already live in this builder.
@@ -121,7 +153,18 @@ FeedPoll DirectoryFeed::poll() {
     std::size_t consumed = 0;
     try {
       state.inode = inode_of(path);
+      // The scan-time stamp, deliberately: a write landing between the
+      // scan's stat and this read moves the real mtime past the recorded
+      // one, so the next poll re-examines the file rather than skipping it.
+      state.mtime_seen = mtime_ticks;
+      const bool from_start = state.offset == 0;
       const auto bytes = read_from_offset(path, state.offset);
+      if (from_start && !bytes.empty()) {
+        // Fingerprint the head while it is in hand: later polls compare
+        // these bytes to detect in-place rewrites the size cannot show.
+        state.head.assign(reinterpret_cast<const char*>(bytes.data()),
+                          std::min<std::size_t>(kHeadFingerprint, bytes.size()));
+      }
       consumed = complete_record_prefix(bytes);
       builder.add_dump(std::span(bytes.data(), consumed));
       state.offset += consumed;

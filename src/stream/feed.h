@@ -69,7 +69,25 @@ class DirectoryFeed {
     std::uint64_t inode = 0;      ///< Identity at the last read: rotation
                                   ///< reusing the name (any new size) resets
                                   ///< the offset. 0 = not yet recorded.
+    /// Modification time (file_time_type ticks) observed at the last scan.
+    /// Gates the fingerprint comparison: a file whose size *and* mtime are
+    /// unchanged since the last poll is skipped without opening it, so
+    /// steady-state polls over fully consumed files stay stat-only.
+    std::int64_t mtime_seen = 0;
+    /// First bytes of the file as read at offset 0 (up to kHeadFingerprint).
+    /// An in-place rewrite keeps the inode and may keep or grow the size —
+    /// the only signal left is the content itself, so a head mismatch on a
+    /// later poll restarts the file. Empty = not yet captured.
+    std::string head;
   };
+
+  /// How many leading bytes the rewrite fingerprint covers.
+  static constexpr std::size_t kHeadFingerprint = 64;
+
+  /// True when `path`'s current first bytes no longer match `state.head`
+  /// (the file was rewritten in place). Unreadable files report false — the
+  /// read phase deals with them.
+  [[nodiscard]] static bool head_changed(const std::string& path, const FileState& state);
 
   std::string directory_;
   const registry::AllocationRegistry* registry_;

@@ -12,6 +12,11 @@ IngestStats& IngestStats::operator+=(const IngestStats& other) noexcept {
   return *this;
 }
 
+TupleShard::TupleShard(std::uint64_t first_key, std::uint64_t key_stride, bool journal,
+                       std::size_t journal_cap)
+    : next_key_(first_key), key_stride_(key_stride == 0 ? 1 : key_stride),
+      journal_enabled_(journal), journal_cap_(journal_cap) {}
+
 IngestOutcome TupleShard::ingest(core::PathCommTuple&& tuple, Epoch epoch) {
   const auto view = core::TupleView::prepare(tuple);
   if (!view) return IngestOutcome::kRejected;
@@ -23,6 +28,19 @@ IngestOutcome TupleShard::ingest(core::PathCommTuple&& tuple, Epoch epoch) {
   if (stats.accepted) return IngestOutcome::kAccepted;
   if (stats.refreshed) return IngestOutcome::kRefreshed;
   return IngestOutcome::kDuplicate;
+}
+
+void TupleShard::journal_push(core::IndexDelta&& delta) {
+  if (!journal_enabled_ || journal_overflowed_) return;
+  if (journal_.size() >= journal_cap_) {
+    // Stop buffering and drop what we have: the next drain reports the
+    // overflow and the engine rebuilds from export_live() instead.
+    journal_overflowed_ = true;
+    journal_.clear();
+    journal_.shrink_to_fit();
+    return;
+  }
+  journal_.push_back(std::move(delta));
 }
 
 void TupleShard::ingest_batch(std::vector<PreparedTuple>&& batch, Epoch epoch,
@@ -43,6 +61,12 @@ void TupleShard::ingest_batch(std::vector<PreparedTuple>&& batch, Epoch epoch,
     }
     it->second.upper_mask = prepared.upper_mask;
     it->second.last_seen = epoch;
+    it->second.key = next_key_;
+    next_key_ += key_stride_;
+    if (journal_enabled_) {
+      journal_push({core::IndexDelta::Kind::kAdd, it->second.key, prepared.upper_mask,
+                    it->first.path});
+    }
     auto& k = live_[peer];
     if ((prepared.upper_mask & 1u) != 0) {
       ++k.t;
@@ -73,6 +97,9 @@ std::size_t TupleShard::evict_older_than(Epoch min_epoch) {
       }
       if ((k.t | k.s | k.f | k.c) == 0) live_.erase(live_it);
     }
+    if (journal_enabled_) {
+      journal_push({core::IndexDelta::Kind::kRemove, it->second.key, 0, {}});
+    }
     it = tuples_.erase(it);
     ++evicted;
   }
@@ -84,6 +111,31 @@ void TupleShard::collect_views(std::vector<core::TupleView>& out) const {
   const std::lock_guard lock(mutex_);
   for (const auto& [tuple, meta] : tuples_) {
     out.push_back(core::TupleView{&tuple.path, meta.upper_mask});
+  }
+}
+
+bool TupleShard::drain_deltas(std::vector<core::IndexDelta>& out) {
+  const std::lock_guard lock(mutex_);
+  if (journal_overflowed_) {
+    journal_overflowed_ = false;
+    journal_.clear();
+    return false;
+  }
+  if (out.empty()) {
+    out = std::move(journal_);
+  } else {
+    out.insert(out.end(), std::make_move_iterator(journal_.begin()),
+               std::make_move_iterator(journal_.end()));
+  }
+  journal_.clear();
+  return true;
+}
+
+void TupleShard::export_live(std::vector<core::IndexDelta>& out) const {
+  const std::lock_guard lock(mutex_);
+  out.reserve(out.size() + tuples_.size());
+  for (const auto& [tuple, meta] : tuples_) {
+    out.push_back({core::IndexDelta::Kind::kAdd, meta.key, meta.upper_mask, tuple.path});
   }
 }
 

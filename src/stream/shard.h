@@ -3,8 +3,11 @@
 // precomputed TupleView mask and last-seen epoch, and maintains the
 // *live* per-AS peer-column counters (t/s evidence at path index 1, where
 // Cond1 is vacuous) incrementally on ingest/evict — so real-time queries
-// never need a sweep. Each shard carries its own mutex; cross-shard
-// synchronization is the engine's job.
+// never need a sweep. A shard also journals every accept/evict as a
+// core::IndexDelta, which is what lets the engine patch its persistent
+// IncrementalIndex under the snapshot lock instead of rebuilding it. Each
+// shard carries its own mutex; cross-shard synchronization is the engine's
+// job.
 #ifndef BGPCU_STREAM_SHARD_H
 #define BGPCU_STREAM_SHARD_H
 
@@ -15,6 +18,7 @@
 
 #include "core/classifier.h"
 #include "core/engine.h"
+#include "core/incremental.h"
 #include "core/types.h"
 
 namespace bgpcu::stream {
@@ -52,6 +56,20 @@ struct PreparedTuple {
 /// A mutex-protected slice of the live tuple universe.
 class TupleShard {
  public:
+  /// Default journal-entry cap: more buffered deltas than this trigger
+  /// overflow — journaling stops, the buffered deltas are dropped, and the
+  /// next drain_deltas() reports the loss so the engine can rebuild from the
+  /// live set instead. Bounds the memory a snapshot-starved engine can sink
+  /// into delta buffers.
+  static constexpr std::size_t kJournalCap = 1u << 20;
+
+  /// Keys assigned to accepted tuples are `first_key + n * key_stride`: the
+  /// engine gives shard i (i, shard_count) so keys are unique engine-wide.
+  /// `journal` false (non-incremental engines) skips all delta buffering;
+  /// `journal_cap` overrides the overflow threshold (tests shrink it).
+  explicit TupleShard(std::uint64_t first_key = 0, std::uint64_t key_stride = 1,
+                      bool journal = true, std::size_t journal_cap = kJournalCap);
+
   /// Offers one tuple (communities must already be normalized). Thread-safe.
   IngestOutcome ingest(core::PathCommTuple&& tuple, Epoch epoch);
 
@@ -66,6 +84,18 @@ class TupleShard {
   /// stored tuples: the caller must hold off mutations (via the engine's
   /// snapshot lock) while using them.
   void collect_views(std::vector<core::TupleView>& out) const;
+
+  /// Moves the journaled add/remove deltas since the last drain into `out`
+  /// (in mutation order) and clears the journal. Returns false when the
+  /// journal overflowed since the last drain: nothing is appended, the
+  /// overflow state is cleared, and the caller must rebuild its index from
+  /// export_live() of every shard. Thread-safe.
+  [[nodiscard]] bool drain_deltas(std::vector<core::IndexDelta>& out);
+
+  /// Appends one add-delta per live tuple (the shard's authoritative state),
+  /// keyed identically to the journal's entries. Used to (re)build an index
+  /// from scratch after an overflow or apply failure. Thread-safe.
+  void export_live(std::vector<core::IndexDelta>& out) const;
 
   /// Live peer-column evidence for `asn` (t/s at path index 1); zero-valued
   /// when no live tuple has `asn` as its collector peer. Thread-safe.
@@ -82,12 +112,23 @@ class TupleShard {
   struct TupleMeta {
     std::uint32_t upper_mask = 0;
     Epoch last_seen = 0;
+    std::uint64_t key = 0;  ///< Stable identity linking journal add/remove.
   };
+
+  /// Appends to the journal unless journaling is off or overflowed; flips
+  /// into the overflowed state at the cap. Caller holds mutex_.
+  void journal_push(core::IndexDelta&& delta);
 
   mutable std::mutex mutex_;
   std::unordered_map<core::PathCommTuple, TupleMeta> tuples_;
   core::CounterMap live_;  ///< Peer-column t/s, one count per live tuple.
   std::uint64_t version_ = 0;
+  std::uint64_t next_key_ = 0;
+  std::uint64_t key_stride_ = 1;
+  bool journal_enabled_ = true;
+  std::size_t journal_cap_ = kJournalCap;
+  bool journal_overflowed_ = false;
+  std::vector<core::IndexDelta> journal_;
 };
 
 }  // namespace bgpcu::stream

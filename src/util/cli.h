@@ -1,8 +1,9 @@
 // Shared flag-parsing helpers for the tool binaries. Every tool validates
-// numeric flags the same way (strtoull/strtod + errno, explicit sign
-// rejection because strtoull silently wraps "-1", one-line diagnostic on
-// stderr, exit code 2); keeping the logic here stops the tools from
-// drifting apart one fix at a time.
+// numeric flags the same way (an explicit plain-digit-string gate in front
+// of strtoull/strtod, because the C parsers silently accept leading
+// whitespace and sign characters and silently wrap "-1"; one-line
+// diagnostic on stderr, exit code 2); keeping the logic here stops the
+// tools from drifting apart one fix at a time.
 #ifndef BGPCU_UTIL_CLI_H
 #define BGPCU_UTIL_CLI_H
 
@@ -16,14 +17,25 @@
 
 namespace bgpcu::util {
 
+/// True iff `text` is one or more ASCII decimal digits and nothing else —
+/// the only integer spelling the tools accept. Notably rejects everything
+/// strtoull waves through on its own: leading whitespace ("\t80"), sign
+/// characters ("+80", "-1"), and any trailing junk ("80 ", "8_0").
+[[nodiscard]] inline bool is_plain_decimal(const std::string& text) noexcept {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
 /// Parses a non-negative integer flag value; prints `flag needs a
 /// non-negative integer` and exits 2 on anything else.
 inline std::uint64_t parse_u64_or_exit(const std::string& flag, const std::string& text) {
-  char* end = nullptr;
+  const bool plain = is_plain_decimal(text);
   errno = 0;
-  const auto value = std::strtoull(text.c_str(), &end, 10);
-  if (errno != 0 || end == text.c_str() || *end != '\0' || text.empty() || text[0] == '-' ||
-      text[0] == '+') {
+  const auto value = plain ? std::strtoull(text.c_str(), nullptr, 10) : 0;
+  if (!plain || errno != 0) {
     std::cerr << flag << " needs a non-negative integer, got '" << text << "'\n";
     std::exit(2);
   }
@@ -32,23 +44,31 @@ inline std::uint64_t parse_u64_or_exit(const std::string& flag, const std::strin
 
 /// Parses a 32-bit ASN; exits 2 with `ASN must be ...` otherwise.
 inline bgp::Asn parse_asn_or_exit(const std::string& text) {
-  char* end = nullptr;
+  const bool plain = is_plain_decimal(text);
   errno = 0;
-  const auto value = std::strtoull(text.c_str(), &end, 10);
-  if (errno != 0 || end == text.c_str() || *end != '\0' || value > 0xFFFFFFFFull) {
+  const auto value = plain ? std::strtoull(text.c_str(), nullptr, 10) : 0;
+  if (!plain || errno != 0 || value > 0xFFFFFFFFull) {
     std::cerr << "ASN must be a 32-bit unsigned integer, got '" << text << "'\n";
     std::exit(2);
   }
   return static_cast<bgp::Asn>(value);
 }
 
-/// Parses a classification threshold in [0.5, 1.0]; exits 2 otherwise.
+/// Parses a classification threshold in [0.5, 1.0]; exits 2 otherwise. Only
+/// plain decimal spellings (digits and '.') reach strtod: its tolerance for
+/// leading whitespace, signs, hex floats, and "inf"/"nan" is rejected up
+/// front, and strtod itself rejects malformed dot arrangements ("..5").
 inline double parse_threshold_or_exit(const std::string& text) {
+  bool plain = !text.empty();
+  for (const char c : text) {
+    if (!((c >= '0' && c <= '9') || c == '.')) plain = false;
+  }
   char* end = nullptr;
   errno = 0;
-  const double value = std::strtod(text.c_str(), &end);
+  const double value = plain ? std::strtod(text.c_str(), &end) : 0.0;
   // The negated in-range form also rejects NaN, which compares false both ways.
-  if (errno != 0 || end == text.c_str() || *end != '\0' || !(value >= 0.5 && value <= 1.0)) {
+  if (!plain || errno != 0 || end == text.c_str() || *end != '\0' ||
+      !(value >= 0.5 && value <= 1.0)) {
     std::cerr << "--threshold must be a number in [0.5, 1.0], got '" << text << "'\n";
     std::exit(2);
   }

@@ -151,7 +151,10 @@ TEST(WireRoundTrip, QueryResponses) {
 
   QueryResponse stats;
   stats.kind = QueryKind::kStats;
-  stats.stats = ServiceStats{12, 168000, 42, 8, 3, 2};
+  // All thirteen fields nonzero, so a dropped/reordered varint cannot
+  // round-trip clean (the snapshot-path fields rode in after PR 4).
+  stats.stats = ServiceStats{12,  168000, 42,  8,      3,       2,      57,
+                             900, 12345,  6,   1,      271828,  3141592};
   decoded = decode_query_response(encode_query_response(stats));
   EXPECT_EQ(decoded.stats, stats.stats);
 

@@ -15,7 +15,7 @@ std::vector<std::uint8_t> stats_request_frame(std::uint64_t id) {
 }
 
 TEST(TryParseFrame, IncompletePrefixesWantMoreBytes) {
-  const auto frame = api::encode_hello({api::kWireVersion, "tok"});
+  const auto frame = api::encode_hello({api::kProtocolVersion, "tok"});
   for (std::size_t len = 0; len < frame.size(); ++len) {
     const auto prefix = std::span(frame).first(len);
     EXPECT_EQ(api::try_parse_frame(prefix), std::nullopt) << "prefix " << len;
@@ -85,7 +85,7 @@ TEST(FrameBuffer, ReassemblesByteByByte) {
 }
 
 TEST(FrameBuffer, ArbitrarySplitPointsYieldIdenticalFrames) {
-  const auto a = api::encode_hello({api::kWireVersion, "secret"});
+  const auto a = api::encode_hello({api::kProtocolVersion, "secret"});
   const auto b = stats_request_frame(42);
   std::vector<std::uint8_t> stream(a);
   stream.insert(stream.end(), b.begin(), b.end());

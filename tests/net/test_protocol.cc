@@ -90,8 +90,32 @@ TEST(NetProtocol, HandshakeReportsProtocolAndEpoch) {
   (void)harness.service.advance_epoch();
   (void)harness.service.advance_epoch();
   auto client = harness.client();
-  EXPECT_EQ(client.welcome().protocol, api::kWireVersion);
+  EXPECT_EQ(client.welcome().protocol, api::kProtocolVersion);
   EXPECT_EQ(client.welcome().epoch, 2u);
+}
+
+TEST(NetProtocol, StaleProtocolVersionIsRefusedAtHandshake) {
+  // A peer speaking an older (or bogus) protocol version must be refused
+  // by name at the hello — it would misdecode grown payloads (the v2 stats
+  // fields) as trailing garbage otherwise. Exact match, both directions.
+  Harness harness;
+  for (const std::uint8_t stale :
+       {static_cast<std::uint8_t>(api::kProtocolVersion - 1), static_cast<std::uint8_t>(0),
+        static_cast<std::uint8_t>(api::kProtocolVersion + 1)}) {
+    auto conn = harness.listener->connect();
+    ASSERT_TRUE(conn->write_all(api::encode_hello({stale, ""})));
+    FrameBuffer frames;
+    const auto frame = next_frame(*conn, frames);
+    ASSERT_FALSE(frame.empty()) << "version " << int(stale);
+    const auto error = api::decode_error(frame);
+    EXPECT_EQ(error.code, api::ErrorCode::kBadRequest) << "version " << int(stale);
+    EXPECT_NE(error.message.find("unsupported protocol version"), std::string::npos)
+        << error.message;
+    EXPECT_TRUE(next_frame(*conn, frames).empty());
+  }
+  // The current version still gets through.
+  auto ok = harness.client();
+  EXPECT_EQ(ok.welcome().protocol, api::kProtocolVersion);
 }
 
 TEST(NetProtocol, WrongAuthTokenIsRejected) {
@@ -107,7 +131,7 @@ TEST(NetProtocol, WrongAuthTokenIsRejected) {
 
   // The right token still gets through afterwards.
   auto ok = harness.client({.token = "sesame"});
-  EXPECT_EQ(ok.welcome().protocol, api::kWireVersion);
+  EXPECT_EQ(ok.welcome().protocol, api::kProtocolVersion);
 }
 
 TEST(NetProtocol, MissingTokenIsRejectedWhenServerRequiresOne) {
@@ -158,7 +182,7 @@ TEST(NetProtocol, PipelinedRequestsAreAnsweredInOrder) {
   auto conn = harness.listener->connect();
 
   // Hello plus five requests written as one burst, no reads in between.
-  std::vector<std::uint8_t> burst = api::encode_hello({api::kWireVersion, ""});
+  std::vector<std::uint8_t> burst = api::encode_hello({api::kProtocolVersion, ""});
   for (std::uint64_t id = 1; id <= 5; ++id) {
     const auto frame =
         id % 2 ? api::encode_request({id, {.kind = api::QueryKind::kStats}})
@@ -184,7 +208,7 @@ TEST(NetProtocol, FramesSplitAcrossReadsAreReassembled) {
   (void)harness.service.ingest({tuple(10, 20, true)});
   auto conn = harness.listener->connect();
 
-  std::vector<std::uint8_t> burst = api::encode_hello({api::kWireVersion, ""});
+  std::vector<std::uint8_t> burst = api::encode_hello({api::kProtocolVersion, ""});
   const auto request = api::encode_request({9, {.kind = api::QueryKind::kClassOf, .asn = 10}});
   burst.insert(burst.end(), request.begin(), request.end());
   // One byte at a time: the server-side FrameBuffer must reassemble.
@@ -203,7 +227,7 @@ TEST(NetProtocol, FramesSplitAcrossReadsAreReassembled) {
 TEST(NetProtocol, MalformedBytesGetErrorFrameThenClose) {
   Harness harness;
   auto conn = harness.listener->connect();
-  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kWireVersion, ""})));
+  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kProtocolVersion, ""})));
   FrameBuffer frames;
   EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
 
@@ -221,7 +245,7 @@ TEST(NetProtocol, MalformedBytesGetErrorFrameThenClose) {
 TEST(NetProtocol, ArtifactFrameTypesAreRejectedAsClientInput) {
   Harness harness;
   auto conn = harness.listener->connect();
-  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kWireVersion, ""})));
+  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kProtocolVersion, ""})));
   FrameBuffer frames;
   EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
 
@@ -237,7 +261,7 @@ TEST(NetProtocol, HalfCloseFlushesAllPendingResponses) {
   (void)harness.service.ingest({tuple(10, 20, true)});
   auto conn = harness.listener->connect();
 
-  std::vector<std::uint8_t> burst = api::encode_hello({api::kWireVersion, ""});
+  std::vector<std::uint8_t> burst = api::encode_hello({api::kProtocolVersion, ""});
   for (std::uint64_t id = 1; id <= 3; ++id) {
     const auto frame = api::encode_request({id, {.kind = api::QueryKind::kStats}});
     burst.insert(burst.end(), frame.begin(), frame.end());
@@ -352,7 +376,7 @@ TEST(NetProtocol, SlowSubscriberIsDisconnectedWithoutStallingPublish) {
   Harness harness({.write_queue_limit = 4}, /*pipe_capacity=*/64);
 
   auto slow = harness.listener->connect();  // raw: we control (don't do) reads
-  ASSERT_TRUE(slow->write_all(api::encode_hello({api::kWireVersion, ""})));
+  ASSERT_TRUE(slow->write_all(api::encode_hello({api::kProtocolVersion, ""})));
   const auto subscribe_frame = api::encode_subscribe({1, {}, std::nullopt});
   ASSERT_TRUE(slow->write_all(subscribe_frame));
 
@@ -398,7 +422,7 @@ TEST(NetProtocol, SilentConnectionIsDroppedAtTheHelloDeadline) {
 TEST(NetProtocol, ConnectionLimitTurnsExtraClientsAway) {
   Harness harness({.max_connections = 1});
   auto first = harness.client();
-  EXPECT_EQ(first.welcome().protocol, api::kWireVersion);
+  EXPECT_EQ(first.welcome().protocol, api::kProtocolVersion);
   try {
     auto second = harness.client();
     FAIL() << "second connection must be rejected";

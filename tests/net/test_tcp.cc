@@ -33,7 +33,7 @@ TEST(NetTcp, QueriesAndSubscriptionsOverARealSocket) {
   server.start();
 
   Client client(tcp_connect("127.0.0.1", listener->port()), {.token = "hunter2"});
-  EXPECT_EQ(client.welcome().protocol, api::kWireVersion);
+  EXPECT_EQ(client.welcome().protocol, api::kProtocolVersion);
 
   const auto stats = client.query({.kind = api::QueryKind::kStats});
   ASSERT_TRUE(stats.stats.has_value());

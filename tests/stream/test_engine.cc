@@ -258,6 +258,162 @@ TEST(StreamEngine, ConcurrentColdSnapshotsShareOneSweep) {
   EXPECT_EQ(a.get(), b.get());
 }
 
+TEST(StreamEngine, AsVanishingEntirelyAndReappearingMatchesOracle) {
+  // Window 1: each epoch's snapshot covers only that epoch's tuples. AS 42
+  // exists in epoch 0, vanishes entirely (all its tuples age out, leaving a
+  // dense id with no live rows), then reappears — the incremental index must
+  // track the from-scratch oracle through all three states.
+  StreamConfig config;
+  config.shards = 4;
+  config.window_epochs = 1;
+  StreamEngine engine(config);
+
+  core::Dataset with_42;
+  for (int origin = 100; origin < 110; ++origin) {
+    with_42.push_back(tuple({42, 20, static_cast<bgp::Asn>(origin)},
+                            {bgp::CommunityValue::regular(42, 1)}));
+  }
+  core::Dataset without_42;
+  for (int origin = 200; origin < 210; ++origin) {
+    without_42.push_back(tuple({30, 20, static_cast<bgp::Asn>(origin)},
+                               {bgp::CommunityValue::regular(30, 1)}));
+  }
+
+  (void)engine.ingest(with_42);
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(with_42));
+
+  engine.advance_epoch();
+  (void)engine.ingest(without_42);
+  const auto snap = engine.snapshot();
+  expect_equal(*snap, core::ColumnEngine().run(without_42));
+  EXPECT_EQ(snap->counters(42), core::UsageCounters{}) << "vanished AS still counted";
+
+  engine.advance_epoch();
+  (void)engine.ingest(with_42);
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(with_42));
+}
+
+TEST(StreamEngine, WindowAgingEvictsWholePathLengthGroup) {
+  // Epoch 0 is all 4-hop paths, epoch 1 all 2-hop: the aging step kills the
+  // length-4 group outright, so the maintained index must stop sweeping
+  // columns 3 and 4 exactly like a fresh build over the 2-hop survivors
+  // (columns_swept is part of the equivalence, not just the counters).
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    StreamConfig config;
+    config.shards = 4;
+    config.window_epochs = 1;
+    config.engine.threads = threads;
+    StreamEngine engine(config);
+
+    core::Dataset long_paths;
+    for (int origin = 100; origin < 115; ++origin) {
+      long_paths.push_back(tuple({10, 20, 30, static_cast<bgp::Asn>(origin)},
+                                 {bgp::CommunityValue::regular(10, 1),
+                                  bgp::CommunityValue::regular(20, 2)}));
+    }
+    core::Dataset short_paths;
+    for (int origin = 200; origin < 215; ++origin) {
+      short_paths.push_back(tuple({10, static_cast<bgp::Asn>(origin)},
+                                  {bgp::CommunityValue::regular(10, 1)}));
+    }
+
+    (void)engine.ingest(long_paths);
+    auto before = engine.snapshot();
+    auto oracle_before = core::ColumnEngine({.threads = 1}).run(long_paths);
+    expect_equal(*before, oracle_before);
+    EXPECT_EQ(before->columns_swept(), oracle_before.columns_swept());
+
+    engine.advance_epoch();
+    (void)engine.ingest(short_paths);
+    auto after = engine.snapshot();
+    auto oracle_after = core::ColumnEngine({.threads = 1}).run(short_paths);
+    expect_equal(*after, oracle_after);
+    EXPECT_EQ(after->columns_swept(), oracle_after.columns_swept());
+    EXPECT_EQ(engine.evicted_total(), long_paths.size());
+  }
+}
+
+TEST(StreamEngine, SnapshotStatsTrackLockedPhaseAndMaintenance) {
+  StreamConfig config;
+  config.shards = 2;
+  config.window_epochs = 1;
+  StreamEngine engine(config);
+  EXPECT_EQ(engine.snapshot_stats(), SnapshotStats{});
+
+  core::Dataset d;
+  for (int i = 0; i < 20; ++i) {
+    d.push_back(tuple({static_cast<bgp::Asn>(1 + i % 5), static_cast<bgp::Asn>(100 + i)}));
+  }
+  const auto accepted = engine.ingest(d).accepted;
+  (void)engine.snapshot();
+  auto stats = engine.snapshot_stats();
+  EXPECT_EQ(stats.sweeps, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.deltas_applied, accepted) << "first snapshot applies every add";
+  EXPECT_GT(stats.locked_ns_last, 0u);
+  EXPECT_EQ(stats.locked_ns_total, stats.locked_ns_last);
+
+  (void)engine.snapshot();  // unchanged engine: cache hit, no locked phase
+  stats = engine.snapshot_stats();
+  EXPECT_EQ(stats.sweeps, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  engine.advance_epoch();  // evicts everything (window 1, no new input)
+  (void)engine.snapshot();
+  stats = engine.snapshot_stats();
+  EXPECT_EQ(stats.sweeps, 2u);
+  EXPECT_EQ(stats.deltas_applied, 2 * accepted) << "evictions are deltas too";
+  EXPECT_GE(stats.locked_ns_total, stats.locked_ns_last);
+}
+
+TEST(StreamEngine, JournalOverflowFallsBackToOneRebuild) {
+  // A cap smaller than the batch: the journal overflows before the first
+  // snapshot, which must rebuild from shard state (counted in
+  // index_rebuilds), still produce the exact result, and resume incremental
+  // maintenance afterwards.
+  StreamConfig config;
+  config.shards = 2;
+  config.journal_cap = 4;
+  StreamEngine engine(config);
+
+  core::Dataset d;
+  for (int i = 0; i < 30; ++i) {
+    d.push_back(tuple({static_cast<bgp::Asn>(1 + i % 5), static_cast<bgp::Asn>(100 + i)},
+                      {bgp::CommunityValue::regular(static_cast<std::uint16_t>(1 + i % 5), 1)}));
+  }
+  (void)engine.ingest(d);
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(d));
+  const auto stats = engine.snapshot_stats();
+  EXPECT_GE(stats.index_rebuilds, 1u);
+
+  // A small follow-up batch fits the journal: no further rebuild.
+  core::Dataset more;
+  more.push_back(tuple({7, 300}));
+  (void)engine.ingest(more);
+  auto merged = d;
+  merged.push_back(tuple({7, 300}));
+  core::deduplicate(merged);
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(merged));
+  EXPECT_EQ(engine.snapshot_stats().index_rebuilds, stats.index_rebuilds);
+}
+
+TEST(StreamEngine, NonIncrementalFallbackKeepsMaintenanceCountersAtZero) {
+  StreamConfig config;
+  config.shards = 2;
+  config.incremental_index = false;
+  StreamEngine engine(config);
+  core::Dataset d;
+  d.push_back(tuple({1, 2, 3}, {bgp::CommunityValue::regular(1, 1)}));
+  d.push_back(tuple({4, 5}));
+  (void)engine.ingest(d);
+  expect_equal(*engine.snapshot(), core::ColumnEngine().run(d));
+  const auto stats = engine.snapshot_stats();
+  EXPECT_EQ(stats.sweeps, 1u);
+  EXPECT_EQ(stats.deltas_applied, 0u);
+  EXPECT_EQ(stats.index_rebuilds, 0u);
+  EXPECT_GT(stats.locked_ns_last, 0u) << "the rebuild collect is still timed";
+}
+
 TEST(StreamEngine, SingleShardDegenerateStillCorrect) {
   StreamEngine engine({.shards = 1});
   core::Dataset d{tuple({1, 2, 3}, {bgp::CommunityValue::regular(1, 1)}), tuple({2, 3})};

@@ -218,6 +218,50 @@ TEST_F(FeedTest, RenameRotationToLargerFileIsReadFromScratch) {
   EXPECT_EQ(poll.batch[1].path, (std::vector<bgp::Asn>{80, 90}));
 }
 
+TEST_F(FeedTest, InPlaceRewriteWithSameSizeIsReadFromScratch) {
+  // An in-place rewrite (open + truncate + write: the inode survives) whose
+  // replacement lands on exactly the consumed size: the shrunk-file check
+  // sees nothing (size didn't drop) and the inode check sees nothing — only
+  // the first-bytes fingerprint can notice the content swap. Without it the
+  // poll would skip the file as "unchanged" and the replacement's tuples
+  // would be lost forever.
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  const auto first_size = fs::file_size(dir_ / "updates.0001.mrt");
+  DirectoryFeed feed(dir_.string(), reg_);
+  ASSERT_EQ(feed.poll().batch.size(), 1u);
+  EXPECT_TRUE(feed.poll().empty());
+
+  write_dump("updates.0001.mrt", {50, 60}, "192.0.2.0/24");  // same record shape
+  ASSERT_EQ(fs::file_size(dir_ / "updates.0001.mrt"), first_size)
+      << "test premise: the rewrite must not change the size";
+  const auto poll = feed.poll();
+  ASSERT_EQ(poll.batch.size(), 1u);
+  EXPECT_EQ(poll.batch[0].path, (std::vector<bgp::Asn>{50, 60}));
+}
+
+TEST_F(FeedTest, InPlaceRewriteToLargerFileIsReadFromScratch) {
+  // Same inode, *larger* replacement: size-only heuristics classify this as
+  // growth and tail-read from the stale offset — garbage from the middle of
+  // the new content. The fingerprint restarts the file instead, so both
+  // replacement records parse.
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  DirectoryFeed feed(dir_.string(), reg_);
+  ASSERT_EQ(feed.poll().batch.size(), 1u);
+
+  auto bigger = encode_dump({50, 60, 70}, "192.0.2.0/24");
+  const auto more = encode_dump({80, 90}, "203.0.113.0/24");
+  bigger.insert(bigger.end(), more.begin(), more.end());
+  std::ofstream(dir_ / "updates.0001.mrt", std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bigger.data()),
+             static_cast<std::streamsize>(bigger.size()));
+
+  const auto poll = feed.poll();
+  ASSERT_EQ(poll.batch.size(), 2u);
+  EXPECT_EQ(poll.batch[0].path, (std::vector<bgp::Asn>{50, 60, 70}));
+  EXPECT_EQ(poll.batch[1].path, (std::vector<bgp::Asn>{80, 90}));
+  EXPECT_TRUE(feed.poll().empty());
+}
+
 TEST_F(FeedTest, ShortGarbageFileIsHeldAsPendingWithoutThrowing) {
   write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
   // Three junk bytes are indistinguishable from a record still being

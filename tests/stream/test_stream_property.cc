@@ -8,8 +8,13 @@
 // Scenario space: random datasets (recurring ASNs, random communities) split
 // into random per-epoch batches with re-observations, ingested into engines
 // with varying shard counts, window sizes, and sweep lane counts. 25 seeds
-// x 7 configurations = 175 randomized scenarios (the threads > 1 shapes pin
-// the parallel kernel to the serial oracle through the snapshot path).
+// x 10 configurations = 250 randomized scenarios (the threads > 1 shapes pin
+// the parallel kernel to the serial oracle through the snapshot path; the
+// window = 1 churn shapes turn the whole population over every epoch, so the
+// incremental index lives through heavy tombstoning, AS universes vanishing
+// and reappearing, and whole path-length groups dying; the rebuild shape
+// keeps the non-incremental fallback pinned to the same oracle; the tiny
+// journal-cap shape forces overflow -> rebuild-from-shards every snapshot).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -58,6 +63,14 @@ struct ScenarioShape {
   /// serially, so threads > 1 shapes also pin parallel ≡ serial end-to-end
   /// through the snapshot path). 0 = auto.
   std::size_t threads = 0;
+  /// false = the non-incremental rebuild-per-snapshot fallback.
+  bool incremental = true;
+  /// Per-shard journal-entry cap; a tiny value forces the overflow ->
+  /// rebuild-from-shard-state path on (nearly) every snapshot.
+  std::size_t journal_cap = TupleShard::kJournalCap;
+  /// Shrunk compaction/rebuild thresholds so churn shapes exercise lazy
+  /// compaction and id reclamation at test scale, not only in production.
+  bool tiny_index_thresholds = false;
 };
 
 class StreamEquivalence
@@ -71,6 +84,12 @@ TEST_P(StreamEquivalence, SnapshotEqualsBatchRunAtEveryEpoch) {
   config.engine.threads = shape.threads;
   config.shards = shape.shards;
   config.window_epochs = shape.window;
+  config.incremental_index = shape.incremental;
+  config.journal_cap = shape.journal_cap;
+  if (shape.tiny_index_thresholds) {
+    config.index.compact_min_dead_rows = 8;
+    config.index.rebuild_min_dead_ids = 8;
+  }
   StreamEngine engine(config);
 
   // Independent window oracle: normalized tuple -> last-seen epoch.
@@ -130,16 +149,44 @@ constexpr ScenarioShape kShapes[] = {
     {.shards = 16, .window = 1, .epochs = 5, .reobserve_prob = 0.05},
     {.shards = 4, .window = 0, .epochs = 5, .reobserve_prob = 0.05, .threads = 4},
     {.shards = 7, .window = 2, .epochs = 6, .reobserve_prob = 0.10, .threads = 8},
+    // Churn-heavy: window 1 turns the whole population over each epoch
+    // (every snapshot is mostly tombstones + fresh adds; ASes vanish and
+    // reappear; whole path-length groups die), with the maintenance
+    // thresholds shrunk so compactions and id-reclaiming rebuilds fire at
+    // test scale — serial and multi-lane.
+    {.shards = 4, .window = 1, .epochs = 9, .reobserve_prob = 0.0,
+     .tiny_index_thresholds = true},
+    {.shards = 7, .window = 1, .epochs = 9, .reobserve_prob = 0.10, .threads = 4,
+     .tiny_index_thresholds = true},
+    // The non-incremental fallback stays pinned to the same oracle.
+    {.shards = 4, .window = 2, .epochs = 6, .reobserve_prob = 0.10, .incremental = false},
 };
 
 INSTANTIATE_TEST_SUITE_P(
     Scenarios, StreamEquivalence,
     ::testing::Combine(::testing::Range<std::uint64_t>(1, 26), ::testing::ValuesIn(kShapes)),
     [](const auto& info) {
+      const auto& shape = std::get<1>(info.param);
       return "seed" + std::to_string(std::get<0>(info.param)) + "_sh" +
-             std::to_string(std::get<1>(info.param).shards) + "_w" +
-             std::to_string(std::get<1>(info.param).window) + "_t" +
-             std::to_string(std::get<1>(info.param).threads);
+             std::to_string(shape.shards) + "_w" + std::to_string(shape.window) + "_t" +
+             std::to_string(shape.threads) + (shape.incremental ? "" : "_rebuild") +
+             (shape.tiny_index_thresholds ? "_churn" : "");
+    });
+
+// The overflow path, end to end and randomized: a journal cap small enough
+// that every epoch overflows at least some shard, so snapshots repeatedly
+// rebuild the index from the shards' authoritative state and incremental
+// maintenance re-anchors afterwards. One shape is enough — the interesting
+// state space is inside the engine, not the shape grid.
+INSTANTIATE_TEST_SUITE_P(
+    JournalOverflow, StreamEquivalence,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 11),
+                       ::testing::Values(ScenarioShape{.shards = 3, .window = 2,
+                                                       .epochs = 7, .reobserve_prob = 0.10,
+                                                       .journal_cap = 5})),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_cap" +
+             std::to_string(std::get<1>(info.param).journal_cap);
     });
 
 }  // namespace

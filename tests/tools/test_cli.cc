@@ -131,6 +131,50 @@ TEST_F(CliTest, RejectsNegativeWindow) {
   EXPECT_EQ(r.exit_code, 2);
 }
 
+TEST_F(CliTest, RejectsNonPlainDecimalIntegerFlags) {
+  // strtoull on its own waves all of these through (leading whitespace and
+  // '+' are consumed silently); the tools must insist on a plain decimal
+  // digit string. Shell-quoted so the whitespace reaches argv intact.
+  const char* bad[] = {" 80",  "+80",   "80 ",  "8 0", "0x10", "1e3",
+                       "80\t", "\t80", "++1",  "8-",  "",     " "};
+  for (const auto* value : bad) {
+    const auto shards = run(stream_bin() + " --shards '" + value + "' '" + dir_.string() + "'");
+    EXPECT_EQ(shards.exit_code, 2) << "--shards accepted '" << value << "'";
+    EXPECT_NE(shards.output.find("needs a non-negative integer"), std::string::npos)
+        << "--shards '" << value << "': " << shards.output;
+
+    const auto port = run(serve_bin() + " --port '" + std::string(value) + "'");
+    EXPECT_EQ(port.exit_code, 2) << "--port accepted '" << value << "'";
+  }
+  // Overflow past uint64 is rejected too, not silently saturated.
+  const auto huge = run(stream_bin() + " --window 99999999999999999999999999 '" +
+                        dir_.string() + "'");
+  EXPECT_EQ(huge.exit_code, 2);
+  EXPECT_NE(huge.output.find("needs a non-negative integer"), std::string::npos)
+      << huge.output;
+  // The plain spellings still parse (regression guard for the gate).
+  write_dump("updates.0001.mrt", {10, 20}, "198.51.100.0/24");
+  const auto ok = run(stream_bin() + " --once --shards 4 --window 2 --extension .mrt '" +
+                      dir_.string() + "'");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+}
+
+TEST_F(CliTest, RejectsNonPlainAsnAndThresholdSpellings) {
+  // "-1" is absent: a leading dash is consumed by option parsing (unknown
+  // option, still exit 2) before ASN validation ever sees it.
+  for (const char* value : {" 3356", "+3356", "3356 "}) {
+    const auto r = run(query_bin() + " asn '" + std::string(value) + "' somefile");
+    EXPECT_EQ(r.exit_code, 2) << "asn accepted '" << value << "'";
+    EXPECT_NE(r.output.find("ASN must be"), std::string::npos) << r.output;
+  }
+  for (const char* value : {" 0.99", "+0.99", "0.99 ", " .99", "0x1p-1", "infinity"}) {
+    const auto r =
+        run(stream_bin() + " --threshold '" + std::string(value) + "' '" + dir_.string() + "'");
+    EXPECT_EQ(r.exit_code, 2) << "--threshold accepted '" << value << "'";
+    EXPECT_NE(r.output.find("--threshold"), std::string::npos) << r.output;
+  }
+}
+
 TEST_F(CliTest, RejectsUnknownFlag) {
   const auto r = run(stream_bin() + " --frobnicate '" + dir_.string() + "'");
   EXPECT_EQ(r.exit_code, 2);
@@ -299,6 +343,57 @@ TEST_F(CliTest, QueryConnectRejectsBadEndpointSpecs) {
   // Network subcommands without --connect are usage errors, not crashes.
   EXPECT_EQ(run(query_bin() + " stats").exit_code, 2);
   EXPECT_EQ(run(query_bin() + " watch").exit_code, 2);
+}
+
+TEST_F(CliTest, ServePortFileIsNeverObservedPartiallyWritten) {
+  // Readers poll --port-file to learn the ephemeral port; the daemon must
+  // publish it atomically (write a temp file, rename into place), so every
+  // observation of the path is a complete "PORT\n" — never an empty or
+  // half-written file. Poll aggressively from before the daemon starts.
+  const auto port_file = dir_ / "port";
+  const auto log_file = dir_ / "serve.log";
+  const auto pid_file = dir_ / "pid";
+  const auto launch = "'" + serve_bin() + "' --port 0 --port-file '" + port_file.string() +
+                      "' --interval 1 > '" + log_file.string() + "' 2>&1 & echo $! > '" +
+                      pid_file.string() + "'";
+  ASSERT_EQ(std::system(launch.c_str()), 0);
+
+  std::string seen;
+  bool observed = false;
+  for (int i = 0; i < 2000 && !observed; ++i) {
+    if (fs::exists(port_file)) {
+      seen = slurp(port_file);
+      // Atomic publication: existence implies complete content.
+      ASSERT_FALSE(seen.empty()) << "observed an empty port file";
+      observed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(observed) << "daemon never wrote its port; log: " << slurp(log_file);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.back(), '\n') << "port file truncated: '" << seen << "'";
+  seen.pop_back();
+  ASSERT_FALSE(seen.empty());
+  for (const char c : seen) {
+    EXPECT_TRUE(c >= '0' && c <= '9') << "non-numeric port file: '" << seen << "'";
+  }
+  const auto port = std::stoul(seen);
+  EXPECT_GE(port, 1u);
+  EXPECT_LE(port, 65535u);
+  EXPECT_FALSE(fs::exists(port_file.string() + ".tmp"))
+      << "temp port file left behind";
+
+  std::string pid;
+  std::stringstream(slurp(pid_file)) >> pid;
+  ASSERT_FALSE(pid.empty());
+  EXPECT_EQ(std::system(("kill -TERM " + pid).c_str()), 0);
+  bool clean = false;
+  for (int i = 0; i < 100 && !clean; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    clean = slurp(log_file).find("shut down cleanly") != std::string::npos;
+  }
+  EXPECT_TRUE(clean) << "daemon did not shut down on SIGTERM; log: " << slurp(log_file);
 }
 
 TEST_F(CliTest, ServeDaemonAnswersQueryConnectEndToEnd) {

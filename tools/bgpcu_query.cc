@@ -238,7 +238,12 @@ int cmd_net_stats(const ConnectOptions& options) {
   std::cout << "epoch " << s.epoch << "\nlive_tuples " << s.live_tuples
             << "\nevicted_total " << s.evicted_total << "\nshards " << s.shards
             << "\nwindow_epochs " << s.window_epochs << "\nsubscriptions "
-            << s.subscriptions << "\n";
+            << s.subscriptions << "\nsnapshot_sweeps " << s.snapshot_sweeps
+            << "\nsnapshot_cache_hits " << s.snapshot_cache_hits
+            << "\nindex_deltas_applied " << s.index_deltas_applied
+            << "\nindex_compactions " << s.index_compactions << "\nindex_rebuilds "
+            << s.index_rebuilds << "\nlocked_ns_last " << s.locked_ns_last
+            << "\nlocked_ns_total " << s.locked_ns_total << "\n";
   return 0;
 }
 

@@ -158,9 +158,23 @@ int main(int argc, char** argv) {
     auto listener = std::make_shared<net::TcpListener>(host, port);
     std::cerr << "listening on " << listener->name() << "\n";
     if (!port_file.empty()) {
-      std::ofstream out(port_file, std::ios::trunc);
-      out << listener->port() << "\n";
-      if (!out) throw std::runtime_error("cannot write port file: " + port_file);
+      // Write-then-rename so a reader polling for the port can never observe
+      // an empty or half-written file: rename() is atomic on POSIX, and the
+      // temp name lives in the same directory so it cannot cross a
+      // filesystem boundary.
+      const std::string tmp = port_file + ".tmp";
+      {
+        std::ofstream out(tmp, std::ios::trunc);
+        out << listener->port() << "\n";
+        out.flush();
+        if (!out) throw std::runtime_error("cannot write port file: " + tmp);
+      }
+      std::error_code ec;
+      std::filesystem::rename(tmp, port_file, ec);
+      if (ec) {
+        throw std::runtime_error("cannot move port file into place: " + port_file + ": " +
+                                 ec.message());
+      }
     }
     net::Server server(service, listener, server_config);
     server.start();

@@ -9,14 +9,23 @@
 // work parallel). On a single-core container the sharded run can only
 // recover the contention overhead, not parallelize — the printed
 // hardware_concurrency line gives the context for the recorded ratio.
+// With --metrics-overhead [--out FILE], instead runs the observability
+// overhead check: the same churn-shaped ingest with the obs instrumentation
+// enabled vs. disabled (obs::set_enabled), recording both rates and the
+// relative delta as JSON (FILE defaults to BENCH_obs.json). The CI gate
+// keeps the relaxed-atomic hot-path instrumentation honest.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common.h"
+#include "obs/metrics.h"
 #include "sim/churn.h"
 #include "stream/engine.h"
 
@@ -62,25 +71,20 @@ std::string fmt(double v) {
   return buf;
 }
 
-}  // namespace
-
-int main() {
-  bench::print_banner("Streaming ingest throughput — single-shard vs. sharded",
-                      "engineering (stream subsystem)");
-  std::cout << "hardware_concurrency: " << std::thread::hardware_concurrency() << "\n";
-
+/// The shared churn-shaped input: daily observation batches over the wild
+/// dataset, re-announcements included (refresh-heavy, like real update
+/// feeds), split into poll-sized ingest chunks.
+std::vector<core::Dataset> make_chunks(std::uint64_t& total_tuples) {
   bench::WorldParams params;
   params.num_ases = 3000;
   params.peers = 60;
   auto world = bench::make_world(params);
 
-  // Churn-shaped input: daily observation batches over the wild dataset,
-  // re-announcements included (refresh-heavy, like real update feeds).
   sim::ChurnConfig churn;
   constexpr std::uint32_t kDays = 12;
   constexpr std::size_t kChunk = 4096;  ///< Tuples per ingest call (one MRT poll).
   std::vector<core::Dataset> chunks;
-  std::uint64_t total_tuples = 0;
+  total_tuples = 0;
   for (const auto& day : sim::day_batches(world.dataset, churn, kDays)) {
     for (std::size_t start = 0; start < day.size(); start += kChunk) {
       chunks.emplace_back(day.begin() + static_cast<std::ptrdiff_t>(start),
@@ -89,7 +93,94 @@ int main() {
       total_tuples += chunks.back().size();
     }
   }
-  std::cout << "input: " << kDays << " churn days, " << total_tuples << " tuples in "
+  return chunks;
+}
+
+/// --metrics-overhead: ingest rate with the obs hot-path instrumentation on
+/// vs. off. The delta is what every counter bump and stage timer costs; the
+/// CI gate fails the build if it creeps past a few percent.
+int run_metrics_overhead(const std::string& out_path) {
+  bench::print_banner("Observability overhead — ingest with metrics on vs. off",
+                      "engineering (obs subsystem)");
+  std::uint64_t total_tuples = 0;
+  const auto chunks = make_chunks(total_tuples);
+  std::cout << "input: " << total_tuples << " tuples in " << chunks.size()
+            << " ingest chunks (4 shards, 4 threads)\n";
+
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::vector<core::Dataset>> per_thread(kThreads);
+  for (std::size_t d = 0; d < chunks.size(); ++d) {
+    per_thread[d % kThreads].push_back(chunks[d]);
+  }
+
+  // Interleave enabled/disabled reps so thermal or scheduler drift hits both
+  // sides equally; keep the best of each.
+  RunResult best_on, best_off;
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::set_enabled(true);
+    const auto on = run_ingest(per_thread, kShards);
+    if (on.tuples_per_sec > best_on.tuples_per_sec) best_on = on;
+    obs::set_enabled(false);
+    const auto off = run_ingest(per_thread, kShards);
+    if (off.tuples_per_sec > best_off.tuples_per_sec) best_off = off;
+  }
+  obs::set_enabled(true);
+
+  const double overhead_pct =
+      best_off.tuples_per_sec > 0
+          ? (best_off.tuples_per_sec - best_on.tuples_per_sec) / best_off.tuples_per_sec * 100.0
+          : 0.0;
+  std::cout << "metrics_on  " << fmt(best_on.tuples_per_sec) << " tuples/sec\n"
+            << "metrics_off " << fmt(best_off.tuples_per_sec) << " tuples/sec\n";
+  char pct[32];
+  std::snprintf(pct, sizeof pct, "%.2f", overhead_pct);
+  std::cout << "overhead " << pct << "%\n";
+
+  char json[512];
+  std::snprintf(json, sizeof json,
+                "{\"bench\":\"stream_ingest_metrics_overhead\",\"tuples\":%llu,"
+                "\"shards\":%zu,\"threads\":%zu,"
+                "\"metrics_on_tuples_per_sec\":%.0f,"
+                "\"metrics_off_tuples_per_sec\":%.0f,"
+                "\"overhead_pct\":%.2f}\n",
+                static_cast<unsigned long long>(total_tuples), kShards, kThreads,
+                best_on.tuples_per_sec, best_off.tuples_per_sec, overhead_pct);
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json;
+  out.flush();
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "recorded " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool overhead_mode = false;
+  std::string out_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-overhead") == 0) {
+      overhead_mode = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--metrics-overhead [--out FILE]]\n";
+      return 2;
+    }
+  }
+  if (overhead_mode) return run_metrics_overhead(out_path);
+
+  bench::print_banner("Streaming ingest throughput — single-shard vs. sharded",
+                      "engineering (stream subsystem)");
+  std::cout << "hardware_concurrency: " << std::thread::hardware_concurrency() << "\n";
+
+  std::uint64_t total_tuples = 0;
+  const auto chunks = make_chunks(total_tuples);
+  std::cout << "input: 12 churn days, " << total_tuples << " tuples in "
             << chunks.size() << " ingest chunks\n\n";
 
   struct Config {

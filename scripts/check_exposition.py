@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (version 0.0.4) scrape.
+
+Used by CI to fail the bench-release job if bgpcu_serve's /metrics output
+goes malformed. Checks, per family:
+
+  * every family has a ``# HELP`` line immediately followed by ``# TYPE``
+  * the TYPE is one of counter/gauge/histogram
+  * every sample line parses as  name[{labels}] value  with a finite value
+    (counters additionally must be non-negative)
+  * sample names belong to the most recently declared family (histogram
+    samples may use the _bucket/_sum/_count suffixes)
+  * histogram buckets are cumulative: counts are monotone over increasing
+    ``le``, the ``+Inf`` bucket is present and equals ``_count``
+
+Usage:  check_exposition.py [FILE]          (reads stdin when FILE is absent)
+        check_exposition.py --require-family PREFIX ... [FILE]
+
+``--require-family`` asserts at least one family starts with PREFIX; the CI
+job uses it to prove the scrape actually covers the feed/stream/index/api/net
+instrument groups rather than being an empty-but-well-formed page.
+
+Exits 0 when valid, 1 with a line-numbered complaint otherwise.
+"""
+
+import math
+import re
+import sys
+
+VALID_TYPES = {"counter", "gauge", "histogram"}
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def fail(lineno, msg):
+    print(f"check_exposition: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(raw, lineno):
+    try:
+        value = float(raw)
+    except ValueError:
+        fail(lineno, f"unparseable sample value {raw!r}")
+    if math.isnan(value):
+        fail(lineno, "NaN sample value")
+    return value
+
+
+def le_key(labels):
+    """Extract the ``le`` bound and the identity of the remaining labels."""
+    bound = None
+    rest = []
+    for part in split_labels(labels):
+        if part.startswith('le="'):
+            bound = part[4:-1]
+        else:
+            rest.append(part)
+    return bound, ",".join(sorted(rest))
+
+
+def split_labels(labels):
+    if not labels:
+        return []
+    parts = []
+    depth_quote = False
+    current = ""
+    i = 0
+    while i < len(labels):
+        ch = labels[i]
+        if ch == "\\" and depth_quote:
+            current += labels[i : i + 2]
+            i += 2
+            continue
+        if ch == '"':
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+        i += 1
+    if current:
+        parts.append(current)
+    return parts
+
+
+def check(text, required_prefixes):
+    families = {}  # name -> type
+    current = None  # (name, type)
+    help_seen = None  # family name from the last # HELP, awaiting # TYPE
+    # histogram state: {series_key: [(le_float, count)]}, plus _sum/_count
+    hist_buckets = {}
+    hist_counts = {}
+
+    lines = text.splitlines()
+    if not lines:
+        fail(0, "empty exposition")
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                fail(lineno, f"malformed HELP line: {line!r}")
+            help_seen = parts[2]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                fail(lineno, f"malformed TYPE line: {line!r}")
+            name, kind = parts[2], parts[3]
+            if kind not in VALID_TYPES:
+                fail(lineno, f"unknown metric type {kind!r}")
+            if help_seen != name:
+                fail(lineno, f"TYPE for {name} not preceded by its HELP line")
+            if name in families:
+                fail(lineno, f"family {name} declared twice")
+            families[name] = kind
+            current = (name, kind)
+            help_seen = None
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal anywhere
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, f"unparseable sample line: {line!r}")
+        name, labels, raw = m.group("name"), m.group("labels"), m.group("value")
+        for part in split_labels(labels or ""):
+            if not LABEL_RE.match(part):
+                fail(lineno, f"malformed label pair {part!r}")
+        value = parse_value(raw, lineno)
+
+        if current is None:
+            fail(lineno, f"sample {name} before any TYPE declaration")
+        fam, kind = current
+        if kind == "histogram":
+            if name not in (fam + "_bucket", fam + "_sum", fam + "_count"):
+                fail(lineno, f"sample {name} does not belong to histogram {fam}")
+            if name == fam + "_bucket":
+                bound, rest = le_key(labels or "")
+                if bound is None:
+                    fail(lineno, f"histogram bucket without le label: {line!r}")
+                bound_f = math.inf if bound == "+Inf" else parse_value(bound, lineno)
+                hist_buckets.setdefault((fam, rest), []).append(
+                    (bound_f, value, lineno)
+                )
+            elif name == fam + "_count":
+                _, rest = le_key(labels or "")
+                hist_counts[(fam, rest)] = (value, lineno)
+        else:
+            if name != fam:
+                fail(lineno, f"sample {name} under family {fam}")
+            if kind == "counter" and value < 0:
+                fail(lineno, f"negative counter sample: {line!r}")
+
+    for (fam, rest), buckets in hist_buckets.items():
+        bounds = [b for b, _, _ in buckets]
+        if bounds != sorted(bounds):
+            fail(buckets[0][2], f"histogram {fam} buckets out of le order")
+        counts = [c for _, c, _ in buckets]
+        if counts != sorted(counts):
+            fail(buckets[0][2], f"histogram {fam} bucket counts not cumulative")
+        if buckets[-1][0] != math.inf:
+            fail(buckets[-1][2], f"histogram {fam} missing +Inf bucket")
+        total = hist_counts.get((fam, rest))
+        if total is None:
+            fail(buckets[-1][2], f"histogram {fam} missing _count sample")
+        if total[0] != buckets[-1][1]:
+            fail(total[1], f"histogram {fam} +Inf bucket != _count")
+
+    for prefix in required_prefixes:
+        if not any(f.startswith(prefix) for f in families):
+            fail(len(lines), f"no metric family starts with {prefix!r}")
+
+    print(
+        f"check_exposition: OK — {len(families)} families "
+        f"({sum(1 for k in families.values() if k == 'histogram')} histograms)"
+    )
+
+
+def main(argv):
+    required = []
+    paths = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--require-family":
+            i += 1
+            if i >= len(argv):
+                print("check_exposition: --require-family needs a value", file=sys.stderr)
+                return 2
+            required.append(argv[i])
+        else:
+            paths.append(argv[i])
+        i += 1
+    if len(paths) > 1:
+        print("check_exposition: at most one input file", file=sys.stderr)
+        return 2
+    text = open(paths[0]).read() if paths else sys.stdin.read()
+    check(text, required)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

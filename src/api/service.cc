@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/wellknown.h"
+
 namespace bgpcu::api {
 
 namespace {
@@ -80,7 +82,21 @@ Service::Service(ServiceConfig config)
       engine_(config_.stream),
       published_(std::make_shared<const core::InferenceResult>(
           core::CounterMap{}, config_.stream.engine.thresholds, 0)),
-      log_(config_.event_log_capacity) {}
+      log_(config_.event_log_capacity) {
+  // The engine's constructor already forced the obs catalog, so no facade-
+  // locked path ever interns (see the matching note in StreamEngine).
+  auto& registry = obs::Registry::global();
+  subs_collector_ = registry.add_collector(
+      "bgpcu_api_subscriptions", "Registered subscription callbacks", {}, [this] {
+        const std::lock_guard lock(facade_mutex_);
+        return static_cast<double>(subscriptions_.size());
+      });
+  log_collector_ = registry.add_collector(
+      "bgpcu_api_event_log_entries", "Epoch batches retained for replay", {}, [this] {
+        const std::lock_guard lock(facade_mutex_);
+        return static_cast<double>(log_.size());
+      });
+}
 
 stream::IngestStats Service::ingest(core::Dataset batch) {
   return engine_.ingest(std::move(batch));
@@ -91,19 +107,23 @@ stream::Epoch Service::advance_epoch() { return engine_.advance_epoch(); }
 stream::Epoch Service::epoch() const { return engine_.epoch(); }
 
 QueryResponse Service::query(const QueryRequest& request) const {
+  auto& m = obs::metrics();
   QueryResponse response;
   response.kind = request.kind;
   switch (request.kind) {
     case QueryKind::kClassOf: {
+      m.api_query_class_of.add(1);
       const auto snapshot = engine_.snapshot();
       response.asn_class = AsnClass{request.asn, snapshot->usage(request.asn),
                                     snapshot->counters(request.asn)};
       break;
     }
     case QueryKind::kSnapshot:
+      m.api_query_snapshot.add(1);
       response.snapshot = engine_.snapshot();
       break;
     case QueryKind::kLiveCounters: {
+      m.api_query_live_counters.add(1);
       const auto counters = engine_.live_counters(request.asn);
       const auto usage =
           core::classify(counters, config_.stream.engine.thresholds);
@@ -111,6 +131,7 @@ QueryResponse Service::query(const QueryRequest& request) const {
       break;
     }
     case QueryKind::kStats: {
+      m.api_query_stats.add(1);
       ServiceStats stats;
       stats.epoch = engine_.epoch();
       stats.live_tuples = engine_.live_tuples();
@@ -129,6 +150,13 @@ QueryResponse Service::query(const QueryRequest& request) const {
       response.stats = stats;
       break;
     }
+    case QueryKind::kMetrics:
+      // Counted before the scrape so the response's own series includes this
+      // query — a scrape that doesn't count itself under-reports by one
+      // forever.
+      m.api_query_metrics.add(1);
+      response.metrics = obs::Registry::global().collect();
+      break;
   }
   return response;
 }
@@ -170,6 +198,10 @@ EpochDelta Service::publish() {
       }
     }
   }
+  auto& m = obs::metrics();
+  m.api_publishes.add(1);
+  if (!delta.changes.empty()) m.api_changes_published.add(delta.changes.size());
+  if (!dispatch.empty()) m.api_events_dispatched.add(dispatch.size());
   for (auto& [callback, filtered] : dispatch) callback(filtered);
   return delta;
 }
@@ -191,6 +223,7 @@ SubscriptionId Service::subscribe(SubscriptionFilter filter, SubscriptionCallbac
   // newer live one. The price: a replay delivery must not call back into
   // the Service (live deliveries from publish() remain re-entrant-safe).
   if (replay_from) {
+    obs::metrics().api_replays.add(1);
     for (const auto& entry : log_.since(*replay_from)) {
       auto filtered = apply_subscription(subscription, entry);
       if (!filtered.empty()) subscription.callback(EpochDelta{entry.epoch, std::move(filtered)});
@@ -215,6 +248,7 @@ std::size_t Service::subscription_count() const {
 }
 
 std::vector<EpochDelta> Service::replay(stream::Epoch from) const {
+  obs::metrics().api_replays.add(1);
   const std::lock_guard lock(facade_mutex_);
   return log_.since(from);
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "stream/delta.h"
 #include "stream/engine.h"
 
@@ -40,6 +41,7 @@ enum class QueryKind : std::uint8_t {
   kSnapshot = 2,      ///< Full InferenceResult over the live tuple set.
   kLiveCounters = 3,  ///< Real-time peer-column evidence for one AS (no sweep).
   kStats = 4,         ///< Engine/service health counters.
+  kMetrics = 5,       ///< Full observability scrape (obs::Registry::collect).
 };
 
 /// A single typed request against the service.
@@ -88,7 +90,8 @@ struct QueryResponse {
   /// kSnapshot: a shared immutable handle onto the engine's cached result —
   /// bulk queries share one object instead of deep-copying the counter map.
   stream::SnapshotPtr snapshot;
-  std::optional<ServiceStats> stats;  ///< kStats.
+  std::optional<ServiceStats> stats;      ///< kStats.
+  std::optional<obs::Snapshot> metrics;   ///< kMetrics.
 };
 
 /// One published epoch's class transitions, in ascending-ASN order — the
@@ -246,6 +249,10 @@ class Service {
   EventLog log_;
   std::vector<Subscription> subscriptions_;
   SubscriptionId next_id_ = 1;
+  /// Scrape-time gauges (subscriptions, event-log occupancy); registered in
+  /// the constructor, declared last so they unregister first.
+  obs::ScopedCollector subs_collector_;
+  obs::ScopedCollector log_collector_;
 };
 
 }  // namespace bgpcu::api

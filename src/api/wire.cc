@@ -432,7 +432,7 @@ namespace {
 
 QueryKind get_query_kind(Reader& r) {
   const auto byte = r.u8("query kind");
-  if (byte < 1 || byte > 4) {
+  if (byte < 1 || byte > 5) {
     throw WireFormatError("unknown query kind " + std::to_string(byte));
   }
   return static_cast<QueryKind>(byte);
@@ -457,6 +457,83 @@ QueryRequest decode_query_request(std::span<const std::uint8_t> frame) {
 }
 
 namespace {
+
+// Metrics scrape payload (QueryKind::kMetrics). Decode caps are deliberate:
+// a scrape is bounded by the instrument catalog, so a frame claiming
+// thousands of families or oversized histograms is corrupt (or hostile),
+// never legitimate.
+constexpr std::uint64_t kMaxMetricFamilies = 4096;
+constexpr std::uint64_t kMaxMetricSeries = 4096;
+constexpr std::uint64_t kMaxHistogramBuckets = 64;
+
+void put_metrics_payload(std::vector<std::uint8_t>& out, const obs::Snapshot& snapshot) {
+  put_varint(out, snapshot.size());
+  for (const auto& family : snapshot) {
+    put_string(out, family.name);
+    put_string(out, family.help);
+    out.push_back(static_cast<std::uint8_t>(family.type));
+    put_varint(out, family.series.size());
+    for (const auto& series : family.series) {
+      put_string(out, series.labels);
+      if (family.type == obs::MetricType::kHistogram) {
+        const auto& hist = series.hist.value();
+        put_varint(out, hist.buckets.size());
+        for (const auto bucket : hist.buckets) put_varint(out, bucket);
+        put_varint(out, hist.count);
+        put_varint(out, hist.sum);
+      } else {
+        put_f64(out, series.value);
+      }
+    }
+  }
+}
+
+obs::Snapshot get_metrics_payload(Reader& r) {
+  const auto family_count = r.varint("metrics family count");
+  if (family_count > kMaxMetricFamilies) {
+    throw WireFormatError("metrics family count exceeds the cap");
+  }
+  obs::Snapshot snapshot;
+  snapshot.reserve(static_cast<std::size_t>(family_count));
+  for (std::uint64_t f = 0; f < family_count; ++f) {
+    obs::Family family;
+    family.name = get_string(r, "metric family name");
+    family.help = get_string(r, "metric family help");
+    const auto type_byte = r.u8("metric family type");
+    if (type_byte < 1 || type_byte > 3) {
+      throw WireFormatError("unknown metric type " + std::to_string(type_byte));
+    }
+    family.type = static_cast<obs::MetricType>(type_byte);
+    const auto series_count = r.varint("metric series count");
+    if (series_count > kMaxMetricSeries) {
+      throw WireFormatError("metric series count exceeds the cap");
+    }
+    family.series.reserve(static_cast<std::size_t>(series_count));
+    for (std::uint64_t s = 0; s < series_count; ++s) {
+      obs::Series series;
+      series.labels = get_string(r, "metric series labels");
+      if (family.type == obs::MetricType::kHistogram) {
+        const auto buckets = r.varint("histogram bucket count");
+        if (buckets > kMaxHistogramBuckets) {
+          throw WireFormatError("histogram bucket count exceeds the cap");
+        }
+        obs::HistogramData hist;
+        hist.buckets.reserve(static_cast<std::size_t>(buckets));
+        for (std::uint64_t b = 0; b < buckets; ++b) {
+          hist.buckets.push_back(r.varint("histogram bucket"));
+        }
+        hist.count = r.varint("histogram count");
+        hist.sum = r.varint("histogram sum");
+        series.hist = std::move(hist);
+      } else {
+        series.value = r.f64("metric value");
+      }
+      family.series.push_back(std::move(series));
+    }
+    snapshot.push_back(std::move(family));
+  }
+  return snapshot;
+}
 
 /// Body shared by kQueryResponse (artifact) and kResponse (tagged network)
 /// frames — same payload, different envelope.
@@ -496,6 +573,13 @@ void put_query_response_payload(std::vector<std::uint8_t>& payload,
       put_varint(payload, response.stats->index_rebuilds);
       put_varint(payload, response.stats->locked_ns_last);
       put_varint(payload, response.stats->locked_ns_total);
+      break;
+    }
+    case QueryKind::kMetrics: {
+      if (!response.metrics) {
+        throw WireFormatError("metrics query response missing metrics");
+      }
+      put_metrics_payload(payload, *response.metrics);
       break;
     }
   }
@@ -540,6 +624,9 @@ QueryResponse get_query_response_payload(Reader& r) {
       response.stats = stats;
       break;
     }
+    case QueryKind::kMetrics:
+      response.metrics = get_metrics_payload(r);
+      break;
   }
   return response;
 }

@@ -97,6 +97,18 @@ class IncrementalIndex {
   /// Live tuples currently indexed.
   [[nodiscard]] std::size_t live_tuples() const noexcept { return data_.tuple_count(); }
 
+  /// Tombstoned rows awaiting lazy compaction, summed across groups. With
+  /// live_tuples() this gives the index's tombstone ratio — the gauge the
+  /// observability layer exports to watch compaction pressure.
+  [[nodiscard]] std::size_t dead_rows() const noexcept {
+    std::size_t total = 0;
+    for (const auto n : dead_rows_) total += n;
+    return total;
+  }
+
+  /// Dense ids with no live reference left (full-rebuild pressure).
+  [[nodiscard]] std::size_t dead_ids() const noexcept { return dead_ids_; }
+
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const IncrementalIndexConfig& config() const noexcept { return config_; }
 

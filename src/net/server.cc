@@ -8,6 +8,8 @@
 
 #include "api/wire.h"
 #include "net/framer.h"
+#include "obs/trace.h"
+#include "obs/wellknown.h"
 
 namespace bgpcu::net {
 
@@ -55,11 +57,14 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
         queue_.clear();
       } else {
         queue_.push_back(std::move(frame));
+        obs::metrics().net_write_queue_hwm.max_of(
+            static_cast<std::int64_t>(queue_.size()));
       }
     }
     queue_cv_.notify_one();
     if (overflow) {
       server_.stats_.slow_disconnects.fetch_add(1);
+      obs::metrics().net_slow_disconnects.add(1);
       abort_connection();
     }
   }
@@ -101,6 +106,7 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
     // rejections, and internal failures have their own accounting.
     if (code == api::ErrorCode::kBadRequest || code == api::ErrorCode::kUnknownSubscription) {
       server_.stats_.protocol_errors.fetch_add(1);
+      obs::metrics().net_protocol_errors.add(1);
     }
     enqueue(api::encode_error({request_id, code, message}));
   }
@@ -122,10 +128,12 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
         break;
       }
       if (n == 0) break;  // EOF / peer half-closed: flush and finish
+      obs::metrics().net_bytes_in.add(n);
       frames.append(std::span(chunk.data(), n));
       try {
         for (auto frame = frames.extract(); !frame.empty(); frame = frames.extract()) {
           server_.stats_.frames_received.fetch_add(1);
+          obs::metrics().net_frames_received.add(1);
           if (!handle_frame(frame)) {
             fatal = true;
             break;
@@ -172,6 +180,7 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
       }
       if (!server_.config_.auth_token.empty() && hello.token != server_.config_.auth_token) {
         server_.stats_.auth_failures.fetch_add(1);
+        obs::metrics().net_auth_failures.add(1);
         send_error(0, api::ErrorCode::kAuthFailed, "bad auth token");
         return false;
       }
@@ -182,10 +191,19 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
     }
     switch (type) {
       case api::FrameType::kRequest: {
+        auto& m = obs::metrics();
+        obs::StageTimer decode_span(m.request_stage_decode_ns);
         const auto request = api::decode_request(frame);
+        decode_span.stop();
         try {
-          enqueue(api::encode_response(
-              {request.request_id, server_.service_.query(request.request)}));
+          obs::StageTimer dispatch_span(m.request_stage_dispatch_ns);
+          auto response = server_.service_.query(request.request);
+          dispatch_span.stop();
+          obs::StageTimer encode_span(m.request_stage_encode_ns);
+          auto encoded = api::encode_response({request.request_id, std::move(response)});
+          encode_span.stop();
+          obs::StageTimer enqueue_span(m.request_stage_enqueue_ns);
+          enqueue(std::move(encoded));
         } catch (const std::exception& e) {
           send_error(request.request_id, api::ErrorCode::kInternal, e.what());
         }
@@ -256,6 +274,9 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
         break;
       }
       server_.stats_.frames_sent.fetch_add(1);
+      auto& m = obs::metrics();
+      m.net_frames_sent.add(1);
+      m.net_bytes_out.add(frame.size());
     }
     // Everything queued before close_queue() has been flushed (or the peer
     // vanished): end our write side so the client sees EOF after the tail.
@@ -287,7 +308,18 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
 
 Server::Server(api::Service& service, std::shared_ptr<Listener> listener,
                ServerConfig config)
-    : service_(service), listener_(std::move(listener)), config_(std::move(config)) {}
+    : service_(service), listener_(std::move(listener)), config_(std::move(config)) {
+  conns_collector_ = obs::Registry::global().add_collector(
+      "bgpcu_net_open_connections", "Connections not yet torn down", {}, [this] {
+        // No reap here: a scrape must never join connection threads.
+        const std::lock_guard lock(conns_mutex_);
+        std::size_t live = 0;
+        for (const auto& handler : conns_) {
+          if (!handler->done()) ++live;
+        }
+        return static_cast<double>(live);
+      });
+}
 
 Server::~Server() { stop(); }
 
@@ -320,6 +352,7 @@ void Server::accept_loop() {
     const bool reject = live >= config_.max_connections;
     if (reject) {
       stats_.connections_rejected.fetch_add(1);
+      obs::metrics().net_connections_rejected.add(1);
       // Graceful rejection (read the hello, answer kServerBusy) costs a
       // handler and two threads for up to hello_timeout_ms. Under a
       // connection flood that would unbound thread creation, so past a
@@ -334,6 +367,7 @@ void Server::accept_loop() {
       }
     } else {
       stats_.connections_accepted.fetch_add(1);
+      obs::metrics().net_connections_accepted.add(1);
     }
     // Rejected connections (within the margin) run through a normal handler
     // too — its reader answers the first frame with kServerBusy and tears

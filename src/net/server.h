@@ -23,6 +23,7 @@
 
 #include "api/service.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace bgpcu::net {
 
@@ -114,6 +115,10 @@ class Server {
     std::atomic<std::uint64_t> slow_disconnects{0};
   };
   mutable AtomicStats stats_;
+  /// Open-connection gauge, computed at scrape time. Counts without reaping
+  /// (no thread joins on the scraping thread). Declared last so it
+  /// unregisters before conns_ is torn down.
+  obs::ScopedCollector conns_collector_;
 };
 
 }  // namespace bgpcu::net

@@ -1,0 +1,106 @@
+#include "obs/http.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <span>
+
+#include "net/socket.h"
+#include "obs/render.h"
+
+namespace bgpcu::obs {
+
+namespace {
+
+// Requests are a single GET line plus headers we ignore; 4 KiB is generous.
+constexpr std::size_t kMaxRequestBytes = 4096;
+constexpr auto kReadTimeout = std::chrono::milliseconds(2000);
+
+std::string http_response(const char* status, const char* content_type,
+                          const std::string& body) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                status, content_type, body.size());
+  return std::string(head) + body;
+}
+
+/// Extracts the request path from "GET /path HTTP/1.1..."; empty when the
+/// request line is not a GET.
+std::string request_path(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return {};
+  const auto end = request.find(' ', 4);
+  if (end == std::string::npos) return {};
+  return request.substr(4, end - 4);
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(const std::string& host, std::uint16_t port,
+                                     const Registry& registry)
+    : registry_(registry),
+      listener_(std::make_unique<net::TcpListener>(host, port)) {
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+std::uint16_t MetricsHttpServer::port() const noexcept { return listener_->port(); }
+
+void MetricsHttpServer::stop() {
+  listener_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (true) {
+    std::unique_ptr<net::Connection> conn;
+    try {
+      conn = listener_->accept();
+    } catch (const net::TransportError&) {
+      continue;  // transient accept failure; the listener is still up
+    }
+    if (conn == nullptr) return;  // listener closed — shutdown
+
+    conn->set_read_timeout(kReadTimeout);
+    std::string request;
+    std::uint8_t chunk[1024];
+    // Read until the blank line ending the headers; a slow or silent client
+    // hits the read timeout and is dropped without blocking the loop.
+    while (request.size() < kMaxRequestBytes &&
+           request.find("\r\n\r\n") == std::string::npos &&
+           request.find("\n\n") == std::string::npos) {
+      const auto n = conn->read_some(std::span<std::uint8_t>(chunk, sizeof(chunk)));
+      if (n == 0) break;
+      request.append(reinterpret_cast<const char*>(chunk), n);
+    }
+    if (request.empty()) continue;
+
+    const std::string path = request_path(request);
+    std::string response;
+    if (path == "/metrics" || path == "/") {
+      response = http_response("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                               render_prometheus(registry_.collect()));
+    } else if (path == "/metrics.json") {
+      response = http_response(
+          "200 OK", "application/json",
+          render_json(registry_.collect(),
+                      static_cast<std::int64_t>(std::time(nullptr))) + "\n");
+    } else if (path == "/healthz") {
+      response = http_response("200 OK", "text/plain; charset=utf-8", "ok\n");
+    } else if (path.empty()) {
+      response = http_response("405 Method Not Allowed", "text/plain; charset=utf-8",
+                               "only GET is supported\n");
+    } else {
+      response = http_response("404 Not Found", "text/plain; charset=utf-8",
+                               "try /metrics, /metrics.json, or /healthz\n");
+    }
+    conn->write_all(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(response.data()), response.size()));
+    conn->shutdown_write();
+    conn->close();
+  }
+}
+
+}  // namespace bgpcu::obs

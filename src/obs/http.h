@@ -1,0 +1,53 @@
+// Minimal built-in HTTP server for the telemetry surface: a single
+// accept-loop thread answering GET /metrics (Prometheus text exposition),
+// GET /metrics.json (the flat JSON rendering), and GET /healthz ("ok").
+// One request per connection, Connection: close — exactly what a Prometheus
+// scraper or a curl-based health check needs, and nothing more. Runs on a
+// net::TcpListener so port 0 resolves to an ephemeral port readable via
+// port() (the CI scrape check depends on that).
+#ifndef BGPCU_OBS_HTTP_H
+#define BGPCU_OBS_HTTP_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace bgpcu::net {
+class TcpListener;
+}  // namespace bgpcu::net
+
+namespace bgpcu::obs {
+
+class MetricsHttpServer {
+ public:
+  /// Binds and starts serving immediately. `registry` must outlive the
+  /// server (Registry::global() trivially does). Throws net::TransportError
+  /// if the port cannot be bound.
+  MetricsHttpServer(const std::string& host, std::uint16_t port,
+                    const Registry& registry);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The actually bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Stops accepting, closes the listener, and joins the serving thread.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  const Registry& registry_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread thread_;
+};
+
+}  // namespace bgpcu::obs
+
+#endif  // BGPCU_OBS_HTTP_H

@@ -1,0 +1,99 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace bgpcu::obs {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+bool needs_quoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\n' || c == '\t') return true;
+  }
+  return false;
+}
+
+void append_value(std::string& line, const std::string& value) {
+  if (!needs_quoting(value)) {
+    line.append(value);
+    return;
+  }
+  line.push_back('"');
+  for (const char c : value) {
+    if (c == '"' || c == '\\') line.push_back('\\');
+    if (c == '\n') {
+      line.append("\\n");
+    } else {
+      line.push_back(c);
+    }
+  }
+  line.push_back('"');
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  if (text == "error") return LogLevel::kError;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "debug") return LogLevel::kDebug;
+  return std::nullopt;
+}
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "info";
+}
+
+void log(LogLevel level, std::string_view event, std::initializer_list<LogField> fields) {
+  if (static_cast<int>(level) > g_log_level.load(std::memory_order_relaxed)) return;
+
+  char ts[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+
+  std::string line;
+  line.reserve(96);
+  line.append("ts=").append(ts);
+  line.append(" level=").append(log_level_name(level));
+  line.append(" event=").append(event);
+  for (const auto& [key, value] : fields) {
+    line.push_back(' ');
+    line.append(key);
+    line.push_back('=');
+    append_value(line, value);
+  }
+  line.push_back('\n');
+
+  const std::lock_guard lock(g_log_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace bgpcu::obs

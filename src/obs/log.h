@@ -1,0 +1,49 @@
+// Structured, leveled logging for the daemons: one line per event on
+// stderr, `ts=<iso8601> level=<level> event=<name> key=value ...`. Values
+// containing spaces or '=' are double-quoted. A process-wide level gate
+// (set via --log-level) drops suppressed lines before any formatting work.
+// Deliberately tiny: the daemons need greppable startup/shutdown/error
+// breadcrumbs, not a logging framework.
+#ifndef BGPCU_OBS_LOG_H
+#define BGPCU_OBS_LOG_H
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bgpcu::obs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// The process log level; lines above it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Parses "error" | "warn" | "info" | "debug"; nullopt otherwise.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text) noexcept;
+[[nodiscard]] std::string_view log_level_name(LogLevel level) noexcept;
+
+using LogField = std::pair<std::string_view, std::string>;
+
+/// Emits one structured line to stderr if `level` passes the gate. Lines are
+/// mutex-serialized so concurrent threads never interleave mid-line.
+void log(LogLevel level, std::string_view event, std::initializer_list<LogField> fields = {});
+
+inline void log_error(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kError, event, fields);
+}
+inline void log_warn(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kWarn, event, fields);
+}
+inline void log_info(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kInfo, event, fields);
+}
+inline void log_debug(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kDebug, event, fields);
+}
+
+}  // namespace bgpcu::obs
+
+#endif  // BGPCU_OBS_LOG_H

@@ -1,0 +1,171 @@
+#include "obs/render.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace bgpcu::obs {
+
+namespace {
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+// "name" or "name{labels}"; `extra` is appended inside the braces (used for
+// the histogram `le` label) and forces braces even when `labels` is empty.
+std::string series_name(const std::string& name, const std::string& labels,
+                        const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name;
+  out.push_back('{');
+  out.append(labels);
+  if (!extra.empty()) {
+    if (!labels.empty()) out.push_back(',');
+    out.append(extra);
+  }
+  out.push_back('}');
+  return out;
+}
+
+void append_sample(std::string& out, const std::string& name, double value) {
+  out.append(name);
+  out.push_back(' ');
+  out.append(format_value(value));
+  out.push_back('\n');
+}
+
+void append_histogram(std::string& out, const Family& family, const Series& series) {
+  const HistogramData& hist = series.hist.value();
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+    if (hist.buckets[i] == 0) continue;  // keep the exposition compact
+    cumulative += hist.buckets[i];
+    char le[48];
+    std::snprintf(le, sizeof(le), "le=\"%" PRIu64 "\"", Histogram::bucket_bound(i));
+    append_sample(out, series_name(family.name + "_bucket", series.labels, le),
+                  static_cast<double>(cumulative));
+  }
+  append_sample(out, series_name(family.name + "_bucket", series.labels, "le=\"+Inf\""),
+                static_cast<double>(hist.count));
+  append_sample(out, series_name(family.name + "_sum", series.labels),
+                static_cast<double>(hist.sum));
+  append_sample(out, series_name(family.name + "_count", series.labels),
+                static_cast<double>(hist.count));
+}
+
+void render_series(std::string& out, const Snapshot& snapshot, bool comments) {
+  for (const Family& family : snapshot) {
+    if (comments) {
+      if (!family.help.empty()) {
+        out.append("# HELP ").append(family.name).push_back(' ');
+        out.append(family.help).push_back('\n');
+      }
+      out.append("# TYPE ").append(family.name).push_back(' ');
+      out.append(type_name(family.type)).push_back('\n');
+    }
+    for (const Series& series : family.series) {
+      if (family.type == MetricType::kHistogram && series.hist.has_value()) {
+        append_histogram(out, family, series);
+      } else {
+        append_sample(out, series_name(family.name, series.labels), series.value);
+      }
+    }
+  }
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_entry(std::string& out, bool& first, const std::string& key,
+                       double value) {
+  if (!first) out.push_back(',');
+  first = false;
+  append_json_string(out, key);
+  out.push_back(':');
+  out.append(format_value(value));
+}
+
+}  // namespace
+
+std::string format_value(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<std::int64_t>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string render_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.size() * 160);
+  render_series(out, snapshot, /*comments=*/true);
+  return out;
+}
+
+std::string render_plain(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.size() * 96);
+  render_series(out, snapshot, /*comments=*/false);
+  return out;
+}
+
+std::string render_json(const Snapshot& snapshot, std::int64_t unix_seconds) {
+  // Reuse the plain rendering's flattening so the dump file and the endpoint
+  // agree on series naming, then re-shape "name value" lines into one object.
+  std::string out = "{";
+  if (unix_seconds > 0) {
+    char ts[48];
+    std::snprintf(ts, sizeof(ts), "\"ts\":%" PRId64 ",", unix_seconds);
+    out.append(ts);
+  }
+  out.append("\"metrics\":{");
+  bool first = true;
+  for (const Family& family : snapshot) {
+    for (const Series& series : family.series) {
+      if (family.type == MetricType::kHistogram && series.hist.has_value()) {
+        const HistogramData& hist = *series.hist;
+        append_json_entry(out, first, series_name(family.name + "_sum", series.labels),
+                          static_cast<double>(hist.sum));
+        append_json_entry(out, first, series_name(family.name + "_count", series.labels),
+                          static_cast<double>(hist.count));
+      } else {
+        append_json_entry(out, first, series_name(family.name, series.labels),
+                          series.value);
+      }
+    }
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace bgpcu::obs

@@ -1,0 +1,38 @@
+// Rendering a scraped obs::Snapshot for the three exposure surfaces:
+//  - Prometheus text exposition (format 0.0.4) for the /metrics endpoint —
+//    HELP/TYPE comments, cumulative histogram buckets with `le` labels;
+//  - a flat JSON object for the periodic metrics dump (one JSON document per
+//    call; the daemon writes one per line, so a dump file is JSONL);
+//  - a flat "name{labels} value" listing shared by `bgpcu_query metrics`.
+// All three render the same Snapshot, so every surface agrees byte-for-byte
+// on what was scraped.
+#ifndef BGPCU_OBS_RENDER_H
+#define BGPCU_OBS_RENDER_H
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bgpcu::obs {
+
+/// Prometheus text exposition of a scrape. Histograms expand to cumulative
+/// `_bucket{le="..."}` series plus `_sum` and `_count`.
+[[nodiscard]] std::string render_prometheus(const Snapshot& snapshot);
+
+/// One flat JSON object: {"ts":<unix_seconds>,"metrics":{"name{labels}":value}}.
+/// Histograms flatten to name_sum / name_count / name_bucket entries (same
+/// flattening as the Prometheus rendering). `unix_seconds` <= 0 omits "ts".
+[[nodiscard]] std::string render_json(const Snapshot& snapshot, std::int64_t unix_seconds);
+
+/// Plain "name{labels} value" lines (the Prometheus rendering without the
+/// HELP/TYPE comments) — what `bgpcu_query metrics` prints.
+[[nodiscard]] std::string render_plain(const Snapshot& snapshot);
+
+/// Formats a sample value the Prometheus way: integral values without a
+/// decimal point, everything else with enough digits to round-trip.
+[[nodiscard]] std::string format_value(double value);
+
+}  // namespace bgpcu::obs
+
+#endif  // BGPCU_OBS_RENDER_H

@@ -1,0 +1,52 @@
+// Lightweight trace spans: a StageTimer measures one pipeline stage with a
+// steady-clock read at each end and records the elapsed nanoseconds into a
+// stage histogram on destruction (or at an explicit stop()). The snapshot
+// pipeline (stamp -> drain -> patch -> sweep -> install) and the request
+// path (decode -> dispatch -> encode -> enqueue) are timed this way; the
+// per-stage distributions land in the bgpcu_*_stage_duration_ns families
+// (see obs/wellknown.h), which is the repo's tracing surface — cheap enough
+// to stay on in production, queryable from any metrics endpoint.
+#ifndef BGPCU_OBS_TRACE_H
+#define BGPCU_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace bgpcu::obs {
+
+/// RAII span over one stage. Records once: on stop() or destruction,
+/// whichever comes first. Not thread-safe (one timer per stage per thread).
+class StageTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit StageTimer(Histogram& histogram) noexcept
+      : histogram_(&histogram), start_(Clock::now()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { (void)stop(); }
+
+  /// Ends the span and records it; returns the elapsed nanoseconds.
+  /// Subsequent calls return 0 and record nothing.
+  std::uint64_t stop() noexcept {
+    if (histogram_ == nullptr) return 0;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+    histogram_->observe(ns);
+    histogram_ = nullptr;
+    return ns;
+  }
+
+ private:
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+}  // namespace bgpcu::obs
+
+#endif  // BGPCU_OBS_TRACE_H

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
+#include "obs/wellknown.h"
+
 namespace bgpcu::stream {
 
 namespace {
@@ -37,6 +40,35 @@ StreamEngine::StreamEngine(StreamConfig config) : config_(config), index_(config
                                                    config_.incremental_index,
                                                    config_.journal_cap));
   }
+
+  // Force the catalog before registering collectors so no instrumented call
+  // site ever has to intern (and take the registry mutex) while holding
+  // engine_mutex_ — that ordering is what keeps scrape callbacks that take
+  // the shared engine lock deadlock-free.
+  obs::metrics();
+  auto& registry = obs::Registry::global();
+  live_tuples_collector_ = registry.add_collector(
+      "bgpcu_stream_live_tuples", "Live unique tuples across all shards", {}, [this] {
+        std::size_t total = 0;
+        for (const auto& shard : shards_) total += shard->size();
+        return static_cast<double>(total);
+      });
+  epoch_collector_ = registry.add_collector(
+      "bgpcu_stream_epoch", "Current ingestion epoch (summed across engines)", {},
+      [this] { return static_cast<double>(epoch_.load(std::memory_order_relaxed)); });
+  if (config_.incremental_index) {
+    index_live_collector_ = registry.add_collector(
+        "bgpcu_index_live_rows", "Live rows in the incremental sweep index", {}, [this] {
+          const std::shared_lock lock(engine_mutex_);
+          return static_cast<double>(index_.live_tuples());
+        });
+    index_dead_collector_ = registry.add_collector(
+        "bgpcu_index_dead_rows",
+        "Tombstoned index rows awaiting lazy compaction", {}, [this] {
+          const std::shared_lock lock(engine_mutex_);
+          return static_cast<double>(index_.dead_rows());
+        });
+  }
 }
 
 std::size_t StreamEngine::shard_of(bgp::Asn peer) const noexcept {
@@ -57,6 +89,7 @@ IngestStats StreamEngine::ingest(core::Dataset batch) {
     }
     buckets[shard_of(tuple.peer())].push_back({std::move(tuple), view->upper_mask});
   }
+  if (stats.rejected != 0) obs::metrics().stream_ingest_rejected.add(stats.rejected);
 
   // Phase 2: one lock acquisition per affected shard.
   const std::shared_lock lock(engine_mutex_);
@@ -70,6 +103,7 @@ IngestStats StreamEngine::ingest(core::Dataset batch) {
 
 Epoch StreamEngine::advance_epoch() {
   const std::unique_lock lock(engine_mutex_);
+  obs::metrics().stream_epoch_advances.add(1);
   const Epoch next = epoch_.load(std::memory_order_relaxed) + 1;
   epoch_.store(next, std::memory_order_relaxed);
   if (config_.window_epochs != 0 && next >= config_.window_epochs) {
@@ -84,13 +118,18 @@ Epoch StreamEngine::advance_epoch() {
 Epoch StreamEngine::epoch() const { return epoch_.load(std::memory_order_relaxed); }
 
 void StreamEngine::apply_pending_deltas_locked(std::size_t live) const {
+  auto& m = obs::metrics();
   std::vector<core::IndexDelta> deltas;
   bool journals_intact = index_valid_;
-  for (const auto& shard : shards_) {
-    // Drain every shard even after a failure: each drain also clears the
-    // shard's journal/overflow state, re-anchoring it at this cut.
-    if (!shard->drain_deltas(deltas)) journals_intact = false;
+  {
+    obs::StageTimer drain_span(m.snapshot_stage_drain_ns);
+    for (const auto& shard : shards_) {
+      // Drain every shard even after a failure: each drain also clears the
+      // shard's journal/overflow state, re-anchoring it at this cut.
+      if (!shard->drain_deltas(deltas)) journals_intact = false;
+    }
   }
+  obs::StageTimer patch_span(m.snapshot_stage_patch_ns);
   if (!journals_intact) {
     // A journal overflowed (or a previous apply died): the deltas no longer
     // reconstruct the live set. Rebuild once from the shards' authoritative
@@ -100,16 +139,23 @@ void StreamEngine::apply_pending_deltas_locked(std::size_t live) const {
     deltas.clear();
     for (const auto& shard : shards_) shard->export_live(deltas);
     ++snap_stats_.index_rebuilds;
+    m.index_rebuilds.add(1);
   }
   const auto before = index_.stats();
   index_valid_ = false;  // until apply() lands in full
   index_.apply(std::move(deltas));
   index_valid_ = true;
   const auto& after = index_.stats();
-  snap_stats_.deltas_applied += (after.adds_applied - before.adds_applied) +
-                                (after.removes_applied - before.removes_applied);
+  const auto applied = (after.adds_applied - before.adds_applied) +
+                       (after.removes_applied - before.removes_applied);
+  snap_stats_.deltas_applied += applied;
   snap_stats_.group_compactions += after.group_compactions - before.group_compactions;
   snap_stats_.index_rebuilds += after.full_rebuilds - before.full_rebuilds;
+  if (applied != 0) m.index_deltas_applied.add(applied);
+  if (const auto n = after.group_compactions - before.group_compactions) {
+    m.index_compactions.add(n);
+  }
+  if (const auto n = after.full_rebuilds - before.full_rebuilds) m.index_rebuilds.add(n);
   if (index_.live_tuples() != live) {
     // Patched index and shard stores disagreeing means a corrupt journal —
     // a bug, never a recoverable state. Fail loudly; the poisoned index is
@@ -124,12 +170,14 @@ SnapshotPtr StreamEngine::snapshot() const {
   // handle without excluding ingest, live queries, or other cache hits.
   // cached_/cached_version_ are written only under the exclusive lock, so
   // reading them under a shared lock is race-free.
+  auto& m = obs::metrics();
   {
     const std::shared_lock lock(engine_mutex_);
     std::uint64_t version = 0;
     for (const auto& shard : shards_) version += shard->version();
     if (cached_ && cached_version_ == version) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      m.snapshot_cache_hits.add(1);
       return cached_;
     }
   }
@@ -146,14 +194,17 @@ SnapshotPtr StreamEngine::snapshot() const {
     std::unique_lock lock(engine_mutex_);
     std::size_t live = 0;
     for (;;) {
+      obs::StageTimer stamp_span(m.snapshot_stage_stamp_ns);
       version = 0;
       live = 0;
       for (const auto& shard : shards_) {
         version += shard->version();
         live += shard->size();
       }
+      stamp_span.stop();  // the cv wait below must not count as stamp time
       if (cached_ && cached_version_ == version) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        m.snapshot_cache_hits.add(1);
         return cached_;
       }
       // Single-flight: while any sweep is in flight, wait for its install
@@ -190,6 +241,8 @@ SnapshotPtr StreamEngine::snapshot() const {
     snap_stats_.locked_ns_last = elapsed_ns(locked_at);
     snap_stats_.locked_ns_total += snap_stats_.locked_ns_last;
     ++snap_stats_.sweeps;
+    m.snapshot_locked_ns.observe(snap_stats_.locked_ns_last);
+    m.snapshot_sweeps.add(1);
   }
 
   // Sweep phase, no lock held: ingest, live queries, and other snapshots
@@ -197,6 +250,7 @@ SnapshotPtr StreamEngine::snapshot() const {
   SnapshotPtr result;
   try {
     if (after_collect_hook_) after_collect_hook_();
+    obs::StageTimer sweep_span(m.snapshot_stage_sweep_ns);
     result = std::make_shared<const core::InferenceResult>(
         core::sweep_columns(*sweep_input, config_.engine));
   } catch (...) {
@@ -209,6 +263,7 @@ SnapshotPtr StreamEngine::snapshot() const {
   // Install phase: shard versions are monotone, so a larger stamp means a
   // newer cut — never replace the cache with an older concurrent sweep.
   {
+    obs::StageTimer install_span(m.snapshot_stage_install_ns);
     const std::unique_lock lock(engine_mutex_);
     sweep_inflight_ = false;
     if (!cached_ || cached_version_ <= version) {

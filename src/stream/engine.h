@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "stream/shard.h"
 
 namespace bgpcu::stream {
@@ -189,6 +190,13 @@ class StreamEngine {
   mutable SnapshotStats snap_stats_;
   mutable std::atomic<std::uint64_t> cache_hits_{0};
   std::function<void()> after_collect_hook_;
+  /// Scrape-time gauges (live tuples, epoch, index occupancy); registered in
+  /// the constructor, summed across engines at scrape. Declared last so they
+  /// unregister before the state their callbacks read is torn down.
+  obs::ScopedCollector live_tuples_collector_;
+  obs::ScopedCollector epoch_collector_;
+  obs::ScopedCollector index_live_collector_;
+  obs::ScopedCollector index_dead_collector_;
 };
 
 }  // namespace bgpcu::stream

@@ -9,6 +9,9 @@
 #include <span>
 #include <stdexcept>
 
+#include "obs/trace.h"
+#include "obs/wellknown.h"
+
 namespace bgpcu::stream {
 
 namespace fs = std::filesystem;
@@ -79,6 +82,9 @@ DirectoryFeed::DirectoryFeed(std::string directory, const registry::AllocationRe
       settle_seconds_(settle_seconds) {}
 
 FeedPoll DirectoryFeed::poll() {
+  auto& m = obs::metrics();
+  m.feed_polls.add(1);
+  obs::StageTimer poll_span(m.feed_poll_ns);
   std::error_code ec;
   fs::directory_iterator it(directory_, ec);
   if (ec) throw std::runtime_error("cannot scan feed directory " + directory_ + ": " + ec.message());
@@ -169,8 +175,10 @@ FeedPoll DirectoryFeed::poll() {
       builder.add_dump(std::span(bytes.data(), consumed));
       state.offset += consumed;
       state.size_seen = state.offset + (bytes.size() - consumed);
+      if (consumed > 0) m.feed_bytes_read.add(consumed);
     } catch (const std::exception&) {
       result.failed.push_back(path);
+      m.feed_read_failures.add(1);
       continue;
     }
     files_[path] = state;
@@ -184,6 +192,11 @@ FeedPoll DirectoryFeed::poll() {
   result.batch = std::move(bundle.dataset);
   result.extraction = bundle.extraction;
   result.sanitation = bundle.sanitation;
+  if (!result.files.empty()) m.feed_files_parsed.add(result.files.size());
+  if (result.extraction.decode_errors != 0) {
+    m.feed_decode_errors.add(result.extraction.decode_errors);
+  }
+  if (!result.batch.empty()) m.feed_tuples_extracted.add(result.batch.size());
   return result;
 }
 

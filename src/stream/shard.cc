@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/wellknown.h"
+
 namespace bgpcu::stream {
 
 IngestStats& IngestStats::operator+=(const IngestStats& other) noexcept {
@@ -15,6 +17,7 @@ IngestStats& IngestStats::operator+=(const IngestStats& other) noexcept {
 TupleShard::TupleShard(std::uint64_t first_key, std::uint64_t key_stride, bool journal,
                        std::size_t journal_cap)
     : next_key_(first_key), key_stride_(key_stride == 0 ? 1 : key_stride),
+      lane_(static_cast<std::size_t>(first_key) % obs::Counter::kLanes),
       journal_enabled_(journal), journal_cap_(journal_cap) {}
 
 IngestOutcome TupleShard::ingest(core::PathCommTuple&& tuple, Epoch epoch) {
@@ -32,19 +35,44 @@ IngestOutcome TupleShard::ingest(core::PathCommTuple&& tuple, Epoch epoch) {
 
 void TupleShard::journal_push(core::IndexDelta&& delta) {
   if (!journal_enabled_ || journal_overflowed_) return;
+  if (delta.kind == core::IndexDelta::Kind::kRemove) {
+    const auto pending = pending_adds_.find(delta.key);
+    if (pending != pending_adds_.end()) {
+      // The matching add has not been drained yet: the index would insert
+      // the row only to tombstone it in the same patch. Cancel the add in
+      // place and swallow this remove.
+      cancelled_[pending->second] = true;
+      pending_adds_.erase(pending);
+      ++cancelled_in_journal_;
+      ++journal_dedups_;
+      obs::metrics().stream_journal_dedups.add(1, lane_);
+      return;
+    }
+  }
   if (journal_.size() >= journal_cap_) {
     // Stop buffering and drop what we have: the next drain reports the
     // overflow and the engine rebuilds from export_live() instead.
     journal_overflowed_ = true;
     journal_.clear();
     journal_.shrink_to_fit();
+    cancelled_.clear();
+    cancelled_.shrink_to_fit();
+    pending_adds_.clear();
+    cancelled_in_journal_ = 0;
+    obs::metrics().stream_journal_overflows.add(1, lane_);
     return;
   }
+  if (delta.kind == core::IndexDelta::Kind::kAdd) {
+    pending_adds_.emplace(delta.key, journal_.size());
+  }
   journal_.push_back(std::move(delta));
+  cancelled_.push_back(false);
+  obs::metrics().stream_journal_deltas.add(1, lane_);
 }
 
 void TupleShard::ingest_batch(std::vector<PreparedTuple>&& batch, Epoch epoch,
                               IngestStats& stats) {
+  const IngestStats before = stats;
   const std::lock_guard lock(mutex_);
   bool mutated = false;
   for (auto& prepared : batch) {
@@ -77,6 +105,12 @@ void TupleShard::ingest_batch(std::vector<PreparedTuple>&& batch, Epoch epoch,
     mutated = true;
   }
   if (mutated) ++version_;
+
+  auto& m = obs::metrics();
+  m.stream_ingest_batches.add(1, lane_);
+  if (const auto n = stats.accepted - before.accepted) m.stream_ingest_accepted.add(n, lane_);
+  if (const auto n = stats.refreshed - before.refreshed) m.stream_ingest_refreshed.add(n, lane_);
+  if (const auto n = stats.duplicates - before.duplicates) m.stream_ingest_duplicate.add(n, lane_);
 }
 
 std::size_t TupleShard::evict_older_than(Epoch min_epoch) {
@@ -103,7 +137,10 @@ std::size_t TupleShard::evict_older_than(Epoch min_epoch) {
     it = tuples_.erase(it);
     ++evicted;
   }
-  if (evicted != 0) ++version_;
+  if (evicted != 0) {
+    ++version_;
+    obs::metrics().stream_evicted.add(evicted, lane_);
+  }
   return evicted;
 }
 
@@ -116,18 +153,25 @@ void TupleShard::collect_views(std::vector<core::TupleView>& out) const {
 
 bool TupleShard::drain_deltas(std::vector<core::IndexDelta>& out) {
   const std::lock_guard lock(mutex_);
+  pending_adds_.clear();
   if (journal_overflowed_) {
     journal_overflowed_ = false;
     journal_.clear();
+    cancelled_.clear();
+    cancelled_in_journal_ = 0;
     return false;
   }
-  if (out.empty()) {
+  if (cancelled_in_journal_ == 0 && out.empty()) {
     out = std::move(journal_);
   } else {
-    out.insert(out.end(), std::make_move_iterator(journal_.begin()),
-               std::make_move_iterator(journal_.end()));
+    out.reserve(out.size() + journal_.size() - cancelled_in_journal_);
+    for (std::size_t i = 0; i < journal_.size(); ++i) {
+      if (!cancelled_[i]) out.push_back(std::move(journal_[i]));
+    }
   }
   journal_.clear();
+  cancelled_.clear();
+  cancelled_in_journal_ = 0;
   return true;
 }
 
@@ -153,6 +197,11 @@ std::size_t TupleShard::size() const {
 std::uint64_t TupleShard::version() const {
   const std::lock_guard lock(mutex_);
   return version_;
+}
+
+std::uint64_t TupleShard::journal_dedups() const {
+  const std::lock_guard lock(mutex_);
+  return journal_dedups_;
 }
 
 }  // namespace bgpcu::stream

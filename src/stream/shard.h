@@ -86,11 +86,17 @@ class TupleShard {
   void collect_views(std::vector<core::TupleView>& out) const;
 
   /// Moves the journaled add/remove deltas since the last drain into `out`
-  /// (in mutation order) and clears the journal. Returns false when the
-  /// journal overflowed since the last drain: nothing is appended, the
-  /// overflow state is cleared, and the caller must rebuild its index from
-  /// export_live() of every shard. Thread-safe.
+  /// (in mutation order) and clears the journal. Add+remove pairs for the
+  /// same key that both happened since the last drain cancel each other and
+  /// are never emitted — the index would only have inserted and immediately
+  /// tombstoned the row (keys are never reused, so the cancellation is
+  /// exact). Returns false when the journal overflowed since the last drain:
+  /// nothing is appended, the overflow state is cleared, and the caller must
+  /// rebuild its index from export_live() of every shard. Thread-safe.
   [[nodiscard]] bool drain_deltas(std::vector<core::IndexDelta>& out);
+
+  /// Lifetime count of add+remove pairs cancelled before a drain. Thread-safe.
+  [[nodiscard]] std::uint64_t journal_dedups() const;
 
   /// Appends one add-delta per live tuple (the shard's authoritative state),
   /// keyed identically to the journal's entries. Used to (re)build an index
@@ -125,10 +131,16 @@ class TupleShard {
   std::uint64_t version_ = 0;
   std::uint64_t next_key_ = 0;
   std::uint64_t key_stride_ = 1;
+  std::size_t lane_ = 0;  ///< Counter stripe; derived from first_key.
   bool journal_enabled_ = true;
   std::size_t journal_cap_ = kJournalCap;
   bool journal_overflowed_ = false;
   std::vector<core::IndexDelta> journal_;
+  std::vector<bool> cancelled_;  ///< Parallel to journal_; true = skip on drain.
+  /// Undrained add entries by key, so a remove can cancel its add in place.
+  std::unordered_map<std::uint64_t, std::size_t> pending_adds_;
+  std::size_t cancelled_in_journal_ = 0;
+  std::uint64_t journal_dedups_ = 0;
 };
 
 }  // namespace bgpcu::stream

@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "core/database.h"
+#include "obs/metrics.h"
 #include "topology/rng.h"
 
 namespace bgpcu::api {
@@ -132,7 +133,8 @@ TEST(WireRoundTrip, EmptySnapshotAndDelta) {
 
 TEST(WireRoundTrip, QueryRequests) {
   for (const auto kind : {QueryKind::kClassOf, QueryKind::kSnapshot,
-                          QueryKind::kLiveCounters, QueryKind::kStats}) {
+                          QueryKind::kLiveCounters, QueryKind::kStats,
+                          QueryKind::kMetrics}) {
     QueryRequest request{kind, 4200000001u};
     const auto decoded = decode_query_request(encode_query_request(request));
     EXPECT_EQ(decoded.kind, kind);
@@ -209,6 +211,62 @@ EpochDelta golden_delta() {
   return delta;
 }
 
+/// The pinned metrics scrape: one family of every metric type, labeled and
+/// unlabeled series, a fractional gauge (collector output), a histogram with
+/// empty buckets.
+obs::Snapshot golden_metrics() {
+  obs::Snapshot snapshot;
+  obs::Family queries;
+  queries.name = "bgpcu_api_queries_total";
+  queries.help = "Service queries answered by kind";
+  queries.type = obs::MetricType::kCounter;
+  queries.series.push_back({"kind=\"snapshot\"", 3, std::nullopt});
+  queries.series.push_back({"kind=\"stats\"", 12, std::nullopt});
+  snapshot.push_back(std::move(queries));
+
+  obs::Family live;
+  live.name = "bgpcu_stream_live_tuples";
+  live.help = "Live unique tuples across shards";
+  live.type = obs::MetricType::kGauge;
+  live.series.push_back({"", 168036.5, std::nullopt});
+  snapshot.push_back(std::move(live));
+
+  obs::Family locked;
+  locked.name = "bgpcu_snapshot_locked_ns";
+  locked.help = "Locked-phase time per sweep";
+  locked.type = obs::MetricType::kHistogram;
+  obs::HistogramData hist;
+  hist.buckets = {0, 1, 2, 0, 5};
+  hist.count = 8;
+  hist.sum = 31415;
+  locked.series.push_back({"", 0, std::move(hist)});
+  snapshot.push_back(std::move(locked));
+  return snapshot;
+}
+
+std::vector<std::uint8_t> encode_golden_metrics_response() {
+  QueryResponse response;
+  response.kind = QueryKind::kMetrics;
+  response.metrics = golden_metrics();
+  return encode_query_response(response);
+}
+
+TEST(WireRoundTrip, MetricsResponseSurvives) {
+  const auto decoded = decode_query_response(encode_golden_metrics_response());
+  EXPECT_EQ(decoded.kind, QueryKind::kMetrics);
+  ASSERT_TRUE(decoded.metrics.has_value());
+  EXPECT_EQ(*decoded.metrics, golden_metrics());
+}
+
+TEST(WireRoundTrip, EmptyMetricsResponseSurvives) {
+  QueryResponse response;
+  response.kind = QueryKind::kMetrics;
+  response.metrics = obs::Snapshot{};
+  const auto decoded = decode_query_response(encode_query_response(response));
+  ASSERT_TRUE(decoded.metrics.has_value());
+  EXPECT_TRUE(decoded.metrics->empty());
+}
+
 void write_bytes(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(reinterpret_cast<const char*>(bytes.data()),
@@ -237,6 +295,17 @@ TEST(WireGolden, DeltaFixtureIsStable) {
   EXPECT_EQ(decode_delta_batch(fixture), golden_delta());
 }
 
+TEST(WireGolden, MetricsFixtureIsStable) {
+  const auto path = data_dir() / "golden_metrics_v1.wire";
+  const auto expected = encode_golden_metrics_response();
+  if (std::getenv("BGPCU_REGEN_GOLDEN")) write_bytes(path, expected);
+  const auto fixture = read_bytes(path);
+  EXPECT_EQ(fixture, expected) << "v1 metrics encoding drifted from the checked-in bytes";
+  const auto decoded = decode_query_response(fixture);
+  ASSERT_TRUE(decoded.metrics.has_value());
+  EXPECT_EQ(*decoded.metrics, golden_metrics());
+}
+
 // ------------------------------------------------------------- corruption --
 
 TEST(WireCorruption, EveryTruncationThrows) {
@@ -251,6 +320,12 @@ TEST(WireCorruption, EveryTruncationThrows) {
     const std::vector<std::uint8_t> cut(
         delta_frame.begin(), delta_frame.begin() + static_cast<std::ptrdiff_t>(len));
     EXPECT_THROW((void)decode_delta_batch(cut), WireFormatError) << "prefix " << len;
+  }
+  const auto metrics_frame = encode_golden_metrics_response();
+  for (std::size_t len = 0; len < metrics_frame.size(); ++len) {
+    const std::vector<std::uint8_t> cut(
+        metrics_frame.begin(), metrics_frame.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)decode_query_response(cut), WireFormatError) << "prefix " << len;
   }
 }
 
@@ -307,6 +382,17 @@ TEST(WireCorruption, ByteFlipsNeverCrash) {
     try {
       (void)decode_delta_batch(mutated);
     } catch (const WireFormatError&) {
+    }
+  }
+  const auto metrics_frame = encode_golden_metrics_response();
+  for (std::size_t pos = 0; pos < metrics_frame.size(); ++pos) {
+    for (const std::uint8_t flip : {0xFFu, 0x80u, 0x01u}) {
+      auto mutated = metrics_frame;
+      mutated[pos] ^= flip;
+      try {
+        (void)decode_query_response(mutated);
+      } catch (const WireFormatError&) {
+      }
     }
   }
 }
@@ -492,6 +578,8 @@ std::vector<Corpus> build_corpus(topology::Rng& rng) {
   stats_response.kind = QueryKind::kStats;
   stats_response.stats = ServiceStats{3, 1000, 5, 8, 2, 1};
   corpus.push_back({"query-response", encode_query_response(stats_response),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_query_response(b); }});
+  corpus.push_back({"query-response-metrics", encode_golden_metrics_response(),
                     +[](std::span<const std::uint8_t> b) { (void)decode_query_response(b); }});
   corpus.push_back({"hello", encode_hello({kWireVersion, "fuzz-token"}),
                     +[](std::span<const std::uint8_t> b) { (void)decode_hello(b); }});

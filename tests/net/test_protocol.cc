@@ -176,6 +176,52 @@ TEST(NetProtocol, EveryQueryKindMatchesDirectServiceAnswers) {
   EXPECT_EQ(stats.stats->live_tuples, 2u);
 }
 
+TEST(NetProtocol, MetricsQueryReturnsTheFullRegistryScrape) {
+  Harness harness;
+  (void)harness.service.ingest({tuple(10, 20, true)});
+  auto client = harness.client();
+  const auto response = client.query({.kind = api::QueryKind::kMetrics});
+  ASSERT_TRUE(response.metrics.has_value());
+
+  // The wire scrape covers every instrumented layer and counts itself.
+  bool net = false, stream = false, api_fam = false, snap = false;
+  double metrics_queries = -1;
+  for (const auto& family : *response.metrics) {
+    net = net || family.name.starts_with("bgpcu_net_");
+    stream = stream || family.name.starts_with("bgpcu_stream_");
+    api_fam = api_fam || family.name.starts_with("bgpcu_api_");
+    snap = snap || family.name.starts_with("bgpcu_snapshot_");
+    if (family.name == "bgpcu_api_queries_total") {
+      for (const auto& series : family.series) {
+        if (series.labels == "kind=\"metrics\"") metrics_queries = series.value;
+      }
+    }
+  }
+  EXPECT_TRUE(net);
+  EXPECT_TRUE(stream);
+  EXPECT_TRUE(api_fam);
+  EXPECT_TRUE(snap);
+  EXPECT_GE(metrics_queries, 1.0) << "the scrape must include its own query";
+}
+
+TEST(NetProtocol, MetricsKindIsAdditiveForV2Clients) {
+  // kMetrics rode into protocol v2 without a version bump — a client that
+  // never requests it must see exactly the pre-metrics surface: the same
+  // handshake version and no metrics payload on any other query kind.
+  EXPECT_EQ(api::kProtocolVersion, 2u);
+  Harness harness;
+  (void)harness.service.ingest({tuple(10, 20, true)});
+  auto client = harness.client();
+  EXPECT_EQ(client.welcome().protocol, 2u);
+  for (const auto kind : {api::QueryKind::kClassOf, api::QueryKind::kSnapshot,
+                          api::QueryKind::kLiveCounters, api::QueryKind::kStats}) {
+    const auto response = client.query({.kind = kind, .asn = 10});
+    EXPECT_EQ(response.kind, kind);
+    EXPECT_FALSE(response.metrics.has_value())
+        << "non-metrics kind carried a metrics payload";
+  }
+}
+
 TEST(NetProtocol, PipelinedRequestsAreAnsweredInOrder) {
   Harness harness;
   (void)harness.service.ingest({tuple(10, 20, true)});

@@ -1,0 +1,103 @@
+// The built-in metrics HTTP endpoint, driven over a real ephemeral-port
+// socket: route handling (/metrics, /metrics.json, /healthz, 404, 405), the
+// Prometheus content type, and clean shutdown.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "net/socket.h"
+#include "obs/http.h"
+#include "obs/metrics.h"
+
+namespace bgpcu::obs {
+namespace {
+
+/// One HTTP exchange: connect, send `request`, read to connection close.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  auto conn = net::tcp_connect("127.0.0.1", port);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(request.data());
+  EXPECT_TRUE(conn->write_all({bytes, request.size()}));
+  conn->shutdown_write();
+  std::string response;
+  std::uint8_t buf[4096];
+  while (true) {
+    const auto n = conn->read_some(buf);
+    if (n == 0) break;
+    response.append(reinterpret_cast<const char*>(buf), n);
+  }
+  return response;
+}
+
+class MetricsHttpTest : public ::testing::Test {
+ protected:
+  MetricsHttpTest() : server_("127.0.0.1", 0, registry_) {
+    registry_.counter("bgpcu_test_requests_total", "Test counter").add(42);
+  }
+
+  Registry registry_;
+  MetricsHttpServer server_;
+};
+
+TEST_F(MetricsHttpTest, EphemeralPortResolves) { EXPECT_GT(server_.port(), 0); }
+
+TEST_F(MetricsHttpTest, MetricsRouteServesPrometheusText) {
+  const auto response =
+      http_exchange(server_.port(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos) << response;
+  EXPECT_NE(response.find("# TYPE bgpcu_test_requests_total counter"), std::string::npos);
+  EXPECT_NE(response.find("bgpcu_test_requests_total 42"), std::string::npos);
+}
+
+TEST_F(MetricsHttpTest, RootAliasesMetrics) {
+  const auto response = http_exchange(server_.port(), "GET / HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("bgpcu_test_requests_total 42"), std::string::npos);
+}
+
+TEST_F(MetricsHttpTest, JsonRouteServesFlatJson) {
+  const auto response =
+      http_exchange(server_.port(), "GET /metrics.json HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos) << response;
+  EXPECT_NE(response.find("\"bgpcu_test_requests_total\":42"), std::string::npos);
+  EXPECT_NE(response.find("\"ts\":"), std::string::npos);
+}
+
+TEST_F(MetricsHttpTest, HealthzAnswersOk) {
+  const auto response =
+      http_exchange(server_.port(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("ok\n"), std::string::npos);
+}
+
+TEST_F(MetricsHttpTest, UnknownPathIs404) {
+  const auto response =
+      http_exchange(server_.port(), "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos) << response;
+}
+
+TEST_F(MetricsHttpTest, NonGetIs405) {
+  const auto response =
+      http_exchange(server_.port(), "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos) << response;
+}
+
+TEST_F(MetricsHttpTest, ServesSequentialConnections) {
+  for (int i = 0; i < 3; ++i) {
+    const auto response =
+        http_exchange(server_.port(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    EXPECT_NE(response.find("200 OK"), std::string::npos) << "request " << i;
+  }
+}
+
+TEST(MetricsHttpShutdownTest, StopIsIdempotent) {
+  Registry registry;
+  MetricsHttpServer server("127.0.0.1", 0, registry);
+  server.stop();
+  server.stop();  // second stop (and the destructor after) must be harmless
+}
+
+}  // namespace
+}  // namespace bgpcu::obs

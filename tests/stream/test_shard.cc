@@ -104,5 +104,93 @@ TEST(TupleShard, CollectViewsCarriesPrecomputedMasks) {
   EXPECT_EQ(views[0].path->size(), 2u);
 }
 
+TEST(TupleShardJournal, AddThenEvictBetweenDrainsCancels) {
+  // A tuple accepted and evicted within one drain window would only make the
+  // index insert and immediately tombstone a row; the journal cancels the
+  // pair instead of emitting it.
+  TupleShard shard;
+  (void)shard.ingest(tuple({1, 2}), 0);
+  (void)shard.ingest(tuple({3, 4}), 1);
+  EXPECT_EQ(shard.evict_older_than(1), 1u);  // kills {1,2}
+
+  std::vector<core::IndexDelta> deltas;
+  ASSERT_TRUE(shard.drain_deltas(deltas));
+  ASSERT_EQ(deltas.size(), 1u);  // only the surviving {3,4} add
+  EXPECT_EQ(deltas[0].kind, core::IndexDelta::Kind::kAdd);
+  EXPECT_EQ(shard.journal_dedups(), 1u);
+}
+
+TEST(TupleShardJournal, RemoveOfDrainedAddIsEmitted) {
+  // Once the add has been drained the index holds the row, so a later evict
+  // must emit its remove — cancellation only applies within a drain window.
+  TupleShard shard;
+  (void)shard.ingest(tuple({1, 2}), 0);
+  std::vector<core::IndexDelta> deltas;
+  ASSERT_TRUE(shard.drain_deltas(deltas));
+  ASSERT_EQ(deltas.size(), 1u);
+  const auto key = deltas[0].key;
+
+  EXPECT_EQ(shard.evict_older_than(1), 1u);
+  deltas.clear();
+  ASSERT_TRUE(shard.drain_deltas(deltas));
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].kind, core::IndexDelta::Kind::kRemove);
+  EXPECT_EQ(deltas[0].key, key);
+  EXPECT_EQ(shard.journal_dedups(), 0u);
+}
+
+TEST(TupleShardJournal, CancellationPreservesSurvivorOrder) {
+  TupleShard shard;
+  (void)shard.ingest(tuple({1, 2}), 0);   // will cancel
+  (void)shard.ingest(tuple({3, 4}), 1);   // survives
+  (void)shard.ingest(tuple({5, 6}), 1);   // survives
+  EXPECT_EQ(shard.evict_older_than(1), 1u);
+  (void)shard.ingest(tuple({7, 8}), 1);   // survives, after the evict
+
+  std::vector<core::IndexDelta> deltas;
+  ASSERT_TRUE(shard.drain_deltas(deltas));
+  ASSERT_EQ(deltas.size(), 3u);
+  for (const auto& d : deltas) EXPECT_EQ(d.kind, core::IndexDelta::Kind::kAdd);
+  EXPECT_LT(deltas[0].key, deltas[1].key);
+  EXPECT_LT(deltas[1].key, deltas[2].key);
+}
+
+TEST(TupleShardJournal, ReingestAfterCancelledPairUsesFreshKey) {
+  // Keys are never reused: re-accepting the same tuple after a cancelled
+  // add+remove pair journals a brand-new add with a later key.
+  TupleShard shard;
+  (void)shard.ingest(tuple({1, 2}), 0);
+  EXPECT_EQ(shard.evict_older_than(1), 1u);
+  (void)shard.ingest(tuple({1, 2}), 1);
+
+  std::vector<core::IndexDelta> deltas;
+  ASSERT_TRUE(shard.drain_deltas(deltas));
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].kind, core::IndexDelta::Kind::kAdd);
+  EXPECT_EQ(shard.journal_dedups(), 1u);
+}
+
+TEST(TupleShardJournal, OverflowClearsDedupeState) {
+  // Overflow drops the buffered journal (and everything journaled until the
+  // next drain); the drain reports it and the shard starts a clean window
+  // with no stale cancellations or pending adds.
+  TupleShard shard(0, 1, true, /*journal_cap=*/2);
+  (void)shard.ingest(tuple({1, 2}), 0);
+  (void)shard.ingest(tuple({3, 4}), 0);
+  (void)shard.ingest(tuple({5, 6}), 0);     // third entry: over the cap
+  EXPECT_EQ(shard.evict_older_than(1), 3u);  // removes dropped while overflowed
+
+  std::vector<core::IndexDelta> deltas;
+  EXPECT_FALSE(shard.drain_deltas(deltas));
+  EXPECT_TRUE(deltas.empty());
+
+  // The journal works again after the overflow drain, including dedupe.
+  (void)shard.ingest(tuple({7, 8}), 1);
+  EXPECT_EQ(shard.evict_older_than(2), 1u);
+  ASSERT_TRUE(shard.drain_deltas(deltas));
+  EXPECT_TRUE(deltas.empty());  // the add+remove pair cancelled
+  EXPECT_EQ(shard.journal_dedups(), 1u);
+}
+
 }  // namespace
 }  // namespace bgpcu::stream

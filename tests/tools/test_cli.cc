@@ -396,6 +396,59 @@ TEST_F(CliTest, ServePortFileIsNeverObservedPartiallyWritten) {
   EXPECT_TRUE(clean) << "daemon did not shut down on SIGTERM; log: " << slurp(log_file);
 }
 
+TEST_F(CliTest, ServeTelemetrySurfaceEndToEnd) {
+  // The observability flags together: --metrics-port publishes its bound
+  // port atomically via --metrics-port-file, --metrics-dump appends JSONL
+  // scrapes, and --log-level debug emits structured key=value lines — while
+  // "shut down cleanly" stays greppable for scripts.
+  const auto metrics_port_file = dir_ / "mport";
+  const auto dump_file = dir_ / "metrics.jsonl";
+  const auto log_file = dir_ / "serve.log";
+  const auto pid_file = dir_ / "pid";
+  const auto launch = "'" + serve_bin() + "' --port 0 --metrics-port 0 --metrics-port-file '" +
+                      metrics_port_file.string() + "' --metrics-dump '" + dump_file.string() +
+                      ",1' --log-level debug --interval 1 > '" + log_file.string() +
+                      "' 2>&1 & echo $! > '" + pid_file.string() + "'";
+  ASSERT_EQ(std::system(launch.c_str()), 0);
+
+  // The metrics port publishes atomically, same as the serving port.
+  std::string seen;
+  for (int i = 0; i < 2000 && seen.empty(); ++i) {
+    if (fs::exists(metrics_port_file)) seen = slurp(metrics_port_file);
+    if (seen.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(seen.empty()) << "daemon never wrote its metrics port; log: " << slurp(log_file);
+  const auto metrics_port = std::stoul(seen);
+  EXPECT_GE(metrics_port, 1u);
+  EXPECT_LE(metrics_port, 65535u);
+
+  // The JSONL dump accumulates complete scrape lines.
+  bool dumped = false;
+  for (int i = 0; i < 100 && !dumped; ++i) {
+    dumped = fs::exists(dump_file) &&
+             slurp(dump_file).find("\"bgpcu_stream_live_tuples\":") != std::string::npos;
+    if (!dumped) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(dumped) << "no metrics dump line appeared; log: " << slurp(log_file);
+
+  std::string pid;
+  std::stringstream(slurp(pid_file)) >> pid;
+  ASSERT_FALSE(pid.empty());
+  EXPECT_EQ(std::system(("kill -TERM " + pid).c_str()), 0);
+  bool clean = false;
+  for (int i = 0; i < 100 && !clean; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    clean = slurp(log_file).find("shut down cleanly") != std::string::npos;
+  }
+  EXPECT_TRUE(clean) << "daemon did not shut down on SIGTERM; log: " << slurp(log_file);
+
+  // Structured breadcrumbs: startup, metrics surface, and shutdown events.
+  const auto log = slurp(log_file);
+  EXPECT_NE(log.find("level=info event=listening addr="), std::string::npos) << log;
+  EXPECT_NE(log.find("level=info event=metrics_listening"), std::string::npos) << log;
+  EXPECT_NE(log.find("level=info event=shutdown"), std::string::npos) << log;
+}
+
 TEST_F(CliTest, ServeDaemonAnswersQueryConnectEndToEnd) {
   // The real-socket end-to-end: bgpcu_serve on an ephemeral port ingests a
   // dump; bgpcu_query --connect reads stats, per-ASN class, and the full
@@ -442,6 +495,26 @@ TEST_F(CliTest, ServeDaemonAnswersQueryConnectEndToEnd) {
   EXPECT_EQ(dump.exit_code, 0) << dump.err;
   EXPECT_NE(dump.out.find("# bgpcu-inference-db v1"), std::string::npos) << dump.out;
   EXPECT_NE(dump.out.find("3356 tn 1 0 0 0"), std::string::npos) << dump.out;
+
+  // stats --json: one machine-readable object carrying the same counters.
+  const auto stats_json = run_split(query_bin() + " stats --json" + connect);
+  EXPECT_EQ(stats_json.exit_code, 0) << stats_json.err;
+  EXPECT_EQ(stats_json.out.rfind('{', 0), 0u) << stats_json.out;
+  EXPECT_NE(stats_json.out.find("\"epoch\":0"), std::string::npos) << stats_json.out;
+  EXPECT_NE(stats_json.out.find("\"live_tuples\":"), std::string::npos) << stats_json.out;
+
+  // metrics over the wire: the full registry scrape as Prometheus text.
+  const auto metrics = run_split(query_bin() + " metrics" + connect);
+  EXPECT_EQ(metrics.exit_code, 0) << metrics.err;
+  EXPECT_NE(metrics.out.find("# TYPE bgpcu_api_queries_total counter"), std::string::npos)
+      << metrics.out.substr(0, 500);
+  EXPECT_NE(metrics.out.find("bgpcu_net_frames_received_total"), std::string::npos);
+  EXPECT_NE(metrics.out.find("bgpcu_stream_live_tuples"), std::string::npos);
+
+  const auto metrics_json = run_split(query_bin() + " metrics --json" + connect);
+  EXPECT_EQ(metrics_json.exit_code, 0) << metrics_json.err;
+  EXPECT_NE(metrics_json.out.find("\"bgpcu_stream_live_tuples\":"), std::string::npos)
+      << metrics_json.out.substr(0, 500);
 
   // Wrong token is refused at the handshake.
   const auto denied = run_split(query_bin() + " stats --connect 127.0.0.1:" + port +

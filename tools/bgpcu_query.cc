@@ -26,6 +26,9 @@
 //   bgpcu_query live ASN --connect HOST:PORT    real-time peer-column
 //                                               evidence (no sweep)
 //   bgpcu_query stats --connect HOST:PORT       service health counters
+//     [--json]                                  (machine-readable JSON object)
+//   bgpcu_query metrics --connect HOST:PORT     full observability scrape
+//     [--json]                                  (Prometheus text, or JSON)
 //   bgpcu_query watch --connect HOST:PORT       stream the class-change feed
 //     [--transition FROM->TO] [--asns A,B,...]  (filtered server-side)
 //     [--replay-from E] [--max-batches N]
@@ -33,18 +36,22 @@
 // Diagnostics go to stderr; stdout carries only the requested artifact
 // data. Exit codes: 0 success, 1 runtime failure, 2 usage error.
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "api/wire.h"
 #include "core/database.h"
 #include "net/client.h"
 #include "net/socket.h"
+#include "obs/render.h"
 #include "util/cli.h"
 
 namespace {
@@ -57,7 +64,8 @@ int usage(const char* argv0) {
                " convert text|wire IN OUT\n"
                "       " << argv0
             << " [--connect HOST:PORT] [--token T] dump | asn ASN | live ASN |"
-               " stats | watch [--transition FROM->TO] [--asns A,B,...]"
+               " stats [--json] | metrics [--json] |"
+               " watch [--transition FROM->TO] [--asns A,B,...]"
                " [--replay-from E] [--max-batches N]\n";
   return 2;
 }
@@ -204,6 +212,7 @@ struct ConnectOptions {
   std::string asns;
   std::optional<stream::Epoch> replay_from;
   std::uint64_t max_batches = 0;  ///< 0 = stream until the server closes.
+  bool json = false;              ///< stats/metrics: machine-readable output.
 };
 
 net::Client connect_client(const ConnectOptions& options) {
@@ -230,20 +239,84 @@ int cmd_net_asn(const ConnectOptions& options, const std::string& asn_text,
   return 0;
 }
 
+/// "1234567" -> "1,234,567"; values under 1000 are unchanged, so scripts
+/// grepping small counters ("live_tuples 0") keep working.
+std::string with_thousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  if (digits.size() <= 3) return digits;
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i >= lead && (i - lead) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+/// A nanosecond count as "(X.XX ms)" or "(X.XX µs)" for human eyes.
+std::string human_ns(std::uint64_t ns) {
+  char buf[48];
+  if (ns >= 1000000) {
+    std::snprintf(buf, sizeof buf, "(%.2f ms)", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "(%.2f µs)", static_cast<double>(ns) / 1e3);
+  }
+  return buf;
+}
+
 int cmd_net_stats(const ConnectOptions& options) {
   auto client = connect_client(options);
   const auto response = client.query({.kind = api::QueryKind::kStats});
   if (!response.stats) throw std::runtime_error("server returned no stats");
   const auto& s = *response.stats;
-  std::cout << "epoch " << s.epoch << "\nlive_tuples " << s.live_tuples
-            << "\nevicted_total " << s.evicted_total << "\nshards " << s.shards
-            << "\nwindow_epochs " << s.window_epochs << "\nsubscriptions "
-            << s.subscriptions << "\nsnapshot_sweeps " << s.snapshot_sweeps
-            << "\nsnapshot_cache_hits " << s.snapshot_cache_hits
-            << "\nindex_deltas_applied " << s.index_deltas_applied
-            << "\nindex_compactions " << s.index_compactions << "\nindex_rebuilds "
-            << s.index_rebuilds << "\nlocked_ns_last " << s.locked_ns_last
-            << "\nlocked_ns_total " << s.locked_ns_total << "\n";
+  // Name/value pairs in one place so the plain and JSON renderings can
+  // never drift apart.
+  const std::pair<const char*, std::uint64_t> fields[] = {
+      {"epoch", s.epoch},
+      {"live_tuples", s.live_tuples},
+      {"evicted_total", s.evicted_total},
+      {"shards", s.shards},
+      {"window_epochs", s.window_epochs},
+      {"subscriptions", s.subscriptions},
+      {"snapshot_sweeps", s.snapshot_sweeps},
+      {"snapshot_cache_hits", s.snapshot_cache_hits},
+      {"index_deltas_applied", s.index_deltas_applied},
+      {"index_compactions", s.index_compactions},
+      {"index_rebuilds", s.index_rebuilds},
+      {"locked_ns_last", s.locked_ns_last},
+      {"locked_ns_total", s.locked_ns_total},
+  };
+  if (options.json) {
+    std::cout << "{";
+    bool first = true;
+    for (const auto& [name, value] : fields) {
+      if (!first) std::cout << ",";
+      first = false;
+      std::cout << "\"" << name << "\":" << value;
+    }
+    std::cout << "}\n";
+    return 0;
+  }
+  for (const auto& [name, value] : fields) {
+    std::cout << name << " " << with_thousands(value);
+    // The lock-time counters get a human-scale duration alongside the raw
+    // nanoseconds.
+    if (std::string_view(name).starts_with("locked_ns")) std::cout << " " << human_ns(value);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_net_metrics(const ConnectOptions& options) {
+  auto client = connect_client(options);
+  const auto response = client.query({.kind = api::QueryKind::kMetrics});
+  if (!response.metrics) throw std::runtime_error("server returned no metrics");
+  if (options.json) {
+    std::cout << obs::render_json(*response.metrics, 0) << "\n";
+  } else {
+    std::cout << obs::render_prometheus(*response.metrics);
+  }
   return 0;
 }
 
@@ -317,6 +390,8 @@ int main(int argc, char** argv) {
       options.replay_from = parse_u64_or_exit(arg, next());
     } else if (arg == "--max-batches") {
       options.max_batches = parse_u64_or_exit(arg, next());
+    } else if (arg == "--json") {
+      options.json = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -340,6 +415,7 @@ int main(int argc, char** argv) {
         return cmd_net_asn(options, args[0], api::QueryKind::kLiveCounters);
       }
       if (command == "stats" && args.empty()) return cmd_net_stats(options);
+      if (command == "metrics" && args.empty()) return cmd_net_metrics(options);
       if (command == "watch" && args.empty()) return cmd_net_watch(options);
       return usage(argv[0]);
     }

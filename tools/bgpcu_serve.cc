@@ -17,6 +17,13 @@
 //   --token T          require this auth token in every client hello
 //   --max-conns N      connection limit, default 64
 //
+// Observability options (docs/OBSERVABILITY.md):
+//   --metrics-port P       serve GET /metrics (Prometheus text), /metrics.json
+//                          and /healthz on this port; 0 picks ephemeral
+//   --metrics-port-file F  write the bound metrics port to F (for port 0)
+//   --metrics-dump F,SEC   append one JSON metrics line to F every SEC seconds
+//   --log-level L          error|warn|info|debug (default info)
+//
 // Ingest options (all as in bgpcu_stream; WATCH_DIR optional — without it
 // the daemon serves an initially empty engine):
 //   --threshold P --allocations F --shards N --window W --extension .EXT
@@ -27,6 +34,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -38,6 +46,10 @@
 #include "api/service.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "obs/http.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/render.h"
 #include "registry/registry.h"
 #include "stream/feed.h"
 #include "util/cli.h"
@@ -53,6 +65,8 @@ void handle_signal(int) { g_stop.store(true); }
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--host H] [--port P] [--port-file F] [--token T] [--max-conns N]"
+               " [--metrics-port P] [--metrics-port-file F] [--metrics-dump F,SEC]"
+               " [--log-level error|warn|info|debug]"
                " [--threshold P] [--allocations F] [--shards N] [--window W]"
                " [--extension .EXT] [--settle SEC] [--interval SEC] [WATCH_DIR]\n";
   return 2;
@@ -72,12 +86,49 @@ bool interruptible_sleep(unsigned seconds) {
   return !g_stop.load();
 }
 
+/// Holds the background metrics-dump thread. Joining in the destructor (after
+/// asking for stop) keeps an exception thrown later in startup — feed or
+/// server construction — from destroying a joinable std::thread, which would
+/// terminate the process instead of reporting the error.
+struct JoiningThread {
+  std::thread thread;
+  ~JoiningThread() {
+    if (thread.joinable()) {
+      g_stop.store(true);
+      thread.join();
+    }
+  }
+};
+
+/// Write-then-rename so a reader polling for the port can never observe an
+/// empty or half-written file: rename() is atomic on POSIX, and the temp name
+/// lives in the same directory so it cannot cross a filesystem boundary.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << port << "\n";
+    out.flush();
+    if (!out) throw std::runtime_error("cannot write port file: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("cannot move port file into place: " + path + ": " +
+                             ec.message());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 4711;
   std::string port_file;
+  int metrics_port = -1;  ///< -1 = no metrics endpoint; 0 = ephemeral.
+  std::string metrics_port_file;
+  std::string metrics_dump_path;
+  unsigned metrics_dump_sec = 0;
   std::string watch_dir;
   std::string allocations_path;
   std::string extension;
@@ -107,6 +158,39 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(value);
     } else if (arg == "--port-file") {
       port_file = next();
+    } else if (arg == "--metrics-port") {
+      const auto value = parse_u64_or_exit(arg, next());
+      if (value > 0xFFFF) {
+        std::cerr << "--metrics-port must be <= 65535\n";
+        return 2;
+      }
+      metrics_port = static_cast<int>(value);
+    } else if (arg == "--metrics-port-file") {
+      metrics_port_file = next();
+    } else if (arg == "--metrics-dump") {
+      // F,SEC — the interval is everything after the *last* comma, so a
+      // path containing commas still parses.
+      const std::string spec = next();
+      const auto comma = spec.rfind(',');
+      if (comma == std::string::npos || comma == 0 || comma + 1 == spec.size()) {
+        std::cerr << "--metrics-dump needs FILE,SECONDS, got '" << spec << "'\n";
+        return 2;
+      }
+      metrics_dump_path = spec.substr(0, comma);
+      const auto seconds = parse_u64_or_exit("--metrics-dump interval", spec.substr(comma + 1));
+      if (seconds == 0) {
+        std::cerr << "--metrics-dump interval must be >= 1 second\n";
+        return 2;
+      }
+      metrics_dump_sec = static_cast<unsigned>(seconds);
+    } else if (arg == "--log-level") {
+      const std::string name = next();
+      const auto level = obs::parse_log_level(name);
+      if (!level) {
+        std::cerr << "--log-level must be error|warn|info|debug, got '" << name << "'\n";
+        return 2;
+      }
+      obs::set_log_level(*level);
     } else if (arg == "--token") {
       server_config.auth_token = next();
     } else if (arg == "--max-conns") {
@@ -157,25 +241,43 @@ int main(int argc, char** argv) {
 
     auto listener = std::make_shared<net::TcpListener>(host, port);
     std::cerr << "listening on " << listener->name() << "\n";
-    if (!port_file.empty()) {
-      // Write-then-rename so a reader polling for the port can never observe
-      // an empty or half-written file: rename() is atomic on POSIX, and the
-      // temp name lives in the same directory so it cannot cross a
-      // filesystem boundary.
-      const std::string tmp = port_file + ".tmp";
-      {
-        std::ofstream out(tmp, std::ios::trunc);
-        out << listener->port() << "\n";
-        out.flush();
-        if (!out) throw std::runtime_error("cannot write port file: " + tmp);
-      }
-      std::error_code ec;
-      std::filesystem::rename(tmp, port_file, ec);
-      if (ec) {
-        throw std::runtime_error("cannot move port file into place: " + port_file + ": " +
-                                 ec.message());
+    obs::log_info("listening", {{"addr", listener->name()}});
+    if (!port_file.empty()) write_port_file(port_file, listener->port());
+
+    std::optional<obs::MetricsHttpServer> metrics_http;
+    if (metrics_port >= 0) {
+      metrics_http.emplace(host, static_cast<std::uint16_t>(metrics_port),
+                           obs::Registry::global());
+      obs::log_info("metrics_listening",
+                    {{"host", host}, {"port", std::to_string(metrics_http->port())}});
+      if (!metrics_port_file.empty()) {
+        write_port_file(metrics_port_file, metrics_http->port());
       }
     }
+
+    JoiningThread dump_thread;
+    if (!metrics_dump_path.empty()) {
+      dump_thread.thread = std::thread([path = metrics_dump_path, sec = metrics_dump_sec] {
+        std::ofstream out(path, std::ios::app);
+        if (!out) {
+          obs::log_error("metrics_dump_open_failed", {{"path", path}});
+          return;
+        }
+        // One JSON object per line (JSONL), flushed per sample so a tail -f
+        // or a crashed process's last sample is always complete.
+        while (!g_stop.load()) {
+          out << obs::render_json(obs::Registry::global().collect(),
+                                  static_cast<std::int64_t>(std::time(nullptr)))
+              << "\n";
+          out.flush();
+          if (!interruptible_sleep(sec)) break;
+        }
+      });
+      obs::log_info("metrics_dump_started",
+                    {{"path", metrics_dump_path},
+                     {"interval_sec", std::to_string(metrics_dump_sec)}});
+    }
+
     net::Server server(service, listener, server_config);
     server.start();
 
@@ -191,6 +293,7 @@ int main(int argc, char** argv) {
       auto poll = feed->poll();
       for (const auto& path : poll.failed) {
         std::cerr << "warning: could not read " << path << " (will retry)\n";
+        obs::log_warn("feed_read_failed", {{"path", path}, {"action", "will retry"}});
       }
       if (poll.empty()) {
         if (!interruptible_sleep(interval_sec)) break;
@@ -205,14 +308,27 @@ int main(int argc, char** argv) {
       std::cerr << "epoch " << service.epoch() << ": " << poll.files.size()
                 << " file(s), " << stats.accepted << " new tuples, " << delta.changes.size()
                 << " class change(s), " << server.connection_count() << " client(s)\n";
+      obs::log_debug("epoch_published",
+                     {{"epoch", std::to_string(service.epoch())},
+                      {"files", std::to_string(poll.files.size())},
+                      {"accepted", std::to_string(stats.accepted)},
+                      {"class_changes", std::to_string(delta.changes.size())},
+                      {"clients", std::to_string(server.connection_count())}});
       if (!interruptible_sleep(interval_sec)) break;
     }
 
+    obs::log_info("shutdown", {{"reason", "signal"}});
     server.stop();
+    if (dump_thread.thread.joinable()) {
+      g_stop.store(true);  // already set on this path; explicit for clarity
+      dump_thread.thread.join();
+    }
+    if (metrics_http) metrics_http->stop();
     std::cerr << "shut down cleanly\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    obs::log_error("fatal", {{"what", e.what()}});
     return 1;
   }
 }

@@ -157,6 +157,44 @@ QueryResponse Service::query(const QueryRequest& request) const {
       m.api_query_metrics.add(1);
       response.metrics = obs::Registry::global().collect();
       break;
+    case QueryKind::kHistory: {
+      m.api_query_history.add(1);
+      // The provider is copied out so its (possibly slow) disk reads run
+      // without holding the facade mutex.
+      HistoryProvider provider;
+      {
+        const std::lock_guard lock(facade_mutex_);
+        provider = history_provider_;
+      }
+      std::vector<HistoryPoint> points;
+      if (provider) {
+        // Sanitize whatever the provider returned into the response
+        // invariant: strictly ascending epochs, class changes only.
+        for (auto& point : provider(request.asn)) {
+          if (!points.empty() && (point.epoch <= points.back().epoch ||
+                                  point.usage == points.back().usage)) {
+            continue;
+          }
+          points.push_back(point);
+        }
+      }
+      // Always end the series at "now": the live class closes the evolution
+      // whether or not any retained checkpoint covers this AS.
+      const auto snapshot = engine_.snapshot();
+      const auto usage = snapshot->usage(request.asn);
+      const auto now = engine_.epoch();
+      if (points.empty()) {
+        points.push_back({now, usage});
+      } else if (!(points.back().usage == usage)) {
+        if (points.back().epoch >= now) {
+          points.back().usage = usage;  // same epoch, newer truth
+        } else {
+          points.push_back({now, usage});
+        }
+      }
+      response.history = std::move(points);
+      break;
+    }
   }
   return response;
 }
@@ -256,6 +294,30 @@ std::vector<EpochDelta> Service::replay(stream::Epoch from) const {
 std::optional<stream::Epoch> Service::replay_horizon() const {
   const std::lock_guard lock(facade_mutex_);
   return log_.oldest_epoch();
+}
+
+void Service::set_history_provider(HistoryProvider provider) {
+  const std::lock_guard lock(facade_mutex_);
+  history_provider_ = std::move(provider);
+}
+
+void Service::restore_engine(stream::EngineState state,
+                             std::span<const std::uint8_t> index_image) {
+  engine_.restore_state(std::move(state), index_image);
+}
+
+void Service::preload_events(std::vector<EpochDelta> deltas) {
+  const std::lock_guard lock(facade_mutex_);
+  for (auto& delta : deltas) {
+    if (!delta.changes.empty()) log_.push(std::move(delta));
+  }
+}
+
+void Service::rebaseline() {
+  // Snapshot first: taking the engine's exclusive lock while holding the
+  // facade mutex matches publish()'s lock order.
+  const std::lock_guard lock(facade_mutex_);
+  published_ = engine_.snapshot();
 }
 
 }  // namespace bgpcu::api

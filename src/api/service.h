@@ -16,6 +16,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,14 +43,25 @@ enum class QueryKind : std::uint8_t {
   kLiveCounters = 3,  ///< Real-time peer-column evidence for one AS (no sweep).
   kStats = 4,         ///< Engine/service health counters.
   kMetrics = 5,       ///< Full observability scrape (obs::Registry::collect).
+  kHistory = 6,       ///< Class evolution of one AS across retained epochs.
 };
 
 /// A single typed request against the service.
 struct QueryRequest {
   QueryKind kind = QueryKind::kStats;
-  bgp::Asn asn = 0;  ///< Meaningful for kClassOf / kLiveCounters only.
+  bgp::Asn asn = 0;  ///< Meaningful for kClassOf / kLiveCounters / kHistory.
 
   friend bool operator==(const QueryRequest&, const QueryRequest&) = default;
+};
+
+/// One point in an AS's class evolution (QueryKind::kHistory): the class the
+/// AS held as of `epoch`. A response's points are strictly ascending in
+/// epoch and consecutive points always differ in class.
+struct HistoryPoint {
+  stream::Epoch epoch = 0;
+  core::UsageClass usage;
+
+  friend bool operator==(const HistoryPoint&, const HistoryPoint&) = default;
 };
 
 /// Per-AS answer: classification plus the evidence behind it.
@@ -92,6 +104,7 @@ struct QueryResponse {
   stream::SnapshotPtr snapshot;
   std::optional<ServiceStats> stats;      ///< kStats.
   std::optional<obs::Snapshot> metrics;   ///< kMetrics.
+  std::optional<std::vector<HistoryPoint>> history;  ///< kHistory.
 };
 
 /// One published epoch's class transitions, in ascending-ASN order — the
@@ -129,6 +142,13 @@ struct SubscriptionFilter {
 
 /// Receives one filtered, non-empty EpochDelta per published epoch.
 using SubscriptionCallback = std::function<void(const EpochDelta&)>;
+
+/// Supplies the retained-history part of a kHistory answer: class points for
+/// `asn` at past epochs, strictly ascending, from whatever longitudinal
+/// storage backs the service (store::Store in the serving daemon). The
+/// service appends the live class itself, so a provider never has to know
+/// the current epoch.
+using HistoryProvider = std::function<std::vector<HistoryPoint>(bgp::Asn)>;
 
 /// Handle for unsubscribe; never reused within one Service.
 using SubscriptionId = std::uint64_t;
@@ -218,6 +238,34 @@ class Service {
 
   [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
 
+  // --- durable-store integration (store::Store) -------------------------
+  // The service stays storage-agnostic: the daemon wires a Store in through
+  // these hooks, and recovery drives them in order (restore_engine, then
+  // preload_events, then rebaseline) before any traffic is served.
+
+  /// Installs (or clears, with an empty function) the retained-history
+  /// source consulted by kHistory queries.
+  void set_history_provider(HistoryProvider provider);
+
+  /// Swaps in a recovered engine state + optional index image (see
+  /// stream::StreamEngine::restore_state).
+  void restore_engine(stream::EngineState state,
+                      std::span<const std::uint8_t> index_image = {});
+
+  /// Seeds the event-log ring with recovered epoch deltas (ascending), so
+  /// subscribers can replay across the restart. No callbacks fire.
+  void preload_events(std::vector<EpochDelta> deltas);
+
+  /// Re-anchors the publish baseline at the engine's current snapshot
+  /// without diffing or notifying: recovery replays already-published
+  /// history, which must not be re-announced as fresh transitions.
+  void rebaseline();
+
+  /// Exports the engine's durable state (see StreamEngine::checkpoint_state).
+  [[nodiscard]] stream::CheckpointState checkpoint_state() const {
+    return engine_.checkpoint_state();
+  }
+
   /// Test instrumentation, forwarded to the wrapped engine (see
   /// StreamEngine::set_after_collect_hook): runs after a snapshot's
   /// collection lock is released, before its sweep. Lets concurrency tests
@@ -249,6 +297,7 @@ class Service {
   EventLog log_;
   std::vector<Subscription> subscriptions_;
   SubscriptionId next_id_ = 1;
+  HistoryProvider history_provider_;  ///< Guarded by facade_mutex_.
   /// Scrape-time gauges (subscriptions, event-log occupancy); registered in
   /// the constructor, declared last so they unregister first.
   obs::ScopedCollector subs_collector_;

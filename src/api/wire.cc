@@ -422,7 +422,8 @@ EpochDelta decode_delta_batch(std::span<const std::uint8_t> frame) {
 std::vector<std::uint8_t> encode_query_request(const QueryRequest& request) {
   std::vector<std::uint8_t> payload;
   payload.push_back(static_cast<std::uint8_t>(request.kind));
-  if (request.kind == QueryKind::kClassOf || request.kind == QueryKind::kLiveCounters) {
+  if (request.kind == QueryKind::kClassOf || request.kind == QueryKind::kLiveCounters ||
+      request.kind == QueryKind::kHistory) {
     put_varint(payload, request.asn);
   }
   return seal_frame(FrameType::kQueryRequest, std::move(payload));
@@ -432,7 +433,7 @@ namespace {
 
 QueryKind get_query_kind(Reader& r) {
   const auto byte = r.u8("query kind");
-  if (byte < 1 || byte > 5) {
+  if (byte < 1 || byte > 6) {
     throw WireFormatError("unknown query kind " + std::to_string(byte));
   }
   return static_cast<QueryKind>(byte);
@@ -445,7 +446,8 @@ QueryRequest decode_query_request(std::span<const std::uint8_t> frame) {
   Reader r{parsed.payload};
   QueryRequest request;
   request.kind = get_query_kind(r);
-  if (request.kind == QueryKind::kClassOf || request.kind == QueryKind::kLiveCounters) {
+  if (request.kind == QueryKind::kClassOf || request.kind == QueryKind::kLiveCounters ||
+      request.kind == QueryKind::kHistory) {
     const auto asn = r.varint("query asn");
     if (asn > 0xFFFFFFFFull) {
       throw WireFormatError("query ASN out of 32-bit range");
@@ -582,6 +584,26 @@ void put_query_response_payload(std::vector<std::uint8_t>& payload,
       put_metrics_payload(payload, *response.metrics);
       break;
     }
+    case QueryKind::kHistory: {
+      if (!response.history) {
+        throw WireFormatError("history query response missing history");
+      }
+      put_varint(payload, response.history->size());
+      std::uint64_t prev = 0;
+      bool first = true;
+      for (const auto& point : *response.history) {
+        // Epochs ascend strictly (the Service's response invariant), so the
+        // sequence delta-encodes like the ASN lists do.
+        if (!first && point.epoch <= prev) {
+          throw WireFormatError("history points must be sorted by strictly ascending epoch");
+        }
+        put_varint(payload, first ? point.epoch : point.epoch - prev);
+        payload.push_back(class_byte(point.usage));
+        prev = point.epoch;
+        first = false;
+      }
+      break;
+    }
   }
 }
 
@@ -627,6 +649,27 @@ QueryResponse get_query_response_payload(Reader& r) {
     case QueryKind::kMetrics:
       response.metrics = get_metrics_payload(r);
       break;
+    case QueryKind::kHistory: {
+      const auto count = r.varint("history point count");
+      std::vector<HistoryPoint> points;
+      points.reserve(count < (1u << 20) ? count : (1u << 20));
+      std::uint64_t prev = 0;
+      bool first = true;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto delta = r.varint("history epoch delta");
+        if (!first && delta == 0) {
+          throw WireFormatError("duplicate epoch in history sequence");
+        }
+        HistoryPoint point;
+        point.epoch = first ? delta : prev + delta;
+        point.usage = get_class(r);
+        prev = point.epoch;
+        first = false;
+        points.push_back(point);
+      }
+      response.history = std::move(points);
+      break;
+    }
   }
   return response;
 }
@@ -812,7 +855,8 @@ std::vector<std::uint8_t> encode_request(const RequestFrame& request) {
   put_varint(payload, request.request_id);
   payload.push_back(static_cast<std::uint8_t>(request.request.kind));
   if (request.request.kind == QueryKind::kClassOf ||
-      request.request.kind == QueryKind::kLiveCounters) {
+      request.request.kind == QueryKind::kLiveCounters ||
+      request.request.kind == QueryKind::kHistory) {
     put_varint(payload, request.request.asn);
   }
   return seal_frame(FrameType::kRequest, std::move(payload));
@@ -825,7 +869,8 @@ RequestFrame decode_request(std::span<const std::uint8_t> frame) {
   request.request_id = r.varint("request id");
   request.request.kind = get_query_kind(r);
   if (request.request.kind == QueryKind::kClassOf ||
-      request.request.kind == QueryKind::kLiveCounters) {
+      request.request.kind == QueryKind::kLiveCounters ||
+      request.request.kind == QueryKind::kHistory) {
     const auto asn = r.varint("request asn");
     if (asn > 0xFFFFFFFFull) {
       throw WireFormatError("request ASN out of 32-bit range");

@@ -33,6 +33,7 @@
 #define BGPCU_CORE_INCREMENTAL_H
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -111,6 +112,20 @@ class IncrementalIndex {
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const IncrementalIndexConfig& config() const noexcept { return config_; }
+
+  /// Appends the index's dense-array image to `out`: the full ASN -> id map
+  /// (dead ids included, so row ids need no remapping) and, per path-length
+  /// group, the *live* rows' ids/masks/keys — tombstones are compacted away
+  /// on write. Hash maps and refcounts are derived state and are rebuilt on
+  /// load. The image carries no checksum; the durable store frames it.
+  void serialize_image(std::vector<std::uint8_t>& out) const;
+
+  /// Replaces the index's contents with a serialized image. Returns false —
+  /// leaving the index reset/empty — on any structural inconsistency (bad
+  /// magic/version, truncation, out-of-range ids, duplicate keys); the
+  /// caller falls back to a full rebuild from authoritative state. Never
+  /// throws on malformed input.
+  [[nodiscard]] bool load_image(std::span<const std::uint8_t> image);
 
  private:
   /// Where one live tuple's row sits: groups_[len - 1], row index `row`.

@@ -82,6 +82,8 @@ Metrics& metrics() {
         .api_query_stats = r.counter("bgpcu_api_queries_total", query_help, "kind=\"stats\""),
         .api_query_metrics =
             r.counter("bgpcu_api_queries_total", query_help, "kind=\"metrics\""),
+        .api_query_history =
+            r.counter("bgpcu_api_queries_total", query_help, "kind=\"history\""),
         .api_publishes = r.counter("bgpcu_api_publishes_total", "Service publish calls"),
         .api_events_dispatched = r.counter("bgpcu_api_events_dispatched_total",
                                            "Filtered epoch batches delivered to subscribers"),
@@ -116,6 +118,33 @@ Metrics& metrics() {
                                                req_stage_help, "stage=\"encode\""),
         .request_stage_enqueue_ns = r.histogram("bgpcu_request_stage_duration_ns",
                                                 req_stage_help, "stage=\"enqueue\""),
+        // store
+        .store_wal_appends =
+            r.counter("bgpcu_store_wal_appends_total", "WAL records appended"),
+        .store_wal_bytes =
+            r.counter("bgpcu_store_wal_bytes_total", "WAL bytes appended (framed)"),
+        .store_wal_syncs = r.counter("bgpcu_store_wal_syncs_total", "WAL fsync calls"),
+        .store_segments_opened =
+            r.counter("bgpcu_store_segments_opened_total", "WAL segment files created"),
+        .store_truncated_records =
+            r.counter("bgpcu_store_truncated_records_total",
+                      "Torn/corrupt WAL records dropped by the reader"),
+        .store_checkpoints =
+            r.counter("bgpcu_store_checkpoints_total", "Checkpoints written"),
+        .store_checkpoint_bytes = r.counter("bgpcu_store_checkpoint_bytes_total",
+                                            "Bytes written across checkpoint files"),
+        .store_gc_segments = r.counter("bgpcu_store_gc_segments_total",
+                                       "WAL segments deleted after checkpoints"),
+        .store_io_errors = r.counter("bgpcu_store_io_errors_total",
+                                     "Store IO failures (append/checkpoint degraded)"),
+        .store_recoveries =
+            r.counter("bgpcu_store_recoveries_total", "Startup recoveries performed"),
+        .store_replayed_records = r.counter("bgpcu_store_replayed_records_total",
+                                            "WAL records replayed during recovery"),
+        .store_checkpoint_ns = r.histogram("bgpcu_store_checkpoint_duration_ns",
+                                           "Checkpoint write latency in nanoseconds"),
+        .store_recovery_ns = r.histogram("bgpcu_store_recovery_duration_ns",
+                                         "Startup recovery latency in nanoseconds"),
     };
   }();
   return catalog;

@@ -55,6 +55,7 @@ struct Metrics {
   Counter& api_query_live_counters;
   Counter& api_query_stats;
   Counter& api_query_metrics;
+  Counter& api_query_history;
   Counter& api_publishes;
   Counter& api_events_dispatched;
   Counter& api_changes_published;
@@ -75,6 +76,21 @@ struct Metrics {
   Histogram& request_stage_dispatch_ns;
   Histogram& request_stage_encode_ns;
   Histogram& request_stage_enqueue_ns;
+
+  // --- store (WAL / checkpoints / recovery) ---
+  Counter& store_wal_appends;
+  Counter& store_wal_bytes;
+  Counter& store_wal_syncs;
+  Counter& store_segments_opened;
+  Counter& store_truncated_records;
+  Counter& store_checkpoints;
+  Counter& store_checkpoint_bytes;
+  Counter& store_gc_segments;
+  Counter& store_io_errors;
+  Counter& store_recoveries;
+  Counter& store_replayed_records;
+  Histogram& store_checkpoint_ns;
+  Histogram& store_recovery_ns;
 };
 
 /// The process-wide catalog, interned on first use. Thread-safe.

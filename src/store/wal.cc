@@ -1,0 +1,147 @@
+#include "store/wal.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "obs/wellknown.h"
+
+namespace bgpcu::store {
+
+namespace fs = std::filesystem;
+
+WalWriter::WalWriter(std::string dir, SyncPolicy sync, std::uint64_t segment_max_bytes,
+                     std::uint64_t next_seq)
+    : dir_(std::move(dir)),
+      sync_(sync),
+      segment_max_bytes_(std::max<std::uint64_t>(1, segment_max_bytes)),
+      next_seq_(next_seq) {}
+
+void WalWriter::open_fresh_segment() {
+  file_.close();
+  poisoned_ = false;
+  // Segment numbers are minted once and never reused; a leftover file with
+  // this number (crashed before any record landed) is replaced.
+  const auto path = segment_path(dir_, next_seq_);
+  ::remove(path.c_str());
+  file_.create(path);
+  ++next_seq_;
+  std::vector<std::uint8_t> header(kSegmentMagic.begin(), kSegmentMagic.end());
+  header.push_back(kStoreVersion);
+  file_.append(header);
+  // Make the directory entry durable before any record relies on it.
+  io::fsync_dir(dir_);
+  obs::metrics().store_segments_opened.add(1);
+}
+
+void WalWriter::append(const WalRecord& record) {
+  std::vector<std::uint8_t> bytes;
+  encode_record(bytes, record);
+  append_encoded(bytes);
+}
+
+void WalWriter::append_encoded(const std::vector<std::uint8_t>& bytes) {
+  if (!file_.is_open() || poisoned_ || file_.size() >= segment_max_bytes_) {
+    open_fresh_segment();
+  }
+  try {
+    file_.append(bytes);
+  } catch (...) {
+    // The segment may now end in a torn record; never append after it.
+    poisoned_ = true;
+    throw;
+  }
+  ++appended_;
+  bytes_ += bytes.size();
+  auto& m = obs::metrics();
+  m.store_wal_appends.add(1);
+  m.store_wal_bytes.add(bytes.size());
+  if (sync_ == SyncPolicy::kAlways) sync();
+}
+
+void WalWriter::sync() {
+  if (!file_.is_open() || poisoned_) return;
+  file_.sync();
+  obs::metrics().store_wal_syncs.add(1);
+}
+
+std::uint64_t WalWriter::rotate() {
+  file_.close();
+  poisoned_ = false;
+  return next_seq_;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(const std::string& dir,
+                                                                 std::uint64_t from_seq) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) throw StoreError("store: cannot scan " + dir + ": " + ec.message());
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  for (fs::directory_iterator end; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec) || ec) continue;
+    std::uint64_t seq = 0;
+    if (!parse_segment_name(it->path().filename().string(), seq)) continue;
+    if (seq < from_seq) continue;
+    segments.emplace_back(seq, it->path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+WalReadResult read_segment_file(const std::string& path) {
+  WalReadResult result;
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = io::read_file(path);
+  } catch (const StoreError& error) {
+    result.warnings.push_back(error.what());
+    return result;
+  }
+  Cursor cursor{bytes};
+  try {
+    cursor.require(5, "segment header");
+    if (!std::equal(kSegmentMagic.begin(), kSegmentMagic.end(), bytes.begin())) {
+      throw StoreError("store: bad segment magic in " + path);
+    }
+    cursor.pos = 4;
+    if (cursor.u8("segment version") != kStoreVersion) {
+      throw StoreError("store: unsupported segment version in " + path);
+    }
+  } catch (const StoreError& error) {
+    result.warnings.push_back(error.what());
+    return result;
+  }
+  ++result.segments_read;
+  while (!cursor.done()) {
+    const auto record_start = cursor.pos;
+    try {
+      result.records.push_back(decode_record(cursor));
+    } catch (const StoreError& error) {
+      // Torn tail (crash mid-append) or corruption: keep what decoded,
+      // count one drop for the rest of this segment, and warn.
+      ++result.truncated_records;
+      result.warnings.push_back(path + " truncated at byte " +
+                                std::to_string(record_start) + ": " + error.what());
+      break;
+    }
+  }
+  return result;
+}
+
+WalReadResult read_wal(const std::string& dir, std::uint64_t from_seq) {
+  WalReadResult result;
+  for (const auto& [seq, path] : list_segments(dir, from_seq)) {
+    auto segment = read_segment_file(path);
+    result.segments_read += segment.segments_read;
+    result.truncated_records += segment.truncated_records;
+    for (auto& warning : segment.warnings) result.warnings.push_back(std::move(warning));
+    for (auto& record : segment.records) result.records.push_back(std::move(record));
+  }
+  if (result.truncated_records != 0) {
+    obs::metrics().store_truncated_records.add(result.truncated_records);
+  }
+  return result;
+}
+
+}  // namespace bgpcu::store

@@ -1,0 +1,99 @@
+// The write-ahead log: numbered segment files of CRC-framed records. A
+// writer opens a fresh segment per process lifetime (and per rotation), so
+// recovery never appends to a file that might end in a torn record. The
+// reader is torn-tail tolerant: it stops a segment at the first record that
+// fails length/CRC/decode validation, warns, and keeps going with the next
+// segment — a crash mid-append loses at most the record being written.
+#ifndef BGPCU_STORE_WAL_H
+#define BGPCU_STORE_WAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "store/io.h"
+
+namespace bgpcu::store {
+
+/// When the WAL fsyncs (StoreConfig::sync).
+enum class SyncPolicy : std::uint8_t {
+  kNone = 0,   ///< Never explicitly; the OS flushes when it likes.
+  kEpoch = 1,  ///< Once per epoch, after the epoch's records are appended.
+  kAlways = 2, ///< After every record append.
+};
+
+/// Appends records to numbered segments with size-cap rotation. Not
+/// thread-safe (the Store serializes access).
+class WalWriter {
+ public:
+  /// Lazy: no file is created until the first append (read-only store opens
+  /// must not mint empty segments).
+  WalWriter(std::string dir, SyncPolicy sync, std::uint64_t segment_max_bytes,
+            std::uint64_t next_seq);
+
+  /// Appends one record, creating/rotating segments as needed. Throws
+  /// StoreError on IO failure; the current segment is then poisoned and the
+  /// next append starts a fresh one (the reader skips the torn bytes).
+  void append(const WalRecord& record);
+
+  /// Appends already-encoded record bytes (an encode_record/
+  /// encode_batch_record envelope). Same rotation, poisoning, and sync
+  /// semantics as append(); the hot path uses this to skip the WalRecord
+  /// deep copy.
+  void append_encoded(const std::vector<std::uint8_t>& bytes);
+
+  /// fsyncs the open segment (the per-epoch durability point). No-op when
+  /// nothing is open. Throws StoreError.
+  void sync();
+
+  /// Forces the next append into a fresh segment; returns the sequence that
+  /// segment will use. Checkpoints call this so every pre-checkpoint record
+  /// sits in a GC-able segment.
+  std::uint64_t rotate();
+
+  /// The sequence number the next created segment will use (== the open
+  /// segment's sequence + 1 when one is open).
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+  [[nodiscard]] std::uint64_t appended_records() const noexcept { return appended_; }
+  [[nodiscard]] std::uint64_t appended_bytes() const noexcept { return bytes_; }
+
+ private:
+  void open_fresh_segment();
+
+  std::string dir_;
+  SyncPolicy sync_;
+  std::uint64_t segment_max_bytes_;
+  std::uint64_t next_seq_;
+  io::AppendFile file_;
+  bool poisoned_ = false;  ///< Last append failed; segment may end torn.
+  std::uint64_t appended_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Result of scanning WAL segments.
+struct WalReadResult {
+  std::vector<WalRecord> records;    ///< Valid records, segment/offset order.
+  std::uint64_t segments_read = 0;
+  std::uint64_t truncated_records = 0;  ///< Invalid/torn records dropped.
+  std::vector<std::string> warnings;
+};
+
+/// Sorted (seq, path) for every parseable segment name in `dir` with
+/// seq >= from_seq. Throws StoreError when the directory cannot be scanned.
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& dir, std::uint64_t from_seq);
+
+/// Decodes one segment file (header + records), truncating at the first
+/// invalid record. Unreadable files or bad headers yield zero records plus a
+/// warning — never a throw.
+[[nodiscard]] WalReadResult read_segment_file(const std::string& path);
+
+/// Reads every segment with seq >= from_seq in order, concatenating their
+/// surviving records. Throws only when the directory itself is unscannable.
+[[nodiscard]] WalReadResult read_wal(const std::string& dir, std::uint64_t from_seq);
+
+}  // namespace bgpcu::store
+
+#endif  // BGPCU_STORE_WAL_H

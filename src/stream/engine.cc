@@ -275,6 +275,83 @@ SnapshotPtr StreamEngine::snapshot() const {
   return result;
 }
 
+CheckpointState StreamEngine::checkpoint_state() const {
+  std::unique_lock lock(engine_mutex_);
+  // Wait out any in-flight sweep: the collect phase below mutates the shared
+  // index, which must stay immutable while an unlocked sweep reads it.
+  while (sweep_inflight_) snapshot_cv_.wait(lock);
+
+  CheckpointState out;
+  if (config_.incremental_index) {
+    std::size_t live = 0;
+    for (const auto& shard : shards_) live += shard->size();
+    // Drain the journals into the index so the exported image is current and
+    // a restore starts with empty journals (same invariant as post-snapshot).
+    apply_pending_deltas_locked(live);
+    index_.serialize_image(out.index_image);
+  }
+  out.state.epoch = epoch_.load(std::memory_order_relaxed);
+  out.state.evicted_total = evicted_total_.load(std::memory_order_relaxed);
+  out.state.shards.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    out.state.shards[i].next_key = shards_[i]->next_key();
+    shards_[i]->export_tuples(out.state.shards[i].tuples);
+  }
+  return out;
+}
+
+void StreamEngine::restore_state(EngineState state, std::span<const std::uint8_t> index_image) {
+  std::unique_lock lock(engine_mutex_);
+  while (sweep_inflight_) snapshot_cv_.wait(lock);
+
+  epoch_.store(state.epoch, std::memory_order_relaxed);
+  evicted_total_.store(state.evicted_total, std::memory_order_relaxed);
+
+  const bool exact = state.shards.size() == shards_.size();
+  if (exact) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->restore_tuples(std::move(state.shards[i].tuples),
+                                 state.shards[i].next_key);
+    }
+  } else {
+    // The checkpoint was taken under a different --shards: re-partition by
+    // peer hash and hand out fresh interleaved keys (the persisted index
+    // image is keyed by the old layout and cannot be reused).
+    std::vector<std::vector<StoredTuple>> buckets(shards_.size());
+    for (auto& shard_state : state.shards) {
+      for (auto& stored : shard_state.tuples) {
+        buckets[shard_of(stored.tuple.peer())].push_back(std::move(stored));
+      }
+    }
+    const auto stride = static_cast<std::uint64_t>(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      std::uint64_t key = i;
+      for (auto& stored : buckets[i]) {
+        stored.key = key;
+        key += stride;
+      }
+      shards_[i]->restore_tuples(std::move(buckets[i]), key);
+    }
+  }
+
+  cached_.reset();
+  cached_version_ = 0;
+  if (config_.incremental_index) {
+    std::size_t live = 0;
+    for (const auto& shard : shards_) live += shard->size();
+    // Adopt the persisted image only when it provably matches the restored
+    // shards; anything else falls back to one full rebuild at the next
+    // snapshot (index_valid_ false), which is always correct.
+    if (exact && !index_image.empty() && index_.load_image(index_image) &&
+        index_.live_tuples() == live) {
+      index_valid_ = true;
+    } else {
+      index_.reset();
+      index_valid_ = false;
+    }
+  }
+}
+
 core::UsageCounters StreamEngine::live_counters(bgp::Asn asn) const {
   const std::shared_lock lock(engine_mutex_);
   return shards_[shard_of(asn)]->live_counters(asn);

@@ -51,6 +51,7 @@
 #include <functional>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "core/engine.h"
@@ -80,6 +81,29 @@ struct StreamConfig {
 
 /// An immutable, shareable inference snapshot (see snapshot()).
 using SnapshotPtr = std::shared_ptr<const core::InferenceResult>;
+
+/// One shard's durable state (see StreamEngine::checkpoint_state).
+struct ShardState {
+  std::uint64_t next_key = 0;
+  std::vector<StoredTuple> tuples;
+};
+
+/// The engine's complete durable state: everything a restarted process needs
+/// to resume ingest at the same epoch with identical window aging and stable
+/// index row keys. Produced by checkpoint_state(), consumed by
+/// restore_state(); the durable store serializes it (store/format.h).
+struct EngineState {
+  Epoch epoch = 0;
+  std::uint64_t evicted_total = 0;
+  std::vector<ShardState> shards;
+};
+
+/// EngineState plus the incremental index's serialized dense-array image
+/// (empty when incremental indexing is off), captured at one consistent cut.
+struct CheckpointState {
+  EngineState state;
+  std::vector<std::uint8_t> index_image;
+};
 
 /// Snapshot-path health counters (see StreamEngine::snapshot_stats). All
 /// monotone over the engine's lifetime except locked_ns_last.
@@ -142,6 +166,21 @@ class StreamEngine {
   [[nodiscard]] SnapshotStats snapshot_stats() const;
 
   [[nodiscard]] const StreamConfig& config() const noexcept { return config_; }
+
+  /// Exports the engine's durable state at a consistent cut: waits out any
+  /// in-flight sweep, drains the shard journals into the incremental index
+  /// (so the exported image is current and the journals are empty), then
+  /// copies every shard's tuples and the index image. The engine remains
+  /// fully usable afterwards.
+  [[nodiscard]] CheckpointState checkpoint_state() const;
+
+  /// Replaces the engine's state with a checkpoint. When the shard count
+  /// matches the exporting engine's, tuples keep their keys and the index
+  /// image (if non-empty and consistent) is adopted, skipping the rebuild;
+  /// otherwise tuples are redistributed under the current shard count with
+  /// fresh keys and the next snapshot rebuilds the index from shard state.
+  /// Any cached snapshot is dropped.
+  void restore_state(EngineState state, std::span<const std::uint8_t> index_image = {});
 
   /// Test instrumentation: invoked by snapshot() after the collection lock
   /// is released and before the sweep starts. Lets concurrency tests prove

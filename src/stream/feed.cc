@@ -200,4 +200,27 @@ FeedPoll DirectoryFeed::poll() {
   return result;
 }
 
+FeedMarks DirectoryFeed::export_marks() const {
+  FeedMarks marks;
+  marks.reserve(files_.size());
+  for (const auto& [path, state] : files_) marks.push_back({path, state.offset});
+  std::sort(marks.begin(), marks.end(),
+            [](const FeedMark& a, const FeedMark& b) { return a.path < b.path; });
+  return marks;
+}
+
+void DirectoryFeed::restore_marks(const FeedMarks& marks) {
+  for (const auto& mark : marks) {
+    FileState state;
+    state.offset = mark.offset;
+    // size_seen == offset means "no unconsumed tail": a file that has not
+    // grown past the mark is skipped with a single stat, one that has is
+    // read from the mark, and one that shrank below it is restarted (the
+    // size < size_seen rotation check). Inode and head stay unrecorded; the
+    // first real read re-fingerprints the file.
+    state.size_seen = mark.offset;
+    files_[mark.path] = state;
+  }
+}
+
 }  // namespace bgpcu::stream

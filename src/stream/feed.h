@@ -33,6 +33,18 @@ struct FeedPoll {
   [[nodiscard]] bool empty() const noexcept { return files.empty(); }
 };
 
+/// One file's durable read position: how many bytes of `path` have been
+/// consumed into the engine. Recorded in the durable store's WAL so a
+/// restarted feed resumes tailing without re-parsing consumed MRT bytes.
+struct FeedMark {
+  std::string path;
+  std::uint64_t offset = 0;
+
+  friend bool operator==(const FeedMark&, const FeedMark&) = default;
+};
+
+using FeedMarks = std::vector<FeedMark>;
+
 /// Tails a directory of MRT dumps. Not thread-safe (one poller per feed).
 class DirectoryFeed {
  public:
@@ -59,6 +71,17 @@ class DirectoryFeed {
 
   /// Number of distinct paths the feed has read bytes from.
   [[nodiscard]] std::size_t files_seen() const noexcept { return files_.size(); }
+
+  /// Consumed offset per known path, sorted by path (deterministic output
+  /// for the durable store's WAL records).
+  [[nodiscard]] FeedMarks export_marks() const;
+
+  /// Primes the feed with recovered offsets: each marked path starts as if
+  /// `offset` bytes were already consumed, so the next poll reads only what
+  /// the file grew past the mark. Identity fingerprints (inode, head) are
+  /// left unrecorded; a file rotated while the process was down is detected
+  /// by the usual size-shrink check and re-read from the start.
+  void restore_marks(const FeedMarks& marks);
 
  private:
   /// Tail-reading bookkeeping for one path.

@@ -183,6 +183,49 @@ void TupleShard::export_live(std::vector<core::IndexDelta>& out) const {
   }
 }
 
+void TupleShard::export_tuples(std::vector<StoredTuple>& out) const {
+  const std::lock_guard lock(mutex_);
+  out.reserve(out.size() + tuples_.size());
+  for (const auto& [tuple, meta] : tuples_) {
+    out.push_back({tuple, meta.last_seen, meta.key});
+  }
+}
+
+std::uint64_t TupleShard::next_key() const {
+  const std::lock_guard lock(mutex_);
+  return next_key_;
+}
+
+void TupleShard::restore_tuples(std::vector<StoredTuple> tuples, std::uint64_t next_key) {
+  const std::lock_guard lock(mutex_);
+  tuples_.clear();
+  live_.clear();
+  journal_.clear();
+  cancelled_.clear();
+  pending_adds_.clear();
+  cancelled_in_journal_ = 0;
+  journal_overflowed_ = false;
+  next_key_ = next_key;
+  for (auto& stored : tuples) {
+    const auto view = core::TupleView::prepare(stored.tuple);
+    if (!view) continue;  // Corrupt checkpoint row; the caller's live-count
+                          // check against the index image catches the drop.
+    const bgp::Asn peer = stored.tuple.peer();
+    auto [it, inserted] = tuples_.try_emplace(std::move(stored.tuple));
+    if (!inserted) continue;
+    it->second.upper_mask = view->upper_mask;
+    it->second.last_seen = stored.last_seen;
+    it->second.key = stored.key;
+    auto& k = live_[peer];
+    if ((view->upper_mask & 1u) != 0) {
+      ++k.t;
+    } else {
+      ++k.s;
+    }
+  }
+  ++version_;
+}
+
 core::UsageCounters TupleShard::live_counters(bgp::Asn asn) const {
   const std::lock_guard lock(mutex_);
   const auto it = live_.find(asn);

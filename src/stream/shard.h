@@ -53,6 +53,16 @@ struct PreparedTuple {
   std::uint32_t upper_mask = 0;
 };
 
+/// One live tuple as exported for durable checkpoints: the raw tuple plus
+/// the shard bookkeeping that must survive a restart (last-seen epoch for
+/// window aging, the journal key so index row identities stay stable). The
+/// upper mask is derived state and is recomputed on restore.
+struct StoredTuple {
+  core::PathCommTuple tuple;
+  Epoch last_seen = 0;
+  std::uint64_t key = 0;
+};
+
 /// A mutex-protected slice of the live tuple universe.
 class TupleShard {
  public:
@@ -102,6 +112,18 @@ class TupleShard {
   /// keyed identically to the journal's entries. Used to (re)build an index
   /// from scratch after an overflow or apply failure. Thread-safe.
   void export_live(std::vector<core::IndexDelta>& out) const;
+
+  /// Appends one StoredTuple per live tuple (checkpoint export). Thread-safe.
+  void export_tuples(std::vector<StoredTuple>& out) const;
+
+  /// Next key this shard would assign (checkpoint export). Thread-safe.
+  [[nodiscard]] std::uint64_t next_key() const;
+
+  /// Replaces the shard's contents with a checkpointed tuple set: masks are
+  /// recomputed, live peer-column counters rebuilt, journal state cleared
+  /// (recovery rebuilds the index separately). Tuples whose paths no longer
+  /// pass preparation (corrupt state) are dropped. Thread-safe.
+  void restore_tuples(std::vector<StoredTuple> tuples, std::uint64_t next_key);
 
   /// Live peer-column evidence for `asn` (t/s at path index 1); zero-valued
   /// when no live tuple has `asn` as its collector peer. Thread-safe.

@@ -1,0 +1,65 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace bgpcu::util {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+/// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table;
+/// table[k][b] is the CRC of byte b followed by k zero bytes. Eight lookups
+/// advance eight input bytes per iteration, roughly 4-5x the single-table
+/// throughput — this sits under every WAL record seal and every recovery
+/// walk, so the constant matters.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    tables[0][n] = c;
+  }
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = tables[0][n];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[k][n] = c;
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t size) noexcept {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  while (size >= 8) {
+    // Little-endian-agnostic: bytes are folded individually, so the result
+    // matches the byte-at-a-time loop on any host.
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(data[0]) |
+                                  (static_cast<std::uint32_t>(data[1]) << 8) |
+                                  (static_cast<std::uint32_t>(data[2]) << 16) |
+                                  (static_cast<std::uint32_t>(data[3]) << 24));
+    const std::uint32_t hi = static_cast<std::uint32_t>(data[4]) |
+                             (static_cast<std::uint32_t>(data[5]) << 8) |
+                             (static_cast<std::uint32_t>(data[6]) << 16) |
+                             (static_cast<std::uint32_t>(data[7]) << 24);
+    c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+        kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+        kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    data += 8;
+    size -= 8;
+  }
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTables[0][(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace bgpcu::util

@@ -1,0 +1,23 @@
+// IEEE CRC-32 (the zlib/PNG polynomial), shared by the durable store's
+// record framing and the core index image. Table-driven, no dependencies;
+// kept in util so both core and store can use it without a layering edge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bgpcu::util {
+
+/// Continues a CRC-32 computation. Start with `crc = 0` and feed chunks in
+/// order; the final value matches zlib's crc32() over the concatenation.
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc,
+                                         const std::uint8_t* data,
+                                         std::size_t size) noexcept;
+
+/// One-shot CRC-32 of a byte span.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  return crc32_update(0, bytes.data(), bytes.size());
+}
+
+}  // namespace bgpcu::util

@@ -222,6 +222,56 @@ TEST(NetProtocol, MetricsKindIsAdditiveForV2Clients) {
   }
 }
 
+TEST(NetProtocol, HistoryQueryRoundTripsRetainedPlusLivePoints) {
+  // kHistory over the wire: the installed provider's retained points arrive
+  // exactly as the Service's direct answer — sanitized, epoch-ascending, and
+  // closed by the live class.
+  Harness harness;
+  harness.flip_epochs();  // AS 10: tagger at epoch 0, silent at epoch 1
+  harness.service.set_history_provider([](bgp::Asn asn) {
+    std::vector<api::HistoryPoint> points;
+    if (asn == 10) {
+      points.push_back({0, {core::TaggingClass::kTagger, core::ForwardingClass::kNone}});
+    }
+    return points;
+  });
+
+  auto client = harness.client();
+  const auto over_wire = client.query({.kind = api::QueryKind::kHistory, .asn = 10});
+  const auto direct = harness.service.query({.kind = api::QueryKind::kHistory, .asn = 10});
+  ASSERT_TRUE(over_wire.history.has_value());
+  ASSERT_TRUE(direct.history.has_value());
+  EXPECT_EQ(*over_wire.history, *direct.history);
+  ASSERT_GE(over_wire.history->size(), 2u);
+  EXPECT_EQ(over_wire.history->front().epoch, 0u);
+  EXPECT_EQ(over_wire.history->front().usage.code(), "tn");
+  EXPECT_EQ(over_wire.history->back().usage.code(), "sn");
+
+  // Without a provider the series still closes at the live class: one point.
+  harness.service.set_history_provider({});
+  const auto bare = client.query({.kind = api::QueryKind::kHistory, .asn = 10});
+  ASSERT_TRUE(bare.history.has_value());
+  EXPECT_EQ(bare.history->size(), 1u);
+}
+
+TEST(NetProtocol, HistoryKindIsAdditiveForV2Clients) {
+  // kHistory rode into protocol v2 without a version bump, like kMetrics —
+  // a client that never asks for it sees the exact pre-history surface.
+  EXPECT_EQ(api::kProtocolVersion, 2u);
+  Harness harness;
+  (void)harness.service.ingest({tuple(10, 20, true)});
+  auto client = harness.client();
+  EXPECT_EQ(client.welcome().protocol, 2u);
+  for (const auto kind : {api::QueryKind::kClassOf, api::QueryKind::kSnapshot,
+                          api::QueryKind::kLiveCounters, api::QueryKind::kStats,
+                          api::QueryKind::kMetrics}) {
+    const auto response = client.query({.kind = kind, .asn = 10});
+    EXPECT_EQ(response.kind, kind);
+    EXPECT_FALSE(response.history.has_value())
+        << "non-history kind carried a history payload";
+  }
+}
+
 TEST(NetProtocol, PipelinedRequestsAreAnsweredInOrder) {
   Harness harness;
   (void)harness.service.ingest({tuple(10, 20, true)});

@@ -1,0 +1,95 @@
+// Shared scaffolding for the store suite: scratch directories, the
+// random-dataset generator in the stream-property style (small recurring ASN
+// universe so classes actually flip between epochs), and the deterministic
+// single-threaded service config every replay test runs under.
+#ifndef BGPCU_TESTS_STORE_STORE_TEST_UTIL_H
+#define BGPCU_TESTS_STORE_STORE_TEST_UTIL_H
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "core/types.h"
+#include "store/store.h"
+#include "topology/rng.h"
+
+namespace bgpcu::store::testutil {
+
+/// A fresh empty directory under the system temp root, removed on scope exit.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    namespace fs = std::filesystem;
+    path_ = (fs::temp_directory_path() /
+             ("bgpcu_store_" + tag + "_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++)))
+                .string();
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& str() const noexcept { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+/// Random (path, comm) dataset: ASNs 1..40 recur in different positions so
+/// the same AS accumulates evidence across epochs and changes class.
+inline core::Dataset random_dataset(topology::Rng& rng, std::size_t tuples) {
+  core::Dataset d;
+  for (std::size_t i = 0; i < tuples; ++i) {
+    core::PathCommTuple t;
+    const std::size_t len = 1 + rng.below(6);
+    while (t.path.size() < len) {
+      const bgp::Asn asn = 1 + static_cast<bgp::Asn>(rng.below(40));
+      if (std::find(t.path.begin(), t.path.end(), asn) == t.path.end()) {
+        t.path.push_back(asn);
+      }
+    }
+    for (const auto asn : t.path) {
+      if (rng.chance(0.3)) {
+        t.comms.push_back(bgp::CommunityValue::regular(
+            static_cast<std::uint16_t>(asn), static_cast<std::uint16_t>(rng.below(4))));
+      }
+    }
+    if (rng.chance(0.1)) {
+      t.comms.push_back(
+          bgp::CommunityValue::regular(static_cast<std::uint16_t>(100 + rng.below(20)), 1));
+    }
+    d.push_back(std::move(t));
+  }
+  return d;
+}
+
+/// Single-lane service config: replay determinism must not depend on sweep
+/// parallelism, and the crash-matrix tests fork (worker threads would not
+/// survive into the child).
+inline api::ServiceConfig test_service_config(std::size_t shards = 4,
+                                              std::uint64_t window = 0) {
+  api::ServiceConfig config;
+  config.stream.engine.threads = 1;
+  config.stream.shards = shards;
+  config.stream.window_epochs = window;
+  return config;
+}
+
+/// Synthetic feed offsets for epoch `e` (what a DirectoryFeed would export).
+inline stream::FeedMarks marks_at(stream::Epoch e) {
+  return {{"updates.0001.mrt", 1000 + 64 * e}, {"updates.0002.mrt", 500 + 32 * e}};
+}
+
+}  // namespace bgpcu::store::testutil
+
+#endif  // BGPCU_TESTS_STORE_STORE_TEST_UTIL_H

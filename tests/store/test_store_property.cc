@@ -1,0 +1,135 @@
+// The store's correctness contract, property-style: abandon a live
+// service + store at an ARBITRARY point in the epoch loop (between any two
+// store/engine operations — the in-process analogue of kill -9 at a step
+// boundary), recover into a fresh service, finish the remaining epochs, and
+// the final snapshot must be bit-identical to an uninterrupted oracle run of
+// the same scenario. Swept across seeds, shard counts, window sizes, sync
+// policies, and checkpoint cadences; every seed also varies WHERE the crash
+// lands, so cut points fall before the first append, mid-epoch between
+// batch-log and ingest, between publish and delta-log, and right after a
+// checkpoint.
+//
+// The crash-matrix suite (test_crash_matrix.cc) covers the other half —
+// SIGKILL inside a physical write — via fork + the io hook.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "api/service.h"
+#include "store/store.h"
+#include "store_test_util.h"
+#include "topology/rng.h"
+
+namespace bgpcu::store {
+namespace {
+
+struct Scenario {
+  std::size_t shards;
+  std::uint64_t window;
+  std::uint64_t checkpoint_every;
+  SyncPolicy sync;
+};
+
+class KillAnywhere
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Scenario>> {};
+
+TEST_P(KillAnywhere, RestartIsBitIdenticalToUninterruptedRun) {
+  const auto [seed, scenario] = GetParam();
+  topology::Rng scenario_rng(seed * 6151 + scenario.shards);
+  const std::size_t epochs = 5 + scenario_rng.below(4);
+
+  // Deterministic per-epoch batches, shared by oracle and victim.
+  std::vector<core::Dataset> batches;
+  {
+    topology::Rng data_rng = scenario_rng.fork(1);
+    for (std::size_t e = 0; e < epochs; ++e) {
+      batches.push_back(testutil::random_dataset(data_rng, 30 + data_rng.below(40)));
+    }
+  }
+  const auto config = testutil::test_service_config(scenario.shards, scenario.window);
+
+  // Uninterrupted oracle.
+  core::CounterMap oracle_map;
+  stream::Epoch oracle_epoch = 0;
+  {
+    api::Service oracle(config);
+    for (std::size_t e = 0; e < epochs; ++e) {
+      if (e > 0) oracle.advance_epoch();
+      oracle.ingest(batches[e]);
+      oracle.publish();
+    }
+    oracle_map = oracle.query({.kind = api::QueryKind::kSnapshot}).snapshot->counter_map();
+    oracle_epoch = oracle.epoch();
+  }
+
+  // The victim run: 4 interruptible sub-steps per epoch. `cut` is the number
+  // of sub-steps that complete before the "crash" (0 = crash before anything
+  // durable happens at all).
+  constexpr std::size_t kPhases = 4;
+  const std::size_t cut = scenario_rng.below(epochs * kPhases + 1);
+  testutil::TempDir dir("prop_kill");
+  const StoreConfig store_config{.dir = dir.str(),
+                                 .sync = scenario.sync,
+                                 .checkpoint_every_epochs = scenario.checkpoint_every};
+  {
+    api::Service victim(config);
+    Store store(store_config);
+    std::size_t steps = 0;
+    const auto crashed = [&] { return steps == cut; };
+    for (std::size_t e = 0; e < epochs && !crashed(); ++e) {
+      if (e > 0) victim.advance_epoch();
+      store.append_epoch_batch(victim.epoch(), batches[e], testutil::marks_at(e));
+      if (++steps == cut) break;
+      victim.ingest(batches[e]);
+      if (++steps == cut) break;
+      store.append_epoch_delta(victim.publish());
+      if (++steps == cut) break;
+      store.maybe_checkpoint(victim);
+      ++steps;
+    }
+    // Scope exit without a final checkpoint: whatever the WAL and any
+    // cadence-triggered checkpoints made durable is all recovery gets.
+  }
+
+  // Recover into a fresh pair and finish the scenario.
+  api::Service revived(config);
+  Store store(store_config);
+  const auto rec = store.recover(revived);
+
+  // Every completed append_epoch_batch is durable, so the resume epoch is
+  // exactly the last epoch whose first sub-step ran.
+  const std::size_t epochs_logged = cut / kPhases + (cut % kPhases != 0 ? 1 : 0);
+  if (epochs_logged == 0) {
+    EXPECT_FALSE(rec.recovered);
+  } else {
+    EXPECT_TRUE(rec.recovered);
+    EXPECT_EQ(rec.resume_epoch, epochs_logged - 1);
+  }
+
+  for (std::size_t e = epochs_logged; e < epochs; ++e) {
+    if (e > 0) revived.advance_epoch();
+    store.append_epoch_batch(revived.epoch(), batches[e], testutil::marks_at(e));
+    revived.ingest(batches[e]);
+    store.append_epoch_delta(revived.publish());
+    store.maybe_checkpoint(revived);
+  }
+
+  EXPECT_EQ(revived.epoch(), oracle_epoch);
+  EXPECT_EQ(revived.query({.kind = api::QueryKind::kSnapshot}).snapshot->counter_map(),
+            oracle_map)
+      << "cut at sub-step " << cut << " of " << epochs * kPhases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, KillAnywhere,
+    ::testing::Combine(
+        ::testing::Range<std::uint64_t>(0, 25),
+        ::testing::Values(
+            Scenario{1, 0, 2, SyncPolicy::kNone},
+            Scenario{4, 0, 3, SyncPolicy::kEpoch},
+            Scenario{4, 2, 2, SyncPolicy::kNone},
+            Scenario{8, 3, 0, SyncPolicy::kAlways})));
+
+}  // namespace
+}  // namespace bgpcu::store

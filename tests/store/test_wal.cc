@@ -1,0 +1,285 @@
+// WAL layer unit tests: record framing round-trips, lazy segment creation,
+// size-cap and explicit rotation, the torn-tail-tolerant reader, and the
+// filename parsers. The reader contract under corruption (truncate at the
+// first invalid record, warn, keep later segments) is the recovery
+// subsystem's foundation, so it is pinned here in isolation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <vector>
+
+#include "store/format.h"
+#include "store/io.h"
+#include "store/wal.h"
+#include "store_test_util.h"
+#include "topology/rng.h"
+
+namespace bgpcu::store {
+namespace {
+
+namespace fs = std::filesystem;
+using testutil::TempDir;
+
+WalRecord batch_record(stream::Epoch epoch, topology::Rng& rng) {
+  WalRecord record;
+  record.kind = RecordKind::kEpochBatch;
+  record.epoch = epoch;
+  record.batch = testutil::random_dataset(rng, 5 + rng.below(10));
+  record.marks = testutil::marks_at(epoch);
+  return record;
+}
+
+WalRecord delta_record(stream::Epoch epoch) {
+  WalRecord record;
+  record.kind = RecordKind::kEpochDelta;
+  record.epoch = epoch;
+  record.delta_frame = {0xDE, 0xAD, 0xBE, 0xEF, static_cast<std::uint8_t>(epoch)};
+  return record;
+}
+
+void append_raw(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void expect_records_equal(const WalRecord& a, const WalRecord& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.batch, b.batch);
+  EXPECT_EQ(a.marks, b.marks);
+  EXPECT_EQ(a.delta_frame, b.delta_frame);
+}
+
+TEST(WalFormat, RecordRoundTripsBothKinds) {
+  topology::Rng rng(42);
+  const auto batch = batch_record(7, rng);
+  const auto delta = delta_record(7);
+
+  std::vector<std::uint8_t> bytes;
+  encode_record(bytes, batch);
+  encode_record(bytes, delta);
+
+  Cursor cursor{bytes};
+  expect_records_equal(decode_record(cursor), batch);
+  expect_records_equal(decode_record(cursor), delta);
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(WalFormat, RecordRejectsFlippedPayloadByte) {
+  topology::Rng rng(43);
+  std::vector<std::uint8_t> bytes;
+  encode_record(bytes, batch_record(1, rng));
+  bytes[bytes.size() / 2] ^= 0x01;
+  Cursor cursor{bytes};
+  EXPECT_THROW((void)decode_record(cursor), StoreError);
+}
+
+TEST(WalFormat, RecordRejectsEveryTruncation) {
+  topology::Rng rng(44);
+  std::vector<std::uint8_t> bytes;
+  encode_record(bytes, batch_record(1, rng));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    Cursor cursor{std::span(bytes.data(), len)};
+    EXPECT_THROW((void)decode_record(cursor), StoreError) << "prefix " << len;
+  }
+}
+
+TEST(WalFormat, RecordRejectsInsaneLength) {
+  std::vector<std::uint8_t> bytes;
+  put_u32le(bytes, 0xFFFFFFFF);  // length far past kMaxRecordPayload
+  put_u32le(bytes, 0);
+  Cursor cursor{bytes};
+  EXPECT_THROW((void)decode_record(cursor), StoreError);
+}
+
+TEST(WalWriter, LazyUntilFirstAppendThenRoundTrips) {
+  TempDir dir("wal_lazy");
+  topology::Rng rng(1);
+  WalWriter writer(dir.str(), SyncPolicy::kNone, 16 << 20, 0);
+  EXPECT_TRUE(list_segments(dir.str(), 0).empty()) << "no append, no file";
+
+  std::vector<WalRecord> written;
+  for (stream::Epoch e = 0; e < 5; ++e) {
+    written.push_back(batch_record(e, rng));
+    writer.append(written.back());
+    written.push_back(delta_record(e));
+    writer.append(written.back());
+    writer.sync();
+  }
+  EXPECT_EQ(writer.appended_records(), 10u);
+
+  const auto result = read_wal(dir.str(), 0);
+  EXPECT_EQ(result.segments_read, 1u);
+  EXPECT_EQ(result.truncated_records, 0u);
+  EXPECT_TRUE(result.warnings.empty());
+  ASSERT_EQ(result.records.size(), written.size());
+  for (std::size_t i = 0; i < written.size(); ++i) {
+    expect_records_equal(result.records[i], written[i]);
+  }
+}
+
+TEST(WalWriter, SizeCapRotatesSegments) {
+  TempDir dir("wal_rotate_cap");
+  topology::Rng rng(2);
+  // A 1-byte cap forces a fresh segment for every append after the first.
+  WalWriter writer(dir.str(), SyncPolicy::kNone, 1, 0);
+  for (stream::Epoch e = 0; e < 4; ++e) writer.append(delta_record(e));
+
+  const auto segments = list_segments(dir.str(), 0);
+  ASSERT_EQ(segments.size(), 4u);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].first, i) << "sequence numbers are dense from 0";
+  }
+  const auto result = read_wal(dir.str(), 0);
+  EXPECT_EQ(result.segments_read, 4u);
+  ASSERT_EQ(result.records.size(), 4u);
+  for (stream::Epoch e = 0; e < 4; ++e) EXPECT_EQ(result.records[e].epoch, e);
+}
+
+TEST(WalWriter, ExplicitRotateStartsFreshSegment) {
+  TempDir dir("wal_rotate_explicit");
+  WalWriter writer(dir.str(), SyncPolicy::kAlways, 16 << 20, 0);
+  writer.append(delta_record(0));
+  const auto next = writer.rotate();
+  EXPECT_EQ(next, 1u);
+  EXPECT_EQ(writer.next_seq(), 1u);
+  writer.append(delta_record(1));
+
+  const auto segments = list_segments(dir.str(), 0);
+  ASSERT_EQ(segments.size(), 2u);
+  // Reading only from the post-rotation sequence skips the first record —
+  // exactly how checkpointed recovery skips dead segments.
+  const auto tail = read_wal(dir.str(), next);
+  ASSERT_EQ(tail.records.size(), 1u);
+  EXPECT_EQ(tail.records[0].epoch, 1u);
+}
+
+TEST(WalWriter, SyncWithNothingOpenIsANoOp) {
+  TempDir dir("wal_sync_noop");
+  WalWriter writer(dir.str(), SyncPolicy::kEpoch, 16 << 20, 0);
+  EXPECT_NO_THROW(writer.sync());
+}
+
+TEST(WalReader, TornTailTruncatesAndWarns) {
+  TempDir dir("wal_torn");
+  topology::Rng rng(3);
+  std::vector<WalRecord> written;
+  {
+    WalWriter writer(dir.str(), SyncPolicy::kNone, 16 << 20, 0);
+    for (stream::Epoch e = 0; e < 3; ++e) {
+      written.push_back(batch_record(e, rng));
+      writer.append(written.back());
+    }
+  }
+  const auto path = segment_path(dir.str(), 0);
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 3);  // cut into the last record
+
+  const auto result = read_segment_file(path);
+  ASSERT_EQ(result.records.size(), 2u);
+  expect_records_equal(result.records[0], written[0]);
+  expect_records_equal(result.records[1], written[1]);
+  EXPECT_EQ(result.truncated_records, 1u);
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("truncated"), std::string::npos);
+}
+
+TEST(WalReader, MidSegmentCorruptionDropsTheRestOfThatSegmentOnly) {
+  TempDir dir("wal_corrupt_mid");
+  topology::Rng rng(4);
+  {
+    // Two records in segment 0, one in segment 1 (explicit rotation).
+    WalWriter writer(dir.str(), SyncPolicy::kNone, 16 << 20, 0);
+    writer.append(batch_record(0, rng));
+    writer.append(batch_record(1, rng));
+    writer.rotate();
+    writer.append(batch_record(2, rng));
+  }
+  // Flip a byte inside the FIRST record of segment 0: the whole segment after
+  // the corruption is dropped, but segment 1 still contributes its record.
+  auto bytes = io::read_file(segment_path(dir.str(), 0));
+  bytes[5 + 10] ^= 0x40;  // past the 5-byte header, inside record 0
+  fs::remove(segment_path(dir.str(), 0));
+  append_raw(segment_path(dir.str(), 0), bytes);
+
+  const auto result = read_wal(dir.str(), 0);
+  EXPECT_EQ(result.segments_read, 2u);
+  EXPECT_EQ(result.truncated_records, 1u);
+  EXPECT_FALSE(result.warnings.empty());
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].epoch, 2u) << "later segments survive earlier corruption";
+}
+
+TEST(WalReader, BadHeaderYieldsZeroRecordsPlusWarning) {
+  TempDir dir("wal_bad_header");
+  const auto garbage_path = segment_path(dir.str(), 0);
+  const std::vector<std::uint8_t> garbage = {'n', 'o', 't', 'a', 'w', 'a', 'l'};
+  append_raw(garbage_path, garbage);
+
+  const auto result = read_segment_file(garbage_path);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.segments_read, 0u);
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("magic"), std::string::npos);
+
+  // An unreadable path warns instead of throwing, too.
+  const auto missing = read_segment_file(dir.str() + "/wal-000000000099.log");
+  EXPECT_TRUE(missing.records.empty());
+  EXPECT_EQ(missing.warnings.size(), 1u);
+}
+
+TEST(WalReader, UnsupportedVersionWarns) {
+  TempDir dir("wal_bad_version");
+  std::vector<std::uint8_t> bytes(kSegmentMagic.begin(), kSegmentMagic.end());
+  bytes.push_back(kStoreVersion + 1);
+  append_raw(segment_path(dir.str(), 0), bytes);
+
+  const auto result = read_segment_file(segment_path(dir.str(), 0));
+  EXPECT_TRUE(result.records.empty());
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("version"), std::string::npos);
+}
+
+TEST(WalReader, ListSegmentsFiltersAndSorts) {
+  TempDir dir("wal_list");
+  for (const auto seq : {3u, 0u, 7u}) {
+    std::vector<std::uint8_t> header(kSegmentMagic.begin(), kSegmentMagic.end());
+    header.push_back(kStoreVersion);
+    append_raw(segment_path(dir.str(), seq), header);
+  }
+  // Non-segment names are ignored.
+  append_raw(dir.str() + "/MANIFEST", std::vector<std::uint8_t>{1});
+  append_raw(dir.str() + "/wal-junk.log", std::vector<std::uint8_t>{1});
+
+  const auto all = list_segments(dir.str(), 0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].first, 0u);
+  EXPECT_EQ(all[1].first, 3u);
+  EXPECT_EQ(all[2].first, 7u);
+
+  const auto tail = list_segments(dir.str(), 4);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].first, 7u);
+}
+
+TEST(WalNames, ParsersAcceptOnlyCanonicalNames) {
+  std::uint64_t seq = 0;
+  EXPECT_TRUE(parse_segment_name("wal-000000000042.log", seq));
+  EXPECT_EQ(seq, 42u);
+  EXPECT_FALSE(parse_segment_name("wal-42.log", seq));
+  EXPECT_FALSE(parse_segment_name("wal-00000000004x.log", seq));
+  EXPECT_FALSE(parse_segment_name("wal-000000000042.tmp", seq));
+
+  stream::Epoch epoch = 0;
+  EXPECT_TRUE(parse_checkpoint_name("ckpt-000000000007.state", ".state", epoch));
+  EXPECT_EQ(epoch, 7u);
+  EXPECT_FALSE(parse_checkpoint_name("ckpt-000000000007.state", ".snap", epoch));
+  EXPECT_FALSE(parse_checkpoint_name("ckpt-7.state", ".state", epoch));
+}
+
+}  // namespace
+}  // namespace bgpcu::store

@@ -14,6 +14,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "bgp/message.h"
 #include "mrt/bgp4mp.h"
@@ -81,6 +82,34 @@ SplitRunResult run_split(const std::string& command) {
 std::string stream_bin() { return BGPCU_STREAM_BIN; }
 std::string query_bin() { return BGPCU_QUERY_BIN; }
 std::string serve_bin() { return BGPCU_SERVE_BIN; }
+std::string store_bin() { return BGPCU_STORE_BIN; }
+
+/// Polls `log_file` until `needle` appears (10 s budget).
+bool wait_in_log(const fs::path& log_file, const std::string& needle) {
+  for (int i = 0; i < 100; ++i) {
+    if (slurp(log_file).find(needle) != std::string::npos) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+/// SIGTERMs the daemon behind `pid_file` and waits for its clean-shutdown
+/// log line. (The daemon is a zombie child of system()'s exited shell, so
+/// the log line — not kill -0 — is the reliable termination signal.)
+::testing::AssertionResult shut_down_cleanly(const fs::path& pid_file,
+                                             const fs::path& log_file) {
+  std::string pid;
+  std::stringstream(slurp(pid_file)) >> pid;
+  if (pid.empty()) return ::testing::AssertionFailure() << "no pid recorded";
+  if (std::system(("kill -TERM " + pid).c_str()) != 0) {
+    return ::testing::AssertionFailure() << "kill -TERM " << pid << " failed";
+  }
+  if (!wait_in_log(log_file, "shut down cleanly")) {
+    return ::testing::AssertionFailure()
+           << "daemon did not shut down on SIGTERM; log: " << slurp(log_file);
+  }
+  return ::testing::AssertionSuccess();
+}
 
 class CliTest : public ::testing::Test {
  protected:
@@ -535,6 +564,179 @@ TEST_F(CliTest, ServeDaemonAnswersQueryConnectEndToEnd) {
     clean = slurp(log_file).find("shut down cleanly") != std::string::npos;
   }
   EXPECT_TRUE(clean) << "daemon did not shut down on SIGTERM; log: " << slurp(log_file);
+}
+
+TEST_F(CliTest, ServeRejectsBadStoreFlags) {
+  const auto sync = run(serve_bin() + " --store-sync fast");
+  EXPECT_EQ(sync.exit_code, 2);
+  EXPECT_NE(sync.output.find("--store-sync"), std::string::npos) << sync.output;
+  EXPECT_EQ(run(serve_bin() + " --checkpoint-every abc").exit_code, 2);
+  EXPECT_EQ(run(serve_bin() + " --data-dir").exit_code, 2);
+}
+
+TEST_F(CliTest, ServeDataDirSurvivesRestartWithEpochContinuity) {
+  // Round 1: the daemon ingests one dump into a durable --data-dir,
+  // checkpoints on SIGTERM, and shuts down cleanly. Round 2 reopens the same
+  // directory: the epoch counter must CONTINUE (a restart is invisible to
+  // consumers), the feed must resume at the recorded offsets instead of
+  // re-reading round 1's file, and `history` must reach back across the
+  // restart boundary.
+  write_dump("updates.0001.mrt", {3356, 1299, 2914}, "203.0.113.0/24");
+  const auto data_dir = dir_ / "durable";
+  const auto pid_file = dir_ / "pid";
+
+  const auto launch = [&](const std::string& tag) {
+    const auto port_file = dir_ / ("port." + tag);
+    const auto log_file = dir_ / ("serve." + tag + ".log");
+    const auto cmd = "'" + serve_bin() + "' --port 0 --port-file '" + port_file.string() +
+                     "' --data-dir '" + data_dir.string() +
+                     "' --checkpoint-every 1 --interval 1 --extension .mrt '" +
+                     dir_.string() + "' > '" + log_file.string() + "' 2>&1 & echo $! > '" +
+                     pid_file.string() + "'";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    std::string port;
+    for (int i = 0; i < 100 && port.empty(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      std::stringstream text(slurp(port_file));
+      text >> port;
+    }
+    EXPECT_FALSE(port.empty()) << "round " << tag
+                               << " never wrote its port; log: " << slurp(log_file);
+    return std::pair<std::string, fs::path>{port, log_file};
+  };
+
+  const auto [port1, log1] = launch("1");
+  const auto connect1 = " --connect 127.0.0.1:" + port1;
+  SplitRunResult stats;
+  for (int i = 0; i < 100; ++i) {
+    stats = run_split(query_bin() + " stats" + connect1);
+    if (stats.exit_code == 0 && stats.out.find("live_tuples") != std::string::npos &&
+        stats.out.find("live_tuples 0\n") == std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_EQ(stats.exit_code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("epoch 0"), std::string::npos) << stats.out;
+  ASSERT_TRUE(shut_down_cleanly(pid_file, log1));
+  EXPECT_TRUE(fs::exists(data_dir / "MANIFEST")) << "no durable manifest written";
+
+  // A different dump arrives while the daemon is down.
+  write_dump("updates.0002.mrt", {10, 20}, "198.51.100.0/24");
+  const auto [port2, log2] = launch("2");
+  EXPECT_TRUE(wait_in_log(log2, "recovered epoch 0 from")) << slurp(log2);
+  const auto connect2 = " --connect 127.0.0.1:" + port2;
+
+  // Epoch continuity: the new dump lands at epoch 1, never a reset epoch 0.
+  for (int i = 0; i < 100; ++i) {
+    stats = run_split(query_bin() + " stats" + connect2);
+    if (stats.exit_code == 0 && stats.out.find("epoch 1") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_EQ(stats.exit_code, 0) << stats.err;
+  ASSERT_NE(stats.out.find("epoch 1"), std::string::npos)
+      << "epoch counter reset across restart: " << stats.out;
+
+  // Both the recovered state and the fresh ingest are served — and round 1's
+  // counters did not double (the feed resumed past updates.0001.mrt).
+  const auto old_asn = run_split(query_bin() + " asn 3356" + connect2);
+  EXPECT_EQ(old_asn.exit_code, 0) << old_asn.err;
+  EXPECT_NE(old_asn.out.find("AS 3356 class tn t 1 s 0 f 0 c 0"), std::string::npos)
+      << old_asn.out;
+  const auto new_asn = run_split(query_bin() + " asn 10" + connect2);
+  EXPECT_EQ(new_asn.exit_code, 0) << new_asn.err;
+  EXPECT_NE(new_asn.out.find("AS 10 class tn"), std::string::npos) << new_asn.out;
+
+  // Longitudinal history served over the wire spans the restart.
+  const auto history = run_split(query_bin() + " history 3356" + connect2);
+  EXPECT_EQ(history.exit_code, 0) << history.err;
+  EXPECT_NE(history.out.find("epoch 0 AS 3356 class tn"), std::string::npos)
+      << history.out;
+
+  ASSERT_TRUE(shut_down_cleanly(pid_file, log2));
+}
+
+TEST_F(CliTest, StoreCliInspectVerifyCompactAndCorruptionExitCodes) {
+  // Populate a store directory with a short daemon run, then drive the
+  // offline admin tool over it: inspect and verify succeed on the healthy
+  // directory, compact folds the WAL into a fresh checkpoint, and one
+  // flipped byte in a checkpoint file turns `verify` into exit code 1.
+  write_dump("updates.0001.mrt", {3356, 1299, 2914}, "203.0.113.0/24");
+  const auto data_dir = dir_ / "durable";
+  const auto port_file = dir_ / "port";
+  const auto log_file = dir_ / "serve.log";
+  const auto pid_file = dir_ / "pid";
+  const auto launch = "'" + serve_bin() + "' --port 0 --port-file '" + port_file.string() +
+                      "' --data-dir '" + data_dir.string() +
+                      "' --interval 1 --extension .mrt '" + dir_.string() + "' > '" +
+                      log_file.string() + "' 2>&1 & echo $! > '" + pid_file.string() + "'";
+  ASSERT_EQ(std::system(launch.c_str()), 0);
+  std::string port;
+  for (int i = 0; i < 100 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::stringstream text(slurp(port_file));
+    text >> port;
+  }
+  ASSERT_FALSE(port.empty()) << slurp(log_file);
+  // Wait for the ingest so the shutdown checkpoint has real state in it.
+  for (int i = 0; i < 100; ++i) {
+    const auto stats = run_split(query_bin() + " stats --connect 127.0.0.1:" + port);
+    if (stats.exit_code == 0 && stats.out.find("live_tuples") != std::string::npos &&
+        stats.out.find("live_tuples 0\n") == std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_TRUE(shut_down_cleanly(pid_file, log_file));
+
+  // Usage errors are exit 2 with a one-line usage message.
+  EXPECT_EQ(run(store_bin()).exit_code, 2);
+  EXPECT_EQ(run(store_bin() + " inspect").exit_code, 2);
+  EXPECT_EQ(run(store_bin() + " frobnicate '" + data_dir.string() + "'").exit_code, 2);
+
+  const auto inspect = run_split(store_bin() + " inspect '" + data_dir.string() + "'");
+  EXPECT_EQ(inspect.exit_code, 0) << inspect.err;
+  EXPECT_NE(inspect.out.find("manifest ok"), std::string::npos) << inspect.out;
+  EXPECT_NE(inspect.out.find("checkpoint epoch 0"), std::string::npos) << inspect.out;
+  EXPECT_NE(inspect.out.find("recoverable epochs 0..0"), std::string::npos) << inspect.out;
+
+  const auto verify = run_split(store_bin() + " verify '" + data_dir.string() + "'");
+  EXPECT_EQ(verify.exit_code, 0) << verify.out << verify.err;
+  EXPECT_NE(verify.out.find("verification ok"), std::string::npos) << verify.out;
+
+  const auto history = run(store_bin() + " history 3356 '" + data_dir.string() + "'");
+  EXPECT_EQ(history.exit_code, 0) << history.output;
+  EXPECT_NE(history.output.find("epoch 0 AS 3356 class tn"), std::string::npos)
+      << history.output;
+
+  const auto compact = run_split(store_bin() + " compact '" + data_dir.string() + "'");
+  EXPECT_EQ(compact.exit_code, 0) << compact.err;
+  EXPECT_NE(compact.out.find("compacted to checkpoint epoch 0"), std::string::npos)
+      << compact.out;
+  EXPECT_EQ(run(store_bin() + " verify '" + data_dir.string() + "'").exit_code, 0);
+
+  // One flipped byte in the checkpoint state file: verify must fail loudly.
+  fs::path victim;
+  for (const auto& entry : fs::directory_iterator(data_dir)) {
+    if (entry.path().extension() == ".state") victim = entry.path();
+  }
+  ASSERT_FALSE(victim.empty()) << "no .state checkpoint file found";
+  {
+    std::fstream file(victim, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(file.tellg());
+    ASSERT_GT(size, 8);
+    char byte = 0;
+    file.seekg(size / 2);
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    file.seekp(size / 2);
+    file.write(&byte, 1);
+  }
+  const auto corrupt = run_split(store_bin() + " verify '" + data_dir.string() + "'");
+  EXPECT_EQ(corrupt.exit_code, 1) << corrupt.out << corrupt.err;
+  EXPECT_NE(corrupt.err.find("CORRUPT"), std::string::npos) << corrupt.err;
+  EXPECT_NE(corrupt.err.find("verification FAILED"), std::string::npos) << corrupt.err;
 }
 
 }  // namespace

@@ -29,6 +29,9 @@
 //     [--json]                                  (machine-readable JSON object)
 //   bgpcu_query metrics --connect HOST:PORT     full observability scrape
 //     [--json]                                  (Prometheus text, or JSON)
+//   bgpcu_query history ASN --connect HOST:PORT one AS's class evolution
+//                                               across retained checkpoints
+//                                               (needs a --data-dir server)
 //   bgpcu_query watch --connect HOST:PORT       stream the class-change feed
 //     [--transition FROM->TO] [--asns A,B,...]  (filtered server-side)
 //     [--replay-from E] [--max-batches N]
@@ -64,7 +67,7 @@ int usage(const char* argv0) {
                " convert text|wire IN OUT\n"
                "       " << argv0
             << " [--connect HOST:PORT] [--token T] dump | asn ASN | live ASN |"
-               " stats [--json] | metrics [--json] |"
+               " history ASN | stats [--json] | metrics [--json] |"
                " watch [--transition FROM->TO] [--asns A,B,...]"
                " [--replay-from E] [--max-batches N]\n";
   return 2;
@@ -236,6 +239,18 @@ int cmd_net_asn(const ConnectOptions& options, const std::string& asn_text,
   if (!response.asn_class) throw std::runtime_error("server returned no per-ASN answer");
   print_asn_line(response.asn_class->asn, response.asn_class->usage,
                  response.asn_class->counters);
+  return 0;
+}
+
+int cmd_net_history(const ConnectOptions& options, const std::string& asn_text) {
+  const auto asn = parse_asn_or_exit(asn_text);
+  auto client = connect_client(options);
+  const auto response = client.query({.kind = api::QueryKind::kHistory, .asn = asn});
+  if (!response.history) throw std::runtime_error("server returned no history");
+  for (const auto& point : *response.history) {
+    std::cout << "epoch " << point.epoch << " AS " << asn << " class "
+              << point.usage.code() << "\n";
+  }
   return 0;
 }
 
@@ -413,6 +428,9 @@ int main(int argc, char** argv) {
       }
       if (command == "live" && args.size() == 1) {
         return cmd_net_asn(options, args[0], api::QueryKind::kLiveCounters);
+      }
+      if (command == "history" && args.size() == 1) {
+        return cmd_net_history(options, args[0]);
       }
       if (command == "stats" && args.empty()) return cmd_net_stats(options);
       if (command == "metrics" && args.empty()) return cmd_net_metrics(options);

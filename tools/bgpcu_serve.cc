@@ -29,7 +29,18 @@
 //   --threshold P --allocations F --shards N --window W --extension .EXT
 //   --settle SEC --interval SEC
 //
-// SIGINT/SIGTERM shut the daemon down cleanly (exit code 0).
+// Persistence options (docs/PERSISTENCE.md):
+//   --data-dir D           durable store directory: WAL + checkpoints. On
+//                          start the daemon recovers the newest checkpoint,
+//                          replays the WAL tail, and resumes the feed at the
+//                          recorded file offsets. Enables `history` queries.
+//   --checkpoint-every N   checkpoint cadence in epochs (default 16; 0 =
+//                          only the final shutdown checkpoint)
+//   --store-sync MODE      WAL fsync policy: none|epoch|always (default epoch)
+//
+// SIGINT/SIGTERM shut the daemon down cleanly (exit code 0), flushing a
+// final checkpoint (with --data-dir) and a final metrics sample (with
+// --metrics-dump) first.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -51,6 +62,7 @@
 #include "obs/metrics.h"
 #include "obs/render.h"
 #include "registry/registry.h"
+#include "store/store.h"
 #include "stream/feed.h"
 #include "util/cli.h"
 
@@ -67,6 +79,7 @@ int usage(const char* argv0) {
             << " [--host H] [--port P] [--port-file F] [--token T] [--max-conns N]"
                " [--metrics-port P] [--metrics-port-file F] [--metrics-dump F,SEC]"
                " [--log-level error|warn|info|debug]"
+               " [--data-dir D] [--checkpoint-every N] [--store-sync none|epoch|always]"
                " [--threshold P] [--allocations F] [--shards N] [--window W]"
                " [--extension .EXT] [--settle SEC] [--interval SEC] [WATCH_DIR]\n";
   return 2;
@@ -137,6 +150,7 @@ int main(int argc, char** argv) {
   unsigned interval_sec = 5;
   api::ServiceConfig config;
   net::ServerConfig server_config;
+  store::StoreConfig store_config;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -191,6 +205,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       obs::set_log_level(*level);
+    } else if (arg == "--data-dir") {
+      store_config.dir = next();
+    } else if (arg == "--checkpoint-every") {
+      store_config.checkpoint_every_epochs = parse_u64_or_exit(arg, next());
+    } else if (arg == "--store-sync") {
+      const std::string mode = next();
+      if (mode == "none") {
+        store_config.sync = store::SyncPolicy::kNone;
+      } else if (mode == "epoch") {
+        store_config.sync = store::SyncPolicy::kEpoch;
+      } else if (mode == "always") {
+        store_config.sync = store::SyncPolicy::kAlways;
+      } else {
+        std::cerr << "--store-sync must be none|epoch|always, got '" << mode << "'\n";
+        return 2;
+      }
     } else if (arg == "--token") {
       server_config.auth_token = next();
     } else if (arg == "--max-conns") {
@@ -239,6 +269,22 @@ int main(int argc, char** argv) {
     config.stream.engine.thresholds = core::Thresholds::uniform(threshold);
     api::Service service(config);
 
+    // Recover durable state before the listener exists: no client can
+    // observe a half-replayed engine.
+    std::optional<store::Store> store;
+    store::RecoveryStats recovery;
+    if (!store_config.dir.empty()) {
+      store.emplace(store_config);
+      recovery = store->recover(service);
+      if (recovery.recovered) {
+        std::cerr << "recovered epoch " << recovery.resume_epoch << " from "
+                  << store_config.dir << " (" << recovery.batches_replayed
+                  << " batch(es) replayed, " << recovery.duration_ms << " ms)\n";
+      }
+      service.set_history_provider(
+          [&store](bgp::Asn asn) { return store->history(asn); });
+    }
+
     auto listener = std::make_shared<net::TcpListener>(host, port);
     std::cerr << "listening on " << listener->name() << "\n";
     obs::log_info("listening", {{"addr", listener->name()}});
@@ -282,9 +328,17 @@ int main(int argc, char** argv) {
     server.start();
 
     std::optional<stream::DirectoryFeed> feed;
-    if (!watch_dir.empty()) feed.emplace(watch_dir, reg, extension, settle_sec);
+    if (!watch_dir.empty()) {
+      feed.emplace(watch_dir, reg, extension, settle_sec);
+      // Resume reading MRT files where the durable marks left off, instead
+      // of re-parsing (and re-offering) everything the WAL already replayed.
+      if (!recovery.feed_marks.empty()) feed->restore_marks(recovery.feed_marks);
+    }
 
-    std::uint64_t ingest_polls = 0;
+    // A recovered engine's current epoch already holds its replayed batch;
+    // the first live poll must open a new epoch, exactly as if the process
+    // had never restarted.
+    std::uint64_t ingest_polls = recovery.recovered ? 1 : 0;
     while (!g_stop.load()) {
       if (!feed) {
         (void)interruptible_sleep(interval_sec);
@@ -303,8 +357,17 @@ int main(int argc, char** argv) {
       // bgpcu_stream (keeps a --window 1 poll's own input alive).
       if (ingest_polls > 0) (void)service.advance_epoch();
       ++ingest_polls;
+      // WAL the batch *before* applying it: a crash between the append and
+      // the ingest replays the batch on restart, never loses it.
+      if (store) {
+        store->append_epoch_batch(service.epoch(), poll.batch, feed->export_marks());
+      }
       const auto stats = service.ingest(std::move(poll.batch));
       const auto delta = service.publish();
+      if (store) {
+        store->append_epoch_delta(delta);
+        store->maybe_checkpoint(service);
+      }
       std::cerr << "epoch " << service.epoch() << ": " << poll.files.size()
                 << " file(s), " << stats.accepted << " new tuples, " << delta.changes.size()
                 << " class change(s), " << server.connection_count() << " client(s)\n";
@@ -319,9 +382,23 @@ int main(int argc, char** argv) {
 
     obs::log_info("shutdown", {{"reason", "signal"}});
     server.stop();
+    // Final checkpoint so a clean shutdown restarts with zero WAL replay.
+    if (store && store->checkpoint(service)) {
+      obs::log_info("final_checkpoint", {{"epoch", std::to_string(service.epoch())}});
+    }
     if (dump_thread.thread.joinable()) {
       g_stop.store(true);  // already set on this path; explicit for clarity
       dump_thread.thread.join();
+    }
+    if (!metrics_dump_path.empty()) {
+      // One last sample after everything above stopped, so the dump's final
+      // line reflects the whole run (including the final checkpoint).
+      std::ofstream out(metrics_dump_path, std::ios::app);
+      if (out) {
+        out << obs::render_json(obs::Registry::global().collect(),
+                                static_cast<std::int64_t>(std::time(nullptr)))
+            << "\n";
+      }
     }
     if (metrics_http) metrics_http->stop();
     std::cerr << "shut down cleanly\n";

@@ -245,8 +245,16 @@ EpochDelta Service::publish() {
 }
 
 SubscriptionId Service::subscribe(SubscriptionFilter filter, SubscriptionCallback callback,
-                                  std::optional<stream::Epoch> replay_from) {
+                                  std::optional<stream::Epoch> replay_from,
+                                  bool* replay_complete) {
   const std::lock_guard lock(facade_mutex_);
+  if (replay_complete) {
+    // Coverage is decided under the same mutex that delivers the replay: the
+    // log's oldest retained epoch must not exceed the requested start (an
+    // empty log means nothing was ever published, which is full coverage).
+    const auto oldest = log_.oldest_epoch();
+    *replay_complete = !replay_from || !oldest || *oldest <= *replay_from;
+  }
   const SubscriptionId id = next_id_++;
   Subscription subscription{id, std::move(filter), {}, std::move(callback)};
   subscription.sorted_watch = subscription.filter.watch;

@@ -222,8 +222,16 @@ class Service {
   /// order. Replayed deliveries run under the facade mutex: the callback
   /// must not call back into the Service while handling one (callbacks
   /// invoked from publish() may).
+  ///
+  /// When `replay_complete` is non-null it is set (atomically with the
+  /// replay, under the same mutex — a concurrent publish cannot evict
+  /// between the check and the replay) to whether the retained log still
+  /// covered `replay_from`: false means the replay horizon has passed it and
+  /// the delivered tail is missing older epochs, so a resuming subscriber
+  /// must re-sync from a snapshot. Always true without `replay_from`.
   SubscriptionId subscribe(SubscriptionFilter filter, SubscriptionCallback callback,
-                           std::optional<stream::Epoch> replay_from = std::nullopt);
+                           std::optional<stream::Epoch> replay_from = std::nullopt,
+                           bool* replay_complete = nullptr);
 
   /// Returns false when `id` was never issued or already removed.
   bool unsubscribe(SubscriptionId id);

@@ -800,6 +800,9 @@ std::vector<std::uint8_t> encode_subscribed(const SubscribedFrame& ack, FrameTyp
   std::vector<std::uint8_t> payload;
   put_varint(payload, ack.request_id);
   put_varint(payload, ack.subscription_id);
+  // The replay-coverage byte is only ever encoded toward peers that
+  // negotiated kFeatureResume; legacy decoders reject trailing bytes.
+  if (ack.replay_complete) payload.push_back(*ack.replay_complete ? 1 : 0);
   return seal_frame(type, std::move(payload));
 }
 
@@ -811,6 +814,11 @@ SubscribedFrame decode_subscribed(std::span<const std::uint8_t> frame, FrameType
   SubscribedFrame ack;
   ack.request_id = r.varint("ack request id");
   ack.subscription_id = r.varint("ack subscription id");
+  if (r.remaining() > 0) {
+    const auto flag = r.u8("ack replay-complete flag");
+    if (flag > 1) throw WireFormatError("invalid ack replay-complete flag");
+    ack.replay_complete = flag == 1;
+  }
   expect_exhausted(r, what);
   return ack;
 }
@@ -898,6 +906,89 @@ ResponseFrame decode_response(std::span<const std::uint8_t> frame) {
   response.response = get_query_response_payload(r);
   expect_exhausted(r, "response");
   return response;
+}
+
+// ------------------------------------- negotiated reliability frames (15-19) --
+
+std::vector<std::uint8_t> encode_hello2(const Hello2Frame& hello) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(hello.protocol);
+  put_string(payload, hello.token);
+  put_varint(payload, hello.features);
+  return seal_frame(FrameType::kHello2, std::move(payload));
+}
+
+Hello2Frame decode_hello2(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kHello2, "hello2");
+  Reader r{parsed.payload};
+  Hello2Frame hello;
+  hello.protocol = r.u8("hello2 protocol");
+  hello.token = get_string(r, "hello2 token");
+  hello.features = r.varint("hello2 features");
+  expect_exhausted(r, "hello2");
+  return hello;
+}
+
+std::vector<std::uint8_t> encode_welcome2(const Welcome2Frame& welcome) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(welcome.protocol);
+  put_varint(payload, welcome.epoch);
+  put_varint(payload, welcome.features);
+  payload.push_back(welcome.replay_horizon.has_value() ? 1 : 0);
+  if (welcome.replay_horizon) put_varint(payload, *welcome.replay_horizon);
+  return seal_frame(FrameType::kWelcome2, std::move(payload));
+}
+
+Welcome2Frame decode_welcome2(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kWelcome2, "welcome2");
+  Reader r{parsed.payload};
+  Welcome2Frame welcome;
+  welcome.protocol = r.u8("welcome2 protocol");
+  welcome.epoch = r.varint("welcome2 epoch");
+  welcome.features = r.varint("welcome2 features");
+  const auto has_horizon = r.u8("welcome2 horizon flag");
+  if (has_horizon > 1) throw WireFormatError("invalid welcome2 horizon flag");
+  if (has_horizon) welcome.replay_horizon = r.varint("welcome2 replay horizon");
+  expect_exhausted(r, "welcome2");
+  return welcome;
+}
+
+std::vector<std::uint8_t> encode_ping(const PingFrame& ping, FrameType type) {
+  if (type != FrameType::kPing && type != FrameType::kPong) {
+    throw WireFormatError("keepalive frames must be kPing or kPong");
+  }
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, ping.nonce);
+  return seal_frame(type, std::move(payload));
+}
+
+PingFrame decode_ping(std::span<const std::uint8_t> frame, FrameType type) {
+  const auto what = type == FrameType::kPong ? "pong" : "ping";
+  const auto parsed = expect_single_frame(frame, type, what);
+  Reader r{parsed.payload};
+  PingFrame ping;
+  ping.nonce = r.varint("keepalive nonce");
+  expect_exhausted(r, what);
+  return ping;
+}
+
+std::vector<std::uint8_t> encode_busy(const BusyFrame& busy) {
+  std::vector<std::uint8_t> payload;
+  put_varint(payload, busy.request_id);
+  put_varint(payload, busy.retry_after_ms);
+  put_string(payload, busy.message);
+  return seal_frame(FrameType::kBusy, std::move(payload));
+}
+
+BusyFrame decode_busy(std::span<const std::uint8_t> frame) {
+  const auto parsed = expect_single_frame(frame, FrameType::kBusy, "busy");
+  Reader r{parsed.payload};
+  BusyFrame busy;
+  busy.request_id = r.varint("busy request id");
+  busy.retry_after_ms = r.varint("busy retry-after");
+  busy.message = get_string(r, "busy message");
+  expect_exhausted(r, "busy");
+  return busy;
 }
 
 bool looks_like_wire(std::span<const std::uint8_t> data) noexcept {

@@ -75,10 +75,15 @@ enum class FrameType : std::uint8_t {
   kResponse = 12,      ///< Answer to kRequest, matched by request id.
   kUnsubscribe = 13,   ///< Close one subscription by id.
   kUnsubscribed = 14,  ///< Unsubscribe acknowledgment.
+  kHello2 = 15,        ///< Feature-negotiating handshake: hello + feature bits.
+  kWelcome2 = 16,      ///< Answer to kHello2: welcome + granted features + horizon.
+  kPing = 17,          ///< Keepalive probe (either direction, negotiated).
+  kPong = 18,          ///< Keepalive reply echoing the probe nonce.
+  kBusy = 19,          ///< Structured overload shed with a retry-after hint.
 };
 
 /// Largest valid FrameType value; parse rejects anything above it.
-inline constexpr std::uint8_t kMaxFrameType = 14;
+inline constexpr std::uint8_t kMaxFrameType = 19;
 
 /// Default cap on a single frame's payload. Generous enough for a full-table
 /// snapshot; incremental parsers reject a length field claiming more, so a
@@ -191,9 +196,18 @@ struct SubscribeFrame {
 
 /// Acknowledges kSubscribe (`subscription_id` names the new subscription)
 /// and kUnsubscribe (as kUnsubscribed, echoing the closed id).
+///
+/// `replay_complete` is engaged only on connections that negotiated
+/// kFeatureResume: when the subscribe asked for a replay_from epoch, it says
+/// whether the retained event log still covered that epoch (false = the
+/// replay horizon has passed it and the replayed tail is lossy — the client
+/// must re-sync from a snapshot). Computed atomically with the replay inside
+/// the service, so it cannot race a concurrent publish eviction. Legacy
+/// connections never see the extra byte, keeping the ack layout additive.
 struct SubscribedFrame {
   std::uint64_t request_id = 0;
   std::uint64_t subscription_id = 0;
+  std::optional<bool> replay_complete;
 
   friend bool operator==(const SubscribedFrame&, const SubscribedFrame&) = default;
 };
@@ -229,6 +243,63 @@ struct ResponseFrame {
   QueryResponse response;
 };
 
+// --- Negotiated reliability frames (types 15-19). A client opts in by
+// --- opening with kHello2; the server only ever sends these types on
+// --- connections that did, so a legacy peer never sees an unknown type.
+
+/// Feature bits carried in kHello2 (requested) and kWelcome2 (granted).
+/// The effective feature set of a connection is the intersection.
+inline constexpr std::uint64_t kFeatureKeepalive = 1u << 0;  ///< kPing/kPong allowed.
+inline constexpr std::uint64_t kFeatureBusyRetry = 1u << 1;  ///< Sheds arrive as kBusy.
+inline constexpr std::uint64_t kFeatureResume = 1u << 2;     ///< Acks carry replay_complete.
+inline constexpr std::uint64_t kAllFeatures =
+    kFeatureKeepalive | kFeatureBusyRetry | kFeatureResume;
+
+/// Feature-negotiating handshake, client -> server. Replaces kHello on
+/// clients that want the reliability extensions; servers accept either as
+/// the first frame.
+struct Hello2Frame {
+  std::uint8_t protocol = kProtocolVersion;
+  std::string token;
+  std::uint64_t features = 0;  ///< Requested kFeature* bits.
+
+  friend bool operator==(const Hello2Frame&, const Hello2Frame&) = default;
+};
+
+/// Answer to kHello2, server -> client.
+struct Welcome2Frame {
+  std::uint8_t protocol = kProtocolVersion;
+  stream::Epoch epoch = 0;     ///< Service epoch at accept time.
+  std::uint64_t features = 0;  ///< Granted kFeature* bits (subset of requested).
+  /// Oldest epoch the server's event log can still replay; nullopt when
+  /// nothing has been published yet. Advisory — the authoritative per-replay
+  /// coverage answer is the subscribe ack's replay_complete flag.
+  std::optional<stream::Epoch> replay_horizon;
+
+  friend bool operator==(const Welcome2Frame&, const Welcome2Frame&) = default;
+};
+
+/// Keepalive probe/reply. The same payload serves kPing and kPong (the reply
+/// echoes the probe's nonce), mirroring the kSubscribed/kUnsubscribed
+/// type-parameterized codec.
+struct PingFrame {
+  std::uint64_t nonce = 0;
+
+  friend bool operator==(const PingFrame&, const PingFrame&) = default;
+};
+
+/// Structured overload shed, server -> client (kFeatureBusyRetry
+/// connections). `request_id` 0 means connection-level (admission control —
+/// the server closes after sending it); nonzero sheds one rate-limited
+/// request while the connection stays usable.
+struct BusyFrame {
+  std::uint64_t request_id = 0;
+  std::uint64_t retry_after_ms = 0;  ///< Hint: back off at least this long.
+  std::string message;
+
+  friend bool operator==(const BusyFrame&, const BusyFrame&) = default;
+};
+
 [[nodiscard]] std::vector<std::uint8_t> encode_hello(const HelloFrame& hello);
 [[nodiscard]] HelloFrame decode_hello(std::span<const std::uint8_t> frame);
 
@@ -257,6 +328,20 @@ struct ResponseFrame {
 
 [[nodiscard]] std::vector<std::uint8_t> encode_response(const ResponseFrame& response);
 [[nodiscard]] ResponseFrame decode_response(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_hello2(const Hello2Frame& hello);
+[[nodiscard]] Hello2Frame decode_hello2(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_welcome2(const Welcome2Frame& welcome);
+[[nodiscard]] Welcome2Frame decode_welcome2(std::span<const std::uint8_t> frame);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_ping(const PingFrame& ping,
+                                                    FrameType type = FrameType::kPing);
+[[nodiscard]] PingFrame decode_ping(std::span<const std::uint8_t> frame,
+                                    FrameType type = FrameType::kPing);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_busy(const BusyFrame& busy);
+[[nodiscard]] BusyFrame decode_busy(std::span<const std::uint8_t> frame);
 
 /// True when `data` begins with the wire magic (any version).
 [[nodiscard]] bool looks_like_wire(std::span<const std::uint8_t> data) noexcept;

@@ -13,12 +13,20 @@
 
 namespace bgpcu::net {
 
+
 namespace {
 
 /// How many over-limit connections may hold a graceful-rejection handler
 /// (two threads each, bounded by hello_timeout_ms) at once; everything past
 /// this is closed abruptly so a connection flood cannot scale thread count.
 constexpr std::size_t kGracefulRejectSlots = 8;
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -35,7 +43,10 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
   /// loop) matters on real TCP: closing with the client's unread hello
   /// still buffered raises RST, which can discard the queued error frame.
   ConnHandler(Server& server, std::unique_ptr<Connection> conn, bool reject = false)
-      : server_(server), conn_(std::move(conn)), reject_(reject) {}
+      : server_(server),
+        conn_(std::move(conn)),
+        reject_(reject),
+        rate_tokens_(static_cast<double>(server.config_.request_burst)) {}
 
   void start() {
     auto self = shared_from_this();
@@ -128,6 +139,7 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
         break;
       }
       if (n == 0) break;  // EOF / peer half-closed: flush and finish
+      last_rx_ms_.store(steady_now_ms());
       obs::metrics().net_bytes_in.add(n);
       frames.append(std::span(chunk.data(), n));
       try {
@@ -154,47 +166,130 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
     reader_done_.store(true);
   }
 
+  /// Rejects the hello token / protocol version; returns true when the
+  /// handshake may proceed. Shared by the legacy and feature handshakes.
+  bool check_handshake(std::uint8_t protocol, const std::string& token) {
+    // Exact match: an older client would misdecode responses whose
+    // payloads grew since its version (e.g. the v2 stats fields), so the
+    // handshake is where the mismatch must fail, loudly and by name.
+    if (protocol != api::kProtocolVersion) {
+      send_error(0, api::ErrorCode::kBadRequest,
+                 "unsupported protocol version " + std::to_string(protocol));
+      return false;
+    }
+    if (!server_.config_.auth_token.empty() && token != server_.config_.auth_token) {
+      server_.stats_.auth_failures.fetch_add(1);
+      obs::metrics().net_auth_failures.add(1);
+      send_error(0, api::ErrorCode::kAuthFailed, "bad auth token");
+      return false;
+    }
+    return true;
+  }
+
+  /// Token-bucket admission for kRequest/kSubscribe: refilled continuously
+  /// at max_requests_per_sec up to request_burst. Reader-thread only.
+  bool admit_request() {
+    const auto rate = server_.config_.max_requests_per_sec;
+    if (rate == 0) return true;
+    const auto now = std::chrono::steady_clock::now();
+    const auto elapsed = std::chrono::duration<double>(now - rate_last_).count();
+    rate_last_ = now;
+    rate_tokens_ = std::min<double>(static_cast<double>(server_.config_.request_burst),
+                                    rate_tokens_ + elapsed * rate);
+    if (rate_tokens_ >= 1.0) {
+      rate_tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Sheds one over-budget request before it reaches the service: kBusy with
+  /// a retry-after hint for feature-negotiated peers, classic kServerBusy
+  /// otherwise. Non-fatal — the connection (and its subscriptions) live on.
+  void shed_request(std::uint64_t request_id) {
+    server_.stats_.requests_shed.fetch_add(1);
+    obs::metrics().net_requests_shed.add(1);
+    const auto message = "request rate limit exceeded";
+    if (features_ & api::kFeatureBusyRetry) {
+      enqueue(api::encode_busy(
+          {request_id, server_.config_.busy_retry_after_ms, message}));
+    } else {
+      enqueue(api::encode_error({request_id, api::ErrorCode::kServerBusy, message}));
+    }
+  }
+
   /// Dispatches one complete inbound frame. Returns false on a fatal
   /// protocol violation (an error frame has been queued; stop reading).
   bool handle_frame(const std::vector<std::uint8_t>& frame) {
+    const auto type = api::peek_frame_type(frame);
     if (reject_) {
       // The client's opening frame has now been consumed, so the error can
-      // reach it without a reset racing the close.
+      // reach it without a reset racing the close. A feature-negotiating
+      // client gets the structured shed with its retry-after hint.
+      if (type == api::FrameType::kHello2) {
+        server_.stats_.busy_rejections.fetch_add(1);
+        obs::metrics().net_busy_rejections.add(1);
+        enqueue(api::encode_busy(
+            {0, server_.config_.busy_retry_after_ms, "connection limit reached"}));
+        return false;
+      }
       send_error(0, api::ErrorCode::kServerBusy, "connection limit reached");
       return false;
     }
-    const auto type = api::peek_frame_type(frame);
     if (!hello_done_) {
+      if (type == api::FrameType::kHello2) {
+        const auto hello = api::decode_hello2(frame);
+        if (!check_handshake(hello.protocol, hello.token)) return false;
+        features_ = hello.features & api::kAllFeatures;
+        hello_done_ = true;
+        if (features_ & api::kFeatureKeepalive) keepalive_negotiated_.store(true);
+        conn_->set_read_timeout(std::chrono::milliseconds::zero());
+        api::Welcome2Frame welcome;
+        welcome.protocol = api::kProtocolVersion;
+        welcome.epoch = server_.service_.epoch();
+        welcome.features = features_;
+        welcome.replay_horizon = server_.service_.replay_horizon();
+        enqueue(api::encode_welcome2(welcome));
+        return true;
+      }
       if (type != api::FrameType::kHello) {
         send_error(0, api::ErrorCode::kBadRequest, "first frame must be hello");
         return false;
       }
       const auto hello = api::decode_hello(frame);
-      // Exact match: an older client would misdecode responses whose
-      // payloads grew since its version (e.g. the v2 stats fields), so the
-      // handshake is where the mismatch must fail, loudly and by name.
-      if (hello.protocol != api::kProtocolVersion) {
-        send_error(0, api::ErrorCode::kBadRequest,
-                   "unsupported protocol version " + std::to_string(hello.protocol));
-        return false;
-      }
-      if (!server_.config_.auth_token.empty() && hello.token != server_.config_.auth_token) {
-        server_.stats_.auth_failures.fetch_add(1);
-        obs::metrics().net_auth_failures.add(1);
-        send_error(0, api::ErrorCode::kAuthFailed, "bad auth token");
-        return false;
-      }
+      if (!check_handshake(hello.protocol, hello.token)) return false;
       hello_done_ = true;
       conn_->set_read_timeout(std::chrono::milliseconds::zero());
       enqueue(api::encode_welcome({api::kProtocolVersion, server_.service_.epoch()}));
       return true;
     }
     switch (type) {
+      case api::FrameType::kPing: {
+        // Keepalive probe from a feature-negotiated client; a legacy peer
+        // sending one is as unexpected as any other reserved type.
+        if (features_ == 0) return unexpected_type(type);
+        const auto ping = api::decode_ping(frame);
+        server_.stats_.pings_received.fetch_add(1);
+        obs::metrics().net_pings_received.add(1);
+        enqueue(api::encode_ping(ping, api::FrameType::kPong));
+        return true;
+      }
+      case api::FrameType::kPong: {
+        if (features_ == 0) return unexpected_type(type);
+        // The probe's job was done by the bytes arriving (last_rx_ms_ is
+        // already fresh); decode only to validate.
+        (void)api::decode_ping(frame, api::FrameType::kPong);
+        return true;
+      }
       case api::FrameType::kRequest: {
         auto& m = obs::metrics();
         obs::StageTimer decode_span(m.request_stage_decode_ns);
         const auto request = api::decode_request(frame);
         decode_span.stop();
+        if (!admit_request()) {
+          shed_request(request.request_id);
+          return true;
+        }
         try {
           obs::StageTimer dispatch_span(m.request_stage_dispatch_ns);
           auto response = server_.service_.query(request.request);
@@ -211,6 +306,10 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
       }
       case api::FrameType::kSubscribe: {
         const auto subscribe = api::decode_subscribe(frame);
+        if (!admit_request()) {
+          shed_request(subscribe.request_id);
+          return true;
+        }
         if (subscriptions_.size() >= server_.config_.max_subscriptions_per_connection) {
           send_error(subscribe.request_id, api::ErrorCode::kBadRequest,
                      "subscription limit (" +
@@ -224,6 +323,12 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
         // Replayed events are therefore enqueued ahead of the ack — clients
         // buffer events at any time, so that ordering is fine.
         std::weak_ptr<ConnHandler> weak = weak_from_this();
+        // Resume-negotiated peers learn atomically with the replay whether
+        // the event log still covered their replay_from epoch; a false flag
+        // tells the client to re-sync from a snapshot instead of trusting
+        // the (lossy) replayed tail.
+        bool replay_complete = true;
+        const bool report_coverage = (features_ & api::kFeatureResume) != 0;
         const auto service_id = server_.service_.subscribe(
             subscribe.filter,
             [weak, local_id](const api::EpochDelta& delta) {
@@ -231,9 +336,13 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
                 self->enqueue(api::encode_event({local_id, delta}));
               }
             },
-            subscribe.replay_from);
+            subscribe.replay_from, report_coverage ? &replay_complete : nullptr);
         subscriptions_.emplace(local_id, service_id);
-        enqueue(api::encode_subscribed({subscribe.request_id, local_id}));
+        api::SubscribedFrame ack;
+        ack.request_id = subscribe.request_id;
+        ack.subscription_id = local_id;
+        if (report_coverage) ack.replay_complete = replay_complete;
+        enqueue(api::encode_subscribed(ack));
         return true;
       }
       case api::FrameType::kUnsubscribe: {
@@ -246,27 +355,97 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
         }
         (void)server_.service_.unsubscribe(it->second);
         subscriptions_.erase(it);
-        enqueue(api::encode_subscribed({unsubscribe.request_id, unsubscribe.subscription_id},
-                                       api::FrameType::kUnsubscribed));
+        api::SubscribedFrame ack;
+        ack.request_id = unsubscribe.request_id;
+        ack.subscription_id = unsubscribe.subscription_id;
+        enqueue(api::encode_subscribed(ack, api::FrameType::kUnsubscribed));
         return true;
       }
       default:
-        send_error(0, api::ErrorCode::kBadRequest,
-                   "unexpected frame type " +
-                       std::to_string(static_cast<int>(type)) + " from client");
-        return false;
+        return unexpected_type(type);
     }
+  }
+
+  bool unexpected_type(api::FrameType type) {
+    send_error(0, api::ErrorCode::kBadRequest,
+               "unexpected frame type " +
+                   std::to_string(static_cast<int>(type)) + " from client");
+    return false;
+  }
+
+  [[nodiscard]] bool keepalive_enabled() const {
+    return keepalive_negotiated_.load() && server_.config_.keepalive_interval_ms > 0;
+  }
+
+  /// How long the writer may sit idle before the next keepalive action:
+  /// the dead-peer deadline while a probe is outstanding, else the probe
+  /// cadence. Writer-thread only.
+  [[nodiscard]] std::chrono::milliseconds idle_wait() const {
+    return std::chrono::milliseconds(ping_outstanding_
+                                         ? server_.config_.keepalive_timeout_ms
+                                         : server_.config_.keepalive_interval_ms);
+  }
+
+  /// Runs on the writer thread after an idle keepalive interval. Returns
+  /// false once the peer is declared dead (connection aborted).
+  bool keepalive_tick() {
+    const auto now = steady_now_ms();
+    const auto last_rx = last_rx_ms_.load();
+    if (ping_outstanding_) {
+      if (last_rx >= ping_sent_ms_) {
+        // Anything inbound since the probe proves the peer is alive.
+        ping_outstanding_ = false;
+        return true;
+      }
+      if (now - ping_sent_ms_ >= server_.config_.keepalive_timeout_ms) {
+        server_.stats_.keepalive_disconnects.fetch_add(1);
+        obs::metrics().net_keepalive_disconnects.add(1);
+        abort_connection();
+        return false;
+      }
+      return true;
+    }
+    if (now - last_rx < server_.config_.keepalive_interval_ms) return true;
+    // We *are* the writer and the queue is idle, so the probe is written
+    // directly — it cannot deadlock with the queue, and a closed queue
+    // cannot swallow it.
+    ping_outstanding_ = true;
+    ping_sent_ms_ = now;
+    server_.stats_.keepalive_probes.fetch_add(1);
+    obs::metrics().net_keepalive_probes.add(1);
+    const auto probe = api::encode_ping({++ping_nonce_});
+    if (!conn_->write_all(probe)) {
+      abort_connection();
+      return false;
+    }
+    server_.stats_.frames_sent.fetch_add(1);
+    auto& m = obs::metrics();
+    m.net_frames_sent.add(1);
+    m.net_bytes_out.add(probe.size());
+    return true;
   }
 
   void writer_loop() {
     for (;;) {
       std::vector<std::uint8_t> frame;
+      bool idle = false;
       {
         std::unique_lock lock(queue_mutex_);
-        queue_cv_.wait(lock, [&] { return !queue_.empty() || queue_closed_; });
-        if (queue_.empty()) break;  // closed and drained
-        frame = std::move(queue_.front());
-        queue_.pop_front();
+        const auto ready = [&] { return !queue_.empty() || queue_closed_; };
+        if (keepalive_enabled()) {
+          idle = !queue_cv_.wait_for(lock, idle_wait(), ready);
+        } else {
+          queue_cv_.wait(lock, ready);
+        }
+        if (!idle) {
+          if (queue_.empty()) break;  // closed and drained
+          frame = std::move(queue_.front());
+          queue_.pop_front();
+        }
+      }
+      if (idle) {
+        if (!keepalive_tick()) break;
+        continue;
       }
       if (!conn_->write_all(frame)) {
         // Peer is gone: drop the rest and wake the reader out of its read.
@@ -300,8 +479,20 @@ class Server::ConnHandler : public std::enable_shared_from_this<Server::ConnHand
   // Reader-thread state (no locking needed: only the reader touches these).
   const bool reject_;
   bool hello_done_ = false;
+  std::uint64_t features_ = 0;  ///< Granted kFeature* bits (0 = legacy peer).
   std::uint64_t next_subscription_id_ = 1;
   std::unordered_map<std::uint64_t, api::SubscriptionId> subscriptions_;
+  double rate_tokens_ = 0;
+  std::chrono::steady_clock::time_point rate_last_ = std::chrono::steady_clock::now();
+
+  // Writer-thread state.
+  bool ping_outstanding_ = false;
+  std::uint64_t ping_sent_ms_ = 0;
+  std::uint64_t ping_nonce_ = 0;
+
+  // Crosses reader -> writer.
+  std::atomic<bool> keepalive_negotiated_{false};
+  std::atomic<std::uint64_t> last_rx_ms_{0};
 };
 
 // ----------------------------------------------------------------- Server --
@@ -419,6 +610,11 @@ ServerStats Server::stats() const {
   out.frames_sent = stats_.frames_sent.load();
   out.protocol_errors = stats_.protocol_errors.load();
   out.slow_disconnects = stats_.slow_disconnects.load();
+  out.pings_received = stats_.pings_received.load();
+  out.keepalive_probes = stats_.keepalive_probes.load();
+  out.keepalive_disconnects = stats_.keepalive_disconnects.load();
+  out.requests_shed = stats_.requests_shed.load();
+  out.busy_rejections = stats_.busy_rejections.load();
   return out;
 }
 

@@ -47,6 +47,23 @@ struct ServerConfig {
   /// the Service a stored filter evaluated on every publish, so this is
   /// bounded for the same reason as the wire-level watchlist cap.
   std::size_t max_subscriptions_per_connection = 64;
+  /// How long a keepalive-negotiated connection may stay silent before the
+  /// server probes it with kPing, in milliseconds (0 disables probing).
+  /// Probing runs on the connection's writer thread, so a dead peer is
+  /// detected even when the server has nothing to send.
+  std::uint32_t keepalive_interval_ms = 15000;
+  /// After a probe, how long to wait for *any* inbound byte before declaring
+  /// the peer dead and tearing the connection down.
+  std::uint32_t keepalive_timeout_ms = 5000;
+  /// Per-connection request/subscribe admission rate (token bucket refilled
+  /// continuously, burst capacity `request_burst`). Over-budget requests are
+  /// shed cheap-and-early — answered with kBusy (feature-negotiated peers)
+  /// or kServerBusy *before* touching the service — instead of timing out
+  /// deep in the dispatch queue. 0 = unlimited.
+  std::uint32_t max_requests_per_sec = 0;
+  std::uint32_t request_burst = 32;
+  /// Retry-after hint carried in busy sheds to feature-negotiated clients.
+  std::uint32_t busy_retry_after_ms = 1000;
 };
 
 /// Monotonic counters, readable at any time (values are snapshots).
@@ -61,6 +78,11 @@ struct ServerStats {
   /// counted in their own fields only.
   std::uint64_t protocol_errors = 0;
   std::uint64_t slow_disconnects = 0;   ///< Write-queue overflows.
+  std::uint64_t pings_received = 0;     ///< Client keepalive probes answered.
+  std::uint64_t keepalive_probes = 0;   ///< Server-initiated kPing probes.
+  std::uint64_t keepalive_disconnects = 0;  ///< Peers declared dead after a probe.
+  std::uint64_t requests_shed = 0;      ///< Rate-limited requests answered busy.
+  std::uint64_t busy_rejections = 0;    ///< Admission rejections sent as kBusy.
 };
 
 class Server {
@@ -113,6 +135,11 @@ class Server {
     std::atomic<std::uint64_t> frames_sent{0};
     std::atomic<std::uint64_t> protocol_errors{0};
     std::atomic<std::uint64_t> slow_disconnects{0};
+    std::atomic<std::uint64_t> pings_received{0};
+    std::atomic<std::uint64_t> keepalive_probes{0};
+    std::atomic<std::uint64_t> keepalive_disconnects{0};
+    std::atomic<std::uint64_t> requests_shed{0};
+    std::atomic<std::uint64_t> busy_rejections{0};
   };
   mutable AtomicStats stats_;
   /// Open-connection gauge, computed at scrape time. Counts without reaping

@@ -1,8 +1,10 @@
 #include "net/socket.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -83,6 +85,62 @@ class TcpConnection final : public Connection {
   std::atomic<int> fd_;
   std::string peer_;
 };
+
+/// Connects `fd` within `timeout`: flips the socket non-blocking, starts the
+/// connect, polls for writability, then reads SO_ERROR for the verdict.
+/// Returns false with `error` set on failure; restores blocking mode on
+/// success.
+bool connect_with_deadline(int fd, const sockaddr* addr, socklen_t addrlen,
+                           std::chrono::milliseconds timeout, std::string& error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    error = std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd, addr, addrlen) == 0) {
+    ::fcntl(fd, F_SETFL, flags);
+    return true;
+  }
+  if (errno != EINPROGRESS) {
+    error = std::strerror(errno);
+    return false;
+  }
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  auto remaining = timeout;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc > 0) break;
+    if (rc == 0) {
+      error = "connect timed out";
+      return false;
+    }
+    if (errno != EINTR) {
+      error = std::strerror(errno);
+      return false;
+    }
+    remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      error = "connect timed out";
+      return false;
+    }
+  }
+  int so_error = 0;
+  socklen_t so_len = sizeof so_error;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0) {
+    error = std::strerror(errno);
+    return false;
+  }
+  if (so_error != 0) {
+    error = std::strerror(so_error);
+    return false;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return true;
+}
 
 std::string describe_peer(const sockaddr_storage& addr, socklen_t len) {
   char host[NI_MAXHOST] = "?";
@@ -171,7 +229,8 @@ void TcpListener::close() {
 
 std::string TcpListener::name() const { return host_ + ":" + std::to_string(port_); }
 
-std::unique_ptr<Connection> tcp_connect(const std::string& host, std::uint16_t port) {
+std::unique_ptr<Connection> tcp_connect(const std::string& host, std::uint16_t port,
+                                        std::chrono::milliseconds timeout) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -189,8 +248,15 @@ std::unique_ptr<Connection> tcp_connect(const std::string& host, std::uint16_t p
       last_error = std::strerror(errno);
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    last_error = std::strerror(errno);
+    if (timeout.count() > 0) {
+      if (connect_with_deadline(fd, ai->ai_addr, ai->ai_addrlen, timeout, last_error)) {
+        break;
+      }
+    } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      break;
+    } else {
+      last_error = std::strerror(errno);
+    }
     ::close(fd);
     fd = -1;
   }

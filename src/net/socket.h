@@ -7,6 +7,7 @@
 #define BGPCU_NET_SOCKET_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -37,9 +38,13 @@ class TcpListener : public Listener {
 };
 
 /// Dials host:port (numeric or resolvable name). Throws TransportError on
-/// resolution or connect failure.
-[[nodiscard]] std::unique_ptr<Connection> tcp_connect(const std::string& host,
-                                                      std::uint16_t port);
+/// resolution or connect failure. A nonzero `timeout` bounds the TCP
+/// connect itself (non-blocking connect + poll) so a black-holed address
+/// fails in bounded time instead of the kernel's minutes-long default;
+/// zero keeps the blocking behavior.
+[[nodiscard]] std::unique_ptr<Connection> tcp_connect(
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
 
 }  // namespace bgpcu::net
 

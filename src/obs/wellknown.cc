@@ -107,6 +107,17 @@ Metrics& metrics() {
                                          "kError frames sent for invalid client input"),
         .net_slow_disconnects = r.counter("bgpcu_net_slow_disconnects_total",
                                           "Connections dropped for write-queue overflow"),
+        .net_pings_received = r.counter("bgpcu_net_pings_received_total",
+                                        "Client keepalive probes answered with kPong"),
+        .net_keepalive_probes = r.counter("bgpcu_net_keepalive_probes_total",
+                                          "Server-initiated kPing probes on idle connections"),
+        .net_keepalive_disconnects =
+            r.counter("bgpcu_net_keepalive_disconnects_total",
+                      "Connections dropped after an unanswered keepalive probe"),
+        .net_requests_shed = r.counter("bgpcu_net_requests_shed_total",
+                                       "Rate-limited requests answered busy before dispatch"),
+        .net_busy_rejections = r.counter("bgpcu_net_busy_rejections_total",
+                                         "Admission rejections sent as structured kBusy"),
         .net_write_queue_hwm =
             r.gauge("bgpcu_net_write_queue_high_water",
                     "Largest per-connection write-queue depth seen, in frames"),
@@ -118,6 +129,20 @@ Metrics& metrics() {
                                                req_stage_help, "stage=\"encode\""),
         .request_stage_enqueue_ns = r.histogram("bgpcu_request_stage_duration_ns",
                                                 req_stage_help, "stage=\"enqueue\""),
+        // net (ResilientClient)
+        .net_client_connects = r.counter("bgpcu_net_client_connects_total",
+                                         "Successful ResilientClient handshakes"),
+        .net_client_reconnects =
+            r.counter("bgpcu_net_client_reconnects_total",
+                      "Connections re-established after a link failure"),
+        .net_client_gap_resyncs =
+            r.counter("bgpcu_net_client_gap_resyncs_total",
+                      "Snapshot re-syncs after the replay horizon passed the resume epoch"),
+        .net_client_busy_deferrals =
+            r.counter("bgpcu_net_client_busy_deferrals_total",
+                      "Busy/retry-after responses honored with a deferred retry"),
+        .net_client_pings =
+            r.counter("bgpcu_net_client_pings_total", "Client-initiated keepalive probes"),
         // store
         .store_wal_appends =
             r.counter("bgpcu_store_wal_appends_total", "WAL records appended"),

@@ -71,11 +71,23 @@ struct Metrics {
   Counter& net_bytes_out;
   Counter& net_protocol_errors;
   Counter& net_slow_disconnects;
+  Counter& net_pings_received;
+  Counter& net_keepalive_probes;
+  Counter& net_keepalive_disconnects;
+  Counter& net_requests_shed;
+  Counter& net_busy_rejections;
   Gauge& net_write_queue_hwm;
   Histogram& request_stage_decode_ns;
   Histogram& request_stage_dispatch_ns;
   Histogram& request_stage_encode_ns;
   Histogram& request_stage_enqueue_ns;
+
+  // --- net (ResilientClient) ---
+  Counter& net_client_connects;
+  Counter& net_client_reconnects;
+  Counter& net_client_gap_resyncs;
+  Counter& net_client_busy_deferrals;
+  Counter& net_client_pings;
 
   // --- store (WAL / checkpoints / recovery) ---
   Counter& store_wal_appends;

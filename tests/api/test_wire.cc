@@ -550,6 +550,64 @@ TEST(WireProtocolFrames, EventRequestResponseRoundTrip) {
             snap.response.snapshot->counter_map());
 }
 
+TEST(WireProtocolFrames, ReliabilityHandshakeFramesRoundTrip) {
+  const Hello2Frame hello{kProtocolVersion, "s3cr3t-token", kAllFeatures};
+  EXPECT_EQ(decode_hello2(encode_hello2(hello)), hello);
+  // Unknown future bits survive the trip verbatim: the server masks them
+  // against kAllFeatures, the codec must not.
+  const Hello2Frame future{kProtocolVersion, "", kFeatureKeepalive | (1ull << 40)};
+  EXPECT_EQ(decode_hello2(encode_hello2(future)), future);
+
+  Welcome2Frame welcome;
+  welcome.epoch = 918273;
+  welcome.features = kFeatureKeepalive | kFeatureResume;
+  welcome.replay_horizon = 918270;
+  EXPECT_EQ(decode_welcome2(encode_welcome2(welcome)), welcome);
+  // A server that never published advertises no horizon; the nullopt must
+  // be distinguishable from horizon 0.
+  Welcome2Frame fresh;
+  EXPECT_EQ(decode_welcome2(encode_welcome2(fresh)), fresh);
+  Welcome2Frame zero;
+  zero.replay_horizon = 0;
+  EXPECT_EQ(decode_welcome2(encode_welcome2(zero)), zero);
+  EXPECT_NE(decode_welcome2(encode_welcome2(zero)).replay_horizon,
+            decode_welcome2(encode_welcome2(fresh)).replay_horizon);
+}
+
+TEST(WireProtocolFrames, KeepaliveAndBusyFramesRoundTrip) {
+  const PingFrame probe{0xDEADBEEFCAFEull};
+  EXPECT_EQ(decode_ping(encode_ping(probe)), probe);
+  EXPECT_EQ(decode_ping(encode_ping(probe, FrameType::kPong), FrameType::kPong), probe);
+  // Probe and reply don't cross-decode, like the subscribe ack flavors.
+  EXPECT_THROW((void)decode_ping(encode_ping(probe, FrameType::kPong)), WireFormatError);
+
+  const BusyFrame shed{42, 250, "request rate limit exceeded"};
+  EXPECT_EQ(decode_busy(encode_busy(shed)), shed);
+  const BusyFrame connection_level{0, 1000, "connection limit reached"};
+  EXPECT_EQ(decode_busy(encode_busy(connection_level)), connection_level);
+}
+
+TEST(WireProtocolFrames, SubscribeAckCoverageByteIsAdditive) {
+  // The three ack shapes are distinct on the wire and each survives a trip:
+  // legacy (no byte), covered, and horizon-missed.
+  const SubscribedFrame legacy{5, 77, std::nullopt};
+  const SubscribedFrame covered{5, 77, true};
+  const SubscribedFrame missed{5, 77, false};
+  for (const auto& ack : {legacy, covered, missed}) {
+    EXPECT_EQ(decode_subscribed(encode_subscribed(ack)), ack);
+  }
+  EXPECT_NE(encode_subscribed(legacy), encode_subscribed(covered));
+  EXPECT_NE(encode_subscribed(covered), encode_subscribed(missed));
+  // The coverage flag costs exactly one trailing payload byte; the fixed
+  // fields in front of it are untouched, which is what keeps the ack additive.
+  const auto with_byte = encode_subscribed(covered);
+  const auto without = encode_subscribed(legacy);
+  EXPECT_EQ(with_byte.size(), without.size() + 1);
+  const auto reparsed = decode_subscribed(with_byte);
+  EXPECT_EQ(reparsed.request_id, legacy.request_id);
+  EXPECT_EQ(reparsed.subscription_id, legacy.subscription_id);
+}
+
 // ------------------------------------------------------------- fuzz sweep --
 
 /// Structured fuzz over every frame codec: seed-driven random mutations of
@@ -607,6 +665,24 @@ std::vector<Corpus> build_corpus(topology::Rng& rng) {
   tagged.response.stats = ServiceStats{};
   corpus.push_back({"response", encode_response(tagged),
                     +[](std::span<const std::uint8_t> b) { (void)decode_response(b); }});
+  corpus.push_back({"hello2", encode_hello2({kProtocolVersion, "fuzz-token", kAllFeatures}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_hello2(b); }});
+  Welcome2Frame welcome2;
+  welcome2.epoch = 99;
+  welcome2.features = kAllFeatures;
+  welcome2.replay_horizon = 42;
+  corpus.push_back({"welcome2", encode_welcome2(welcome2),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_welcome2(b); }});
+  corpus.push_back({"ping", encode_ping({0x1234567890ABCDEFull}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_ping(b); }});
+  corpus.push_back({"pong", encode_ping({7}, FrameType::kPong),
+                    +[](std::span<const std::uint8_t> b) {
+                      (void)decode_ping(b, FrameType::kPong);
+                    }});
+  corpus.push_back({"busy", encode_busy({9, 500, "overloaded"}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_busy(b); }});
+  corpus.push_back({"subscribed-resume", encode_subscribed({2, 4, false}),
+                    +[](std::span<const std::uint8_t> b) { (void)decode_subscribed(b); }});
   return corpus;
 }
 

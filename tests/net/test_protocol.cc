@@ -553,5 +553,220 @@ TEST(NetProtocol, ServerStopEndsOpenConnections) {
   }));
 }
 
+// --------------------------------------------- v2 feature negotiation --
+
+/// Completes a kHello2 handshake on a raw connection, requesting `features`.
+api::Welcome2Frame hello2(Connection& conn, FrameBuffer& frames,
+                          std::uint64_t features = api::kAllFeatures) {
+  EXPECT_TRUE(conn.write_all(api::encode_hello2({api::kProtocolVersion, "", features})));
+  return api::decode_welcome2(next_frame(conn, frames));
+}
+
+TEST(NetProtocol, Hello2GrantsTheIntersectionOfRequestedAndKnownFeatures) {
+  Harness harness;
+  harness.flip_epochs();
+  auto conn = harness.listener->connect();
+  FrameBuffer frames;
+  // Request keepalive plus a bit this server has never heard of: the grant
+  // must be the intersection — future clients degrade instead of failing.
+  const auto welcome =
+      hello2(*conn, frames, api::kFeatureKeepalive | (std::uint64_t{1} << 40));
+  EXPECT_EQ(welcome.protocol, api::kProtocolVersion);
+  EXPECT_EQ(welcome.epoch, 1u);
+  EXPECT_EQ(welcome.features, api::kFeatureKeepalive);
+  // Two epochs published, default retention: the advisory horizon is 0.
+  ASSERT_TRUE(welcome.replay_horizon.has_value());
+  EXPECT_EQ(*welcome.replay_horizon, 0u);
+}
+
+TEST(NetProtocol, Hello2BeforeAnyPublishReportsNoReplayHorizon) {
+  Harness harness;
+  auto conn = harness.listener->connect();
+  FrameBuffer frames;
+  EXPECT_FALSE(hello2(*conn, frames).replay_horizon.has_value());
+}
+
+TEST(NetProtocol, Hello2WithStaleProtocolVersionIsRefusedByName) {
+  // The version gate must bite before feature negotiation — same exact-match
+  // rule, same error message, as the legacy hello.
+  Harness harness;
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(api::encode_hello2(
+      {static_cast<std::uint8_t>(api::kProtocolVersion + 1), "", api::kAllFeatures})));
+  FrameBuffer frames;
+  const auto error = api::decode_error(next_frame(*conn, frames));
+  EXPECT_EQ(error.code, api::ErrorCode::kBadRequest);
+  EXPECT_NE(error.message.find("unsupported protocol version"), std::string::npos);
+  EXPECT_TRUE(next_frame(*conn, frames).empty());
+}
+
+TEST(NetProtocol, PingIsAnsweredWithPongEchoingTheNonce) {
+  Harness harness;
+  auto conn = harness.listener->connect();
+  FrameBuffer frames;
+  (void)hello2(*conn, frames);
+  ASSERT_TRUE(conn->write_all(api::encode_ping({0xDEADBEEF})));
+  const auto reply = next_frame(*conn, frames);
+  ASSERT_FALSE(reply.empty());
+  EXPECT_EQ(api::peek_frame_type(reply), api::FrameType::kPong);
+  EXPECT_EQ(api::decode_ping(reply, api::FrameType::kPong).nonce, 0xDEADBEEFu);
+  EXPECT_EQ(harness.server.stats().pings_received, 1u);
+}
+
+TEST(NetProtocol, PingFromALegacyConnectionIsRejectedLikeAnyReservedType) {
+  // A legacy hello never negotiated the keepalive frames, so a kPing from it
+  // is exactly as unexpected as a server-only artifact type: error + close.
+  Harness harness;
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kProtocolVersion, ""})));
+  FrameBuffer frames;
+  EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
+  ASSERT_TRUE(conn->write_all(api::encode_ping({7})));
+  const auto error = api::decode_error(next_frame(*conn, frames));
+  EXPECT_EQ(error.code, api::ErrorCode::kBadRequest);
+  EXPECT_NE(error.message.find("unexpected frame type"), std::string::npos);
+  EXPECT_TRUE(next_frame(*conn, frames).empty());
+}
+
+// ------------------------------------------------- overload shedding --
+
+TEST(NetProtocol, RateLimitedRequestIsShedAsBusyWithARetryHint) {
+  Harness harness(
+      {.max_requests_per_sec = 1, .request_burst = 1, .busy_retry_after_ms = 250});
+  (void)harness.service.ingest({tuple(10, 20, true)});
+  auto conn = harness.listener->connect();
+  FrameBuffer frames;
+  (void)hello2(*conn, frames);
+
+  // The bucket holds exactly one token: the first request is answered, the
+  // immediate second is shed — structurally, with the retry-after hint and
+  // the request id so the client can fail just that call.
+  ASSERT_TRUE(conn->write_all(api::encode_request({1, {.kind = api::QueryKind::kStats}})));
+  ASSERT_TRUE(conn->write_all(api::encode_request({2, {.kind = api::QueryKind::kStats}})));
+  EXPECT_EQ(api::decode_response(next_frame(*conn, frames)).request_id, 1u);
+  const auto busy_frame = next_frame(*conn, frames);
+  ASSERT_FALSE(busy_frame.empty());
+  ASSERT_EQ(api::peek_frame_type(busy_frame), api::FrameType::kBusy);
+  const auto busy = api::decode_busy(busy_frame);
+  EXPECT_EQ(busy.request_id, 2u);
+  EXPECT_EQ(busy.retry_after_ms, 250u);
+  EXPECT_EQ(harness.server.stats().requests_shed, 1u);
+
+  // The shed is request-scoped: the connection still answers pings.
+  ASSERT_TRUE(conn->write_all(api::encode_ping({3})));
+  EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kPong);
+}
+
+TEST(NetProtocol, RateLimitedRequestIsShedAsServerBusyForLegacyPeers) {
+  Harness harness({.max_requests_per_sec = 1, .request_burst = 1});
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kProtocolVersion, ""})));
+  FrameBuffer frames;
+  EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
+
+  ASSERT_TRUE(conn->write_all(api::encode_request({1, {.kind = api::QueryKind::kStats}})));
+  ASSERT_TRUE(conn->write_all(api::encode_request({2, {.kind = api::QueryKind::kStats}})));
+  EXPECT_EQ(api::decode_response(next_frame(*conn, frames)).request_id, 1u);
+  const auto error = api::decode_error(next_frame(*conn, frames));
+  EXPECT_EQ(error.code, api::ErrorCode::kServerBusy);
+  EXPECT_EQ(error.request_id, 2u);
+
+  // Still request-scoped: a third over-budget request gets another error
+  // frame back, not EOF — the connection was never closed.
+  ASSERT_TRUE(conn->write_all(api::encode_request({3, {.kind = api::QueryKind::kStats}})));
+  EXPECT_EQ(api::decode_error(next_frame(*conn, frames)).request_id, 3u);
+}
+
+TEST(NetProtocol, ConnectionLimitTurnsHello2OpenersAwayWithBusy) {
+  Harness harness({.max_connections = 1, .busy_retry_after_ms = 400});
+  auto first = harness.client();
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(
+      api::encode_hello2({api::kProtocolVersion, "", api::kAllFeatures})));
+  FrameBuffer frames;
+  const auto frame = next_frame(*conn, frames);
+  ASSERT_FALSE(frame.empty());
+  ASSERT_EQ(api::peek_frame_type(frame), api::FrameType::kBusy);
+  const auto busy = api::decode_busy(frame);
+  EXPECT_EQ(busy.request_id, 0u) << "admission rejects are connection-level";
+  EXPECT_EQ(busy.retry_after_ms, 400u);
+  EXPECT_TRUE(next_frame(*conn, frames).empty());
+  EXPECT_EQ(harness.server.stats().busy_rejections, 1u);
+}
+
+// ---------------------------------------------------- resume coverage --
+
+TEST(NetProtocol, ResumeAckConfirmsCoverageWhenTheLogStillHoldsTheEpoch) {
+  Harness harness;
+  harness.flip_epochs();  // epochs 0 and 1 retained
+  auto conn = harness.listener->connect();
+  FrameBuffer frames;
+  (void)hello2(*conn, frames);
+  ASSERT_TRUE(conn->write_all(api::encode_subscribe({1, {}, 0})));
+
+  // Replayed events are enqueued ahead of the ack (see the server's
+  // subscribe path); both epochs arrive, then the ack confirms coverage.
+  for (stream::Epoch e = 0; e <= 1; ++e) {
+    const auto frame = next_frame(*conn, frames);
+    ASSERT_EQ(api::peek_frame_type(frame), api::FrameType::kEvent);
+    EXPECT_EQ(api::decode_event(frame).delta.epoch, e);
+  }
+  const auto ack = api::decode_subscribed(next_frame(*conn, frames));
+  EXPECT_EQ(ack.request_id, 1u);
+  ASSERT_TRUE(ack.replay_complete.has_value());
+  EXPECT_TRUE(*ack.replay_complete);
+}
+
+TEST(NetProtocol, ResumeAckFlagsAMissedHorizonAtomicallyWithTheReplay) {
+  // Tiny retention: four published epochs against a two-batch log. A resume
+  // from epoch 0 can only replay the surviving tail, and the ack must say so
+  // — computed under the same lock as the replay, so no publish can race.
+  api::Service service({.stream = {.window_epochs = 1}, .event_log_capacity = 2});
+  auto listener = std::make_shared<LoopbackListener>();
+  Server server(service, listener, {});
+  server.start();
+
+  for (stream::Epoch e = 0; e < 4; ++e) {
+    if (e > 0) (void)service.advance_epoch();
+    (void)service.ingest({tuple(100 + static_cast<bgp::Asn>(e), 20, true)});
+    (void)service.publish();
+  }
+
+  auto conn = listener->connect();
+  FrameBuffer frames;
+  const auto welcome = hello2(*conn, frames);
+  ASSERT_TRUE(welcome.replay_horizon.has_value());
+  EXPECT_EQ(*welcome.replay_horizon, 2u);
+
+  ASSERT_TRUE(conn->write_all(api::encode_subscribe({1, {}, 0})));
+  for (stream::Epoch e = 2; e <= 3; ++e) {
+    const auto frame = next_frame(*conn, frames);
+    ASSERT_EQ(api::peek_frame_type(frame), api::FrameType::kEvent);
+    EXPECT_EQ(api::decode_event(frame).delta.epoch, e) << "lossy tail starts at the horizon";
+  }
+  const auto ack = api::decode_subscribed(next_frame(*conn, frames));
+  ASSERT_TRUE(ack.replay_complete.has_value());
+  EXPECT_FALSE(*ack.replay_complete) << "the log no longer covered epoch 0";
+  server.stop();
+}
+
+TEST(NetProtocol, LegacyResumeAckCarriesNoCoverageByte) {
+  // Additivity both ways: a legacy subscriber's ack must decode to exactly
+  // the pre-v2 layout — no trailing replay_complete byte at all.
+  Harness harness;
+  harness.flip_epochs();
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kProtocolVersion, ""})));
+  FrameBuffer frames;
+  EXPECT_EQ(api::peek_frame_type(next_frame(*conn, frames)), api::FrameType::kWelcome);
+  ASSERT_TRUE(conn->write_all(api::encode_subscribe({1, {}, 0})));
+  for (stream::Epoch e = 0; e <= 1; ++e) {
+    EXPECT_EQ(api::decode_event(next_frame(*conn, frames)).delta.epoch, e);
+  }
+  const auto ack = api::decode_subscribed(next_frame(*conn, frames));
+  EXPECT_EQ(ack.subscription_id, 1u);
+  EXPECT_FALSE(ack.replay_complete.has_value());
+}
+
 }  // namespace
 }  // namespace bgpcu::net

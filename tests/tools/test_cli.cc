@@ -374,6 +374,54 @@ TEST_F(CliTest, QueryConnectRejectsBadEndpointSpecs) {
   EXPECT_EQ(run(query_bin() + " watch").exit_code, 2);
 }
 
+TEST_F(CliTest, QueryDistinguishesUnreachableServerFromProtocolErrors) {
+  // Connect failures are operational, not protocol: they get their own exit
+  // code (3) so scripts can retry/alert differently from a data error (1).
+  // Port 1 on loopback is reliably closed; --no-retry keeps this instant.
+  const auto dead = run_split(query_bin() +
+                              " stats --connect 127.0.0.1:1 --no-retry --timeout 500");
+  EXPECT_EQ(dead.exit_code, 3) << dead.err;
+  EXPECT_TRUE(dead.out.empty()) << dead.out;
+  EXPECT_NE(dead.err.find("error"), std::string::npos) << dead.err;
+
+  // The retry budget is validated up front: 0 attempts is a usage error.
+  EXPECT_EQ(run(query_bin() + " stats --connect 127.0.0.1:1 --retries 0").exit_code, 2);
+  EXPECT_EQ(run(query_bin() + " stats --connect 127.0.0.1:1 --retries x").exit_code, 2);
+  EXPECT_EQ(run(query_bin() + " stats --connect 127.0.0.1:1 --timeout x").exit_code, 2);
+}
+
+TEST_F(CliTest, ServeResilienceFlagsSmokeEndToEnd) {
+  // The overload-protection surface wired through the CLI: a daemon started
+  // with keepalive, admission control, and a connection cap still answers a
+  // well-behaved client, and rejects malformed flag values up front.
+  EXPECT_EQ(run(serve_bin() + " --max-rps x").exit_code, 2);
+  EXPECT_EQ(run(serve_bin() + " --keepalive x").exit_code, 2);
+  EXPECT_EQ(run(serve_bin() + " --retry-after x").exit_code, 2);
+  EXPECT_EQ(run(serve_bin() + " --max-conns 0").exit_code, 2);
+
+  const auto port_file = dir_ / "port";
+  const auto log_file = dir_ / "serve.log";
+  const auto pid_file = dir_ / "pid";
+  const auto launch = "'" + serve_bin() + "' --port 0 --port-file '" + port_file.string() +
+                      "' --max-conns 8 --timeout 2000 --keepalive 50 --max-rps 100" +
+                      " --retry-after 123 --interval 1 > '" + log_file.string() +
+                      "' 2>&1 & echo $! > '" + pid_file.string() + "'";
+  ASSERT_EQ(std::system(launch.c_str()), 0);
+  std::string port;
+  for (int i = 0; i < 100 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::stringstream text(slurp(port_file));
+    text >> port;
+  }
+  ASSERT_FALSE(port.empty()) << "daemon never wrote its port; log: " << slurp(log_file);
+
+  const auto stats = run_split(query_bin() + " stats --connect 127.0.0.1:" + port);
+  EXPECT_EQ(stats.exit_code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("epoch"), std::string::npos) << stats.out;
+
+  ASSERT_TRUE(shut_down_cleanly(pid_file, log_file));
+}
+
 TEST_F(CliTest, ServePortFileIsNeverObservedPartiallyWritten) {
   // Readers poll --port-file to learn the ephemeral port; the daemon must
   // publish it atomically (write a temp file, rename into place), so every

@@ -5,7 +5,11 @@
 // (api/wire.h, docs/WIRE_FORMAT.md) and the v1 text inference database;
 // snapshot-consuming subcommands sniff the format from the leading bytes.
 // Network mode (--connect) speaks the frame protocol (docs/PROTOCOL.md)
-// through net::Client.
+// through net::ResilientClient: connects retry with backoff inside a
+// bounded budget (--retries, --no-retry), the TCP connect itself is
+// deadlined (--timeout), and `watch` survives server restarts — it
+// reconnects, resumes from the last seen epoch, and reports replay-horizon
+// gaps on stderr (docs/RELIABILITY.md).
 //
 // Usage:
 //   bgpcu_query info FILE...             identify each file: format, frame
@@ -36,9 +40,16 @@
 //     [--transition FROM->TO] [--asns A,B,...]  (filtered server-side)
 //     [--replay-from E] [--max-batches N]
 //
+// Connection options (any network command):
+//   --timeout MS   TCP connect + handshake deadline (default 5000; 0 = none)
+//   --retries N    connect attempts before giving up (default 3)
+//   --no-retry     single connect attempt, no backoff (same as --retries 1)
+//
 // Diagnostics go to stderr; stdout carries only the requested artifact
-// data. Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// data. Exit codes: 0 success, 1 runtime failure, 2 usage error,
+// 3 connect/transport failure (server unreachable or link lost for good).
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -53,6 +64,7 @@
 #include "api/wire.h"
 #include "core/database.h"
 #include "net/client.h"
+#include "net/resilient.h"
 #include "net/socket.h"
 #include "obs/render.h"
 #include "util/cli.h"
@@ -66,7 +78,8 @@ int usage(const char* argv0) {
             << " info FILE... | dump FILE | asn ASN FILE | deltas FILE... |"
                " convert text|wire IN OUT\n"
                "       " << argv0
-            << " [--connect HOST:PORT] [--token T] dump | asn ASN | live ASN |"
+            << " [--connect HOST:PORT] [--token T] [--timeout MS] [--retries N]"
+               " [--no-retry] dump | asn ASN | live ASN |"
                " history ASN | stats [--json] | metrics [--json] |"
                " watch [--transition FROM->TO] [--asns A,B,...]"
                " [--replay-from E] [--max-batches N]\n";
@@ -89,6 +102,11 @@ const char* frame_type_name(api::FrameType type) {
     case api::FrameType::kResponse: return "response";
     case api::FrameType::kUnsubscribe: return "unsubscribe";
     case api::FrameType::kUnsubscribed: return "unsubscribed";
+    case api::FrameType::kHello2: return "hello2";
+    case api::FrameType::kWelcome2: return "welcome2";
+    case api::FrameType::kPing: return "ping";
+    case api::FrameType::kPong: return "pong";
+    case api::FrameType::kBusy: return "busy";
   }
   return "unknown";
 }
@@ -216,11 +234,22 @@ struct ConnectOptions {
   std::optional<stream::Epoch> replay_from;
   std::uint64_t max_batches = 0;  ///< 0 = stream until the server closes.
   bool json = false;              ///< stats/metrics: machine-readable output.
+  std::uint64_t timeout_ms = 5000;
+  std::uint64_t retries = 3;
 };
 
-net::Client connect_client(const ConnectOptions& options) {
-  return net::Client(net::tcp_connect(options.host, options.port),
-                     {.token = options.token});
+net::ResilientClient connect_client(const ConnectOptions& options) {
+  net::ResilientConfig config;
+  config.token = options.token;
+  config.backoff = {.initial_ms = 100, .cap_ms = 2000, .seed = 1};
+  config.max_connect_attempts = options.retries;
+  config.handshake_timeout_ms = options.timeout_ms;
+  const auto host = options.host;
+  const auto port = options.port;
+  const auto timeout = std::chrono::milliseconds(options.timeout_ms);
+  return net::ResilientClient(
+      [host, port, timeout] { return net::tcp_connect(host, port, timeout); },
+      std::move(config));
 }
 
 int cmd_net_dump(const ConnectOptions& options) {
@@ -352,9 +381,19 @@ int cmd_net_watch(const ConnectOptions& options) {
   }
 
   auto client = connect_client(options);
-  (void)client.subscribe(filter, options.replay_from);
+  client.subscribe(filter, options.replay_from);
   std::uint64_t batches = 0;
   while (auto event = client.next_event()) {
+    // Lifecycle events go to stderr so stdout stays a pure change feed.
+    if (event->kind == net::ResilientClient::Event::Kind::kReconnected) {
+      std::cerr << "reconnected (" << event->attempts << " attempt(s)), resuming from epoch "
+                << (client.last_seen_epoch() ? *client.last_seen_epoch() + 1 : 0) << "\n";
+      continue;
+    }
+    if (event->kind == net::ResilientClient::Event::Kind::kGap) {
+      std::cerr << "gap: epochs [" << event->gap_from << ", " << event->gap_to
+                << "] fell off the replay horizon; re-synced from a snapshot\n";
+    }
     for (const auto& change : event->delta.changes) {
       std::cout << change.to_string(event->delta.epoch) << "\n";
     }
@@ -407,6 +446,16 @@ int main(int argc, char** argv) {
       options.max_batches = parse_u64_or_exit(arg, next());
     } else if (arg == "--json") {
       options.json = true;
+    } else if (arg == "--timeout") {
+      options.timeout_ms = parse_u64_or_exit(arg, next());
+    } else if (arg == "--retries") {
+      options.retries = parse_u64_or_exit(arg, next());
+      if (options.retries == 0) {
+        std::cerr << "--retries must be >= 1 (use --no-retry for one attempt)\n";
+        return 2;
+      }
+    } else if (arg == "--no-retry") {
+      options.retries = 1;
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -445,6 +494,11 @@ int main(int argc, char** argv) {
       return cmd_convert(args[0], args[1], args[2]);
     }
     return usage(argv[0]);
+  } catch (const net::TransportError& e) {
+    // Includes RetriesExhausted: the server was unreachable (or the link
+    // died for good), as opposed to the server *answering* with an error.
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -16,6 +16,16 @@
 //   --port-file F      write the actually bound port to F (for --port 0)
 //   --token T          require this auth token in every client hello
 //   --max-conns N      connection limit, default 64
+//   --timeout MS       handshake deadline for a client's first frame
+//                      (default 5000; 0 disables)
+//
+// Overload-protection options (docs/RELIABILITY.md):
+//   --keepalive MS     probe idle negotiated connections with kPing every MS
+//                      (default 15000; 0 disables probing)
+//   --max-rps N        per-connection request admission rate; over-budget
+//                      requests are shed with busy/retry-after (default 0 =
+//                      unlimited)
+//   --retry-after MS   retry hint carried in busy sheds (default 1000)
 //
 // Observability options (docs/OBSERVABILITY.md):
 //   --metrics-port P       serve GET /metrics (Prometheus text), /metrics.json
@@ -77,6 +87,7 @@ void handle_signal(int) { g_stop.store(true); }
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--host H] [--port P] [--port-file F] [--token T] [--max-conns N]"
+               " [--timeout MS] [--keepalive MS] [--max-rps N] [--retry-after MS]"
                " [--metrics-port P] [--metrics-port-file F] [--metrics-dump F,SEC]"
                " [--log-level error|warn|info|debug]"
                " [--data-dir D] [--checkpoint-every N] [--store-sync none|epoch|always]"
@@ -229,6 +240,18 @@ int main(int argc, char** argv) {
         std::cerr << "--max-conns must be >= 1\n";
         return 2;
       }
+    } else if (arg == "--timeout") {
+      server_config.hello_timeout_ms =
+          static_cast<std::uint32_t>(parse_u64_or_exit(arg, next()));
+    } else if (arg == "--keepalive") {
+      server_config.keepalive_interval_ms =
+          static_cast<std::uint32_t>(parse_u64_or_exit(arg, next()));
+    } else if (arg == "--max-rps") {
+      server_config.max_requests_per_sec =
+          static_cast<std::uint32_t>(parse_u64_or_exit(arg, next()));
+    } else if (arg == "--retry-after") {
+      server_config.busy_retry_after_ms =
+          static_cast<std::uint32_t>(parse_u64_or_exit(arg, next()));
     } else if (arg == "--threshold") {
       threshold = parse_threshold_or_exit(next());
     } else if (arg == "--allocations") {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/wire.h"
 #include "obs/wellknown.h"
 
 namespace bgpcu::api {
@@ -217,9 +218,16 @@ std::vector<stream::ClassChange> Service::apply_subscription(const Subscription&
 }
 
 EpochDelta Service::publish() {
-  // Pairs to notify once the facade mutex is released — callbacks may
-  // re-enter subscribe/unsubscribe.
-  std::vector<std::pair<SubscriptionCallback, EpochDelta>> dispatch;
+  // Deliveries to make once the facade mutex is released — callbacks may
+  // re-enter subscribe/unsubscribe. A plain subscription carries its decoded
+  // delta; an encoded one carries the shared serialized payload.
+  struct Delivery {
+    SubscriptionCallback callback;
+    EncodedEventSink sink;
+    EpochDelta decoded;
+    EncodedEventPtr encoded;
+  };
+  std::vector<Delivery> dispatch;
   EpochDelta delta;
   {
     const std::lock_guard lock(facade_mutex_);
@@ -229,10 +237,44 @@ EpochDelta Service::publish() {
     published_ = std::move(current);
     if (!delta.changes.empty()) {
       log_.push(delta);
+      // Serialize-once cache for encoded subscriptions: subscriptions with
+      // equal filters see identical filtered batches, so they share one
+      // encoded buffer. Keyed by filter equality; linear scan is fine — the
+      // massive-fan-out case is many subscribers over few distinct filters.
+      std::vector<std::pair<const SubscriptionFilter*, EncodedEventPtr>> encoded_cache;
+      auto& m = obs::metrics();
       for (const auto& sub : subscriptions_) {
-        auto filtered = apply_subscription(sub, delta);
-        if (filtered.empty()) continue;
-        dispatch.emplace_back(sub.callback, EpochDelta{delta.epoch, std::move(filtered)});
+        if (sub.encoded_sink) {
+          EncodedEventPtr buffer;
+          bool cached = false;
+          for (const auto& [filter, entry] : encoded_cache) {
+            if (*filter == sub.filter) {
+              buffer = entry;
+              cached = true;
+              break;
+            }
+          }
+          if (!cached) {
+            auto filtered = apply_subscription(sub, delta);
+            if (!filtered.empty()) {
+              buffer = std::make_shared<const std::vector<std::uint8_t>>(
+                  encode_event_payload(EpochDelta{delta.epoch, std::move(filtered)}));
+              m.net_fanout_encodes.add(1);
+            }
+            // Non-matching filters are cached too (as null), so a thousand
+            // subscribers on a filter nothing passes cost one evaluation.
+            encoded_cache.emplace_back(&sub.filter, buffer);
+          } else if (buffer) {
+            m.net_fanout_buffer_reuses.add(1);
+          }
+          if (!buffer) continue;  // this filter passes nothing this epoch
+          dispatch.push_back({nullptr, sub.encoded_sink, {}, buffer});
+        } else {
+          auto filtered = apply_subscription(sub, delta);
+          if (filtered.empty()) continue;
+          dispatch.push_back(
+              {sub.callback, nullptr, EpochDelta{delta.epoch, std::move(filtered)}, nullptr});
+        }
       }
     }
   }
@@ -240,13 +282,34 @@ EpochDelta Service::publish() {
   m.api_publishes.add(1);
   if (!delta.changes.empty()) m.api_changes_published.add(delta.changes.size());
   if (!dispatch.empty()) m.api_events_dispatched.add(dispatch.size());
-  for (auto& [callback, filtered] : dispatch) callback(filtered);
+  for (auto& d : dispatch) {
+    if (d.sink) {
+      d.sink(delta.epoch, d.encoded);
+    } else {
+      d.callback(d.decoded);
+    }
+  }
   return delta;
 }
 
 SubscriptionId Service::subscribe(SubscriptionFilter filter, SubscriptionCallback callback,
                                   std::optional<stream::Epoch> replay_from,
                                   bool* replay_complete) {
+  return subscribe_impl(std::move(filter), std::move(callback), nullptr, replay_from,
+                        replay_complete);
+}
+
+SubscriptionId Service::subscribe_encoded(SubscriptionFilter filter, EncodedEventSink sink,
+                                          std::optional<stream::Epoch> replay_from,
+                                          bool* replay_complete) {
+  return subscribe_impl(std::move(filter), nullptr, std::move(sink), replay_from,
+                        replay_complete);
+}
+
+SubscriptionId Service::subscribe_impl(SubscriptionFilter filter, SubscriptionCallback callback,
+                                       EncodedEventSink sink,
+                                       std::optional<stream::Epoch> replay_from,
+                                       bool* replay_complete) {
   const std::lock_guard lock(facade_mutex_);
   if (replay_complete) {
     // Coverage is decided under the same mutex that delivers the replay: the
@@ -256,7 +319,7 @@ SubscriptionId Service::subscribe(SubscriptionFilter filter, SubscriptionCallbac
     *replay_complete = !replay_from || !oldest || *oldest <= *replay_from;
   }
   const SubscriptionId id = next_id_++;
-  Subscription subscription{id, std::move(filter), {}, std::move(callback)};
+  Subscription subscription{id, std::move(filter), {}, std::move(callback), std::move(sink)};
   subscription.sorted_watch = subscription.filter.watch;
   std::sort(subscription.sorted_watch.begin(), subscription.sorted_watch.end());
   subscription.sorted_watch.erase(
@@ -272,7 +335,18 @@ SubscriptionId Service::subscribe(SubscriptionFilter filter, SubscriptionCallbac
     obs::metrics().api_replays.add(1);
     for (const auto& entry : log_.since(*replay_from)) {
       auto filtered = apply_subscription(subscription, entry);
-      if (!filtered.empty()) subscription.callback(EpochDelta{entry.epoch, std::move(filtered)});
+      if (filtered.empty()) continue;
+      if (subscription.encoded_sink) {
+        // Replay buffers are per-subscriber (no concurrent twin to share
+        // with), but the sink contract — shared immutable payload bytes —
+        // is identical to the live path.
+        obs::metrics().net_fanout_encodes.add(1);
+        subscription.encoded_sink(
+            entry.epoch, std::make_shared<const std::vector<std::uint8_t>>(encode_event_payload(
+                             EpochDelta{entry.epoch, std::move(filtered)})));
+      } else {
+        subscription.callback(EpochDelta{entry.epoch, std::move(filtered)});
+      }
     }
   }
   subscriptions_.push_back(std::move(subscription));

@@ -143,6 +143,18 @@ struct SubscriptionFilter {
 /// Receives one filtered, non-empty EpochDelta per published epoch.
 using SubscriptionCallback = std::function<void(const EpochDelta&)>;
 
+/// A shared, immutable, already-encoded event payload (the
+/// api::encode_event_payload bytes of a filtered EpochDelta). publish()
+/// serializes each distinct filter's result once and hands every matching
+/// subscriber the same buffer — the serialize-once broadcast path.
+using EncodedEventPtr = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// Encoded-subscription receiver: one (epoch, shared payload) per published
+/// epoch that passes the filter. The receiver pairs the payload with its own
+/// per-subscription frame prefix (api::encode_event_prefix) to form the wire
+/// frame; the payload buffer must be treated as immutable.
+using EncodedEventSink = std::function<void(stream::Epoch, const EncodedEventPtr&)>;
+
 /// Supplies the retained-history part of a kHistory answer: class points for
 /// `asn` at past epochs, strictly ascending, from whatever longitudinal
 /// storage backs the service (store::Store in the serving daemon). The
@@ -233,6 +245,16 @@ class Service {
                            std::optional<stream::Epoch> replay_from = std::nullopt,
                            bool* replay_complete = nullptr);
 
+  /// Like subscribe(), but the receiver gets pre-encoded shared payloads
+  /// instead of decoded deltas: publish() serializes each distinct filter's
+  /// result once per epoch and every matching encoded subscription receives
+  /// the same refcounted buffer (see EncodedEventSink). Replay semantics,
+  /// ordering, and the `replay_complete` contract match subscribe();
+  /// replayed payloads are encoded per retained batch during this call.
+  SubscriptionId subscribe_encoded(SubscriptionFilter filter, EncodedEventSink sink,
+                                   std::optional<stream::Epoch> replay_from = std::nullopt,
+                                   bool* replay_complete = nullptr);
+
   /// Returns false when `id` was never issued or already removed.
   bool unsubscribe(SubscriptionId id);
 
@@ -291,8 +313,18 @@ class Service {
     /// be a binary search, not a linear scan of a (possibly remote-supplied)
     /// watchlist.
     std::vector<bgp::Asn> sorted_watch;
+    /// Exactly one of `callback` / `encoded_sink` is engaged, depending on
+    /// which subscribe flavor created the subscription.
     SubscriptionCallback callback;
+    EncodedEventSink encoded_sink;
   };
+
+  /// Shared subscribe/subscribe_encoded implementation (one of
+  /// callback/sink engaged). Replays under the facade mutex, then registers.
+  SubscriptionId subscribe_impl(SubscriptionFilter filter, SubscriptionCallback callback,
+                                EncodedEventSink sink,
+                                std::optional<stream::Epoch> replay_from,
+                                bool* replay_complete);
 
   /// filter.apply with the precomputed watch index.
   [[nodiscard]] static std::vector<stream::ClassChange> apply_subscription(

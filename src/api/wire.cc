@@ -848,6 +848,27 @@ std::vector<std::uint8_t> encode_event(const EventFrame& event) {
   return seal_frame(FrameType::kEvent, std::move(payload));
 }
 
+std::vector<std::uint8_t> encode_event_payload(const EpochDelta& delta) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(delta.changes.size() * 4 + 16);
+  put_delta_payload(payload, delta);
+  return payload;
+}
+
+std::vector<std::uint8_t> encode_event_prefix(std::uint64_t subscription_id,
+                                              std::size_t payload_size) {
+  // Header + varint(total payload length) + varint(subscription id): the
+  // frame's length field covers the id varint plus the shared delta bytes.
+  std::vector<std::uint8_t> id_bytes;
+  put_varint(id_bytes, subscription_id);
+  std::vector<std::uint8_t> prefix;
+  prefix.reserve(id_bytes.size() + 16);
+  put_frame_header(prefix, FrameType::kEvent);
+  put_varint(prefix, id_bytes.size() + payload_size);
+  prefix.insert(prefix.end(), id_bytes.begin(), id_bytes.end());
+  return prefix;
+}
+
 EventFrame decode_event(std::span<const std::uint8_t> frame) {
   const auto parsed = expect_single_frame(frame, FrameType::kEvent, "event");
   Reader r{parsed.payload};

@@ -323,6 +323,20 @@ struct BusyFrame {
 [[nodiscard]] std::vector<std::uint8_t> encode_event(const EventFrame& event);
 [[nodiscard]] EventFrame decode_event(std::span<const std::uint8_t> frame);
 
+/// Split event encoding for serialize-once fan-out. An event frame is the
+/// only frame the server sends to many peers at once, but its payload
+/// starts with the per-subscription id — so the broadcast-shared part is
+/// the delta payload and each subscriber gets a tiny owned prefix:
+///
+///   encode_event_prefix(id, payload.size()) ∥ encode_event_payload(delta)
+///     == encode_event({id, delta})        (byte-for-byte)
+///
+/// The payload is encoded once per published epoch (per distinct filter)
+/// and shared across every matching subscription's write queue.
+[[nodiscard]] std::vector<std::uint8_t> encode_event_payload(const EpochDelta& delta);
+[[nodiscard]] std::vector<std::uint8_t> encode_event_prefix(std::uint64_t subscription_id,
+                                                            std::size_t payload_size);
+
 [[nodiscard]] std::vector<std::uint8_t> encode_request(const RequestFrame& request);
 [[nodiscard]] RequestFrame decode_request(std::span<const std::uint8_t> frame);
 

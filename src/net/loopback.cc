@@ -1,27 +1,95 @@
 #include "net/loopback.h"
 
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 
 namespace bgpcu::net {
 
+namespace {
+
+void set_eventfd(int fd) {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+}
+
+void clear_eventfd(int fd) {
+  std::uint64_t buf = 0;
+  [[maybe_unused]] const ssize_t n = ::read(fd, &buf, sizeof(buf));
+}
+
+}  // namespace
+
 LoopbackPipe::LoopbackPipe(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+LoopbackPipe::~LoopbackPipe() {
+  // Both connection ends hold the pipe via shared_ptr, so nobody can be
+  // polling these fds once the destructor runs.
+  if (read_efd_ >= 0) ::close(read_efd_);
+  if (write_efd_ >= 0) ::close(write_efd_);
+}
+
+std::size_t LoopbackPipe::consume_locked(std::span<std::uint8_t> out) {
+  const auto n = std::min(out.size(), buffered_locked());
+  std::copy_n(buffer_.data() + head_, n, out.data());
+  head_ += n;
+  if (head_ == buffer_.size()) {
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ >= 4096 && head_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+  return n;
+}
+
+void LoopbackPipe::update_signals_locked() {
+  const bool want_read = buffered_locked() > 0 || write_closed_ || read_closed_;
+  const bool want_write = buffered_locked() < capacity_ || read_closed_ || write_closed_;
+  if (read_efd_ >= 0 && want_read != read_sig_) {
+    want_read ? set_eventfd(read_efd_) : clear_eventfd(read_efd_);
+    read_sig_ = want_read;
+  }
+  if (write_efd_ >= 0 && want_write != write_sig_) {
+    want_write ? set_eventfd(write_efd_) : clear_eventfd(write_efd_);
+    write_sig_ = want_write;
+  }
+}
+
+int LoopbackPipe::read_ready_fd() {
+  const std::lock_guard lock(mutex_);
+  if (read_efd_ == -2) {
+    read_efd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    update_signals_locked();
+  }
+  return read_efd_;
+}
+
+int LoopbackPipe::write_ready_fd() {
+  const std::lock_guard lock(mutex_);
+  if (write_efd_ == -2) {
+    write_efd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    update_signals_locked();
+  }
+  return write_efd_;
+}
 
 std::size_t LoopbackPipe::read_some(std::span<std::uint8_t> out,
                                     std::chrono::milliseconds timeout) {
   std::unique_lock lock(mutex_);
-  const auto ready = [&] { return !buffer_.empty() || write_closed_ || read_closed_; };
+  const auto ready = [&] { return buffered_locked() > 0 || write_closed_ || read_closed_; };
   if (timeout > std::chrono::milliseconds::zero()) {
     if (!readable_.wait_for(lock, timeout, ready)) return 0;  // deadline: EOF
   } else {
     readable_.wait(lock, ready);
   }
   if (read_closed_) return 0;
-  if (buffer_.empty()) return 0;  // write_closed_ and drained: EOF
-  const auto n = std::min(out.size(), buffer_.size());
-  std::copy_n(buffer_.begin(), n, out.begin());
-  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+  if (buffered_locked() == 0) return 0;  // write_closed_ and drained: EOF
+  const auto n = consume_locked(out);
   writable_.notify_all();
+  update_signals_locked();
   return n;
 }
 
@@ -30,17 +98,51 @@ bool LoopbackPipe::write_all(std::span<const std::uint8_t> data) {
   std::size_t written = 0;
   while (written < data.size()) {
     writable_.wait(lock, [&] {
-      return buffer_.size() < capacity_ || read_closed_ || write_closed_;
+      return buffered_locked() < capacity_ || read_closed_ || write_closed_;
     });
     if (read_closed_ || write_closed_) return false;
-    const auto room = capacity_ - buffer_.size();
+    const auto room = capacity_ - buffered_locked();
     const auto n = std::min(room, data.size() - written);
     buffer_.insert(buffer_.end(), data.begin() + static_cast<std::ptrdiff_t>(written),
                    data.begin() + static_cast<std::ptrdiff_t>(written + n));
     written += n;
     readable_.notify_all();
+    update_signals_locked();
   }
   return true;
+}
+
+std::size_t LoopbackPipe::try_read_some(std::span<std::uint8_t> out, bool& eof) {
+  const std::lock_guard lock(mutex_);
+  eof = false;
+  if (read_closed_) {
+    eof = true;
+    return 0;
+  }
+  if (buffered_locked() == 0) {
+    eof = write_closed_;
+    return 0;
+  }
+  const auto n = consume_locked(out);
+  writable_.notify_all();
+  update_signals_locked();
+  return n;
+}
+
+std::size_t LoopbackPipe::try_write_some(std::span<const std::uint8_t> data, bool& closed) {
+  const std::lock_guard lock(mutex_);
+  closed = false;
+  if (read_closed_ || write_closed_) {
+    closed = true;
+    return 0;
+  }
+  if (buffered_locked() >= capacity_) return 0;
+  const auto room = capacity_ - buffered_locked();
+  const auto n = std::min(room, data.size());
+  buffer_.insert(buffer_.end(), data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+  readable_.notify_all();
+  update_signals_locked();
+  return n;
 }
 
 void LoopbackPipe::close_write() {
@@ -48,6 +150,7 @@ void LoopbackPipe::close_write() {
   write_closed_ = true;
   readable_.notify_all();
   writable_.notify_all();
+  update_signals_locked();
 }
 
 void LoopbackPipe::close_read() {
@@ -55,6 +158,7 @@ void LoopbackPipe::close_read() {
   read_closed_ = true;
   readable_.notify_all();
   writable_.notify_all();
+  update_signals_locked();
 }
 
 namespace {
@@ -84,6 +188,29 @@ class LoopbackConnection final : public Connection {
   }
 
   [[nodiscard]] std::string peer_name() const override { return "loopback"; }
+
+  [[nodiscard]] PollInfo poll_info() const override {
+    // read_fd signals inbound data/EOF; write_fd is the *signal* eventfd
+    // that turns readable when the outbound pipe has room (PollInfo
+    // contract: distinct write_fd == readable-when-writable semantics).
+    const PollInfo pi{in_->read_ready_fd(), out_->write_ready_fd()};
+    if (!pi.pollable()) return {};
+    return pi;
+  }
+
+  IoStatus try_read(std::span<std::uint8_t> out, std::size_t& n) override {
+    bool eof = false;
+    n = in_->try_read_some(out, eof);
+    if (n > 0) return IoStatus::kOk;
+    return eof ? IoStatus::kEof : IoStatus::kWouldBlock;
+  }
+
+  IoStatus try_write(std::span<const std::uint8_t> data, std::size_t& n) override {
+    bool closed = false;
+    n = out_->try_write_some(data, closed);
+    if (closed) return IoStatus::kEof;
+    return n > 0 ? IoStatus::kOk : IoStatus::kWouldBlock;
+  }
 
  private:
   std::shared_ptr<LoopbackPipe> in_;

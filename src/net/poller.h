@@ -1,0 +1,67 @@
+// Readiness multiplexer behind the event-driven serving loop: one object
+// watching many fds, returning which are readable/writable. Two backends
+// share the interface — epoll (the production fast path: O(ready) wakeups,
+// no per-wait registration rebuild) and plain poll(2) (portable fallback;
+// the protocol conformance suite runs against both so a backend difference
+// can never hide behind the default). Backend selection honors the
+// BGPCU_NET_POLLER environment variable ("epoll" | "poll"), which is how
+// CMake registers the net suite a second time against the fallback.
+//
+// Thread model: set/remove/wait belong to one owning loop thread; wake() is
+// the only call safe from other threads (it makes a blocked wait() return).
+#ifndef BGPCU_NET_POLLER_H
+#define BGPCU_NET_POLLER_H
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace bgpcu::net {
+
+enum class PollerBackend : std::uint8_t { kEpoll, kPoll };
+
+/// kEpoll unless BGPCU_NET_POLLER=poll is set in the environment.
+[[nodiscard]] PollerBackend default_poller_backend() noexcept;
+
+/// One ready fd, identified by the token it was registered with.
+struct PollerEvent {
+  std::uint64_t token = 0;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup on the fd. Reported alongside readable so the owner's
+  /// next read observes the EOF/reset instead of spinning on the event.
+  bool hangup = false;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers `fd` under `token`, or updates its interest set if already
+  /// registered. Asking for neither read nor write removes the fd.
+  /// Registration survives a racing close of the fd number (stale entries
+  /// are reconciled on the next set/remove), but the owner should remove
+  /// fds before releasing them.
+  virtual void set(int fd, std::uint64_t token, bool want_read, bool want_write) = 0;
+
+  /// Drops `fd` from the watch set. Unknown fds are ignored.
+  virtual void remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = forever, 0 = poll-and-return) and
+  /// appends ready fds to `out` (cleared first). wake() calls are consumed
+  /// internally and may yield an empty result. Returns the event count.
+  virtual std::size_t wait(std::vector<PollerEvent>& out, int timeout_ms) = 0;
+
+  /// Makes a concurrent (or the next) wait() return promptly. The only
+  /// member safe to call from a thread other than the owning loop.
+  virtual void wake() = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  [[nodiscard]] static std::unique_ptr<Poller> create(PollerBackend backend);
+};
+
+}  // namespace bgpcu::net
+
+#endif  // BGPCU_NET_POLLER_H

@@ -3,14 +3,25 @@
 // kRequest frames into api::Service queries and kSubscribe frames into
 // service subscriptions whose events stream back as kEvent frames.
 //
-// Concurrency model — the point of this class: every connection gets a
-// reader thread (decode + dispatch) and a writer thread draining a bounded
-// per-connection frame queue. Subscription callbacks from
-// api::Service::publish() only *enqueue* (O(1), non-blocking), so one slow
-// or stalled subscriber can never hold up publish(), ingest, or any other
-// connection; a subscriber whose queue overflows is disconnected instead
-// (counted in ServerStats::slow_disconnects). This closes the ROADMAP item
-// about synchronous subscription dispatch.
+// Concurrency model — the point of this class: connections are served by an
+// event-driven readiness loop (ServeMode::kEventLoop, the default). A small
+// set of IO threads each run a Poller over nonblocking connections, doing
+// all reads and writes; decoded frames are dispatched per-connection (in
+// order) on a fixed worker pool so a slow service query never stalls the IO
+// loop. Published events are serialized once per epoch (per distinct
+// filter) into a shared refcounted buffer that every matching subscriber's
+// write queue references — fan-out costs one encode, not one per peer.
+// Write queues are bounded in BYTES (write_queue_bytes_limit) and frames;
+// a subscriber that overflows either bound is disconnected (counted in
+// ServerStats::slow_disconnects) instead of waited for, so one stalled
+// peer can never hold up publish(), ingest, or any other connection.
+//
+// Connections whose transport cannot be polled (Connection::poll_info
+// reports non-pollable — e.g. fault-injection wrappers), and every
+// connection under ServeMode::kThreadPerConnection, fall back to the
+// legacy model: one reader thread + one writer thread per connection,
+// draining the same bounded queue. Both paths share one protocol handler,
+// so behavior is identical frame-for-frame.
 #ifndef BGPCU_NET_SERVER_H
 #define BGPCU_NET_SERVER_H
 
@@ -22,10 +33,17 @@
 #include <vector>
 
 #include "api/service.h"
+#include "net/poller.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
 
 namespace bgpcu::net {
+
+/// How the server runs connections. kEventLoop is the production default;
+/// kThreadPerConnection keeps the legacy two-threads-per-connection model
+/// (used as the fan-out benchmark baseline, and implicitly for transports
+/// that cannot be polled).
+enum class ServeMode : std::uint8_t { kEventLoop, kThreadPerConnection };
 
 struct ServerConfig {
   /// Required token when non-empty: a kHello with a different token is
@@ -36,12 +54,19 @@ struct ServerConfig {
   /// Per-frame payload cap on *client -> server* frames. Requests are tiny;
   /// a modest cap bounds what an abusive peer can make the server buffer.
   std::size_t max_request_payload = std::size_t{1} << 20;
-  /// Per-connection write queue cap, in frames. Overflow means the consumer
-  /// is too slow to keep up with its subscription feed: it is disconnected.
+  /// DEPRECATED frame-count alias for the write-queue bound: kept because a
+  /// frame count was the original knob, but a few multi-MB snapshot frames
+  /// evade any count — write_queue_bytes_limit is the real backpressure
+  /// bound. Both are enforced; overflow of either disconnects the peer.
   std::size_t write_queue_limit = 256;
+  /// Per-connection write queue cap, in bytes. Overflow means the consumer
+  /// is too slow to keep up: it is disconnected (slow_disconnects). The
+  /// check is on bytes already queued, so one frame larger than the limit
+  /// still goes out when the queue is under the bound.
+  std::size_t write_queue_bytes_limit = std::size_t{32} << 20;
   /// Deadline for the client's first frame, in milliseconds (0 disables).
   /// Bounds how long an idle connect — including one awaiting its busy
-  /// rejection — can pin a conns_ slot and its two threads.
+  /// rejection — can pin a conns_ slot.
   std::uint32_t hello_timeout_ms = 5000;
   /// Open subscriptions one connection may hold. Each subscription costs
   /// the Service a stored filter evaluated on every publish, so this is
@@ -49,8 +74,7 @@ struct ServerConfig {
   std::size_t max_subscriptions_per_connection = 64;
   /// How long a keepalive-negotiated connection may stay silent before the
   /// server probes it with kPing, in milliseconds (0 disables probing).
-  /// Probing runs on the connection's writer thread, so a dead peer is
-  /// detected even when the server has nothing to send.
+  /// A dead peer is detected even when the server has nothing to send.
   std::uint32_t keepalive_interval_ms = 15000;
   /// After a probe, how long to wait for *any* inbound byte before declaring
   /// the peer dead and tearing the connection down.
@@ -64,6 +88,19 @@ struct ServerConfig {
   std::uint32_t request_burst = 32;
   /// Retry-after hint carried in busy sheds to feature-negotiated clients.
   std::uint32_t busy_retry_after_ms = 1000;
+  /// Connection serving model (see ServeMode).
+  ServeMode mode = ServeMode::kEventLoop;
+  /// Event-loop threads (clamped to >= 1). Pollable connections are
+  /// assigned round-robin at accept time.
+  std::size_t io_threads = 1;
+  /// Worker threads decoding/dispatching frames off the IO loops. 0 runs
+  /// dispatch inline on the IO thread — cheapest, but a slow service query
+  /// then stalls that loop's other connections.
+  std::size_t worker_threads = 1;
+  /// Readiness backend for the IO loops (and nothing else). Defaults to
+  /// epoll, or poll(2) when BGPCU_NET_POLLER=poll is set — which is how CI
+  /// runs the conformance suite against both backends.
+  PollerBackend poller_backend = default_poller_backend();
 };
 
 /// Monotonic counters, readable at any time (values are snapshots).
@@ -77,7 +114,7 @@ struct ServerStats {
   /// and unknown-subscription); auth failures and busy rejections are
   /// counted in their own fields only.
   std::uint64_t protocol_errors = 0;
-  std::uint64_t slow_disconnects = 0;   ///< Write-queue overflows.
+  std::uint64_t slow_disconnects = 0;   ///< Write-queue overflows (frames or bytes).
   std::uint64_t pings_received = 0;     ///< Client keepalive probes answered.
   std::uint64_t keepalive_probes = 0;   ///< Server-initiated kPing probes.
   std::uint64_t keepalive_disconnects = 0;  ///< Peers declared dead after a probe.
@@ -96,7 +133,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Spawns the accept loop. Call once.
+  /// Spawns the IO loops, worker pool, and accept loop. Call once.
   void start();
 
   /// Closes the listener and every live connection, joins all threads.
@@ -105,16 +142,23 @@ class Server {
 
   [[nodiscard]] ServerStats stats() const;
 
-  /// Live (not yet torn down) connections. Also reaps finished handlers —
-  /// poll it periodically on a long-lived server (bgpcu_serve does, every
-  /// epoch) so joined threads don't wait for the next accept.
+  /// Live (not yet torn down) connections. Also reaps finished threaded
+  /// handlers — poll it periodically on a long-lived server (bgpcu_serve
+  /// does, every epoch) so joined threads don't wait for the next accept.
   [[nodiscard]] std::size_t connection_count();
 
  private:
-  class ConnHandler;
+  class ConnHandler;          // shared protocol machinery (abstract)
+  class ThreadedConnHandler;  // reader+writer threads (legacy / fallback)
+  class EventConn;            // poller-driven connection state
+  class IoLoop;               // one poller + its thread
+  class WorkerPool;           // frame dispatch off the IO threads
 
   void accept_loop();
   void reap_finished();
+  /// Runs `conn`'s inbox drain on the worker pool (or inline when
+  /// worker_threads == 0).
+  void submit_worker(std::shared_ptr<EventConn> conn);
 
   api::Service& service_;
   std::shared_ptr<Listener> listener_;
@@ -125,7 +169,14 @@ class Server {
   std::thread accept_thread_;
 
   mutable std::mutex conns_mutex_;
+  /// Threaded handlers only; event connections live in their IoLoop.
   std::vector<std::shared_ptr<ConnHandler>> conns_;
+  /// Created in the constructor (so scrape collectors can count them
+  /// immediately), threads spawned in start().
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  std::unique_ptr<WorkerPool> workers_;
+  std::atomic<std::uint64_t> next_conn_id_{0};
+  std::size_t next_loop_ = 0;  ///< Accept-thread only (round-robin).
 
   struct AtomicStats {
     std::atomic<std::uint64_t> connections_accepted{0};

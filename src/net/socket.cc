@@ -81,6 +81,42 @@ class TcpConnection final : public Connection {
 
   [[nodiscard]] std::string peer_name() const override { return peer_; }
 
+  [[nodiscard]] PollInfo poll_info() const override {
+    const int fd = fd_.load();
+    return {fd, fd};
+  }
+
+  IoStatus try_read(std::span<std::uint8_t> out, std::size_t& n) override {
+    n = 0;
+    for (;;) {
+      const auto rc = ::recv(fd_, out.data(), out.size(), MSG_DONTWAIT);
+      if (rc > 0) {
+        n = static_cast<std::size_t>(rc);
+        return IoStatus::kOk;
+      }
+      if (rc == 0) return IoStatus::kEof;
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+      // Reset / closed-under-us / any hard error: stream over for the
+      // protocol layer (same collapsing as read_some).
+      return IoStatus::kEof;
+    }
+  }
+
+  IoStatus try_write(std::span<const std::uint8_t> data, std::size_t& n) override {
+    n = 0;
+    for (;;) {
+      const auto rc = ::send(fd_, data.data(), data.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (rc > 0) {
+        n = static_cast<std::size_t>(rc);
+        return IoStatus::kOk;
+      }
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return IoStatus::kWouldBlock;
+      return IoStatus::kEof;  // peer gone or fd closed under us
+    }
+  }
+
  private:
   std::atomic<int> fd_;
   std::string peer_;
@@ -214,6 +250,29 @@ std::unique_ptr<Connection> TcpListener::accept() {
     }
     if (closed_.load()) return nullptr;
     if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EBADF || errno == EINVAL) return nullptr;  // closed under us
+    throw_errno("accept on " + name());
+  }
+}
+
+std::unique_ptr<Connection> TcpListener::try_accept() {
+  if (!nonblocking_) {
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    nonblocking_ = true;
+  }
+  for (;;) {
+    sockaddr_storage addr{};
+    socklen_t len = sizeof addr;
+    const int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return std::make_unique<TcpConnection>(fd, describe_peer(addr, len));
+    }
+    if (closed_.load()) return nullptr;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return nullptr;
     if (errno == EBADF || errno == EINVAL) return nullptr;  // closed under us
     throw_errno("accept on " + name());
   }

@@ -30,9 +30,20 @@ class TcpListener : public Listener {
   /// The actually bound port (resolves port 0 to the kernel's pick).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// The listening fd, for registering with a Poller. Valid until the
+  /// listener is destroyed.
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Nonblocking accept for poller-driven owners: flips the listening fd
+  /// to O_NONBLOCK on first use (this listener must then be drained via
+  /// try_accept only) and returns nullptr when no connection is pending
+  /// or the listener is closed.
+  [[nodiscard]] std::unique_ptr<Connection> try_accept();
+
  private:
   int fd_ = -1;
   std::atomic<bool> closed_{false};
+  bool nonblocking_ = false;
   std::string host_;
   std::uint16_t port_ = 0;
 };

@@ -26,9 +26,32 @@ class TransportError : public std::runtime_error {
   explicit TransportError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Result of a nonblocking try_read / try_write attempt.
+enum class IoStatus : std::uint8_t {
+  kOk,          ///< one or more bytes transferred
+  kWouldBlock,  ///< no progress possible right now; wait for readiness
+  kEof,         ///< stream over: peer gone, reset, or locally closed
+};
+
+/// Readiness descriptors for the event-driven server. `read_fd` becomes
+/// readable when try_read can make progress (or EOF is pending). When
+/// `write_fd` differs from `read_fd` it is a *signal* fd that becomes
+/// READABLE when try_write can make progress (loopback uses an eventfd);
+/// when they are equal (TCP) the owner asks for plain write readiness on
+/// the one fd. A default-constructed PollInfo means the connection cannot
+/// be polled and must be served by the threaded fallback path.
+struct PollInfo {
+  int read_fd = -1;
+  int write_fd = -1;
+  [[nodiscard]] bool pollable() const noexcept { return read_fd >= 0 && write_fd >= 0; }
+};
+
 /// One duplex byte-stream connection. Thread model: one reader thread and
 /// one writer thread may use a connection concurrently (read_some vs
 /// write_all); close() may be called from any thread and unblocks both.
+/// The nonblocking surface (poll_info/try_read/try_write) is optional:
+/// transports that don't implement it report a non-pollable PollInfo and
+/// are served by dedicated threads instead of the event loop.
 class Connection {
  public:
   virtual ~Connection() = default;
@@ -60,6 +83,25 @@ class Connection {
 
   /// Human-readable peer name for diagnostics ("127.0.0.1:45112", "loopback").
   [[nodiscard]] virtual std::string peer_name() const = 0;
+
+  /// Readiness fds for the event loop; non-pollable by default.
+  [[nodiscard]] virtual PollInfo poll_info() const { return {}; }
+
+  /// Nonblocking read of up to `out.size()` bytes into `out`. Sets `n` to
+  /// the byte count on kOk (n >= 1); n is 0 otherwise. Never blocks.
+  virtual IoStatus try_read(std::span<std::uint8_t> out, std::size_t& n) {
+    (void)out;
+    n = 0;
+    return IoStatus::kEof;
+  }
+
+  /// Nonblocking write of a prefix of `data`. Sets `n` to the bytes
+  /// accepted on kOk (n >= 1); n is 0 otherwise. Never blocks.
+  virtual IoStatus try_write(std::span<const std::uint8_t> data, std::size_t& n) {
+    (void)data;
+    n = 0;
+    return IoStatus::kEof;
+  }
 };
 
 /// Accepts inbound connections. close() unblocks a pending accept().

@@ -1,13 +1,16 @@
-// Minimal built-in HTTP server for the telemetry surface: a single
-// accept-loop thread answering GET /metrics (Prometheus text exposition),
-// GET /metrics.json (the flat JSON rendering), and GET /healthz ("ok").
-// One request per connection, Connection: close — exactly what a Prometheus
-// scraper or a curl-based health check needs, and nothing more. Runs on a
-// net::TcpListener so port 0 resolves to an ephemeral port readable via
-// port() (the CI scrape check depends on that).
+// Minimal built-in HTTP server for the telemetry surface: a single poller
+// thread multiplexing every scrape, answering GET /metrics (Prometheus text
+// exposition), GET /metrics.json (the flat JSON rendering), and GET
+// /healthz ("ok"). One request per connection, Connection: close — exactly
+// what a Prometheus scraper or a curl-based health check needs, and nothing
+// more. Because clients share one readiness loop, a stalled or half-sent
+// scrape never blocks /healthz for anyone else; stalled peers are shed on a
+// per-phase deadline. Runs on a net::TcpListener so port 0 resolves to an
+// ephemeral port readable via port() (the CI scrape check depends on that).
 #ifndef BGPCU_OBS_HTTP_H
 #define BGPCU_OBS_HTTP_H
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -17,6 +20,7 @@
 
 namespace bgpcu::net {
 class TcpListener;
+class Poller;
 }  // namespace bgpcu::net
 
 namespace bgpcu::obs {
@@ -45,6 +49,8 @@ class MetricsHttpServer {
 
   const Registry& registry_;
   std::unique_ptr<net::TcpListener> listener_;
+  std::unique_ptr<net::Poller> poller_;
+  std::atomic<bool> running_{true};
   std::thread thread_;
 };
 

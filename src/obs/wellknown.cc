@@ -118,6 +118,16 @@ Metrics& metrics() {
                                        "Rate-limited requests answered busy before dispatch"),
         .net_busy_rejections = r.counter("bgpcu_net_busy_rejections_total",
                                          "Admission rejections sent as structured kBusy"),
+        .net_fanout_wakeups = r.counter("bgpcu_net_fanout_wakeups_total",
+                                        "IO event-loop poller wakeups"),
+        .net_fanout_encodes = r.counter("bgpcu_net_fanout_encodes_total",
+                                        "Distinct event payload serializations"),
+        .net_fanout_buffer_reuses =
+            r.counter("bgpcu_net_fanout_buffer_reuses_total",
+                      "Events delivered from an already-encoded shared buffer"),
+        .net_fanout_coalesced_writes =
+            r.counter("bgpcu_net_fanout_coalesced_writes_total",
+                      "Flushes that drained more than one queued frame"),
         .net_write_queue_hwm =
             r.gauge("bgpcu_net_write_queue_high_water",
                     "Largest per-connection write-queue depth seen, in frames"),

@@ -76,6 +76,13 @@ struct Metrics {
   Counter& net_keepalive_disconnects;
   Counter& net_requests_shed;
   Counter& net_busy_rejections;
+  // Event-driven fan-out path: poller wakeups, serialize-once broadcast
+  // effectiveness (encodes vs shared-buffer reuses — the reuse ratio is the
+  // whole point of the design), and flushes that drained multiple frames.
+  Counter& net_fanout_wakeups;
+  Counter& net_fanout_encodes;
+  Counter& net_fanout_buffer_reuses;
+  Counter& net_fanout_coalesced_writes;
   Gauge& net_write_queue_hwm;
   Histogram& request_stage_decode_ns;
   Histogram& request_stage_dispatch_ns;

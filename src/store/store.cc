@@ -30,7 +30,8 @@ core::UsageClass usage_at(const stream::SnapshotPtr& snapshot, bgp::Asn asn) {
 
 }  // namespace
 
-Store::Store(StoreConfig config) : config_(std::move(config)) {
+Store::Store(StoreConfig config)
+    : config_(std::move(config)), last_checkpoint_time_(Clock::now()) {
   config_.retain_checkpoints = std::max<std::uint64_t>(1, config_.retain_checkpoints);
   std::error_code ec;
   fs::create_directories(config_.dir, ec);
@@ -254,11 +255,24 @@ bool Store::append_epoch_delta(const api::EpochDelta& delta) {
 bool Store::maybe_checkpoint(api::Service& service) {
   {
     const std::lock_guard lock(mutex_);
-    if (config_.checkpoint_every_epochs == 0) return false;
     const auto epoch = service.epoch();
     const stream::Epoch newest =
         manifest_.checkpoints.empty() ? 0 : manifest_.checkpoints.back();
-    if (epoch < newest + config_.checkpoint_every_epochs) return false;
+    bool due = config_.checkpoint_every_epochs != 0 &&
+               epoch >= newest + config_.checkpoint_every_epochs;
+    // Time cadence: catches quiet feeds whose epoch trickle never reaches
+    // the epoch cadence, so the WAL tail (and crash-replay time) stays
+    // bounded by wall clock too. Only fires when the current epoch would
+    // actually yield a new checkpoint — checkpoint_locked no-ops on an
+    // epoch already covered, and a pointless cycle would still churn IO.
+    if (!due && config_.checkpoint_interval_sec != 0 &&
+        !manifest_.has_checkpoint(epoch)) {
+      const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                               Clock::now() - last_checkpoint_time_)
+                               .count();
+      due = elapsed >= static_cast<std::int64_t>(config_.checkpoint_interval_sec);
+    }
+    if (!due) return false;
   }
   return checkpoint(service);
 }
@@ -324,6 +338,7 @@ void Store::checkpoint_locked(api::Service& service) {
   snapshot_cache_.emplace(epoch, snapshot);
   gc_locked();
 
+  last_checkpoint_time_ = Clock::now();
   const auto ns = elapsed_ns(started);
   auto& m = obs::metrics();
   m.store_checkpoints.add(1);

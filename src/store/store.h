@@ -21,6 +21,7 @@
 #ifndef BGPCU_STORE_STORE_H
 #define BGPCU_STORE_STORE_H
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -44,6 +45,13 @@ struct StoreConfig {
   /// the current epoch is at least this far past the newest one. 0 disables
   /// automatic checkpoints (explicit checkpoint() still works).
   std::uint64_t checkpoint_every_epochs = 16;
+  /// Time-based cadence, in seconds: maybe_checkpoint() also fires once this
+  /// long has passed since the last checkpoint AND the current epoch has
+  /// durable state no checkpoint covers yet. Whichever cadence (epoch or
+  /// time) fires first wins. Protects quiet feeds: a trickle of epochs can
+  /// sit under checkpoint_every_epochs forever, leaving an ever-growing WAL
+  /// tail to replay after a crash. 0 disables the time cadence.
+  std::uint64_t checkpoint_interval_sec = 0;
   /// Retained checkpoint history depth (the kHistory substrate). Clamped >= 1.
   std::uint64_t retain_checkpoints = 8;
 };
@@ -115,6 +123,8 @@ class Store {
 
   StoreConfig config_;
   mutable std::mutex mutex_;
+  /// Base of the time cadence: construction, then each written checkpoint.
+  std::chrono::steady_clock::time_point last_checkpoint_time_;
   Manifest manifest_;
   std::unique_ptr<WalWriter> wal_;
   bool degraded_ = false;

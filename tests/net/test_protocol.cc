@@ -496,6 +496,66 @@ TEST(NetProtocol, SlowSubscriberIsDisconnectedWithoutStallingPublish) {
   EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 1; }));
 }
 
+TEST(NetProtocol, ByteBoundCatchesSlowSubscriberThatFrameCountMisses) {
+  // Regression: the write queue was originally bounded only by frame COUNT,
+  // so a handful of multi-KB event frames sat under the limit while pinning
+  // unbounded memory. The byte bound must fire even when the frame count
+  // stays far below its (deliberately huge here) limit.
+  Harness harness({.write_queue_limit = 1024, .write_queue_bytes_limit = 2048},
+                  /*pipe_capacity=*/64);
+
+  auto slow = harness.listener->connect();  // raw: we control (don't do) reads
+  ASSERT_TRUE(slow->write_all(api::encode_hello({api::kProtocolVersion, ""})));
+  ASSERT_TRUE(slow->write_all(api::encode_subscribe({1, {}, std::nullopt})));
+
+  auto good = harness.client();
+  (void)good.subscribe({});
+  EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 2; }));
+
+  // Each epoch flips hundreds of ASNs, so every event frame is large; a few
+  // of them queued unread cross the byte bound long before 1024 frames.
+  for (stream::Epoch e = 0; e < 12; ++e) {
+    if (e > 0) (void)harness.service.advance_epoch();
+    core::Dataset batch;
+    for (bgp::Asn peer = 1; peer <= 300; ++peer) {
+      batch.push_back(tuple(peer, 20, (e + peer) % 2 == 0));
+    }
+    (void)harness.service.ingest(std::move(batch));
+    (void)harness.service.publish();
+    const auto event = good.next_event();
+    ASSERT_TRUE(event.has_value()) << "well-behaved subscriber starved at epoch " << e;
+    EXPECT_EQ(event->delta.epoch, e);
+  }
+
+  EXPECT_TRUE(eventually([&] { return harness.server.stats().slow_disconnects == 1; }));
+  EXPECT_TRUE(eventually([&] { return harness.service.subscription_count() == 1; }));
+}
+
+TEST(NetProtocol, OneFrameLargerThanTheByteLimitStillGoesOut) {
+  // The byte check is on bytes ALREADY queued: a single response larger
+  // than write_queue_bytes_limit on an otherwise-empty queue is delivered,
+  // not treated as an overflow — the bound is backpressure, not a frame
+  // size cap (max_request_payload caps the other direction).
+  Harness harness({.write_queue_bytes_limit = 512});
+  core::Dataset batch;
+  for (bgp::Asn peer = 1; peer <= 400; ++peer) {
+    batch.push_back(tuple(peer, 20, true));
+  }
+  (void)harness.service.ingest(std::move(batch));
+  (void)harness.service.publish();
+
+  auto conn = harness.listener->connect();
+  ASSERT_TRUE(conn->write_all(api::encode_hello({api::kProtocolVersion, ""})));
+  ASSERT_TRUE(conn->write_all(api::encode_request({1, {.kind = api::QueryKind::kSnapshot}})));
+  FrameBuffer frames;
+  (void)next_frame(*conn, frames);  // welcome
+  const auto frame = next_frame(*conn, frames);
+  ASSERT_GT(frame.size(), 512u) << "snapshot too small to exercise the oversized path";
+  const auto response = api::decode_response(frame);
+  ASSERT_TRUE(response.response.snapshot != nullptr);
+  EXPECT_EQ(harness.server.stats().slow_disconnects, 0u);
+}
+
 // ---------------------------------------------------------------- limits --
 
 TEST(NetProtocol, SilentConnectionIsDroppedAtTheHelloDeadline) {

@@ -3,6 +3,7 @@
 // Prometheus content type, and clean shutdown.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -89,6 +90,39 @@ TEST_F(MetricsHttpTest, ServesSequentialConnections) {
     const auto response =
         http_exchange(server_.port(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
     EXPECT_NE(response.find("200 OK"), std::string::npos) << "request " << i;
+  }
+}
+
+TEST_F(MetricsHttpTest, StalledScraperDoesNotBlockHealthz) {
+  // Regression: the old accept-loop served one connection at a time, so a
+  // scraper that connected and went silent held the whole endpoint hostage
+  // for its read timeout. With every client multiplexed on the poller, a
+  // stalled peer must not delay anyone: open two stalled connections (one
+  // totally silent, one with a half-sent request line) and demand that a
+  // live /healthz round-trips while they are still stalled.
+  auto silent = net::tcp_connect("127.0.0.1", server_.port());
+  auto partial = net::tcp_connect("127.0.0.1", server_.port());
+  const std::string half = "GET /metr";  // no terminator, never finished
+  ASSERT_TRUE(partial->write_all(
+      {reinterpret_cast<const std::uint8_t*>(half.data()), half.size()}));
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto response =
+      http_exchange(server_.port(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  // Well under the 2 s stall deadline — the healthy client was never queued
+  // behind the stalled ones.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+
+  // The stalled peers are eventually shed by the phase deadline: their
+  // sockets read EOF once the server drops them.
+  std::uint8_t buf[256];
+  silent->set_read_timeout(std::chrono::milliseconds(5000));
+  EXPECT_EQ(silent->read_some(buf), 0u);
+  partial->set_read_timeout(std::chrono::milliseconds(5000));
+  while (partial->read_some(buf) != 0) {
   }
 }
 

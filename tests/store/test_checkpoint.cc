@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <map>
 #include <span>
 #include <string_view>
+#include <thread>
 
 #include "api/service.h"
 #include "store/io.h"
@@ -226,6 +228,34 @@ TEST(StoreCheckpoint, MaybeCheckpointFollowsCadence) {
 
   Store disabled({.dir = dir.str() + "/sub", .checkpoint_every_epochs = 0});
   EXPECT_FALSE(disabled.maybe_checkpoint(service)) << "0 disables the cadence";
+}
+
+TEST(StoreCheckpoint, TimeCadenceCheckpointsAQuietFeed) {
+  // Regression for the quiet-feed gap: a feed trickling along under
+  // checkpoint_every_epochs never checkpointed, so the WAL tail (and
+  // crash-replay time) grew without bound. The time cadence fires on wall
+  // clock instead — here with ZERO epoch advances since the last durable
+  // state — and refuses to rewrite when the current epoch is already
+  // covered (a second elapsed interval with nothing new is a no-op).
+  TempDir dir("ckpt_time_cadence");
+  topology::Rng rng(26);
+  api::Service service(testutil::test_service_config());
+  Store store({.dir = dir.str(),
+               .checkpoint_every_epochs = 100,  // epoch cadence never fires here
+               .checkpoint_interval_sec = 1});
+
+  run_epoch(service, store, testutil::random_dataset(rng, 15));
+  EXPECT_FALSE(store.maybe_checkpoint(service)) << "interval has not elapsed yet";
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  EXPECT_TRUE(store.maybe_checkpoint(service)) << "time cadence must fire";
+  ASSERT_EQ(store.manifest().checkpoints.size(), 1u);
+  EXPECT_EQ(store.manifest().checkpoints[0], service.epoch());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  EXPECT_FALSE(store.maybe_checkpoint(service))
+      << "current epoch already checkpointed: nothing new to write";
+  EXPECT_EQ(store.manifest().checkpoints.size(), 1u);
 }
 
 TEST(StoreCheckpoint, DiskFullDegradesInsteadOfThrowing) {

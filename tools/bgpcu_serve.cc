@@ -18,6 +18,10 @@
 //   --max-conns N      connection limit, default 64
 //   --timeout MS       handshake deadline for a client's first frame
 //                      (default 5000; 0 disables)
+//   --io-threads N     event-loop threads multiplexing connections (default
+//                      1; connections are assigned round-robin)
+//   --workers N        worker threads dispatching decoded frames off the IO
+//                      loops (default 1; 0 dispatches inline on the loop)
 //
 // Overload-protection options (docs/RELIABILITY.md):
 //   --keepalive MS     probe idle negotiated connections with kPing every MS
@@ -46,6 +50,11 @@
 //                          recorded file offsets. Enables `history` queries.
 //   --checkpoint-every N   checkpoint cadence in epochs (default 16; 0 =
 //                          only the final shutdown checkpoint)
+//   --checkpoint-interval SEC  also checkpoint once SEC seconds have passed
+//                          since the last one and durable state is pending —
+//                          whichever cadence fires first wins. Protects
+//                          quiet feeds whose epoch trickle never reaches
+//                          --checkpoint-every (default 0 = disabled)
 //   --store-sync MODE      WAL fsync policy: none|epoch|always (default epoch)
 //
 // SIGINT/SIGTERM shut the daemon down cleanly (exit code 0), flushing a
@@ -87,10 +96,12 @@ void handle_signal(int) { g_stop.store(true); }
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--host H] [--port P] [--port-file F] [--token T] [--max-conns N]"
-               " [--timeout MS] [--keepalive MS] [--max-rps N] [--retry-after MS]"
+               " [--timeout MS] [--io-threads N] [--workers N]"
+               " [--keepalive MS] [--max-rps N] [--retry-after MS]"
                " [--metrics-port P] [--metrics-port-file F] [--metrics-dump F,SEC]"
                " [--log-level error|warn|info|debug]"
-               " [--data-dir D] [--checkpoint-every N] [--store-sync none|epoch|always]"
+               " [--data-dir D] [--checkpoint-every N] [--checkpoint-interval SEC]"
+               " [--store-sync none|epoch|always]"
                " [--threshold P] [--allocations F] [--shards N] [--window W]"
                " [--extension .EXT] [--settle SEC] [--interval SEC] [WATCH_DIR]\n";
   return 2;
@@ -220,6 +231,8 @@ int main(int argc, char** argv) {
       store_config.dir = next();
     } else if (arg == "--checkpoint-every") {
       store_config.checkpoint_every_epochs = parse_u64_or_exit(arg, next());
+    } else if (arg == "--checkpoint-interval") {
+      store_config.checkpoint_interval_sec = parse_u64_or_exit(arg, next());
     } else if (arg == "--store-sync") {
       const std::string mode = next();
       if (mode == "none") {
@@ -243,6 +256,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--timeout") {
       server_config.hello_timeout_ms =
           static_cast<std::uint32_t>(parse_u64_or_exit(arg, next()));
+    } else if (arg == "--io-threads") {
+      server_config.io_threads = static_cast<std::size_t>(parse_u64_or_exit(arg, next()));
+      if (server_config.io_threads == 0) {
+        std::cerr << "--io-threads must be >= 1\n";
+        return 2;
+      }
+    } else if (arg == "--workers") {
+      server_config.worker_threads =
+          static_cast<std::size_t>(parse_u64_or_exit(arg, next()));
     } else if (arg == "--keepalive") {
       server_config.keepalive_interval_ms =
           static_cast<std::uint32_t>(parse_u64_or_exit(arg, next()));
@@ -364,6 +386,9 @@ int main(int argc, char** argv) {
     std::uint64_t ingest_polls = recovery.recovered ? 1 : 0;
     while (!g_stop.load()) {
       if (!feed) {
+        // The time cadence must run even with nothing to ingest — that is
+        // its whole point (a quiet feed leaving WAL state uncheckpointed).
+        if (store) store->maybe_checkpoint(service);
         (void)interruptible_sleep(interval_sec);
         continue;
       }
@@ -373,6 +398,7 @@ int main(int argc, char** argv) {
         obs::log_warn("feed_read_failed", {{"path", path}, {"action", "will retry"}});
       }
       if (poll.empty()) {
+        if (store) store->maybe_checkpoint(service);
         if (!interruptible_sleep(interval_sec)) break;
         continue;
       }
